@@ -1,0 +1,176 @@
+// E3 -- non-periodic (session / punctuation) windows.
+//
+// Operationalizes: "Cutty is also suitable for ... non-periodic windows,
+// such as session windows, which can be used for more complex business
+// logic" (STREAMLINE, Sec. 1). Periodic-only techniques (Pairs, Panes,
+// eager buckets) cannot express these windows at all; the comparison is
+// Cutty's slicing versus buffer-and-recompute.
+
+#include <memory>
+
+#include "agg/techniques.h"
+#include "bench/harness.h"
+#include "common/random.h"
+#include "window/aggregate_fn.h"
+
+namespace streamline {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+// Bursty stream: sessions of `burst` events spaced 100 ms, separated by
+// idle gaps (3x the session gap), so a session window with gap
+// `session_gap_ms` recovers them exactly.
+std::vector<Timestamp> MakeBurstyStream(uint64_t n, uint64_t burst,
+                                        Duration session_gap_ms) {
+  std::vector<Timestamp> out;
+  out.reserve(n);
+  Timestamp t = 0;
+  uint64_t in_burst = 0;
+  while (out.size() < n) {
+    out.push_back(t);
+    if (++in_burst == burst) {
+      in_burst = 0;
+      t += session_gap_ms * 3;
+    } else {
+      t += 100;
+    }
+  }
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t records = 0;
+  uint64_t fires = 0;
+  AggStats stats;
+};
+
+RunResult RunSession(AggTechnique technique, Duration gap_ms, uint64_t burst,
+                     uint64_t max_records) {
+  auto agg = MakeAggregator<SumAgg<double>>(technique);
+  uint64_t fired = 0;
+  agg->AddQuery(std::make_unique<SessionWindowFn>(gap_ms),
+                [&fired](size_t, const Window&, const double&) { ++fired; });
+  const auto stream = MakeBurstyStream(max_records, burst, gap_ms);
+  Rng rng(3);
+  RunResult out;
+  out.records = stream.size();
+  Stopwatch sw;
+  for (Timestamp t : stream) agg->OnElement(t, rng.NextDouble());
+  agg->OnWatermark(kMaxTimestamp);
+  out.seconds = sw.ElapsedSeconds();
+  out.fires = fired;
+  out.stats = agg->stats();
+  return out;
+}
+
+RunResult RunPunctuation(AggTechnique technique, uint64_t every,
+                         uint64_t max_records) {
+  auto agg = MakeAggregator<SumAgg<double>>(technique);
+  uint64_t fired = 0;
+  agg->AddQuery(std::make_unique<PunctuationWindowFn>(
+                    [](Timestamp, const Value& v) {
+                      return !v.is_null() && v.AsBool();
+                    }),
+                [&fired](size_t, const Window&, const double&) { ++fired; });
+  Rng rng(4);
+  RunResult out;
+  out.records = max_records;
+  Stopwatch sw;
+  for (uint64_t i = 0; i < max_records; ++i) {
+    agg->OnElement(static_cast<Timestamp>(i), rng.NextDouble(),
+                   Value(i % every == 0));
+  }
+  agg->OnWatermark(kMaxTimestamp);
+  out.seconds = sw.ElapsedSeconds();
+  out.fires = fired;
+  out.stats = agg->stats();
+  return out;
+}
+
+void Run() {
+  bench::Header(
+      "E3: non-periodic windows (sessions, punctuations)",
+      "Cutty covers non-periodic windows such as session windows; one "
+      "partial update per record vs buffer-and-recompute");
+
+  {
+    Table table({"session len", "gap", "technique", "throughput",
+                 "aggs/record", "sessions fired"});
+    const uint64_t bursts[] = {16, 128, 1024};
+    for (uint64_t burst : bursts) {
+      for (AggTechnique t : {AggTechnique::kCutty, AggTechnique::kNaive}) {
+        const uint64_t n =
+            t == AggTechnique::kNaive ? 1'000'000 : 2'000'000;
+        const RunResult r = RunSession(t, 5'000, burst, n);
+        table.AddRow(
+            {Fmt("%llu ev", static_cast<unsigned long long>(burst)), "5s",
+             std::string(AggTechniqueToString(t)),
+             bench::Rate(static_cast<double>(r.records), r.seconds),
+             Fmt("%.2f", r.stats.OpsPerRecord()),
+             bench::Count(static_cast<double>(r.fires))});
+      }
+    }
+    table.Print();
+  }
+
+  {
+    // The setting Cutty actually enables: non-periodic windows SHARING one
+    // aggregator (and slice store) with periodic dashboards. Recompute pays
+    // the sliding windows' full cost; slicing pays one update per record.
+    Table table({"query mix", "technique", "throughput", "aggs/record",
+                 "state (partials/tuples)"});
+    for (AggTechnique t : {AggTechnique::kCutty, AggTechnique::kNaive}) {
+      auto agg = MakeAggregator<SumAgg<double>>(t);
+      uint64_t fired = 0;
+      auto cb = [&fired](size_t, const Window&, const double&) { ++fired; };
+      agg->AddQuery(std::make_unique<SessionWindowFn>(5'000), cb);
+      agg->AddQuery(std::make_unique<SlidingWindowFn>(60'000, 2'000), cb);
+      agg->AddQuery(std::make_unique<SlidingWindowFn>(300'000, 10'000), cb);
+      agg->AddQuery(std::make_unique<SlidingWindowFn>(900'000, 30'000), cb);
+      const uint64_t n = t == AggTechnique::kNaive ? 2'000'000 : 4'000'000;
+      const auto stream = MakeBurstyStream(n, 128, 5'000);
+      Rng rng(9);
+      Stopwatch sw;
+      for (Timestamp ts : stream) agg->OnElement(ts, rng.NextDouble());
+      agg->OnWatermark(kMaxTimestamp);
+      const double secs = sw.ElapsedSeconds();
+      table.AddRow({"session + 3 sliding",
+                    std::string(AggTechniqueToString(t)),
+                    bench::Rate(static_cast<double>(n), secs),
+                    Fmt("%.2f", agg->stats().OpsPerRecord()),
+                    bench::Count(static_cast<double>(
+                        agg->stats().peak_stored))});
+    }
+    table.Print();
+  }
+
+  {
+    Table table({"punctuation every", "technique", "throughput",
+                 "aggs/record", "windows fired"});
+    const uint64_t periods[] = {32, 512, 8192};
+    for (uint64_t every : periods) {
+      for (AggTechnique t : {AggTechnique::kCutty, AggTechnique::kNaive}) {
+        const uint64_t n =
+            t == AggTechnique::kNaive ? 1'000'000 : 2'000'000;
+        const RunResult r = RunPunctuation(t, every, n);
+        table.AddRow({Fmt("%llu ev", static_cast<unsigned long long>(every)),
+                      std::string(AggTechniqueToString(t)),
+                      bench::Rate(static_cast<double>(r.records), r.seconds),
+                      Fmt("%.2f", r.stats.OpsPerRecord()),
+                      bench::Count(static_cast<double>(r.fires))});
+      }
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace streamline
+
+int main() {
+  streamline::Run();
+  return 0;
+}

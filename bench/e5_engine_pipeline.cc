@@ -1,0 +1,133 @@
+// E5 -- the unified pipelined engine: batch == streaming, parallel scaling.
+//
+// Operationalizes: "a single uniform programming model that can
+// automatically be optimized, parallelized ..." on "a single pipelined
+// execution engine" (STREAMLINE, Sec. 1). The same pipeline runs over data
+// at rest (bounded vector source) and data in motion (bounded generator
+// standing in for a stream), and keyed work scales with parallelism.
+
+#include <memory>
+#include <thread>
+
+#include "api/datastream.h"
+#include "bench/harness.h"
+#include "common/random.h"
+
+namespace streamline {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+constexpr uint64_t kRecords = 2'000'000;
+
+Record MakeEvent(uint64_t i) {
+  return MakeRecord(static_cast<Timestamp>(i),
+                    Value(static_cast<int64_t>(i % 1024)),
+                    Value(static_cast<double>(i % 97)));
+}
+
+double RunChainedPipeline(bool batch) {
+  Environment env;
+  DataStream source = [&] {
+    if (batch) {
+      std::vector<Record> records;
+      records.reserve(kRecords);
+      for (uint64_t i = 0; i < kRecords; ++i) records.push_back(MakeEvent(i));
+      return env.FromRecords(std::move(records), "at-rest");
+    }
+    return env.FromGenerator(
+        "in-motion",
+        [](uint64_t seq) -> std::optional<Record> {
+          if (seq >= kRecords) return std::nullopt;
+          return MakeEvent(seq);
+        });
+  }();
+  auto sink = std::make_shared<NullSink>();
+  source
+      .Map([](Record&& r) {
+        r.fields[1] = Value(r.field(1).AsDouble() * 1.5 + 1.0);
+        return std::move(r);
+      })
+      .Filter([](const Record& r) { return r.field(1).AsDouble() > 10.0; })
+      .Sink(sink);
+  // Time execution only: plan building and source materialization are
+  // setup, not pipeline throughput.
+  auto job = env.CreateJob();
+  STREAMLINE_CHECK(job.ok());
+  Stopwatch sw;
+  STREAMLINE_CHECK_OK((*job)->Run());
+  return sw.ElapsedSeconds();
+}
+
+double RunKeyedReduce(int parallelism) {
+  Environment env(parallelism);
+  std::vector<Record> records;
+  records.reserve(kRecords);
+  for (uint64_t i = 0; i < kRecords; ++i) records.push_back(MakeEvent(i));
+  auto sink = std::make_shared<NullSink>();
+  env.FromRecords(std::move(records), "events")
+      .KeyBy(0)
+      .Reduce([](const Record& acc, const Record& in) {
+        Record out = acc;
+        out.fields[1] =
+            Value(acc.field(1).AsDouble() + in.field(1).AsDouble());
+        return out;
+      })
+      .Sink(sink);
+  auto job = env.CreateJob();
+  STREAMLINE_CHECK(job.ok());
+  Stopwatch sw;
+  STREAMLINE_CHECK_OK((*job)->Run());
+  return sw.ElapsedSeconds();
+}
+
+void Run() {
+  bench::Header(
+      "E5: unified engine -- batch vs streaming, parallel scaling",
+      "One pipelined engine executes data at rest and data in motion; "
+      "keyed pipelines parallelize across subtasks");
+
+  {
+    Table table({"mode", "pipeline", "records", "throughput"});
+    const double batch_s = RunChainedPipeline(true);
+    const double stream_s = RunChainedPipeline(false);
+    table.AddRow({"data at rest", "map->filter (fused chain)",
+                  bench::Count(kRecords),
+                  bench::Rate(kRecords, batch_s)});
+    table.AddRow({"data in motion", "map->filter (fused chain)",
+                  bench::Count(kRecords),
+                  bench::Rate(kRecords, stream_s)});
+    table.Print();
+  }
+
+  {
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf(
+        "Host has %u hardware thread(s). Wall-clock speedup beyond that "
+        "core count is physically impossible; on a single-core host this "
+        "table measures the engine's parallel-coordination overhead "
+        "instead (correctness at parallelism 8 is covered by the test "
+        "suite).\n\n",
+        cores);
+    Table table({"parallelism", "pipeline", "records", "throughput",
+                 "vs p=1"});
+    double base = 0;
+    for (int p : {1, 2, 4, 8}) {
+      const double secs = RunKeyedReduce(p);
+      if (p == 1) base = secs;
+      table.AddRow({Fmt("%d", p), "key_by->reduce", bench::Count(kRecords),
+                    bench::Rate(kRecords, secs),
+                    Fmt("%.2fx", base / secs)});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace streamline
+
+int main() {
+  streamline::Run();
+  return 0;
+}

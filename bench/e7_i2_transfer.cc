@@ -1,0 +1,87 @@
+// E7 -- I2's data-rate independent visualization transfer.
+//
+// Operationalizes: "an aggregation algorithm for time-series data, which
+// reduces the amount of data in a data-rate independent manner"
+// (STREAMLINE, Sec. 1 / I2, EDBT'17). A fixed 1000-pixel viewport over 60
+// seconds of event time is fed at increasing input rates; M4 (and the
+// other per-column reducers) transfer a constant volume while raw and
+// sampling transfers grow linearly with the rate.
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "viz/reducers.h"
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+constexpr int kViewportPx = 1000;
+constexpr Duration kSpanMs = 60'000;  // 60 s of event time
+constexpr Duration kColumnMs = kSpanMs / kViewportPx;
+
+struct Measured {
+  uint64_t points = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+  uint64_t input = 0;
+};
+
+Measured RunOne(SeriesReducer* reducer, double rate) {
+  RandomWalkSeries walk(RateShape{rate, 0.3}, 0.0, 1.0, 21);
+  const auto n = static_cast<uint64_t>(rate * 60);
+  Measured out;
+  out.input = n;
+  Stopwatch sw;
+  for (uint64_t i = 0; i < n; ++i) {
+    const SeriesPoint p = walk.Next();
+    reducer->OnElement(p.t, p.v);
+  }
+  reducer->OnWatermark(kMaxTimestamp);
+  out.seconds = sw.ElapsedSeconds();
+  out.points = reducer->points_transferred();
+  out.bytes = reducer->bytes_transferred();
+  return out;
+}
+
+void Run() {
+  bench::Header(
+      "E7: transferred data vs input rate (1000 px viewport, 60 s span)",
+      "I2's M4 aggregation reduces data in a data-rate independent manner: "
+      "transfer stays ~constant while raw grows linearly");
+
+  Table table({"rate", "reducer", "input", "points sent", "bytes sent",
+               "reduction", "ingest rate"});
+  for (double rate : {1'000.0, 10'000.0, 100'000.0, 1'000'000.0}) {
+    std::vector<std::unique_ptr<SeriesReducer>> reducers;
+    reducers.push_back(std::make_unique<RawReducer>());
+    reducers.push_back(std::make_unique<EveryNthReducer>(100));
+    reducers.push_back(std::make_unique<UniformSamplingReducer>(0.01));
+    reducers.push_back(std::make_unique<PaaReducer>(kColumnMs));
+    reducers.push_back(std::make_unique<MinMaxReducer>(kColumnMs));
+    reducers.push_back(std::make_unique<M4Reducer>(kColumnMs));
+    for (auto& reducer : reducers) {
+      const Measured m = RunOne(reducer.get(), rate);
+      table.AddRow(
+          {Fmt("%.0fk ev/s", rate / 1000), reducer->Name(),
+           bench::Count(static_cast<double>(m.input)),
+           bench::Count(static_cast<double>(m.points)),
+           bench::Bytes(m.bytes),
+           Fmt("%.1fx", static_cast<double>(m.input) /
+                            std::max<uint64_t>(m.points, 1)),
+           bench::Rate(static_cast<double>(m.input), m.seconds)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace streamline
+
+int main() {
+  streamline::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E8 -- I2's correctness/minimality: rendering error vs transferred points.
+//
+// Operationalizes: the aggregation "is proven to be correct and minimal in
+// terms of transferred data" (STREAMLINE, Sec. 1). M4 reaches ~zero pixel
+// error at <= 4 points per pixel column; samplers need far more points for
+// far worse charts. Also ablates the zoom pyramid: answering a zoomed
+// viewport from the multi-resolution store vs re-scanning raw data.
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "viz/pyramid.h"
+#include "viz/raster.h"
+#include "viz/reducers.h"
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+constexpr int kW = 500;
+constexpr int kH = 150;
+
+void RunErrorTable(const std::vector<SeriesPoint>& raw, Timestamp t_end) {
+  Table table({"reducer", "points sent", "vs 4/px budget", "pixel error"});
+  const Duration col = t_end / kW;
+  const auto [lo, hi] = ValueRange(raw);
+  const Raster raw_raster = RasterizeSeries(raw, 0, t_end, lo, hi, kW, kH);
+
+  std::vector<std::unique_ptr<SeriesReducer>> reducers;
+  reducers.push_back(std::make_unique<M4Reducer>(col));
+  reducers.push_back(std::make_unique<MinMaxReducer>(col));
+  reducers.push_back(std::make_unique<PaaReducer>(col));
+  const uint64_t m4_budget = 4 * kW;
+  reducers.push_back(std::make_unique<EveryNthReducer>(
+      raw.size() / m4_budget));
+  reducers.push_back(std::make_unique<EveryNthReducer>(
+      raw.size() / (4 * m4_budget)));
+  reducers.push_back(std::make_unique<UniformSamplingReducer>(
+      static_cast<double>(m4_budget) / static_cast<double>(raw.size())));
+
+  for (auto& reducer : reducers) {
+    for (const auto& p : raw) reducer->OnElement(p.t, p.v);
+    reducer->OnWatermark(kMaxTimestamp);
+    const Raster r =
+        RasterizeSeries(reducer->output(), 0, t_end, lo, hi, kW, kH);
+    table.AddRow(
+        {reducer->Name(),
+         bench::Count(static_cast<double>(reducer->points_transferred())),
+         Fmt("%.2fx", static_cast<double>(reducer->points_transferred()) /
+                          static_cast<double>(m4_budget)),
+         Fmt("%.4f", Raster::PixelError(raw_raster, r))});
+  }
+  table.Print();
+}
+
+void RunPyramidAblation(const std::vector<SeriesPoint>& raw,
+                        Timestamp t_end) {
+  Table table({"zoom answer path", "viewport", "query time", "points"});
+  M4Pyramid pyramid(t_end / (kW * 16), 8);
+  for (const auto& p : raw) pyramid.OnElement(p.t, p.v);
+  pyramid.Flush();
+
+  const Timestamp zb = t_end / 4;
+  const Timestamp ze = t_end / 2;
+  // Pyramid path.
+  {
+    Stopwatch sw;
+    std::vector<SeriesPoint> pts;
+    for (int rep = 0; rep < 100; ++rep) {
+      pts = pyramid.QuerySeries(zb, ze, kW);
+    }
+    table.AddRow({"multi-resolution pyramid", "zoom 4x",
+                  Fmt("%.3f ms", sw.ElapsedMillis() / 100),
+                  bench::Count(static_cast<double>(pts.size()))});
+  }
+  // Raw re-scan path (what a client without the pyramid pays).
+  {
+    Stopwatch sw;
+    std::vector<SeriesPoint> pts;
+    for (int rep = 0; rep < 100; ++rep) {
+      std::vector<SeriesPoint> in_range;
+      for (const auto& p : raw) {
+        if (p.t >= zb && p.t < ze) in_range.push_back(p);
+      }
+      pts.clear();
+      for (const auto& c : M4Aggregate(in_range, zb, ze, kW)) {
+        for (const auto& p : c.Points()) pts.push_back(p);
+      }
+    }
+    table.AddRow({"raw re-scan + batch M4", "zoom 4x",
+                  Fmt("%.3f ms", sw.ElapsedMillis() / 100),
+                  bench::Count(static_cast<double>(pts.size()))});
+  }
+  table.Print();
+}
+
+void Run() {
+  bench::Header(
+      "E8: rendering error vs transferred points; zoom-path ablation",
+      "M4 is correct (near-zero pixel error) and minimal (<= 4 points per "
+      "pixel column); samplers with bigger budgets still render worse");
+
+  SeasonalSensorSeries sensor(
+      RateShape{20'000.0, 0.3},
+      SeasonalSensorSeries::Options{.spike_probability = 0.0005}, 41);
+  auto raw = sensor.Take(1'200'000);
+  // Align the span to the raster grid (1 column == 1 pixel).
+  const Duration col = (raw.back().t + kW) / kW;
+  const Timestamp t_end = col * kW;
+
+  RunErrorTable(raw, t_end);
+  RunPyramidAblation(raw, t_end);
+}
+
+}  // namespace
+}  // namespace streamline
+
+int main() {
+  streamline::Run();
+  return 0;
+}

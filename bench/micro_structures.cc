@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) of the core data structures the
+// experiment binaries rely on: slice stores, window functions, value
+// hashing, serde, and the bounded channel. Useful for spotting regressions
+// below the experiment level.
+
+#include <benchmark/benchmark.h>
+
+#include "agg/slice_store.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "window/aggregate_fn.h"
+#include "window/window_fn.h"
+
+namespace streamline {
+namespace {
+
+void BM_FlatFatAppendEvict(benchmark::State& state) {
+  const auto window = static_cast<size_t>(state.range(0));
+  FlatFatStore<SumAgg<double>> store;
+  size_t appended = 0;
+  for (auto _ : state) {
+    store.Append(static_cast<Timestamp>(appended), 1.0);
+    ++appended;
+    if (appended > window) store.EvictBefore(appended - window);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(appended));
+}
+BENCHMARK(BM_FlatFatAppendEvict)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_FlatFatRangeQuery(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  FlatFatStore<MaxAgg<double>> store;
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    store.Append(static_cast<Timestamp>(i), rng.NextDouble());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t a = i % (n / 2);
+    benchmark::DoNotOptimize(store.RangeCombine(a, a + n / 2));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatFatRangeQuery)->Arg(1024)->Arg(65536);
+
+void BM_LinearStoreRangeQuery(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  LinearStore<MaxAgg<double>> store;
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    store.Append(static_cast<Timestamp>(i), rng.NextDouble());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t a = i % (n / 2);
+    benchmark::DoNotOptimize(store.RangeCombine(a, a + n / 2));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_LinearStoreRangeQuery)->Arg(1024)->Arg(65536);
+
+void BM_PrefixStoreRangeQuery(benchmark::State& state) {
+  PrefixStore<SumAgg<double>> store;
+  for (size_t i = 0; i < 65536; ++i) {
+    store.Append(static_cast<Timestamp>(i), 1.0);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t a = i % 32768;
+    benchmark::DoNotOptimize(store.RangeCombine(a, a + 32768));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_PrefixStoreRangeQuery);
+
+void BM_SlidingWindowFnOnElement(benchmark::State& state) {
+  SlidingWindowFn fn(60'000, 1'000);
+  WindowEvents events;
+  Timestamp t = 0;
+  for (auto _ : state) {
+    events.clear();
+    fn.OnElement(t++, Value(), &events);
+    benchmark::DoNotOptimize(events.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(t));
+}
+BENCHMARK(BM_SlidingWindowFnOnElement);
+
+void BM_ValueHash(benchmark::State& state) {
+  const Value values[] = {Value(int64_t{123456}), Value(3.14159),
+                          Value("campaign-4711")};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(values[i % 3].Hash());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_ValueHash);
+
+void BM_RecordSerde(benchmark::State& state) {
+  const Record r = MakeRecord(42, Value(int64_t{7}), Value("user-123"),
+                              Value(1.5), Value(true));
+  size_t n = 0;
+  for (auto _ : state) {
+    BinaryWriter w;
+    w.WriteRecord(r);
+    BinaryReader reader(w.buffer());
+    auto got = reader.ReadRecord();
+    benchmark::DoNotOptimize(got.ok());
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RecordSerde);
+
+void BM_BoundedQueuePingPong(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  size_t n = 0;
+  for (auto _ : state) {
+    q.Push(1);
+    benchmark::DoNotOptimize(q.Pop());
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BoundedQueuePingPong);
+
+}  // namespace
+}  // namespace streamline
+
+BENCHMARK_MAIN();

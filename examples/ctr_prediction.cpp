@@ -1,0 +1,91 @@
+// Proactive target advertisement: ONLINE click-through prediction.
+//
+// STREAMLINE's third research pillar is machine learning on the unified
+// engine. This example trains a logistic-regression CTR model directly
+// inside the pipeline (prequential test-then-train: predict each
+// impression, then learn from its true click label), while the SAME
+// stream simultaneously feeds the shared-window CTR dashboard from the
+// ad_ctr_dashboard example -- analytics and learning in one job, no
+// second system, which is exactly the "reduction of complexity, costs,
+// and latency" the paper argues for.
+//
+// Build & run:  ./build/examples/ctr_prediction
+
+#include <cstdio>
+
+#include "api/datastream.h"
+#include "ml/learner_operator.h"
+#include "workload/adstream.h"
+
+using namespace streamline;
+
+int main() {
+  constexpr uint64_t kEvents = 400'000;
+  AdStreamGenerator::Options opts;
+  opts.num_campaigns = 32;
+  opts.events_per_second = 5'000;
+  auto gen = std::make_shared<AdStreamGenerator>(opts, /*seed=*/31);
+
+  // Feature map: one-hot campaign bucket (campaign % 8). The ground-truth
+  // CTR depends on campaign % 5, so buckets are informative but not
+  // perfectly aligned -- the model has something real to learn. (The cost
+  // field would leak the label and is deliberately NOT a feature.)
+  constexpr size_t kBuckets = 8;
+  OnlineClassifierOperator::Spec spec;
+  spec.dim = kBuckets;
+  spec.model.learning_rate = 0.1;
+  spec.emit_every = 2'000;
+  spec.features = [](const Record& r) {
+    std::vector<double> x(kBuckets, 0.0);
+    x[static_cast<size_t>(r.field(0).AsInt64()) % kBuckets] = 1.0;
+    return x;
+  };
+  spec.label = [](const Record& r) { return r.field(1).AsBool(); };
+
+  Environment env;
+  auto ads = env.FromGenerator(
+      "ad-events", [gen](uint64_t seq) -> std::optional<Record> {
+        if (seq >= kEvents) return std::nullopt;
+        return gen->Next().ToRecord();  // [campaign, is_click, cost]
+      });
+
+  // Branch 1: the analytics dashboard (shared sliding-window CTR).
+  auto dashboard = ads.KeyBy(0)
+                       .Window({std::make_shared<SlidingWindowFn>(60'000, 10'000),
+                                std::make_shared<SlidingWindowFn>(300'000, 10'000)})
+                       .Aggregate(DynAggKind::kAvg, 1)
+                       .Collect("dashboard");
+
+  // Branch 2: the online learner (custom operator via Process()).
+  auto evals = ads.Process(
+                      [spec]() {
+                        return std::make_unique<OnlineClassifierOperator>(
+                            "ctr-model", spec);
+                      },
+                      "ctr-model")
+                   .Collect("model-evals");
+
+  STREAMLINE_CHECK_OK(env.Execute());
+
+  // Model learning curve: [prediction, label, decayed_logloss].
+  const auto curve = evals->records();
+  std::printf("processed %llu ad events; dashboard windows fired: %zu\n\n",
+              static_cast<unsigned long long>(kEvents), dashboard->size());
+  std::printf("online CTR model learning curve (prequential log loss):\n");
+  std::printf("%-12s %-12s\n", "examples", "avg logloss");
+  for (size_t i = 0; i < curve.size(); i += curve.size() / 8) {
+    std::printf("%-12zu %-12.4f\n", (i + 1) * 2000,
+                curve[i].field(2).AsDouble());
+  }
+  std::printf("%-12zu %-12.4f\n", curve.size() * 2000,
+              curve.back().field(2).AsDouble());
+
+  const double first = curve.front().field(2).AsDouble();
+  const double last = curve.back().field(2).AsDouble();
+  std::printf(
+      "\nloss fell from %.4f to %.4f while the same job served the "
+      "dashboard -- one engine, analytics + learning.\n",
+      first, last);
+  STREAMLINE_CHECK_LT(last, first);
+  return 0;
+}

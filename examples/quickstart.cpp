@@ -1,0 +1,107 @@
+// Quickstart: the paper's uniform programming model in one file.
+//
+// One word-count pipeline, written once, executed twice:
+//   1. over data at rest  (a bounded in-memory collection -- "batch"),
+//   2. over data in motion (a generator stream -- "streaming").
+// Both runs use the same operators on the same pipelined engine; the only
+// difference is the source. That is STREAMLINE's core usability claim.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <map>
+
+#include "api/datastream.h"
+#include "workload/text.h"
+
+using namespace streamline;
+
+namespace {
+
+// The pipeline under test: split lines into words, count per word with a
+// keyed running reduce. Identical for batch and streaming.
+std::shared_ptr<CollectSink> BuildWordCount(Environment* env,
+                                            DataStream lines) {
+  return lines
+      .FlatMap(
+          [](Record&& line, Collector* out) {
+            for (const std::string& w : SplitWords(line.field(0).AsString())) {
+              out->Emit(MakeRecord(line.timestamp, Value(w),
+                                   Value(int64_t{1})));
+            }
+          },
+          "tokenize")
+      .KeyBy(0)
+      .Reduce(
+          [](const Record& acc, const Record& in) {
+            Record out = acc;
+            out.fields[1] =
+                Value(acc.field(1).AsInt64() + in.field(1).AsInt64());
+            return out;
+          },
+          "count")
+      .Collect("word-counts");
+}
+
+std::map<std::string, int64_t> FinalCounts(const std::vector<Record>& out) {
+  std::map<std::string, int64_t> counts;
+  for (const Record& r : out) {
+    counts[r.field(0).AsString()] = r.field(1).AsInt64();
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kLines = 10'000;
+  TextGenerator::Options text_opts;
+  text_opts.vocabulary = 50;
+
+  // ---- Run 1: data at rest -------------------------------------------------
+  std::printf("== word count over data at rest (bounded collection) ==\n");
+  TextGenerator gen_batch(text_opts, /*seed=*/2024);
+  std::vector<Record> lines;
+  for (int i = 0; i < kLines; ++i) lines.push_back(gen_batch.NextRecord());
+
+  Environment batch_env;
+  auto batch_sink =
+      BuildWordCount(&batch_env, batch_env.FromRecords(std::move(lines)));
+  STREAMLINE_CHECK_OK(batch_env.Execute());
+  const auto batch_counts = FinalCounts(batch_sink->records());
+
+  // ---- Run 2: data in motion ----------------------------------------------
+  std::printf("== same pipeline over data in motion (generator stream) ==\n");
+  auto gen_stream = std::make_shared<TextGenerator>(text_opts, /*seed=*/2024);
+  Environment stream_env;
+  auto stream_sink = BuildWordCount(
+      &stream_env,
+      stream_env.FromGenerator("lines", [gen_stream](uint64_t seq)
+                                   -> std::optional<Record> {
+        if (seq >= kLines) return std::nullopt;
+        return gen_stream->NextRecord();
+      }));
+  STREAMLINE_CHECK_OK(stream_env.Execute());
+  const auto stream_counts = FinalCounts(stream_sink->records());
+
+  // ---- Compare --------------------------------------------------------------
+  std::printf("\ntop words (batch == streaming):\n");
+  int shown = 0;
+  for (const auto& [word, count] : batch_counts) {
+    if (word == "word0" || word == "word1" || word == "word2" ||
+        word == "word3" || word == "word4") {
+      std::printf("  %-8s batch=%-8lld stream=%-8lld %s\n", word.c_str(),
+                  static_cast<long long>(count),
+                  static_cast<long long>(stream_counts.at(word)),
+                  count == stream_counts.at(word) ? "OK" : "MISMATCH!");
+      ++shown;
+    }
+  }
+  STREAMLINE_CHECK_EQ(shown, 5);
+  STREAMLINE_CHECK(batch_counts == stream_counts)
+      << "batch and streaming runs diverged";
+  std::printf(
+      "\nidentical results from identical pipeline code -- data at rest and "
+      "data in motion unified.\n");
+  return 0;
+}

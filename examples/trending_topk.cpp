@@ -1,0 +1,91 @@
+// Personalized recommendations: trending items over sliding windows.
+//
+// STREAMLINE motivates "personalized recommendations" as a proactive
+// application; its simplest streaming core is "what is trending right
+// now": per-item click counts over a sliding window, reduced to a top-k
+// set that a recommender would blend with per-user features. Demonstrates
+// keyed windows + a second aggregation stage consuming window results --
+// a two-stage event-time pipeline on one engine.
+//
+// Build & run:  ./build/examples/trending_topk
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "api/datastream.h"
+#include "workload/clickstream.h"
+
+using namespace streamline;
+
+int main() {
+  constexpr uint64_t kEvents = 300'000;
+  constexpr Duration kWindow = 60'000;  // 1 minute popularity window
+  constexpr Duration kSlide = 15'000;
+  constexpr int kTopK = 5;
+
+  ClickstreamGenerator::Options opts;
+  opts.num_items = 200;
+  opts.item_skew = 1.1;  // strong head: clear trending set
+  auto gen = std::make_shared<ClickstreamGenerator>(opts, /*seed=*/99);
+
+  Environment env;
+  auto sink =
+      env.FromGenerator("clicks",
+                        [gen](uint64_t seq) -> std::optional<Record> {
+                          if (seq >= kEvents) return std::nullopt;
+                          return gen->Next().ToRecord();
+                        })
+          // keep clicks and purchases only (intent signals)
+          .Filter(
+              [](const Record& r) { return r.field(1).AsInt64() >= 1; },
+              "intent-only")
+          .KeyBy(2)  // item
+          .Window(std::make_shared<SlidingWindowFn>(kWindow, kSlide))
+          .Aggregate(DynAggKind::kCount, /*value_field=*/1,
+                     WindowBackend::kShared, "item-popularity")
+          .Collect("per-item-window-counts");
+
+  STREAMLINE_CHECK_OK(env.Execute());
+
+  // Second stage (here: post-processing): per window, take the top-k items.
+  // Output records: [item, w_start, w_end, query, count].
+  std::map<Window, std::vector<std::pair<int64_t, int64_t>>> per_window;
+  for (const Record& r : sink->records()) {
+    per_window[Window{r.field(1).AsInt64(), r.field(2).AsInt64()}]
+        .emplace_back(r.field(4).AsInt64(), r.field(0).AsInt64());
+  }
+
+  std::printf("windows fired: %zu (range %lld ms, slide %lld ms)\n\n",
+              per_window.size(), static_cast<long long>(kWindow),
+              static_cast<long long>(kSlide));
+  std::printf("trending top-%d per window (item:count):\n", kTopK);
+  int shown = 0;
+  int stable_head = 0;
+  int64_t prev_top = -1;
+  for (auto& [window, items] : per_window) {
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (!items.empty()) {
+      if (items[0].second == prev_top) ++stable_head;
+      prev_top = items[0].second;
+    }
+    if (shown < 6 || shown + 3 >= static_cast<int>(per_window.size())) {
+      std::printf("  %s:", window.ToString().c_str());
+      for (int k = 0; k < kTopK && k < static_cast<int>(items.size()); ++k) {
+        std::printf(" %lld:%lld", static_cast<long long>(items[k].second),
+                    static_cast<long long>(items[k].first));
+      }
+      std::printf("\n");
+    } else if (shown == 6) {
+      std::printf("  ...\n");
+    }
+    ++shown;
+  }
+  std::printf(
+      "\nhead stability: the #1 item repeated across %d of %zu windows "
+      "(Zipf head dominates, as expected)\n",
+      stable_head, per_window.size());
+  return 0;
+}

@@ -1,0 +1,119 @@
+#ifndef STREAMLINE_AGG_EAGER_AGGREGATOR_H_
+#define STREAMLINE_AGG_EAGER_AGGREGATOR_H_
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregator.h"
+#include "common/logging.h"
+
+namespace streamline {
+
+/// Eager per-window aggregation — the pre-Cutty state of practice (Apache
+/// Flink 1.x aligned windows): every record is folded into the running
+/// partial of EVERY window that contains it. With range r and slide s this
+/// costs r/s partial updates per record and per query; the cost Cutty's
+/// slicing removes. Supports periodic (tumbling/sliding) windows only, like
+/// the systems it models.
+template <typename Agg>
+class EagerAggregator : public WindowAggregator<Agg> {
+ public:
+  using Input = typename Agg::Input;
+  using Partial = typename Agg::Partial;
+  using Output = typename Agg::Output;
+  using ResultCallback = typename WindowAggregator<Agg>::ResultCallback;
+
+  explicit EagerAggregator(Agg agg = Agg()) : agg_(std::move(agg)) {}
+
+  size_t AddQuery(std::unique_ptr<WindowFunction> wf,
+                  ResultCallback cb) override {
+    STREAMLINE_CHECK_EQ(stats_.elements, 0u);
+    auto* sliding = dynamic_cast<SlidingWindowFn*>(wf.get());
+    STREAMLINE_CHECK(sliding != nullptr)
+        << "EagerAggregator supports periodic windows only, got "
+        << wf->Name();
+    queries_.push_back(QueryState{sliding->range(), sliding->slide(),
+                                  sliding->origin(), std::move(cb),
+                                  {}});
+    return queries_.size() - 1;
+  }
+
+  using WindowAggregator<Agg>::OnElement;
+
+  void OnElement(Timestamp ts, const Input& value,
+                 const Value& payload) override {
+    (void)payload;
+    // Fire first: completed windows (end <= ts) never contain this element.
+    FireUpTo(ts);
+    const Partial lifted = agg_.Lift(value);
+    for (QueryState& q : queries_) {
+      // Enumerate the windows containing ts: aligned begins in (ts-r, ts].
+      Timestamp b = q.origin + FloorDiv(ts - q.origin, q.slide) * q.slide;
+      for (; b > ts - q.range; b -= q.slide) {
+        if (b > ts) continue;  // can happen only when slide > range
+        const Window w{b, b + q.range};
+        auto [it, inserted] = q.open.try_emplace(w, agg_.Identity());
+        if (inserted) ++stats_.slices_created;
+        it->second = agg_.Combine(it->second, lifted);
+        ++stats_.partial_updates;
+      }
+    }
+    ++stats_.elements;
+    UpdatePeak();
+  }
+
+  void OnWatermark(Timestamp wm) override {
+    FireUpTo(wm);
+    UpdatePeak();
+  }
+
+  const AggStats& stats() const override { return stats_; }
+  std::string name() const override { return "eager"; }
+
+ private:
+  struct QueryState {
+    Duration range;
+    Duration slide;
+    Timestamp origin;
+    ResultCallback cb;
+    // Open windows ordered by end (Window::operator< orders by end first),
+    // so firing pops a prefix.
+    std::map<Window, Partial> open;
+  };
+
+  static int64_t FloorDiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+  }
+
+  void FireUpTo(Timestamp wm) {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      QueryState& q = queries_[qi];
+      auto it = q.open.begin();
+      while (it != q.open.end() && it->first.end <= wm) {
+        ++stats_.fires;
+        if (q.cb) q.cb(qi, it->first, agg_.Lower(it->second));
+        it = q.open.erase(it);
+      }
+    }
+  }
+
+  void UpdatePeak() {
+    uint64_t total = 0;
+    for (const QueryState& q : queries_) total += q.open.size();
+    stats_.peak_stored = std::max(stats_.peak_stored, total);
+  }
+
+  Agg agg_;
+  std::vector<QueryState> queries_;
+  AggStats stats_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_AGG_EAGER_AGGREGATOR_H_

@@ -1,0 +1,94 @@
+#ifndef STREAMLINE_AGG_REORDERING_AGGREGATOR_H_
+#define STREAMLINE_AGG_REORDERING_AGGREGATOR_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregator.h"
+#include "common/logging.h"
+
+namespace streamline {
+
+/// Adapts any in-order WindowAggregator to OUT-OF-ORDER element arrival:
+/// elements are buffered with their payloads until a watermark covers them,
+/// then applied in timestamp order (ties in arrival order). This is the
+/// library-level counterpart of the engine's windowed-operator reorder
+/// buffer -- use it when driving the slicing core directly from a source
+/// that cannot guarantee order. Elements older than the last watermark are
+/// dropped (counted in dropped_late()).
+template <typename Agg>
+class ReorderingAggregator : public WindowAggregator<Agg> {
+ public:
+  using Input = typename Agg::Input;
+  using Output = typename Agg::Output;
+  using ResultCallback = typename WindowAggregator<Agg>::ResultCallback;
+
+  explicit ReorderingAggregator(std::unique_ptr<WindowAggregator<Agg>> inner)
+      : inner_(std::move(inner)) {
+    STREAMLINE_CHECK(inner_ != nullptr);
+  }
+
+  size_t AddQuery(std::unique_ptr<WindowFunction> wf,
+                  ResultCallback cb) override {
+    return inner_->AddQuery(std::move(wf), std::move(cb));
+  }
+
+  using WindowAggregator<Agg>::OnElement;
+
+  void OnElement(Timestamp ts, const Input& value,
+                 const Value& payload) override {
+    if (ts < watermark_) {
+      ++dropped_late_;
+      return;
+    }
+    pending_.push_back(Pending{ts, seq_++, value, payload});
+  }
+
+  void OnWatermark(Timestamp wm) override {
+    if (wm <= watermark_ && wm != kMaxTimestamp) return;
+    watermark_ = std::max(watermark_, wm);
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       if (a.ts != b.ts) return a.ts < b.ts;
+                       return a.seq < b.seq;
+                     });
+    size_t applied = 0;
+    while (applied < pending_.size() &&
+           (wm == kMaxTimestamp || pending_[applied].ts < wm)) {
+      const Pending& p = pending_[applied];
+      inner_->OnElement(p.ts, p.value, p.payload);
+      ++applied;
+    }
+    pending_.erase(pending_.begin(), pending_.begin() + applied);
+    inner_->OnWatermark(wm);
+  }
+
+  const AggStats& stats() const override { return inner_->stats(); }
+  std::string name() const override {
+    return "reordering(" + inner_->name() + ")";
+  }
+
+  uint64_t dropped_late() const { return dropped_late_; }
+  size_t buffered() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Timestamp ts;
+    uint64_t seq;
+    Input value;
+    Value payload;
+  };
+
+  std::unique_ptr<WindowAggregator<Agg>> inner_;
+  std::vector<Pending> pending_;
+  uint64_t seq_ = 0;
+  Timestamp watermark_ = kMinTimestamp;
+  uint64_t dropped_late_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_AGG_REORDERING_AGGREGATOR_H_

@@ -1,0 +1,451 @@
+#ifndef STREAMLINE_AGG_SLICING_AGGREGATOR_H_
+#define STREAMLINE_AGG_SLICING_AGGREGATOR_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregator.h"
+#include "agg/slice_store.h"
+#include "common/logging.h"
+
+namespace streamline {
+
+/// Cutty's aggregate-sharing aggregator (Carbone et al., CIKM 2016).
+///
+/// Core idea: cut the stream into *slices* at every window begin declared by
+/// any registered query. Then (a) each record updates exactly ONE running
+/// partial — the open slice — regardless of how many windows overlap it, and
+/// (b) a window result is the in-order combination of the stored slice
+/// partials it spans plus the open slice. The slice store is shared by all
+/// queries, which is the paper's "multi query aggregation sharing"; because
+/// window begins/ends come from arbitrary deterministic WindowFunctions,
+/// non-periodic windows (sessions, punctuations, count windows) share too.
+///
+/// Store choice:
+///   * FlatFatStore — O(log n) fires, any aggregate (default).
+///   * LinearStore  — O(slices-per-window) fires, "lazy" variant.
+///   * PrefixStore  — O(1) fires, invertible aggregates only.
+template <typename Agg, typename Store = FlatFatStore<Agg>>
+class SlicingAggregator : public WindowAggregator<Agg> {
+ public:
+  using Input = typename Agg::Input;
+  using Partial = typename Agg::Partial;
+  using Output = typename Agg::Output;
+  using ResultCallback = typename WindowAggregator<Agg>::ResultCallback;
+
+  struct Options {
+    /// Close a slice before every element (one leaf per tuple). Used to
+    /// emulate per-tuple aggregate trees (B-Int) for comparison.
+    bool slice_per_element = false;
+    /// Run eviction every this many elements.
+    uint64_t eviction_period = 128;
+    /// Ablation: poll every window function on every element instead of
+    /// skipping periodic functions between their published boundaries.
+    bool disable_wakeup_fastpath = false;
+  };
+
+  explicit SlicingAggregator(Agg agg = Agg(), Options options = Options())
+      : agg_(std::move(agg)),
+        options_(options),
+        store_(agg_),
+        open_partial_(agg_.Identity()) {}
+
+  size_t AddQuery(std::unique_ptr<WindowFunction> wf,
+                  ResultCallback cb) override {
+    STREAMLINE_CHECK_EQ(stats_.elements, 0u)
+        << "queries must be registered before the first element";
+    queries_.push_back(QueryState{std::move(wf), std::move(cb)});
+    return queries_.size() - 1;
+  }
+
+  /// Registers a window function whose *begins* add slice boundaries but
+  /// whose window completions are ignored. Used to emulate the extra cut
+  /// points of Pairs (window ends) and Panes (gcd grid).
+  void AddBoundaryGenerator(std::unique_ptr<WindowFunction> wf) {
+    STREAMLINE_CHECK_EQ(stats_.elements, 0u);
+    boundary_gens_.push_back(std::move(wf));
+  }
+
+  void ClearBoundaryGenerators() {
+    STREAMLINE_CHECK_EQ(stats_.elements, 0u);
+    boundary_gens_.clear();
+  }
+
+  using WindowAggregator<Agg>::OnElement;
+
+  void OnElement(Timestamp ts, const Input& value,
+                 const Value& payload) override {
+    STREAMLINE_DCHECK(stats_.elements == 0 || ts >= last_ts_);
+    last_ts_ = ts;
+
+    // 1) Collect window events, merge them in (at, end-before-begin) order
+    //    and apply them. All of this happens BEFORE the element is
+    //    aggregated: completed windows must not include it, and any begin
+    //    <= ts must cut its slice first.
+    //
+    //    Fast path: periodic window functions publish their next boundary
+    //    (NextWakeup); between boundaries only data-driven functions are
+    //    consulted, so the slicer's per-record cost does not grow with the
+    //    number of registered periodic queries.
+    if (!wakeup_valid_ || ts >= wakeup_threshold_) {
+      CollectElementEvents(ts, payload);
+      ProcessEvents();
+      RecomputeWakeup();
+    } else if (!always_poll_queries_.empty() ||
+               !always_poll_gens_.empty()) {
+      CollectElementEventsSubset(ts, payload);
+      ProcessEvents();
+    }
+
+    if (options_.slice_per_element && has_open_data_) {
+      CloseSliceAt(ts);
+    }
+
+    // 2) The single per-record aggregation: fold the element into the open
+    //    slice. This is the paper's one-partial-update-per-record property.
+    if (!has_open_slice_) {
+      // No query declared a begin <= ts (possible with slide > range
+      // sampling windows); open an implicit slice so the element is kept
+      // until eviction decides otherwise.
+      has_open_slice_ = true;
+      open_start_ = ts;
+    }
+    open_partial_ = agg_.Combine(open_partial_, agg_.Lift(value));
+    has_open_data_ = true;
+    ++stats_.partial_updates;
+    ++stats_.elements;
+
+    // 3) Data-driven completions (count windows) fire after aggregation so
+    //    the current element is included. Only data-driven functions have
+    //    AfterElement events.
+    if (!always_poll_queries_.empty() || !wakeup_valid_) {
+      CollectAfterElementEvents(ts, payload);
+      ProcessEvents();
+    }
+
+    if (stats_.elements % options_.eviction_period == 0) Evict();
+    UpdatePeak();
+  }
+
+  void OnWatermark(Timestamp wm) override {
+    events_.clear();
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      scratch_.clear();
+      queries_[q].wf->OnWatermark(wm, &scratch_);
+      for (const WindowEvent& e : scratch_) {
+        events_.push_back(TaggedEvent{e, q, /*boundary_only=*/false});
+      }
+    }
+    for (auto& gen : boundary_gens_) {
+      scratch_.clear();
+      gen->OnWatermark(wm, &scratch_);
+      // Watermarks produce no begins; nothing to keep from generators.
+    }
+    SortEvents();
+    ProcessEvents();
+    Evict();
+    UpdatePeak();
+    RecomputeWakeup();
+  }
+
+  const AggStats& stats() const override {
+    // Fold store-side combines into the reported counters.
+    cached_stats_ = stats_;
+    cached_stats_.combine_ops = fire_combine_ops_ + store_.combine_ops();
+    return cached_stats_;
+  }
+
+  std::string name() const override {
+    return options_.slice_per_element ? "slicing(per-tuple)" : "cutty";
+  }
+
+  /// Number of slices currently held in the shared store.
+  size_t stored_slices() const { return store_.size(); }
+
+  /// Serializes the full aggregation state (open slice, per-query window
+  /// progress, shared store, counters) for engine checkpoints.
+  /// `ser(partial, writer)` encodes one Partial.
+  template <typename SerFn>
+  void Snapshot(BinaryWriter* w, const SerFn& ser) const {
+    w->WriteBool(has_open_slice_);
+    w->WriteBool(has_open_data_);
+    w->WriteI64(open_start_);
+    ser(open_partial_, w);
+    w->WriteI64(last_ts_);
+    w->WriteU64(queries_.size());
+    for (const QueryState& q : queries_) q.wf->SnapshotState(w);
+    w->WriteU64(boundary_gens_.size());
+    for (const auto& g : boundary_gens_) g->SnapshotState(w);
+    store_.Snapshot(w, ser);
+    w->WriteU64(stats_.elements);
+    w->WriteU64(stats_.partial_updates);
+    w->WriteU64(stats_.fires);
+    w->WriteU64(stats_.slices_created);
+    w->WriteU64(stats_.peak_stored);
+    w->WriteU64(fire_combine_ops_);
+  }
+
+  /// Restores a snapshot taken by an identically configured aggregator
+  /// (same queries, same boundary generators, same store type).
+  template <typename DeFn>
+  Status Restore(BinaryReader* r, const DeFn& de) {
+    auto open_slice = r->ReadBool();
+    if (!open_slice.ok()) return open_slice.status();
+    auto open_data = r->ReadBool();
+    if (!open_data.ok()) return open_data.status();
+    auto open_start = r->ReadI64();
+    if (!open_start.ok()) return open_start.status();
+    auto open_partial = de(r);
+    if (!open_partial.ok()) return open_partial.status();
+    auto last_ts = r->ReadI64();
+    if (!last_ts.ok()) return last_ts.status();
+    auto nq = r->ReadU64();
+    if (!nq.ok()) return nq.status();
+    if (*nq != queries_.size()) {
+      return Status::FailedPrecondition(
+          "snapshot has " + std::to_string(*nq) + " queries, aggregator has " +
+          std::to_string(queries_.size()));
+    }
+    for (QueryState& q : queries_) {
+      STREAMLINE_RETURN_IF_ERROR(q.wf->RestoreState(r));
+    }
+    auto ng = r->ReadU64();
+    if (!ng.ok()) return ng.status();
+    if (*ng != boundary_gens_.size()) {
+      return Status::FailedPrecondition("boundary generator count mismatch");
+    }
+    for (auto& g : boundary_gens_) {
+      STREAMLINE_RETURN_IF_ERROR(g->RestoreState(r));
+    }
+    STREAMLINE_RETURN_IF_ERROR(store_.Restore(r, de));
+    has_open_slice_ = *open_slice;
+    has_open_data_ = *open_data;
+    open_start_ = *open_start;
+    open_partial_ = std::move(*open_partial);
+    last_ts_ = *last_ts;
+    auto read_u64 = [&](uint64_t* out) -> Status {
+      auto v = r->ReadU64();
+      if (!v.ok()) return v.status();
+      *out = *v;
+      return Status::Ok();
+    };
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&stats_.elements));
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&stats_.partial_updates));
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&stats_.fires));
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&stats_.slices_created));
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&stats_.peak_stored));
+    STREAMLINE_RETURN_IF_ERROR(read_u64(&fire_combine_ops_));
+    wakeup_valid_ = false;  // recomputed on the next element
+    return Status::Ok();
+  }
+
+ protected:
+  const Agg& agg() const { return agg_; }
+
+ private:
+  struct QueryState {
+    std::unique_ptr<WindowFunction> wf;
+    ResultCallback cb;
+  };
+
+  struct TaggedEvent {
+    WindowEvent event;
+    size_t query;
+    bool boundary_only;
+  };
+
+  void CollectElementEvents(Timestamp ts, const Value& payload) {
+    events_.clear();
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      scratch_.clear();
+      queries_[q].wf->OnElement(ts, payload, &scratch_);
+      for (const WindowEvent& e : scratch_) {
+        events_.push_back(TaggedEvent{e, q, false});
+      }
+    }
+    for (auto& gen : boundary_gens_) {
+      scratch_.clear();
+      gen->OnElement(ts, payload, &scratch_);
+      for (const WindowEvent& e : scratch_) {
+        if (e.kind == WindowEvent::Kind::kBegin) {
+          events_.push_back(TaggedEvent{e, 0, true});
+        }
+      }
+    }
+    SortEvents();
+  }
+
+  void CollectAfterElementEvents(Timestamp ts, const Value& payload) {
+    events_.clear();
+    if (wakeup_valid_) {
+      // Only data-driven functions produce AfterElement events.
+      for (size_t q : always_poll_queries_) {
+        scratch_.clear();
+        queries_[q].wf->AfterElement(ts, payload, &scratch_);
+        for (const WindowEvent& e : scratch_) {
+          events_.push_back(TaggedEvent{e, q, false});
+        }
+      }
+    } else {
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        scratch_.clear();
+        queries_[q].wf->AfterElement(ts, payload, &scratch_);
+        for (const WindowEvent& e : scratch_) {
+          events_.push_back(TaggedEvent{e, q, false});
+        }
+      }
+    }
+    SortEvents();
+  }
+
+  // Polls only the data-driven ("always poll") functions; periodic ones are
+  // guaranteed to have no events before wakeup_threshold_.
+  void CollectElementEventsSubset(Timestamp ts, const Value& payload) {
+    events_.clear();
+    for (size_t q : always_poll_queries_) {
+      scratch_.clear();
+      queries_[q].wf->OnElement(ts, payload, &scratch_);
+      for (const WindowEvent& e : scratch_) {
+        events_.push_back(TaggedEvent{e, q, false});
+      }
+    }
+    for (size_t g : always_poll_gens_) {
+      scratch_.clear();
+      boundary_gens_[g]->OnElement(ts, payload, &scratch_);
+      for (const WindowEvent& e : scratch_) {
+        if (e.kind == WindowEvent::Kind::kBegin) {
+          events_.push_back(TaggedEvent{e, 0, true});
+        }
+      }
+    }
+    SortEvents();
+  }
+
+  void RecomputeWakeup() {
+    if (options_.disable_wakeup_fastpath) return;  // stay on the slow path
+    wakeup_threshold_ = kMaxTimestamp;
+    always_poll_queries_.clear();
+    always_poll_gens_.clear();
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      const Timestamp w = queries_[q].wf->NextWakeup();
+      if (w == kMinTimestamp) {
+        always_poll_queries_.push_back(q);
+      } else {
+        wakeup_threshold_ = std::min(wakeup_threshold_, w);
+      }
+    }
+    for (size_t g = 0; g < boundary_gens_.size(); ++g) {
+      const Timestamp w = boundary_gens_[g]->NextWakeup();
+      if (w == kMinTimestamp) {
+        always_poll_gens_.push_back(g);
+      } else {
+        wakeup_threshold_ = std::min(wakeup_threshold_, w);
+      }
+    }
+    wakeup_valid_ = true;
+  }
+
+  void SortEvents() {
+    if (events_.size() < 2) return;
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const TaggedEvent& a, const TaggedEvent& b) {
+                       if (a.event.at != b.event.at) {
+                         return a.event.at < b.event.at;
+                       }
+                       // Ends before begins at the same instant.
+                       return a.event.kind == WindowEvent::Kind::kEnd &&
+                              b.event.kind == WindowEvent::Kind::kBegin;
+                     });
+  }
+
+  void ProcessEvents() {
+    for (const TaggedEvent& te : events_) {
+      if (te.event.kind == WindowEvent::Kind::kBegin) {
+        CloseSliceAt(te.event.at);
+      } else if (!te.boundary_only) {
+        Fire(te.query, te.event.window);
+      }
+    }
+    events_.clear();
+  }
+
+  // Cuts a slice boundary at time `at`: pushes the open slice (if it holds
+  // data) into the shared store and opens a fresh slice starting at `at`.
+  void CloseSliceAt(Timestamp at) {
+    if (has_open_slice_ && at == open_start_ && !has_open_data_) {
+      return;  // duplicate boundary from another query
+    }
+    if (has_open_slice_ && has_open_data_) {
+      store_.Append(open_start_, std::move(open_partial_));
+      open_partial_ = agg_.Identity();
+      ++stats_.slices_created;
+    }
+    has_open_slice_ = true;
+    has_open_data_ = false;
+    open_start_ = at;
+  }
+
+  void Fire(size_t query, const Window& w) {
+    const size_t i = store_.LowerBound(w.start);
+    const size_t j = store_.LowerBound(w.end);
+    Partial result = store_.RangeCombine(i, j);
+    if (has_open_slice_ && has_open_data_ && open_start_ < w.end &&
+        open_start_ >= w.start) {
+      result = agg_.Combine(result, open_partial_);
+      ++fire_combine_ops_;
+    }
+    ++stats_.fires;
+    if (queries_[query].cb) {
+      queries_[query].cb(query, w, agg_.Lower(result));
+    }
+  }
+
+  void Evict() {
+    Timestamp needed = kMaxTimestamp;
+    for (const QueryState& q : queries_) {
+      needed = std::min(needed, q.wf->OldestNeededBegin());
+    }
+    if (needed == kMaxTimestamp) {
+      // No pending window: everything stored is garbage.
+      store_.EvictBefore(store_.EndIndex());
+      return;
+    }
+    store_.EvictBefore(store_.LowerBound(needed));
+  }
+
+  void UpdatePeak() {
+    stats_.peak_stored =
+        std::max<uint64_t>(stats_.peak_stored, store_.size());
+  }
+
+  Agg agg_;
+  Options options_;
+  Store store_;
+  std::vector<QueryState> queries_;
+  std::vector<std::unique_ptr<WindowFunction>> boundary_gens_;
+
+  bool has_open_slice_ = false;
+  bool has_open_data_ = false;
+  Timestamp open_start_ = 0;
+  Partial open_partial_;
+  Timestamp last_ts_ = kMinTimestamp;
+
+  // Slicer fast path (see OnElement).
+  bool wakeup_valid_ = false;
+  Timestamp wakeup_threshold_ = kMinTimestamp;
+  std::vector<size_t> always_poll_queries_;
+  std::vector<size_t> always_poll_gens_;
+
+  WindowEvents scratch_;
+  std::vector<TaggedEvent> events_;
+  AggStats stats_;
+  mutable AggStats cached_stats_;
+  uint64_t fire_combine_ops_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_AGG_SLICING_AGGREGATOR_H_

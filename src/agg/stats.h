@@ -1,0 +1,42 @@
+#ifndef STREAMLINE_AGG_STATS_H_
+#define STREAMLINE_AGG_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamline {
+
+/// Work counters every window-aggregation technique maintains. These are the
+/// quantities Cutty's evaluation reasons about: how many partial-aggregate
+/// updates happen per record, how many combine operations fires cost, and
+/// how much state is held.
+struct AggStats {
+  uint64_t elements = 0;         // records processed
+  uint64_t partial_updates = 0;  // per-record aggregation ops (lift+merge)
+  uint64_t combine_ops = 0;      // combines performed by fires/stores
+  uint64_t fires = 0;            // window results emitted
+  uint64_t slices_created = 0;   // slices/panes/buckets materialized
+  uint64_t peak_stored = 0;      // max partials (or buffered tuples) held
+
+  /// Mean aggregation operations (updates + combines) per input record —
+  /// the headline metric of aggregate sharing.
+  double OpsPerRecord() const {
+    return elements == 0
+               ? 0.0
+               : static_cast<double>(partial_updates + combine_ops) /
+                     static_cast<double>(elements);
+  }
+
+  std::string ToString() const {
+    return "elements=" + std::to_string(elements) +
+           " partial_updates=" + std::to_string(partial_updates) +
+           " combine_ops=" + std::to_string(combine_ops) +
+           " fires=" + std::to_string(fires) +
+           " slices=" + std::to_string(slices_created) +
+           " peak_stored=" + std::to_string(peak_stored);
+  }
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_AGG_STATS_H_

@@ -1,0 +1,179 @@
+#ifndef STREAMLINE_AGG_TECHNIQUES_H_
+#define STREAMLINE_AGG_TECHNIQUES_H_
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "agg/eager_aggregator.h"
+#include "agg/naive_aggregator.h"
+#include "agg/slicing_aggregator.h"
+#include "common/logging.h"
+
+namespace streamline {
+
+/// Pairs (Krishnamurthy et al.): slice the stream at every window begin AND
+/// every window end, yielding at most two unequal slices per slide.
+/// Expressed on top of the slicing framework by registering the shifted
+/// end-grid as an extra boundary generator. Periodic windows only.
+template <typename Agg, typename Store = LinearStore<Agg>>
+class PairsAggregator : public SlicingAggregator<Agg, Store> {
+ public:
+  using Base = SlicingAggregator<Agg, Store>;
+  using ResultCallback = typename WindowAggregator<Agg>::ResultCallback;
+
+  explicit PairsAggregator(Agg agg = Agg()) : Base(std::move(agg)) {}
+
+  size_t AddQuery(std::unique_ptr<WindowFunction> wf,
+                  ResultCallback cb) override {
+    auto* sliding = dynamic_cast<SlidingWindowFn*>(wf.get());
+    STREAMLINE_CHECK(sliding != nullptr)
+        << "Pairs supports periodic windows only, got " << wf->Name();
+    const Duration r = sliding->range();
+    const Duration s = sliding->slide();
+    const Timestamp o = sliding->origin();
+    if (r % s != 0) {
+      // Window ends fall at origin + r (mod slide); cut there too.
+      this->AddBoundaryGenerator(
+          std::make_unique<SlidingWindowFn>(s, s, o + r % s));
+    }
+    return Base::AddQuery(std::move(wf), std::move(cb));
+  }
+
+  std::string name() const override { return "pairs"; }
+};
+
+/// Panes (Li et al.): uniform slices of length gcd(range, slide), further
+/// reduced to the gcd across all registered queries in the multi-query
+/// setting — the finer the grid, the more combines each fire pays.
+/// Periodic windows with a common origin only.
+template <typename Agg, typename Store = LinearStore<Agg>>
+class PanesAggregator : public SlicingAggregator<Agg, Store> {
+ public:
+  using Base = SlicingAggregator<Agg, Store>;
+  using ResultCallback = typename WindowAggregator<Agg>::ResultCallback;
+
+  explicit PanesAggregator(Agg agg = Agg()) : Base(std::move(agg)) {}
+
+  size_t AddQuery(std::unique_ptr<WindowFunction> wf,
+                  ResultCallback cb) override {
+    auto* sliding = dynamic_cast<SlidingWindowFn*>(wf.get());
+    STREAMLINE_CHECK(sliding != nullptr)
+        << "Panes supports periodic windows only, got " << wf->Name();
+    if (have_origin_) {
+      STREAMLINE_CHECK_EQ(origin_, sliding->origin())
+          << "Panes requires a common window origin";
+    }
+    have_origin_ = true;
+    origin_ = sliding->origin();
+    const Duration g = std::gcd(sliding->range(), sliding->slide());
+    pane_ = pane_ == 0 ? g : std::gcd(pane_, g);
+    // Rebuild the single pane-grid generator for the updated gcd.
+    this->ClearBoundaryGenerators();
+    this->AddBoundaryGenerator(
+        std::make_unique<SlidingWindowFn>(pane_, pane_, origin_));
+    return Base::AddQuery(std::move(wf), std::move(cb));
+  }
+
+  std::string name() const override { return "panes"; }
+
+ private:
+  Duration pane_ = 0;
+  Timestamp origin_ = 0;
+  bool have_origin_ = false;
+};
+
+/// B-Int-style per-tuple aggregate tree (Arasu & Widom): every tuple is a
+/// leaf of a balanced aggregation tree, so each record pays a O(log n) tree
+/// update and each fire a O(log n) range query — no slice coarsening.
+template <typename Agg>
+class BIntAggregator : public SlicingAggregator<Agg, FlatFatStore<Agg>> {
+ public:
+  using Base = SlicingAggregator<Agg, FlatFatStore<Agg>>;
+
+  explicit BIntAggregator(Agg agg = Agg())
+      : Base(std::move(agg), MakeOptions()) {}
+
+  std::string name() const override { return "b-int"; }
+
+ private:
+  static typename Base::Options MakeOptions() {
+    typename Base::Options o;
+    o.slice_per_element = true;
+    return o;
+  }
+};
+
+/// All implemented window-aggregation techniques.
+enum class AggTechnique {
+  kCutty,        // slicing + FlatFAT store (the paper's contribution)
+  kCuttyLazy,    // slicing + linear store
+  kCuttyPrefix,  // slicing + O(1) prefix store (invertible aggregates only)
+  kEager,        // per-window partials (Flink 1.x style)
+  kNaive,        // buffer & recompute
+  kPairs,
+  kPanes,
+  kBInt,
+};
+
+inline std::string_view AggTechniqueToString(AggTechnique t) {
+  switch (t) {
+    case AggTechnique::kCutty:
+      return "cutty";
+    case AggTechnique::kCuttyLazy:
+      return "cutty-lazy";
+    case AggTechnique::kCuttyPrefix:
+      return "cutty-prefix";
+    case AggTechnique::kEager:
+      return "eager";
+    case AggTechnique::kNaive:
+      return "naive";
+    case AggTechnique::kPairs:
+      return "pairs";
+    case AggTechnique::kPanes:
+      return "panes";
+    case AggTechnique::kBInt:
+      return "b-int";
+  }
+  return "unknown";
+}
+
+/// Instantiates a window aggregator of the given technique. kCuttyPrefix
+/// CHECK-fails for non-invertible aggregate functions.
+template <typename Agg>
+std::unique_ptr<WindowAggregator<Agg>> MakeAggregator(AggTechnique technique,
+                                                      Agg agg = Agg()) {
+  switch (technique) {
+    case AggTechnique::kCutty:
+      return std::make_unique<SlicingAggregator<Agg, FlatFatStore<Agg>>>(
+          std::move(agg));
+    case AggTechnique::kCuttyLazy:
+      return std::make_unique<SlicingAggregator<Agg, LinearStore<Agg>>>(
+          std::move(agg));
+    case AggTechnique::kCuttyPrefix:
+      if constexpr (Agg::kInvertible) {
+        return std::make_unique<SlicingAggregator<Agg, PrefixStore<Agg>>>(
+            std::move(agg));
+      } else {
+        LOG_FATAL << "cutty-prefix requires an invertible aggregate";
+        return nullptr;
+      }
+    case AggTechnique::kEager:
+      return std::make_unique<EagerAggregator<Agg>>(std::move(agg));
+    case AggTechnique::kNaive:
+      return std::make_unique<NaiveBufferAggregator<Agg>>(std::move(agg));
+    case AggTechnique::kPairs:
+      return std::make_unique<PairsAggregator<Agg>>(std::move(agg));
+    case AggTechnique::kPanes:
+      return std::make_unique<PanesAggregator<Agg>>(std::move(agg));
+    case AggTechnique::kBInt:
+      return std::make_unique<BIntAggregator<Agg>>(std::move(agg));
+  }
+  LOG_FATAL << "unknown technique";
+  return nullptr;
+}
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_AGG_TECHNIQUES_H_

@@ -1,0 +1,263 @@
+#include "api/datastream.h"
+
+#include "common/logging.h"
+
+namespace streamline {
+
+KeySelector KeyField(size_t field_index) {
+  return [field_index](const Record& r) { return r.field(field_index); };
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+
+std::string Environment::AutoName(const std::string& kind) {
+  return kind + "_" + std::to_string(name_counter_++);
+}
+
+DataStream Environment::FromRecords(std::vector<Record> records,
+                                    std::string name, int parallelism) {
+  const int node = graph_.AddSource(
+      std::move(name), parallelism,
+      VectorSource::Factory(std::move(records)));
+  return DataStream(this, node, parallelism);
+}
+
+DataStream Environment::FromGenerator(
+    std::string name, std::function<std::optional<Record>(uint64_t)> gen,
+    uint64_t watermark_every) {
+  const int node = graph_.AddSource(
+      std::move(name), 1,
+      [gen = std::move(gen), watermark_every](
+          int, int) -> std::unique_ptr<SourceFunction> {
+        return std::make_unique<GeneratorSource>("generator", gen,
+                                                 watermark_every);
+      });
+  return DataStream(this, node, 1);
+}
+
+DataStream Environment::FromSource(std::string name, SourceFactory factory,
+                                   int parallelism) {
+  const int node =
+      graph_.AddSource(std::move(name), parallelism, std::move(factory));
+  return DataStream(this, node, parallelism);
+}
+
+Result<std::unique_ptr<Job>> Environment::CreateJob(JobOptions options) {
+  return Job::Create(graph_, std::move(options));
+}
+
+Status Environment::Execute(JobOptions options) {
+  auto job = CreateJob(std::move(options));
+  if (!job.ok()) return job.status();
+  return (*job)->Run();
+}
+
+// ---------------------------------------------------------------------------
+// DataStream
+
+DataStream DataStream::Map(MapOperator::MapFn fn, std::string name) {
+  if (name.empty()) name = env_->AutoName("map");
+  const int node = env_->graph_.AddOperator(
+      name, parallelism_, [name, fn = std::move(fn)]() {
+        return std::make_unique<MapOperator>(name, fn);
+      });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(node_, node, PartitionScheme::kForward));
+  return DataStream(env_, node, parallelism_);
+}
+
+DataStream DataStream::FlatMap(FlatMapOperator::FlatMapFn fn,
+                               std::string name) {
+  if (name.empty()) name = env_->AutoName("flat_map");
+  const int node = env_->graph_.AddOperator(
+      name, parallelism_, [name, fn = std::move(fn)]() {
+        return std::make_unique<FlatMapOperator>(name, fn);
+      });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(node_, node, PartitionScheme::kForward));
+  return DataStream(env_, node, parallelism_);
+}
+
+DataStream DataStream::Filter(FilterOperator::Predicate pred,
+                              std::string name) {
+  if (name.empty()) name = env_->AutoName("filter");
+  const int node = env_->graph_.AddOperator(
+      name, parallelism_, [name, pred = std::move(pred)]() {
+        return std::make_unique<FilterOperator>(name, pred);
+      });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(node_, node, PartitionScheme::kForward));
+  return DataStream(env_, node, parallelism_);
+}
+
+DataStream DataStream::Process(OperatorFactory factory, std::string name,
+                               int parallelism) {
+  if (name.empty()) name = env_->AutoName("process");
+  if (parallelism <= 0) parallelism = parallelism_;
+  const int node =
+      env_->graph_.AddOperator(name, parallelism, std::move(factory));
+  const PartitionScheme scheme = parallelism == parallelism_
+                                     ? PartitionScheme::kForward
+                                     : PartitionScheme::kRebalance;
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(node_, node, scheme));
+  return DataStream(env_, node, parallelism);
+}
+
+KeyedStream DataStream::KeyBy(KeySelector key) const {
+  return KeyedStream(env_, node_, std::move(key));
+}
+
+KeyedStream DataStream::KeyBy(size_t field_index) const {
+  return KeyBy(KeyField(field_index));
+}
+
+DataStream DataStream::Union(const DataStream& other, std::string name) {
+  STREAMLINE_CHECK(env_ == other.env_);
+  if (name.empty()) name = env_->AutoName("union");
+  const int out_parallelism = parallelism_;
+  const int node = env_->graph_.AddOperator(
+      name, out_parallelism,
+      [name]() { return std::make_unique<UnionOperator>(name); });
+  const PartitionScheme left_scheme = PartitionScheme::kForward;
+  const PartitionScheme right_scheme =
+      other.parallelism_ == out_parallelism ? PartitionScheme::kForward
+                                            : PartitionScheme::kRebalance;
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(node_, node, left_scheme));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(other.node_, node, right_scheme));
+  return DataStream(env_, node, out_parallelism);
+}
+
+DataStream DataStream::Rebalance(int parallelism, std::string name) {
+  if (name.empty()) name = env_->AutoName("rebalance");
+  const int node = env_->graph_.AddOperator(
+      name, parallelism,
+      [name]() { return std::make_unique<UnionOperator>(name); });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(node_, node, PartitionScheme::kRebalance));
+  return DataStream(env_, node, parallelism);
+}
+
+WindowedStream DataStream::WindowAll(
+    std::vector<std::shared_ptr<const WindowFunction>> windows) const {
+  return WindowedStream(env_, node_, nullptr, std::move(windows));
+}
+
+void DataStream::Sink(std::shared_ptr<SinkFunction> sink, std::string name) {
+  if (name.empty()) name = env_->AutoName("sink");
+  const int node = env_->graph_.AddOperator(
+      name, parallelism_, [name, sink]() {
+        return std::make_unique<SinkOperator>(name, sink);
+      });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(node_, node, PartitionScheme::kForward));
+}
+
+std::shared_ptr<CollectSink> DataStream::Collect(std::string name) {
+  auto sink = std::make_shared<CollectSink>();
+  Sink(sink, std::move(name));
+  return sink;
+}
+
+// ---------------------------------------------------------------------------
+// KeyedStream
+
+DataStream KeyedStream::Reduce(KeyedReduceOperator::ReduceFn fn,
+                               std::string name) {
+  if (name.empty()) name = env_->AutoName("reduce");
+  const int parallelism = env_->parallelism();
+  KeySelector key = key_;
+  const int node = env_->graph_.AddOperator(
+      name, parallelism, [name, key, fn = std::move(fn)]() {
+        return std::make_unique<KeyedReduceOperator>(name, key, fn);
+      });
+  STREAMLINE_CHECK_OK(
+      env_->graph_.Connect(upstream_, node, PartitionScheme::kHash, key_));
+  return DataStream(env_, node, parallelism);
+}
+
+WindowedStream KeyedStream::Window(
+    std::vector<std::shared_ptr<const WindowFunction>> windows) const {
+  return WindowedStream(env_, upstream_, key_, std::move(windows));
+}
+
+WindowedStream KeyedStream::Window(
+    std::shared_ptr<const WindowFunction> window) const {
+  std::vector<std::shared_ptr<const WindowFunction>> ws;
+  ws.push_back(std::move(window));
+  return Window(std::move(ws));
+}
+
+DataStream KeyedStream::IntervalJoin(const KeyedStream& right, Duration lower,
+                                     Duration upper, std::string name) {
+  STREAMLINE_CHECK(env_ == right.env_);
+  if (name.empty()) name = env_->AutoName("interval_join");
+  const int parallelism = env_->parallelism();
+  KeySelector lk = key_;
+  KeySelector rk = right.key_;
+  const int node = env_->graph_.AddOperator(
+      name, parallelism, [name, lk, rk, lower, upper]() {
+        return std::make_unique<IntervalJoinOperator>(name, lk, rk, lower,
+                                                      upper);
+      });
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
+                                           PartitionScheme::kHash, key_, 0));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(
+      right.upstream_, node, PartitionScheme::kHash, right.key_, 1));
+  return DataStream(env_, node, parallelism);
+}
+
+DataStream KeyedStream::TemporalJoin(const KeyedStream& table,
+                                     size_t table_width, bool emit_unmatched,
+                                     std::string name) {
+  STREAMLINE_CHECK(env_ == table.env_);
+  if (name.empty()) name = env_->AutoName("temporal_join");
+  const int parallelism = env_->parallelism();
+  TemporalJoinOperator::Spec spec;
+  spec.fact_key = key_;
+  spec.table_key = table.key_;
+  spec.emit_unmatched = emit_unmatched;
+  spec.table_width = table_width;
+  const int node = env_->graph_.AddOperator(
+      name, parallelism, [name, spec]() {
+        return std::make_unique<TemporalJoinOperator>(name, spec);
+      });
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
+                                           PartitionScheme::kHash, key_, 0));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(
+      table.upstream_, node, PartitionScheme::kHash, table.key_, 1));
+  return DataStream(env_, node, parallelism);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedStream
+
+DataStream WindowedStream::Aggregate(DynAggKind kind, size_t value_field,
+                                     WindowBackend backend,
+                                     std::string name) {
+  if (name.empty()) name = env_->AutoName("window_agg");
+  const bool keyed = key_ != nullptr;
+  const int parallelism = keyed ? env_->parallelism() : 1;
+  WindowAggSpec spec;
+  spec.key = key_;
+  spec.value_field = value_field;
+  spec.agg_kind = kind;
+  spec.windows = windows_;
+  spec.backend = backend;
+  spec.allowed_lateness = allowed_lateness_;
+  const int node = env_->graph_.AddOperator(
+      name, parallelism, [name, spec]() {
+        return std::make_unique<WindowAggOperator>(name, spec);
+      });
+  if (keyed) {
+    STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
+                                             PartitionScheme::kHash, key_));
+  } else {
+    // Global windows: funnel everything into the single subtask.
+    STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
+                                             PartitionScheme::kRebalance));
+  }
+  return DataStream(env_, node, parallelism);
+}
+
+}  // namespace streamline

@@ -1,0 +1,207 @@
+#ifndef STREAMLINE_API_DATASTREAM_H_
+#define STREAMLINE_API_DATASTREAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataflow/executor.h"
+#include "dataflow/graph.h"
+#include "dataflow/operators.h"
+#include "dataflow/sink.h"
+#include "dataflow/sources.h"
+#include "dataflow/temporal_join.h"
+#include "dataflow/window_operator.h"
+
+namespace streamline {
+
+class DataStream;
+class KeyedStream;
+class WindowedStream;
+
+/// Key selector over a record field index.
+KeySelector KeyField(size_t field_index);
+
+/// The paper's *uniform programming model*: one fluent API whose pipelines
+/// run unchanged over data at rest (bounded sources; Execute() returns when
+/// done) and data in motion (unbounded sources; the job runs until
+/// cancelled). The environment accumulates a LogicalGraph which Execute()
+/// deploys on the pipelined engine.
+class Environment {
+ public:
+  explicit Environment(int default_parallelism = 1)
+      : parallelism_(default_parallelism) {}
+
+  /// Default parallelism for partition-introducing operators (key_by).
+  void SetParallelism(int p) { parallelism_ = p; }
+  int parallelism() const { return parallelism_; }
+
+  /// Bounded source over in-memory records -- "data at rest".
+  DataStream FromRecords(std::vector<Record> records,
+                         std::string name = "collection", int parallelism = 1);
+
+  /// Generator-driven source; return nullopt to end the stream (bounded) or
+  /// keep producing until cancellation (unbounded) -- "data in motion".
+  DataStream FromGenerator(
+      std::string name,
+      std::function<std::optional<Record>(uint64_t seq)> gen,
+      uint64_t watermark_every = 64);
+
+  /// Fully custom source.
+  DataStream FromSource(std::string name, SourceFactory factory,
+                        int parallelism = 1);
+
+  /// Deploys the accumulated pipeline.
+  Result<std::unique_ptr<Job>> CreateJob(JobOptions options = JobOptions());
+
+  /// Create + Run: returns when all sources are exhausted (batch semantics;
+  /// an unbounded source makes this run until Cancel from another thread).
+  Status Execute(JobOptions options = JobOptions());
+
+  LogicalGraph* graph() { return &graph_; }
+
+ private:
+  friend class DataStream;
+  friend class KeyedStream;
+  friend class WindowedStream;
+
+  std::string AutoName(const std::string& kind);
+
+  LogicalGraph graph_;
+  int parallelism_ = 1;
+  int name_counter_ = 0;
+};
+
+/// Handle to one node of the pipeline under construction. Cheap to copy.
+class DataStream {
+ public:
+  /// 1:1 transform.
+  DataStream Map(MapOperator::MapFn fn, std::string name = "");
+  /// 1:N transform.
+  DataStream FlatMap(FlatMapOperator::FlatMapFn fn, std::string name = "");
+  /// Predicate filter.
+  DataStream Filter(FilterOperator::Predicate pred, std::string name = "");
+
+  /// Inserts a user-defined operator (the extension point for anything the
+  /// built-in verbs do not cover, e.g. online learners). Uses a forward
+  /// edge (chains) when `parallelism` is 0 or equals this stream's; a
+  /// rebalance edge otherwise.
+  DataStream Process(OperatorFactory factory, std::string name = "",
+                     int parallelism = 0);
+
+  /// Hash-partitions the stream by `key`; subsequent stateful operators are
+  /// keyed and run at the environment parallelism.
+  KeyedStream KeyBy(KeySelector key) const;
+  /// KeyBy on a record field.
+  KeyedStream KeyBy(size_t field_index) const;
+
+  /// Merges this stream with `other` (round-robin when parallelism
+  /// differs, forward otherwise).
+  DataStream Union(const DataStream& other, std::string name = "");
+
+  /// Round-robin repartition to `parallelism` subtasks.
+  DataStream Rebalance(int parallelism, std::string name = "");
+
+  /// Non-keyed ("global") windows: runs at parallelism 1.
+  WindowedStream WindowAll(
+      std::vector<std::shared_ptr<const WindowFunction>> windows) const;
+
+  /// Terminal: attach a sink (chains onto this node).
+  void Sink(std::shared_ptr<SinkFunction> sink, std::string name = "");
+  /// Terminal convenience: attach and return a CollectSink.
+  std::shared_ptr<CollectSink> Collect(std::string name = "");
+
+  int node_id() const { return node_; }
+  int node_parallelism() const { return parallelism_; }
+  Environment* env() const { return env_; }
+
+ private:
+  friend class Environment;
+  friend class KeyedStream;
+  friend class WindowedStream;
+
+  DataStream(Environment* env, int node, int parallelism)
+      : env_(env), node_(node), parallelism_(parallelism) {}
+
+  Environment* env_;
+  int node_;
+  int parallelism_;
+};
+
+/// A hash-partitioned stream; the entry point for keyed state.
+class KeyedStream {
+ public:
+  /// Running per-key reduce; emits the updated accumulator per input.
+  DataStream Reduce(KeyedReduceOperator::ReduceFn fn, std::string name = "");
+
+  /// Keyed event-time windows; pass several window definitions to share
+  /// one slice store across them (multi-query sharing).
+  WindowedStream Window(
+      std::vector<std::shared_ptr<const WindowFunction>> windows) const;
+  WindowedStream Window(
+      std::shared_ptr<const WindowFunction> window) const;
+
+  /// Keyed interval join: pairs (l, r) with equal keys and
+  /// r.ts - l.ts in [lower, upper].
+  DataStream IntervalJoin(const KeyedStream& right, Duration lower,
+                          Duration upper, std::string name = "");
+
+  /// Temporal (stream-to-table) join: `table` is a keyed changelog whose
+  /// latest row per key enriches this stream's records. `table_width` is
+  /// the number of fields a row appends (used for null padding when
+  /// `emit_unmatched`).
+  DataStream TemporalJoin(const KeyedStream& table, size_t table_width,
+                          bool emit_unmatched = false, std::string name = "");
+
+  const KeySelector& key() const { return key_; }
+
+ private:
+  friend class DataStream;
+  friend class WindowedStream;
+
+  KeyedStream(Environment* env, int upstream, KeySelector key)
+      : env_(env), upstream_(upstream), key_(std::move(key)) {}
+
+  Environment* env_;
+  int upstream_;
+  KeySelector key_;
+};
+
+/// A (keyed or global) windowed stream awaiting an aggregate.
+class WindowedStream {
+ public:
+  /// Tolerate records up to `lateness` behind the upstream watermark
+  /// (results fire correspondingly later). Returns a modified copy.
+  WindowedStream WithLateness(Duration lateness) const {
+    WindowedStream out = *this;
+    out.allowed_lateness_ = lateness;
+    return out;
+  }
+
+  /// Aggregates `value_field` with `kind` per window. Output records:
+  /// [key, window_start, window_end, query_index, result].
+  DataStream Aggregate(DynAggKind kind, size_t value_field,
+                       WindowBackend backend = WindowBackend::kShared,
+                       std::string name = "");
+
+ private:
+  friend class DataStream;
+  friend class KeyedStream;
+
+  WindowedStream(Environment* env, int upstream, KeySelector key,
+                 std::vector<std::shared_ptr<const WindowFunction>> windows)
+      : env_(env), upstream_(upstream), key_(std::move(key)),
+        windows_(std::move(windows)) {}
+
+  Environment* env_;
+  int upstream_;
+  KeySelector key_;  // null = global window
+  std::vector<std::shared_ptr<const WindowFunction>> windows_;
+  Duration allowed_lateness_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_API_DATASTREAM_H_

@@ -1,0 +1,110 @@
+#ifndef STREAMLINE_COMMON_LOGGING_H_
+#define STREAMLINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace streamline {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message emitter; flushes on destruction and aborts the
+/// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows log streams that are disabled at the current level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed log expression into void so it can appear in the else
+/// branch of a ternary (glog's LogMessageVoidify trick). operator& binds
+/// looser than operator<<, so message chaining still works.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace streamline
+
+#define STREAMLINE_LOG_AT(level)                                         \
+  ::streamline::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG STREAMLINE_LOG_AT(::streamline::LogLevel::kDebug)
+#define LOG_INFO STREAMLINE_LOG_AT(::streamline::LogLevel::kInfo)
+#define LOG_WARNING STREAMLINE_LOG_AT(::streamline::LogLevel::kWarning)
+#define LOG_ERROR STREAMLINE_LOG_AT(::streamline::LogLevel::kError)
+#define LOG_FATAL STREAMLINE_LOG_AT(::streamline::LogLevel::kFatal)
+
+/// CHECK aborts (with a log message) when `cond` is false. Used for
+/// programmer errors / invariant violations, never for recoverable errors.
+/// Supports message chaining: STREAMLINE_CHECK(x) << "context".
+#define STREAMLINE_CHECK(cond)                                       \
+  (cond) ? (void)0                                                   \
+         : ::streamline::internal::Voidify() &                       \
+               STREAMLINE_LOG_AT(::streamline::LogLevel::kFatal)     \
+                   << "CHECK failed: " #cond " "
+
+#define STREAMLINE_CHECK_OP(a, b, op)                                \
+  ((a)op(b)) ? (void)0                                               \
+             : ::streamline::internal::Voidify() &                   \
+                   STREAMLINE_LOG_AT(::streamline::LogLevel::kFatal) \
+                       << "CHECK failed: " #a " " #op " " #b " ("    \
+                       << (a) << " vs " << (b) << ") "
+
+#define STREAMLINE_CHECK_EQ(a, b) STREAMLINE_CHECK_OP(a, b, ==)
+#define STREAMLINE_CHECK_NE(a, b) STREAMLINE_CHECK_OP(a, b, !=)
+#define STREAMLINE_CHECK_LT(a, b) STREAMLINE_CHECK_OP(a, b, <)
+#define STREAMLINE_CHECK_LE(a, b) STREAMLINE_CHECK_OP(a, b, <=)
+#define STREAMLINE_CHECK_GT(a, b) STREAMLINE_CHECK_OP(a, b, >)
+#define STREAMLINE_CHECK_GE(a, b) STREAMLINE_CHECK_OP(a, b, >=)
+
+/// Aborts when `expr` evaluates to a non-OK Status.
+#define STREAMLINE_CHECK_OK(expr)                                        \
+  do {                                                                   \
+    const ::streamline::Status _st = (expr);                             \
+    if (!_st.ok()) {                                                     \
+      STREAMLINE_LOG_AT(::streamline::LogLevel::kFatal)                  \
+          << "CHECK_OK failed: " << _st.ToString();                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+// `cond` stays referenced (no unused warnings) but is never evaluated.
+#define STREAMLINE_DCHECK(cond) STREAMLINE_CHECK(true || (cond))
+#else
+#define STREAMLINE_DCHECK(cond) STREAMLINE_CHECK(cond)
+#endif
+
+#endif  // STREAMLINE_COMMON_LOGGING_H_

@@ -1,0 +1,112 @@
+#ifndef STREAMLINE_COMMON_METRICS_H_
+#define STREAMLINE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace streamline {
+
+/// Monotonically increasing counter; lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge; lock-free.
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  double value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Histogram over positive values with logarithmic buckets (~4% relative
+/// resolution). Suited to latency and batch-size distributions.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  uint64_t count() const;
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; interpolates within the matched bucket.
+  double Quantile(double q) const;
+  void Reset();
+
+  /// "count=.. mean=.. p50=.. p95=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(double value);
+  static double BucketLowerBound(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Wall-clock stopwatch for benchmark harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Named registry so operators/tasks can expose metrics without plumbing.
+/// Thread-safe; returned pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Renders all metrics, one "name value" line each, sorted by name.
+  std::string Report() const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_METRICS_H_

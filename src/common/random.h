@@ -1,0 +1,55 @@
+#ifndef STREAMLINE_COMMON_RANDOM_H_
+#define STREAMLINE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamline {
+
+/// Deterministic, fast PRNG (xorshift128+). All generators in the repo seed
+/// from this so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform on the full 64-bit range.
+  uint64_t NextU64();
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// Bernoulli with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0;
+};
+
+/// Zipf-distributed integers in [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^s. Uses precomputed CDF + binary search, so
+/// Next() is O(log n) and exact.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed = 42);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_RANDOM_H_

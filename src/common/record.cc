@@ -1,0 +1,18 @@
+#include "common/record.h"
+
+#include <sstream>
+
+namespace streamline {
+
+std::string Record::ToString() const {
+  std::ostringstream os;
+  os << "@" << timestamp << " [";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields[i].ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace streamline

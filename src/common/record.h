@@ -1,0 +1,58 @@
+#ifndef STREAMLINE_COMMON_RECORD_H_
+#define STREAMLINE_COMMON_RECORD_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+
+namespace streamline {
+
+/// The engine's row: an event-time timestamp plus dynamically typed fields.
+/// Field meaning is given by the Schema attached to the stream, not stored
+/// per record.
+struct Record {
+  Timestamp timestamp = 0;
+  std::vector<Value> fields;
+
+  Record() = default;
+  Record(Timestamp ts, std::vector<Value> f)
+      : timestamp(ts), fields(std::move(f)) {}
+
+  const Value& field(size_t i) const { return fields[i]; }
+  Value& field(size_t i) { return fields[i]; }
+  size_t num_fields() const { return fields.size(); }
+
+  /// "@ts [v0, v1, ...]" rendering for sinks, logs and tests.
+  std::string ToString() const;
+
+  /// Rough in-memory footprint, used for channel byte accounting.
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(Record) + fields.size() * sizeof(Value);
+    for (const Value& v : fields) {
+      if (v.type() == DataType::kString) bytes += v.AsString().size();
+    }
+    return bytes;
+  }
+
+  bool operator==(const Record& other) const {
+    return timestamp == other.timestamp && fields == other.fields;
+  }
+};
+
+/// Convenience builder: MakeRecord(12, Value(int64_t{1}), Value("a")).
+template <typename... Vs>
+Record MakeRecord(Timestamp ts, Vs&&... values) {
+  Record r;
+  r.timestamp = ts;
+  r.fields.reserve(sizeof...(values));
+  (r.fields.push_back(std::forward<Vs>(values)), ...);
+  return r;
+}
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_RECORD_H_

@@ -1,0 +1,47 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(fields_[i].name, i);
+    STREAMLINE_CHECK(inserted) << "duplicate field name: " << fields_[i].name;
+    (void)it;
+  }
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "' in " + ToString());
+  }
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ": " << DataTypeToString(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streamline

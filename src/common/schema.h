@@ -1,0 +1,51 @@
+#ifndef STREAMLINE_COMMON_SCHEMA_H_
+#define STREAMLINE_COMMON_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace streamline {
+
+/// A named, typed column of a Record.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// Ordered list of fields with name lookup. Schemas are immutable once
+/// constructed and cheap to share via copies.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field called `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True when `name` is a field of this schema.
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// e.g. "(user: string, clicks: int64)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_SCHEMA_H_

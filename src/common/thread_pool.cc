@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace streamline {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  STREAMLINE_CHECK_GT(num_threads, 0u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STREAMLINE_CHECK(!shutdown_) << "Submit after Shutdown";
+    tasks_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace streamline

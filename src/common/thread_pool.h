@@ -1,0 +1,51 @@
+#ifndef STREAMLINE_COMMON_THREAD_POOL_H_
+#define STREAMLINE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamline {
+
+/// Fixed-size pool of worker threads executing queued closures. Used for
+/// auxiliary work (asynchronous snapshot serialization, generator shaping);
+/// engine subtasks get dedicated threads because they are long-running.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Must not be called after
+  /// Shutdown.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all queued and running tasks have finished.
+  void Wait();
+
+  /// Completes outstanding work and joins all workers. Idempotent; also run
+  /// by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_THREAD_POOL_H_

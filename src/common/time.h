@@ -1,0 +1,36 @@
+#ifndef STREAMLINE_COMMON_TIME_H_
+#define STREAMLINE_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace streamline {
+
+/// Event-time timestamp in milliseconds. The library never interprets event
+/// time as wall-clock time; generators and tests pick their own epoch.
+using Timestamp = int64_t;
+
+/// Length of an event-time interval in milliseconds.
+using Duration = int64_t;
+
+/// Smallest representable event time; used as the initial watermark.
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+/// Largest representable event time. A watermark of kMaxTimestamp signals
+/// that no further records will arrive (end of a bounded stream), which
+/// flushes every open window.
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// A watermark asserts that every future record has timestamp >= `time`
+/// (strictly: no record with timestamp < `time` will follow). A window
+/// [start, end) is therefore complete once the watermark reaches `end`.
+struct WatermarkEvent {
+  Timestamp time = kMinTimestamp;
+  bool IsFinal() const { return time == kMaxTimestamp; }
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_TIME_H_

@@ -1,0 +1,126 @@
+#include "common/value.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace streamline {
+namespace {
+
+// 64-bit FNV-1a over raw bytes; stable across platforms of equal endianness.
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+}  // namespace
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case DataType::kDouble:
+      return std::get<double>(v_);
+    case DataType::kBool:
+      return std::get<bool>(v_) ? 1.0 : 0.0;
+    default:
+      LOG_FATAL << "Value::ToDouble on non-numeric type "
+                << DataTypeToString(type());
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(v_);
+      return os.str();
+    }
+    case DataType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case DataType::kString:
+      return std::get<std::string>(v_);
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  const uint64_t seed = kFnvOffset ^ (static_cast<uint64_t>(type()) << 3);
+  switch (type()) {
+    case DataType::kNull:
+      return seed;
+    case DataType::kInt64: {
+      int64_t x = std::get<int64_t>(v_);
+      return Fnv1a(&x, sizeof(x), seed);
+    }
+    case DataType::kDouble: {
+      double d = std::get<double>(v_);
+      if (d == 0.0) d = 0.0;  // normalize -0.0 to +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Fnv1a(&bits, sizeof(bits), seed);
+    }
+    case DataType::kBool: {
+      unsigned char b = std::get<bool>(v_) ? 1 : 0;
+      return Fnv1a(&b, 1, seed);
+    }
+    case DataType::kString: {
+      const std::string& s = std::get<std::string>(v_);
+      return Fnv1a(s.data(), s.size(), seed);
+    }
+  }
+  return seed;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) {
+    // Nulls sort before everything; other cross-type comparisons are bugs.
+    if (is_null()) return !other.is_null();
+    if (other.is_null()) return false;
+    LOG_FATAL << "Value::operator< across types "
+              << DataTypeToString(type()) << " vs "
+              << DataTypeToString(other.type());
+  }
+  switch (type()) {
+    case DataType::kNull:
+      return false;
+    case DataType::kInt64:
+      return std::get<int64_t>(v_) < std::get<int64_t>(other.v_);
+    case DataType::kDouble:
+      return std::get<double>(v_) < std::get<double>(other.v_);
+    case DataType::kBool:
+      return std::get<bool>(v_) < std::get<bool>(other.v_);
+    case DataType::kString:
+      return std::get<std::string>(v_) < std::get<std::string>(other.v_);
+  }
+  return false;
+}
+
+}  // namespace streamline

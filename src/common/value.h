@@ -1,0 +1,92 @@
+#ifndef STREAMLINE_COMMON_VALUE_H_
+#define STREAMLINE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+/// Runtime type tag of a Value.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kBool = 3,
+  kString = 4,
+};
+
+/// Returns a stable name ("int64", "double", ...) for `type`.
+std::string_view DataTypeToString(DataType type);
+
+/// Dynamically typed scalar used by the Record row model. Values are small,
+/// copyable and hashable; the engine uses them for fields and keys.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(bool v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  DataType type() const {
+    return static_cast<DataType>(v_.index());
+  }
+  bool is_null() const { return type() == DataType::kNull; }
+
+  /// Checked accessors; CHECK-fail on type mismatch.
+  int64_t AsInt64() const {
+    STREAMLINE_CHECK(type() == DataType::kInt64);
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    STREAMLINE_CHECK(type() == DataType::kDouble);
+    return std::get<double>(v_);
+  }
+  bool AsBool() const {
+    STREAMLINE_CHECK(type() == DataType::kBool);
+    return std::get<bool>(v_);
+  }
+  const std::string& AsString() const {
+    STREAMLINE_CHECK(type() == DataType::kString);
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric coercion: int64/double/bool widen to double; CHECK-fails for
+  /// strings and nulls. Used by dynamic aggregate functions.
+  double ToDouble() const;
+
+  /// Human-readable rendering, e.g. for sinks and debugging.
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (used for hash partitioning and keyed state).
+  uint64_t Hash() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering across same-typed values; CHECK-fails across distinct types
+  /// (except null which sorts first).
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> v_;
+};
+
+}  // namespace streamline
+
+namespace std {
+template <>
+struct hash<streamline::Value> {
+  size_t operator()(const streamline::Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+}  // namespace std
+
+#endif  // STREAMLINE_COMMON_VALUE_H_

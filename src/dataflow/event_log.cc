@@ -1,0 +1,165 @@
+#include "dataflow/event_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+EventLog::EventLog(int num_partitions) {
+  STREAMLINE_CHECK_GT(num_partitions, 0);
+  partitions_.resize(num_partitions);
+}
+
+uint64_t EventLog::Append(int partition, Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STREAMLINE_CHECK(!closed_) << "append to closed log";
+  STREAMLINE_CHECK_GE(partition, 0);
+  STREAMLINE_CHECK_LT(partition, static_cast<int>(partitions_.size()));
+  auto& records = partitions_[partition].records;
+  STREAMLINE_DCHECK(records.empty() ||
+                    records.back().timestamp <= record.timestamp)
+      << "per-partition appends must be timestamp-ordered";
+  records.push_back(std::move(record));
+  return records.size() - 1;
+}
+
+uint64_t EventLog::AppendByKey(size_t key_field, Record record) {
+  const int partition = static_cast<int>(record.field(key_field).Hash() %
+                                         partitions_.size());
+  return Append(partition, std::move(record));
+}
+
+uint64_t EventLog::EndOffset(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_[partition].records.size();
+}
+
+Result<Record> EventLog::Read(int partition, uint64_t offset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& records = partitions_[partition].records;
+  if (offset >= records.size()) {
+    return Status::NotFound("offset " + std::to_string(offset) +
+                            " past end of partition " +
+                            std::to_string(partition));
+  }
+  return records[offset];
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+bool EventLog::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+// ---------------------------------------------------------------------------
+// LogSource
+
+LogSource::LogSource(std::shared_ptr<EventLog> log, int subtask,
+                     int parallelism, uint64_t watermark_every)
+    : log_(std::move(log)), subtask_(subtask), parallelism_(parallelism),
+      watermark_every_(watermark_every) {
+  for (int p = subtask_; p < log_->num_partitions(); p += parallelism_) {
+    my_partitions_.push_back(p);
+  }
+  offsets_.assign(my_partitions_.size(), 0);
+}
+
+Status LogSource::Run(SourceContext* ctx) {
+  if (my_partitions_.empty()) return Status::Ok();
+  std::vector<Timestamp> last_ts(my_partitions_.size(), kMinTimestamp);
+  uint64_t emitted = 0;
+  for (;;) {
+    if (ctx->IsCancelled()) return Status::Ok();
+    // Pick the owned partition with the smallest available head timestamp
+    // (best-effort cross-partition ordering).
+    int best = -1;
+    Timestamp best_ts = kMaxTimestamp;
+    bool all_exhausted = true;
+    for (size_t i = 0; i < my_partitions_.size(); ++i) {
+      const int p = my_partitions_[i];
+      if (offsets_[i] < log_->EndOffset(p)) {
+        all_exhausted = false;
+        auto head = log_->Read(p, offsets_[i]);
+        STREAMLINE_CHECK(head.ok());
+        if (head->timestamp < best_ts) {
+          best_ts = head->timestamp;
+          best = static_cast<int>(i);
+        }
+      } else if (!log_->closed()) {
+        all_exhausted = false;
+      }
+    }
+    if (best == -1) {
+      if (all_exhausted && log_->closed()) return Status::Ok();
+      // Open log with no data available yet: wait for producers, but keep
+      // servicing checkpoint barriers while idle.
+      ctx->HandleIdle();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    auto record = log_->Read(my_partitions_[best], offsets_[best]);
+    STREAMLINE_CHECK(record.ok());
+    last_ts[best] = record->timestamp;
+    if (!ctx->Emit(std::move(*record))) return Status::Ok();
+    ++offsets_[best];
+    ++emitted;
+    if (watermark_every_ > 0 && emitted % watermark_every_ == 0) {
+      // Conservative per-partition watermark: future records of partition
+      // i have ts >= last_ts[i] (appends are ordered), so the subtask
+      // watermark is the minimum over its non-exhausted partitions.
+      Timestamp wm = kMaxTimestamp;
+      for (size_t i = 0; i < my_partitions_.size(); ++i) {
+        const bool exhausted =
+            log_->closed() &&
+            offsets_[i] >= log_->EndOffset(my_partitions_[i]);
+        if (!exhausted) wm = std::min(wm, last_ts[i]);
+      }
+      if (wm != kMaxTimestamp && wm != kMinTimestamp) {
+        ctx->EmitWatermark(wm);
+      }
+    }
+  }
+}
+
+Status LogSource::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(offsets_.size());
+  for (uint64_t off : offsets_) w->WriteU64(off);
+  return Status::Ok();
+}
+
+Status LogSource::RestoreState(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  if (*n != offsets_.size()) {
+    return Status::FailedPrecondition("partition assignment mismatch");
+  }
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    auto off = r->ReadU64();
+    if (!off.ok()) return off.status();
+    offsets_[i] = *off;
+  }
+  return Status::Ok();
+}
+
+std::string LogSource::Name() const {
+  return "log-source[" + std::to_string(subtask_) + "/" +
+         std::to_string(parallelism_) + "]";
+}
+
+SourceFactory LogSource::Factory(std::shared_ptr<EventLog> log,
+                                 uint64_t watermark_every) {
+  return [log, watermark_every](
+             int subtask, int parallelism) -> std::unique_ptr<SourceFunction> {
+    return std::make_unique<LogSource>(log, subtask, parallelism,
+                                       watermark_every);
+  };
+}
+
+}  // namespace streamline

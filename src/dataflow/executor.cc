@@ -1,0 +1,674 @@
+#include "dataflow/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/queue.h"
+#include "dataflow/events.h"
+#include "dataflow/operator.h"
+#include "dataflow/source.h"
+
+namespace streamline {
+namespace internal {
+
+using Mailbox = BoundedQueue<TaggedEvent>;
+
+namespace {
+
+struct OutputTarget {
+  Mailbox* mailbox = nullptr;
+  int channel = 0;
+  // Per-target record buffer ("network buffer"): amortizes mailbox
+  // synchronization over batch_size records.
+  std::vector<Record> buffer;
+};
+
+struct OutputEdge {
+  PartitionScheme scheme = PartitionScheme::kForward;
+  KeySelector key;
+  std::vector<OutputTarget> targets;  // indexed by downstream subtask
+  uint64_t rr = 0;
+};
+
+}  // namespace
+
+/// One physical task: a chain of operators (possibly headed by a source)
+/// executed by a dedicated thread, fed by one mailbox with per-channel
+/// watermark tracking and barrier alignment.
+class Task {
+ public:
+  Task(Job* job, std::vector<int> node_ids, int subtask, int parallelism)
+      : job_(job), node_ids_(std::move(node_ids)), subtask_(subtask),
+        parallelism_(parallelism) {}
+
+  // --- construction-time setup (main thread) ------------------------------
+
+  std::string base_name;   // e.g. "source->tokenize->count"
+  std::string task_name;   // base_name + "#subtask"
+  bool is_source = false;
+  std::unique_ptr<SourceFunction> source;
+  std::vector<std::unique_ptr<Operator>> ops;  // chain after optional source
+  std::unique_ptr<Mailbox> mailbox;
+  int num_inputs = 0;
+  std::vector<int> channel_ordinal;
+  std::vector<OutputEdge> outputs;
+  size_t batch_size = 256;
+
+  int subtask() const { return subtask_; }
+  int parallelism() const { return parallelism_; }
+  const std::vector<int>& node_ids() const { return node_ids_; }
+
+  Status Init() {
+    // Build the collector chain: op i emits into op i+1; the last op emits
+    // into the router.
+    router_ = std::make_unique<RouterCollector>(this);
+    collectors_.resize(ops.size());
+    for (size_t i = ops.size(); i-- > 0;) {
+      Collector* downstream =
+          (i + 1 < ops.size()) ? static_cast<Collector*>(collectors_[i + 1].get())
+                               : static_cast<Collector*>(router_.get());
+      collectors_[i] = std::make_unique<ChainCollector>(
+          i + 1 < ops.size() ? ops[i + 1].get() : nullptr, downstream);
+    }
+    OperatorContext ctx;
+    ctx.subtask_index = subtask_;
+    ctx.parallelism = parallelism_;
+    ctx.task_name = task_name;
+    ctx.metrics = job_->metrics();
+    for (auto& op : ops) {
+      STREAMLINE_RETURN_IF_ERROR(op->Open(ctx));
+    }
+    channel_wm_.assign(num_inputs, kMinTimestamp);
+    channel_open_.assign(num_inputs, true);
+    channel_aligned_.assign(num_inputs, false);
+    open_channels_ = num_inputs;
+    records_in_ = job_->metrics()->GetCounter("task." + base_name +
+                                              ".records_in");
+    records_out_ = job_->metrics()->GetCounter("task." + base_name +
+                                               ".records_out");
+    bytes_out_ = job_->metrics()->GetCounter("task." + base_name +
+                                             ".bytes_out");
+    watermark_gauge_ = job_->metrics()->GetGauge("task." + task_name +
+                                                 ".watermark");
+    return Status::Ok();
+  }
+
+  /// State key of chain element `i` (0 = source or first operator).
+  std::string StateKey(size_t i) const {
+    return "node" + std::to_string(node_ids_[i]) + "/" +
+           std::to_string(subtask_);
+  }
+
+  Status RestoreFrom(SnapshotStore* store, uint64_t checkpoint_id) {
+    size_t idx = 0;
+    if (is_source) {
+      auto bytes = store->Get(checkpoint_id, StateKey(idx));
+      if (!bytes.ok()) return bytes.status();
+      BinaryReader r(*bytes);
+      STREAMLINE_RETURN_IF_ERROR(source->RestoreState(&r));
+      ++idx;
+    }
+    for (auto& op : ops) {
+      auto bytes = store->Get(checkpoint_id, StateKey(idx));
+      if (!bytes.ok()) return bytes.status();
+      BinaryReader r(*bytes);
+      STREAMLINE_RETURN_IF_ERROR(op->RestoreState(&r));
+      ++idx;
+    }
+    return Status::Ok();
+  }
+
+  void RequestBarrier(uint64_t id) {
+    pending_barrier_.store(id, std::memory_order_release);
+  }
+
+  // --- thread body ---------------------------------------------------------
+
+  void Run() {
+    if (is_source) {
+      RunSource();
+    } else {
+      RunOperator();
+    }
+  }
+
+ private:
+  class RouterCollector : public Collector {
+   public:
+    explicit RouterCollector(Task* task) : task_(task) {}
+    void Emit(Record record) override {
+      task_->RouteRecord(std::move(record));
+    }
+
+   private:
+    Task* task_;
+  };
+
+  class ChainCollector : public Collector {
+   public:
+    ChainCollector(Operator* next, Collector* downstream)
+        : next_(next), downstream_(downstream) {}
+    void Emit(Record record) override {
+      if (next_ != nullptr) {
+        next_->ProcessRecord(0, std::move(record), downstream_);
+      } else {
+        downstream_->Emit(std::move(record));
+      }
+    }
+
+   private:
+    Operator* next_;       // operator this collector feeds (null: router)
+    Collector* downstream_;  // what `next_` emits into
+  };
+
+  class SourceTaskContext : public SourceContext {
+   public:
+    explicit SourceTaskContext(Task* task) : task_(task) {}
+    bool Emit(Record record) override {
+      // Barriers are injected between records: the snapshot sees the source
+      // position before this record, and the barrier is broadcast before
+      // the record travels downstream.
+      task_->MaybeHandleSourceBarrier();
+      if (task_->job_->cancelled_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      task_->DeliverRecord(0, std::move(record));
+      return true;
+    }
+    void EmitWatermark(Timestamp wm) override {
+      task_->DeliverWatermark(wm);
+    }
+    void HandleIdle() override {
+      // An idle source must not sit on partially-filled output batches
+      // (downstream would starve), and must service pending barriers.
+      task_->FlushAllBuffers();
+      task_->MaybeHandleSourceBarrier();
+    }
+    bool IsCancelled() const override {
+      return task_->job_->cancelled_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    Task* task_;
+  };
+
+  void RunSource() {
+    SourceTaskContext ctx(this);
+    const Status st = source->Run(&ctx);
+    if (!st.ok()) {
+      LOG_ERROR << "source task " << task_name << " failed: "
+                << st.ToString();
+    }
+    // A checkpoint triggered while the source was finishing must still
+    // complete.
+    MaybeHandleSourceBarrier();
+    DeliverWatermark(kMaxTimestamp);
+    FinishChain();
+  }
+
+  void RunOperator() {
+    while (open_channels_ > 0) {
+      auto te = mailbox->Pop();
+      if (!te.has_value()) break;
+      Dispatch(std::move(*te));
+    }
+    if (task_wm_ < kMaxTimestamp) DeliverWatermark(kMaxTimestamp);
+    FinishChain();
+  }
+
+  void FinishChain() {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ops[i]->OnEndOfInput(collectors_[i].get());
+    }
+    for (auto& op : ops) {
+      const Status st = op->Close();
+      if (!st.ok()) {
+        LOG_ERROR << "operator close failed in " << task_name << ": "
+                  << st.ToString();
+      }
+    }
+    Broadcast(StreamEvent::EndOfStream());
+  }
+
+  void Dispatch(TaggedEvent te) {
+    const int c = te.channel;
+    if (aligning_ && channel_aligned_[c] &&
+        te.event.kind != StreamEvent::Kind::kEndOfStream) {
+      // Channel already delivered the current barrier: its post-barrier
+      // events wait until alignment completes.
+      stash_.push_back(std::move(te));
+      return;
+    }
+    switch (te.event.kind) {
+      case StreamEvent::Kind::kRecord:
+        records_in_->Increment();
+        DeliverRecord(channel_ordinal[c], std::move(te.event.record));
+        break;
+      case StreamEvent::Kind::kBatch:
+        records_in_->Increment(te.event.batch.size());
+        for (Record& r : te.event.batch) {
+          DeliverRecord(channel_ordinal[c], std::move(r));
+        }
+        break;
+      case StreamEvent::Kind::kWatermark:
+        channel_wm_[c] = std::max(channel_wm_[c], te.event.watermark);
+        RecomputeWatermark();
+        break;
+      case StreamEvent::Kind::kBarrier:
+        HandleBarrier(c, te.event.barrier_id);
+        break;
+      case StreamEvent::Kind::kEndOfStream:
+        if (channel_open_[c]) {
+          channel_open_[c] = false;
+          --open_channels_;
+        }
+        CheckAlignmentComplete();
+        RecomputeWatermark();
+        break;
+    }
+  }
+
+  void DeliverRecord(int ordinal, Record&& record) {
+    if (ops.empty()) {
+      RouteRecord(std::move(record));
+      return;
+    }
+    ops[0]->ProcessRecord(ordinal, std::move(record), collectors_[0].get());
+  }
+
+  void DeliverWatermark(Timestamp wm) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ops[i]->ProcessWatermark(wm, collectors_[i].get());
+    }
+    Broadcast(StreamEvent::OfWatermark(wm));
+  }
+
+  void RecomputeWatermark() {
+    if (open_channels_ == 0) return;  // final watermark handled at loop exit
+    Timestamp min_wm = kMaxTimestamp;
+    for (int c = 0; c < num_inputs; ++c) {
+      if (channel_open_[c]) min_wm = std::min(min_wm, channel_wm_[c]);
+    }
+    if (min_wm > task_wm_) {
+      task_wm_ = min_wm;
+      watermark_gauge_->Set(static_cast<double>(min_wm));
+      DeliverWatermark(min_wm);
+    }
+  }
+
+  void HandleBarrier(int channel, uint64_t id) {
+    if (!aligning_) {
+      aligning_ = true;
+      barrier_id_ = id;
+      std::fill(channel_aligned_.begin(), channel_aligned_.end(), false);
+    } else {
+      STREAMLINE_CHECK_EQ(barrier_id_, id)
+          << "overlapping checkpoints are not supported";
+    }
+    channel_aligned_[channel] = true;
+    CheckAlignmentComplete();
+  }
+
+  void CheckAlignmentComplete() {
+    if (!aligning_) return;
+    for (int c = 0; c < num_inputs; ++c) {
+      if (channel_open_[c] && !channel_aligned_[c]) return;
+    }
+    // Every live input delivered the barrier: state is consistent.
+    SnapshotChain(barrier_id_);
+    for (auto& op : ops) op->OnBarrier(barrier_id_);
+    Broadcast(StreamEvent::OfBarrier(barrier_id_));
+    aligning_ = false;
+    // Replay buffered post-barrier events; a nested barrier in the stash
+    // simply starts the next alignment.
+    std::vector<TaggedEvent> stashed = std::move(stash_);
+    stash_.clear();
+    for (auto& e : stashed) Dispatch(std::move(e));
+  }
+
+  void MaybeHandleSourceBarrier() {
+    const uint64_t id = pending_barrier_.exchange(0, std::memory_order_acq_rel);
+    if (id == 0) return;
+    SnapshotChain(id);
+    for (auto& op : ops) op->OnBarrier(id);
+    Broadcast(StreamEvent::OfBarrier(id));
+  }
+
+  void SnapshotChain(uint64_t checkpoint_id) {
+    SnapshotStore* store = job_->snapshot_store();
+    STREAMLINE_CHECK(store != nullptr);
+    size_t idx = 0;
+    Status st = Status::Ok();
+    if (is_source) {
+      BinaryWriter w;
+      st = source->SnapshotState(&w);
+      if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      ++idx;
+    }
+    for (auto& op : ops) {
+      if (!st.ok()) break;
+      BinaryWriter w;
+      st = op->SnapshotState(&w);
+      if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      ++idx;
+    }
+    if (!st.ok()) {
+      LOG_ERROR << "snapshot failed in " << task_name << ": " << st.ToString();
+      return;
+    }
+    if (job_->coordinator_ != nullptr) {
+      job_->coordinator_->AckTask(checkpoint_id);
+    }
+  }
+
+  void RouteRecord(Record record) {
+    records_out_->Increment();
+    bytes_out_->Increment(record.ApproxBytes());
+    for (size_t e = 0; e < outputs.size(); ++e) {
+      OutputEdge& edge = outputs[e];
+      const bool last_edge = (e + 1 == outputs.size());
+      switch (edge.scheme) {
+        case PartitionScheme::kForward: {
+          Push(edge.targets[subtask_],
+               last_edge ? std::move(record) : record);
+          break;
+        }
+        case PartitionScheme::kHash: {
+          const size_t target =
+              edge.key(record).Hash() % edge.targets.size();
+          Push(edge.targets[target], last_edge ? std::move(record) : record);
+          break;
+        }
+        case PartitionScheme::kRebalance: {
+          const size_t target = edge.rr++ % edge.targets.size();
+          Push(edge.targets[target], last_edge ? std::move(record) : record);
+          break;
+        }
+        case PartitionScheme::kBroadcast: {
+          for (size_t t = 0; t < edge.targets.size(); ++t) {
+            Push(edge.targets[t], record);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void Push(OutputTarget& target, Record record) {
+    target.buffer.push_back(std::move(record));
+    if (target.buffer.size() >= batch_size) FlushTarget(&target);
+  }
+
+  void FlushTarget(OutputTarget* target) {
+    if (target->buffer.empty()) return;
+    std::vector<Record> batch = std::move(target->buffer);
+    target->buffer.clear();
+    target->mailbox->Push(
+        TaggedEvent{target->channel, StreamEvent::OfBatch(std::move(batch))});
+  }
+
+  void FlushAllBuffers() {
+    for (OutputEdge& edge : outputs) {
+      for (OutputTarget& target : edge.targets) FlushTarget(&target);
+    }
+  }
+
+  void Broadcast(const StreamEvent& event) {
+    // Control events (watermarks, barriers, EOS) must not overtake the
+    // records emitted before them.
+    FlushAllBuffers();
+    for (OutputEdge& edge : outputs) {
+      for (const OutputTarget& target : edge.targets) {
+        target.mailbox->Push(TaggedEvent{target.channel, event});
+      }
+    }
+  }
+
+  Job* job_;
+  std::vector<int> node_ids_;
+  int subtask_;
+  int parallelism_;
+
+  std::unique_ptr<RouterCollector> router_;
+  std::vector<std::unique_ptr<ChainCollector>> collectors_;
+
+  std::vector<Timestamp> channel_wm_;
+  std::vector<bool> channel_open_;
+  std::vector<bool> channel_aligned_;
+  int open_channels_ = 0;
+  Timestamp task_wm_ = kMinTimestamp;
+  bool aligning_ = false;
+  uint64_t barrier_id_ = 0;
+  std::vector<TaggedEvent> stash_;
+  std::atomic<uint64_t> pending_barrier_{0};
+
+  Counter* records_in_ = nullptr;
+  Counter* records_out_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  Gauge* watermark_gauge_ = nullptr;
+};
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Job
+
+Job::~Job() {
+  if (started_.load() && !finished_.load()) {
+    Cancel();
+    AwaitCompletion().ok();
+  }
+}
+
+Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
+                                         JobOptions options) {
+  STREAMLINE_RETURN_IF_ERROR(graph.Validate());
+  auto job = std::unique_ptr<Job>(new Job());
+  job->options_ = options;
+
+  // 1) Operator chaining: group forward-connected nodes into tasks.
+  const std::vector<int> topo = graph.TopologicalOrder();
+  std::vector<int> chain_head(graph.nodes().size());
+  for (size_t i = 0; i < chain_head.size(); ++i) {
+    chain_head[i] = static_cast<int>(i);
+  }
+  if (options.enable_chaining) {
+    for (int id : topo) {
+      const auto in_edges = graph.InEdges(id);
+      if (in_edges.size() != 1) continue;
+      const GraphEdge* e = in_edges[0];
+      if (e->scheme != PartitionScheme::kForward) continue;
+      if (e->input_ordinal != 0) continue;
+      if (graph.OutEdges(e->from).size() != 1) continue;
+      chain_head[id] = chain_head[e->from];
+    }
+  }
+  // Group members in topological order.
+  std::unordered_map<int, std::vector<int>> groups;
+  std::vector<int> group_order;
+  for (int id : topo) {
+    auto [it, inserted] = groups.try_emplace(chain_head[id]);
+    if (inserted) group_order.push_back(chain_head[id]);
+    it->second.push_back(id);
+  }
+
+  // 2) Instantiate tasks.
+  // task_index[head][subtask] -> index into job->tasks_.
+  std::unordered_map<int, std::vector<size_t>> task_index;
+  for (int head : group_order) {
+    const std::vector<int>& members = groups[head];
+    const GraphNode& head_node = graph.node(head);
+    std::string base_name = head_node.name;
+    for (size_t i = 1; i < members.size(); ++i) {
+      base_name += "->" + graph.node(members[i]).name;
+    }
+    for (int s = 0; s < head_node.parallelism; ++s) {
+      auto task = std::make_unique<internal::Task>(job.get(), members, s,
+                                                   head_node.parallelism);
+      task->base_name = base_name;
+      task->task_name = base_name + "#" + std::to_string(s);
+      task->is_source = head_node.is_source;
+      if (head_node.is_source) {
+        task->source = head_node.source_factory(s, head_node.parallelism);
+      } else {
+        task->ops.push_back(head_node.op_factory());
+      }
+      for (size_t i = 1; i < members.size(); ++i) {
+        task->ops.push_back(graph.node(members[i]).op_factory());
+      }
+      task->mailbox = std::make_unique<internal::Mailbox>(
+          options.channel_capacity);
+      task->batch_size = std::max<size_t>(options.batch_size, 1);
+      task_index[head].push_back(job->tasks_.size());
+      job->tasks_.push_back(std::move(task));
+    }
+  }
+
+  // 3) Wire channels for every inter-group edge.
+  for (const GraphEdge& e : graph.edges()) {
+    if (chain_head[e.from] == chain_head[e.to]) continue;  // fused
+    const int up_head = chain_head[e.from];
+    const int down_head = chain_head[e.to];
+    // The edge must leave the tail of the upstream group and enter the head
+    // of the downstream group.
+    STREAMLINE_CHECK_EQ(groups[up_head].back(), e.from)
+        << "edge leaves the middle of a chain";
+    STREAMLINE_CHECK_EQ(down_head, e.to) << "edge enters a chained operator";
+    const auto& up_tasks = task_index[up_head];
+    const auto& down_tasks = task_index[down_head];
+    // Allocate one input channel per (upstream subtask, downstream subtask).
+    // channel_of[s][t] is the downstream task t's channel index fed by
+    // upstream subtask s.
+    std::vector<std::vector<int>> channel_of(
+        up_tasks.size(), std::vector<int>(down_tasks.size(), -1));
+    for (size_t s = 0; s < up_tasks.size(); ++s) {
+      for (size_t t = 0; t < down_tasks.size(); ++t) {
+        internal::Task* down = job->tasks_[down_tasks[t]].get();
+        channel_of[s][t] = down->num_inputs++;
+        down->channel_ordinal.push_back(e.input_ordinal);
+      }
+    }
+    for (size_t s = 0; s < up_tasks.size(); ++s) {
+      internal::Task* up = job->tasks_[up_tasks[s]].get();
+      internal::OutputEdge out;
+      out.scheme = e.scheme;
+      out.key = e.key;
+      for (size_t t = 0; t < down_tasks.size(); ++t) {
+        internal::Task* down = job->tasks_[down_tasks[t]].get();
+        out.targets.push_back(
+            internal::OutputTarget{down->mailbox.get(), channel_of[s][t]});
+      }
+      up->outputs.push_back(std::move(out));
+    }
+  }
+
+  // 4) Open operators, set up metrics and runtime state.
+  for (auto& task : job->tasks_) {
+    STREAMLINE_RETURN_IF_ERROR(task->Init());
+  }
+
+  // 5) Checkpointing infrastructure.
+  const bool wants_checkpoints = options.snapshot_store != nullptr ||
+                                 options.checkpoint_interval_ms > 0 ||
+                                 options.restore_from_checkpoint != 0;
+  if (wants_checkpoints) {
+    job->snapshot_store_ = options.snapshot_store
+                               ? options.snapshot_store
+                               : std::make_shared<SnapshotStore>();
+    job->coordinator_ = std::make_unique<CheckpointCoordinator>(
+        job->snapshot_store_.get(), static_cast<int>(job->tasks_.size()));
+    for (auto& task : job->tasks_) {
+      if (task->is_source) {
+        internal::Task* t = task.get();
+        job->coordinator_->RegisterSourceTrigger(
+            [t](uint64_t id) { t->RequestBarrier(id); });
+      }
+    }
+  }
+
+  // 6) Restore.
+  if (options.restore_from_checkpoint != 0) {
+    for (auto& task : job->tasks_) {
+      STREAMLINE_RETURN_IF_ERROR(task->RestoreFrom(
+          job->snapshot_store_.get(), options.restore_from_checkpoint));
+    }
+  }
+  return job;
+}
+
+Status Job::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("job already started");
+  }
+  threads_.reserve(tasks_.size());
+  for (auto& task : tasks_) {
+    threads_.emplace_back([t = task.get()] { t->Run(); });
+  }
+  if (options_.checkpoint_interval_ms > 0) {
+    checkpoint_timer_ = std::thread([this] {
+      const auto interval =
+          std::chrono::milliseconds(options_.checkpoint_interval_ms);
+      while (!finished_.load() && !cancelled_.load()) {
+        std::this_thread::sleep_for(interval);
+        if (finished_.load() || cancelled_.load()) break;
+        const uint64_t id = coordinator_->Trigger();
+        // Bounded wait: a checkpoint triggered after a bounded source
+        // finished can never complete; don't stall shutdown on it.
+        coordinator_->AwaitCompletion(id, 2.0);
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+Status Job::AwaitCompletion() {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("job not started");
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  finished_.store(true);
+  if (checkpoint_timer_.joinable()) checkpoint_timer_.join();
+  return Status::Ok();
+}
+
+Status Job::Run() {
+  STREAMLINE_RETURN_IF_ERROR(Start());
+  return AwaitCompletion();
+}
+
+void Job::Cancel() { cancelled_.store(true); }
+
+uint64_t Job::TriggerCheckpoint() {
+  STREAMLINE_CHECK(coordinator_ != nullptr)
+      << "job has no snapshot store (set JobOptions::snapshot_store)";
+  return coordinator_->Trigger();
+}
+
+bool Job::AwaitCheckpoint(uint64_t id, double timeout_seconds) {
+  STREAMLINE_CHECK(coordinator_ != nullptr);
+  return coordinator_->AwaitCompletion(id, timeout_seconds);
+}
+
+uint64_t Job::LatestCompletedCheckpoint() const {
+  return coordinator_ == nullptr ? 0 : coordinator_->latest_completed();
+}
+
+size_t Job::num_tasks() const { return tasks_.size(); }
+
+std::string Job::PlanDescription() const {
+  std::ostringstream os;
+  for (const auto& task : tasks_) {
+    if (task->subtask() != 0) continue;
+    os << task->base_name << " x" << task->parallelism() << " (nodes:";
+    for (int id : task->node_ids()) os << " " << id;
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamline

@@ -1,0 +1,102 @@
+#ifndef STREAMLINE_DATAFLOW_EXECUTOR_H_
+#define STREAMLINE_DATAFLOW_EXECUTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dataflow/graph.h"
+#include "dataflow/snapshot.h"
+
+namespace streamline {
+
+namespace internal {
+class Task;
+}  // namespace internal
+
+/// Execution knobs of a job.
+struct JobOptions {
+  /// Mailbox capacity per task; full mailboxes block producers, which is
+  /// the engine's backpressure mechanism.
+  size_t channel_capacity = 1024;
+  /// Records buffered per output channel before a batch is shipped
+  /// ("network buffers"); watermarks, barriers and end-of-stream flush
+  /// eagerly, so batching never delays control events. 1 disables batching.
+  size_t batch_size = 256;
+  /// Fuse forward-connected same-parallelism operators into one task
+  /// (operator chaining).
+  bool enable_chaining = true;
+  /// Periodic checkpointing interval; 0 disables the timer (explicit
+  /// TriggerCheckpoint still works when a snapshot store exists).
+  int64_t checkpoint_interval_ms = 0;
+  /// Snapshot backend; shared across jobs to support restore. When null and
+  /// checkpointing is used, the job creates a private store.
+  std::shared_ptr<SnapshotStore> snapshot_store;
+  /// Restore all task state from this checkpoint id before starting
+  /// (requires the same graph shape and parallelism). 0 = fresh start.
+  uint64_t restore_from_checkpoint = 0;
+};
+
+/// A deployed dataflow job: one thread per physical task, channels with
+/// backpressure between them. The same Job runs bounded inputs ("data at
+/// rest": Run() returns when every source is exhausted) and unbounded
+/// inputs ("data in motion": run until Cancel()) -- the paper's single
+/// pipelined engine for both.
+class Job {
+ public:
+  ~Job();
+
+  /// Builds the physical plan (chaining, channel wiring, restore) from a
+  /// validated logical graph.
+  static Result<std::unique_ptr<Job>> Create(const LogicalGraph& graph,
+                                             JobOptions options = JobOptions());
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Launches all task threads.
+  Status Start();
+  /// Blocks until every task finished (end of bounded input, or after
+  /// Cancel()).
+  Status AwaitCompletion();
+  /// Start + AwaitCompletion.
+  Status Run();
+  /// Asks sources to stop; the pipeline drains and completes.
+  void Cancel();
+
+  /// Checkpointing (asynchronous barrier snapshotting).
+  uint64_t TriggerCheckpoint();
+  bool AwaitCheckpoint(uint64_t id, double timeout_seconds = 30.0);
+  uint64_t LatestCompletedCheckpoint() const;
+  SnapshotStore* snapshot_store() const { return snapshot_store_.get(); }
+
+  /// Number of physical tasks after chaining.
+  size_t num_tasks() const;
+  /// Human-readable physical plan (one line per task).
+  std::string PlanDescription() const;
+  /// Job-scoped metrics (task record counters etc.).
+  MetricsRegistry* metrics() { return &metrics_; }
+
+ private:
+  Job() = default;
+
+  friend class internal::Task;
+
+  JobOptions options_;
+  std::shared_ptr<SnapshotStore> snapshot_store_;
+  std::unique_ptr<CheckpointCoordinator> coordinator_;
+  std::vector<std::unique_ptr<internal::Task>> tasks_;
+  std::vector<std::thread> threads_;
+  std::thread checkpoint_timer_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  MetricsRegistry metrics_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_EXECUTOR_H_

@@ -1,0 +1,143 @@
+#include "dataflow/graph.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+std::string_view PartitionSchemeToString(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kForward:
+      return "forward";
+    case PartitionScheme::kHash:
+      return "hash";
+    case PartitionScheme::kRebalance:
+      return "rebalance";
+    case PartitionScheme::kBroadcast:
+      return "broadcast";
+  }
+  return "unknown";
+}
+
+int LogicalGraph::AddSource(std::string name, int parallelism,
+                            SourceFactory factory) {
+  STREAMLINE_CHECK_GT(parallelism, 0);
+  GraphNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.name = std::move(name);
+  node.parallelism = parallelism;
+  node.is_source = true;
+  node.source_factory = std::move(factory);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+int LogicalGraph::AddOperator(std::string name, int parallelism,
+                              OperatorFactory factory) {
+  STREAMLINE_CHECK_GT(parallelism, 0);
+  GraphNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.name = std::move(name);
+  node.parallelism = parallelism;
+  node.is_source = false;
+  node.op_factory = std::move(factory);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+Status LogicalGraph::Connect(int from, int to, PartitionScheme scheme,
+                             KeySelector key, int input_ordinal) {
+  if (from < 0 || from >= static_cast<int>(nodes_.size()) || to < 0 ||
+      to >= static_cast<int>(nodes_.size())) {
+    return Status::InvalidArgument("Connect: unknown node id");
+  }
+  if (nodes_[to].is_source) {
+    return Status::InvalidArgument("Connect: sources cannot have inputs");
+  }
+  if (scheme == PartitionScheme::kHash && key == nullptr) {
+    return Status::InvalidArgument("Connect: hash partitioning needs a key");
+  }
+  if (scheme == PartitionScheme::kForward &&
+      nodes_[from].parallelism != nodes_[to].parallelism) {
+    return Status::InvalidArgument(
+        "Connect: forward edges require equal parallelism (" +
+        nodes_[from].name + " -> " + nodes_[to].name + ")");
+  }
+  GraphEdge edge;
+  edge.from = from;
+  edge.to = to;
+  edge.scheme = scheme;
+  edge.key = std::move(key);
+  edge.input_ordinal = input_ordinal;
+  edges_.push_back(std::move(edge));
+  return Status::Ok();
+}
+
+std::vector<const GraphEdge*> LogicalGraph::InEdges(int id) const {
+  std::vector<const GraphEdge*> out;
+  for (const GraphEdge& e : edges_) {
+    if (e.to == id) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const GraphEdge*> LogicalGraph::OutEdges(int id) const {
+  std::vector<const GraphEdge*> out;
+  for (const GraphEdge& e : edges_) {
+    if (e.from == id) out.push_back(&e);
+  }
+  return out;
+}
+
+Status LogicalGraph::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty graph");
+  bool has_source = false;
+  for (const GraphNode& n : nodes_) {
+    if (n.is_source) {
+      has_source = true;
+      if (!n.source_factory) {
+        return Status::InvalidArgument("source '" + n.name +
+                                       "' has no factory");
+      }
+      if (!InEdges(n.id).empty()) {
+        return Status::InvalidArgument("source '" + n.name + "' has inputs");
+      }
+    } else {
+      if (!n.op_factory) {
+        return Status::InvalidArgument("operator '" + n.name +
+                                       "' has no factory");
+      }
+      if (InEdges(n.id).empty()) {
+        return Status::InvalidArgument("operator '" + n.name +
+                                       "' has no inputs");
+      }
+    }
+  }
+  if (!has_source) return Status::InvalidArgument("graph has no source");
+  if (TopologicalOrder().size() != nodes_.size()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return Status::Ok();
+}
+
+std::vector<int> LogicalGraph::TopologicalOrder() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const GraphEdge& e : edges_) ++in_degree[e.to];
+  std::deque<int> ready;
+  for (const GraphNode& n : nodes_) {
+    if (in_degree[n.id] == 0) ready.push_back(n.id);
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    const int id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const GraphEdge& e : edges_) {
+      if (e.from == id && --in_degree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  return order;
+}
+
+}  // namespace streamline

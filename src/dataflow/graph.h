@@ -1,0 +1,69 @@
+#ifndef STREAMLINE_DATAFLOW_GRAPH_H_
+#define STREAMLINE_DATAFLOW_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "dataflow/operator.h"
+#include "dataflow/source.h"
+
+namespace streamline {
+
+/// One vertex of the logical dataflow graph: a source or an operator with a
+/// parallelism degree.
+struct GraphNode {
+  int id = -1;
+  std::string name;
+  int parallelism = 1;
+  bool is_source = false;
+  OperatorFactory op_factory;      // non-sources
+  SourceFactory source_factory;    // sources
+};
+
+/// Directed edge with a partitioning scheme. `input_ordinal` distinguishes
+/// the two inputs of binary operators (joins, unions).
+struct GraphEdge {
+  int from = -1;
+  int to = -1;
+  int input_ordinal = 0;
+  PartitionScheme scheme = PartitionScheme::kForward;
+  KeySelector key;  // required for kHash
+};
+
+/// The logical job description the uniform API builds and the executor
+/// turns into a physical plan. Immutable after Validate().
+class LogicalGraph {
+ public:
+  /// Adds a source vertex; returns its node id.
+  int AddSource(std::string name, int parallelism, SourceFactory factory);
+
+  /// Adds an operator vertex; returns its node id.
+  int AddOperator(std::string name, int parallelism, OperatorFactory factory);
+
+  /// Connects `from` -> `to`. kHash requires `key`. kForward requires equal
+  /// parallelism on both endpoints.
+  Status Connect(int from, int to, PartitionScheme scheme,
+                 KeySelector key = nullptr, int input_ordinal = 0);
+
+  /// Structural checks: every non-source has at least one input, sources
+  /// have none, the graph is acyclic, and edge constraints hold.
+  Status Validate() const;
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+  const GraphNode& node(int id) const { return nodes_[id]; }
+
+  std::vector<const GraphEdge*> InEdges(int id) const;
+  std::vector<const GraphEdge*> OutEdges(int id) const;
+
+  /// Node ids in topological order (Validate() must have passed).
+  std::vector<int> TopologicalOrder() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_GRAPH_H_

@@ -1,0 +1,199 @@
+#include "dataflow/io.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace streamline {
+namespace {
+
+std::string FormatValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return "";
+    case DataType::kString: {
+      const std::string& s = v.AsString();
+      STREAMLINE_DCHECK(s.find(',') == std::string::npos &&
+                        s.find('\n') == std::string::npos)
+          << "CSV cells must not contain commas or newlines";
+      return s;
+    }
+    default:
+      return v.ToString();
+  }
+}
+
+Result<Value> ParseCell(const std::string& cell, DataType type) {
+  if (cell.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int64 cell '" + cell + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double cell '" + cell + "'");
+      }
+      return Value(v);
+    }
+    case DataType::kBool:
+      if (cell == "true" || cell == "1") return Value(true);
+      if (cell == "false" || cell == "0") return Value(false);
+      return Status::InvalidArgument("bad bool cell '" + cell + "'");
+    case DataType::kString:
+      return Value(cell);
+  }
+  return Status::Internal("unknown type");
+}
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::string FormatCsvLine(const Record& record) {
+  std::string line = std::to_string(record.timestamp);
+  for (const Value& v : record.fields) {
+    line += ',';
+    line += FormatValue(v);
+  }
+  return line;
+}
+
+Result<Record> ParseCsvLine(const std::string& line, const Schema& schema) {
+  const std::vector<std::string> cells = SplitCsv(line);
+  if (cells.size() != schema.num_fields() + 1) {
+    return Status::InvalidArgument(
+        "CSV line has " + std::to_string(cells.size()) + " cells, schema " +
+        schema.ToString() + " expects " +
+        std::to_string(schema.num_fields() + 1));
+  }
+  Record record;
+  {
+    char* end = nullptr;
+    record.timestamp = std::strtoll(cells[0].c_str(), &end, 10);
+    if (end == cells[0].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad timestamp cell '" + cells[0] + "'");
+    }
+  }
+  record.fields.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    auto v = ParseCell(cells[i + 1], schema.field(i).type);
+    if (!v.ok()) return v.status();
+    record.fields.push_back(std::move(*v));
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// CsvFileSource
+
+CsvFileSource::CsvFileSource(std::string path, Schema schema,
+                             uint64_t watermark_every)
+    : path_(std::move(path)), schema_(std::move(schema)),
+      watermark_every_(watermark_every) {}
+
+Status CsvFileSource::Run(SourceContext* ctx) {
+  std::ifstream in(path_);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file '" + path_ + "'");
+  }
+  std::string line;
+  uint64_t line_no = 0;
+  // Skip up to the restored offset.
+  while (line_no < next_line_ && std::getline(in, line)) ++line_no;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      ++line_no;
+      next_line_ = line_no;
+      continue;
+    }
+    auto record = ParseCsvLine(line, schema_);
+    if (!record.ok()) {
+      return Status::InvalidArgument(path_ + ":" + std::to_string(line_no) +
+                                     ": " + record.status().message());
+    }
+    const Timestamp ts = record->timestamp;
+    if (!ctx->Emit(std::move(*record))) return Status::Ok();
+    ++line_no;
+    next_line_ = line_no;
+    if (watermark_every_ > 0 && line_no % watermark_every_ == 0) {
+      ctx->EmitWatermark(ts);
+    }
+  }
+  return Status::Ok();
+}
+
+Status CsvFileSource::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(next_line_);
+  return Status::Ok();
+}
+
+Status CsvFileSource::RestoreState(BinaryReader* r) {
+  auto pos = r->ReadU64();
+  if (!pos.ok()) return pos.status();
+  next_line_ = *pos;
+  return Status::Ok();
+}
+
+SourceFactory CsvFileSource::Factory(std::string path, Schema schema,
+                                     uint64_t watermark_every) {
+  return [path = std::move(path), schema = std::move(schema),
+          watermark_every](int subtask,
+                           int) -> std::unique_ptr<SourceFunction> {
+    STREAMLINE_CHECK_EQ(subtask, 0) << "CSV sources are single-subtask";
+    return std::make_unique<CsvFileSource>(path, schema, watermark_every);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// CsvFileSink
+
+CsvFileSink::CsvFileSink(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::trunc) {
+  STREAMLINE_CHECK(out_.is_open()) << "cannot open '" << path_ << "'";
+}
+
+void CsvFileSink::Invoke(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << FormatCsvLine(record) << '\n';
+  ++lines_;
+}
+
+Status CsvFileSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!closed_) {
+    out_.flush();
+    closed_ = true;
+    if (!out_.good()) {
+      return Status::Internal("write error on '" + path_ + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t CsvFileSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+}  // namespace streamline

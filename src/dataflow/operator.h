@@ -1,0 +1,103 @@
+#ifndef STREAMLINE_DATAFLOW_OPERATOR_H_
+#define STREAMLINE_DATAFLOW_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/record.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace streamline {
+
+/// Receives the records an operator emits. The runtime supplies the
+/// implementation (chaining into the next operator or routing into output
+/// channels).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(Record record) = 0;
+};
+
+/// Runtime information handed to an operator at Open time.
+struct OperatorContext {
+  int subtask_index = 0;
+  int parallelism = 1;
+  std::string task_name;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// A (possibly stateful) dataflow operator. One instance runs per subtask,
+/// single-threaded; the runtime serializes all calls, so implementations
+/// need no internal locking.
+///
+/// Lifecycle: Open -> [RestoreState] -> {ProcessRecord | ProcessWatermark |
+/// SnapshotState}* -> OnEndOfInput -> Close.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(const OperatorContext& ctx) {
+    (void)ctx;
+    return Status::Ok();
+  }
+
+  /// Handles one record from input `input` (0 for single-input operators).
+  virtual void ProcessRecord(int input, Record&& record, Collector* out) = 0;
+
+  /// The combined input watermark advanced to `wm`: no future record on any
+  /// input has ts < wm. Event-time operators fire windows/timers here. The
+  /// runtime forwards the watermark downstream afterwards.
+  virtual void ProcessWatermark(Timestamp wm, Collector* out) {
+    (void)wm;
+    (void)out;
+  }
+
+  /// All inputs reached end-of-stream (after a final kMaxTimestamp
+  /// watermark was processed); flush remaining buffered output.
+  virtual void OnEndOfInput(Collector* out) { (void)out; }
+
+  /// Checkpoint hook: serialize all mutable state. Called at a consistent
+  /// point (all input barriers aligned).
+  virtual Status SnapshotState(BinaryWriter* w) const {
+    (void)w;
+    return Status::Ok();
+  }
+
+  /// Restore hook; the operator was just Open()ed and has seen no data.
+  virtual Status RestoreState(BinaryReader* r) {
+    (void)r;
+    return Status::Ok();
+  }
+
+  /// Called right after SnapshotState for checkpoint `id` (barriers
+  /// aligned); lets sinks record exactly-once output offsets.
+  virtual void OnBarrier(uint64_t id) { (void)id; }
+
+  virtual Status Close() { return Status::Ok(); }
+
+  virtual std::string Name() const = 0;
+};
+
+/// Creates a fresh operator instance per subtask.
+using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+
+/// Extracts the partition/state key from a record.
+using KeySelector = std::function<Value(const Record&)>;
+
+/// How an edge distributes records across downstream subtasks.
+enum class PartitionScheme : uint8_t {
+  kForward,    // subtask i -> subtask i (enables operator chaining)
+  kHash,       // by key hash (requires a KeySelector)
+  kRebalance,  // round-robin
+  kBroadcast,  // every record to every subtask
+};
+
+std::string_view PartitionSchemeToString(PartitionScheme scheme);
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_OPERATOR_H_

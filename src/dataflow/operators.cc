@@ -1,0 +1,175 @@
+#include "dataflow/operators.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+// ---------------------------------------------------------------------------
+// KeyedReduceOperator
+
+void KeyedReduceOperator::ProcessRecord(int, Record&& record,
+                                        Collector* out) {
+  const Value key = key_(record);
+  auto it = state_.find(key);
+  if (it == state_.end()) {
+    it = state_.emplace(key, std::move(record)).first;
+  } else {
+    Record reduced = reduce_(it->second, record);
+    reduced.timestamp = std::max(it->second.timestamp, record.timestamp);
+    it->second = std::move(reduced);
+  }
+  out->Emit(it->second);
+}
+
+Status KeyedReduceOperator::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(state_.size());
+  for (const auto& [key, record] : state_) {
+    w->WriteValue(key);
+    w->WriteRecord(record);
+  }
+  return Status::Ok();
+}
+
+Status KeyedReduceOperator::RestoreState(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  state_.clear();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto key = r->ReadValue();
+    if (!key.ok()) return key.status();
+    auto record = r->ReadRecord();
+    if (!record.ok()) return record.status();
+    state_.emplace(std::move(*key), std::move(*record));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// IntervalJoinOperator
+
+IntervalJoinOperator::IntervalJoinOperator(std::string name,
+                                           KeySelector left_key,
+                                           KeySelector right_key,
+                                           Duration lower, Duration upper)
+    : name_(std::move(name)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      lower_(lower),
+      upper_(upper) {
+  STREAMLINE_CHECK_LE(lower_, upper_);
+}
+
+void IntervalJoinOperator::EmitJoined(const Record& l, const Record& r,
+                                      Collector* out) const {
+  Record joined;
+  joined.timestamp = std::max(l.timestamp, r.timestamp);
+  joined.fields.reserve(l.fields.size() + r.fields.size());
+  joined.fields.insert(joined.fields.end(), l.fields.begin(), l.fields.end());
+  joined.fields.insert(joined.fields.end(), r.fields.begin(), r.fields.end());
+  out->Emit(std::move(joined));
+}
+
+void IntervalJoinOperator::ProcessRecord(int input, Record&& record,
+                                         Collector* out) {
+  if (input == 0) {
+    const Value key = left_key_(record);
+    KeyBuffers& buf = state_[key];
+    // Match against buffered right records: r.ts - l.ts in [lower, upper].
+    for (const Record& r : buf.right) {
+      const Duration d = r.timestamp - record.timestamp;
+      if (d >= lower_ && d <= upper_) EmitJoined(record, r, out);
+    }
+    buf.left.push_back(std::move(record));
+  } else {
+    const Value key = right_key_(record);
+    KeyBuffers& buf = state_[key];
+    for (const Record& l : buf.left) {
+      const Duration d = record.timestamp - l.timestamp;
+      if (d >= lower_ && d <= upper_) EmitJoined(l, record, out);
+    }
+    buf.right.push_back(std::move(record));
+  }
+}
+
+void IntervalJoinOperator::ProcessWatermark(Timestamp wm, Collector*) {
+  // A left record l can still match future rights r (r.ts >= wm) iff
+  // l.ts + upper >= wm; a right record r can still match future lefts iff
+  // r.ts - lower >= wm. Evict the rest.
+  for (auto it = state_.begin(); it != state_.end();) {
+    KeyBuffers& buf = it->second;
+    while (!buf.left.empty() &&
+           (wm != kMaxTimestamp && buf.left.front().timestamp + upper_ < wm)) {
+      buf.left.pop_front();
+    }
+    while (!buf.right.empty() &&
+           (wm != kMaxTimestamp &&
+            buf.right.front().timestamp - lower_ < wm)) {
+      buf.right.pop_front();
+    }
+    if (wm == kMaxTimestamp || (buf.left.empty() && buf.right.empty())) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status IntervalJoinOperator::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(state_.size());
+  for (const auto& [key, buf] : state_) {
+    w->WriteValue(key);
+    w->WriteU64(buf.left.size());
+    for (const Record& r : buf.left) w->WriteRecord(r);
+    w->WriteU64(buf.right.size());
+    for (const Record& r : buf.right) w->WriteRecord(r);
+  }
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::RestoreState(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  state_.clear();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto key = r->ReadValue();
+    if (!key.ok()) return key.status();
+    KeyBuffers buf;
+    auto nl = r->ReadU64();
+    if (!nl.ok()) return nl.status();
+    for (uint64_t k = 0; k < *nl; ++k) {
+      auto rec = r->ReadRecord();
+      if (!rec.ok()) return rec.status();
+      buf.left.push_back(std::move(*rec));
+    }
+    auto nr = r->ReadU64();
+    if (!nr.ok()) return nr.status();
+    for (uint64_t k = 0; k < *nr; ++k) {
+      auto rec = r->ReadRecord();
+      if (!rec.ok()) return rec.status();
+      buf.right.push_back(std::move(*rec));
+    }
+    state_.emplace(std::move(*key), std::move(buf));
+  }
+  return Status::Ok();
+}
+
+size_t IntervalJoinOperator::buffered() const {
+  size_t total = 0;
+  for (const auto& [key, buf] : state_) {
+    total += buf.left.size() + buf.right.size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// PrintSink (lives here to keep sink.h header-only aside from this)
+
+void PrintSink::Invoke(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::printf("%s%s\n", prefix_.c_str(), record.ToString().c_str());
+}
+
+}  // namespace streamline

@@ -1,0 +1,162 @@
+#ifndef STREAMLINE_DATAFLOW_OPERATORS_H_
+#define STREAMLINE_DATAFLOW_OPERATORS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dataflow/operator.h"
+#include "dataflow/sink.h"
+
+namespace streamline {
+
+/// 1:1 record transform.
+class MapOperator : public Operator {
+ public:
+  using MapFn = std::function<Record(Record&&)>;
+  MapOperator(std::string name, MapFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  void ProcessRecord(int, Record&& record, Collector* out) override {
+    out->Emit(fn_(std::move(record)));
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  MapFn fn_;
+};
+
+/// 1:N record transform.
+class FlatMapOperator : public Operator {
+ public:
+  using FlatMapFn = std::function<void(Record&&, Collector*)>;
+  FlatMapOperator(std::string name, FlatMapFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  void ProcessRecord(int, Record&& record, Collector* out) override {
+    fn_(std::move(record), out);
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  FlatMapFn fn_;
+};
+
+/// Keeps records matching a predicate.
+class FilterOperator : public Operator {
+ public:
+  using Predicate = std::function<bool(const Record&)>;
+  FilterOperator(std::string name, Predicate pred)
+      : name_(std::move(name)), pred_(std::move(pred)) {}
+
+  void ProcessRecord(int, Record&& record, Collector* out) override {
+    if (pred_(record)) out->Emit(std::move(record));
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Predicate pred_;
+};
+
+/// Per-key running reduce (Flink-style keyed reduce): emits the updated
+/// accumulated record for every input. State is checkpointable.
+class KeyedReduceOperator : public Operator {
+ public:
+  using ReduceFn = std::function<Record(const Record&, const Record&)>;
+  KeyedReduceOperator(std::string name, KeySelector key, ReduceFn reduce)
+      : name_(std::move(name)), key_(std::move(key)),
+        reduce_(std::move(reduce)) {}
+
+  void ProcessRecord(int, Record&& record, Collector* out) override;
+  Status SnapshotState(BinaryWriter* w) const override;
+  Status RestoreState(BinaryReader* r) override;
+  std::string Name() const override { return name_; }
+
+  size_t num_keys() const { return state_.size(); }
+
+ private:
+  std::string name_;
+  KeySelector key_;
+  ReduceFn reduce_;
+  std::unordered_map<Value, Record> state_;
+};
+
+/// Merges any number of inputs into one stream (the input ordinal is
+/// ignored); watermarks are combined by the runtime.
+class UnionOperator : public Operator {
+ public:
+  explicit UnionOperator(std::string name) : name_(std::move(name)) {}
+  void ProcessRecord(int, Record&& record, Collector* out) override {
+    out->Emit(std::move(record));
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Keyed interval join of two streams: a left record l (input 0) joins every
+/// right record r (input 1) with the same key and r.ts - l.ts in
+/// [lower, upper]. Emits [l.fields..., r.fields...] with
+/// ts = max(l.ts, r.ts). Buffered state is evicted by watermark and is
+/// checkpointable.
+class IntervalJoinOperator : public Operator {
+ public:
+  IntervalJoinOperator(std::string name, KeySelector left_key,
+                       KeySelector right_key, Duration lower, Duration upper);
+
+  void ProcessRecord(int input, Record&& record, Collector* out) override;
+  void ProcessWatermark(Timestamp wm, Collector* out) override;
+  Status SnapshotState(BinaryWriter* w) const override;
+  Status RestoreState(BinaryReader* r) override;
+  std::string Name() const override { return name_; }
+
+  size_t buffered() const;
+
+ private:
+  struct KeyBuffers {
+    std::deque<Record> left;
+    std::deque<Record> right;
+  };
+
+  void EmitJoined(const Record& l, const Record& r, Collector* out) const;
+
+  std::string name_;
+  KeySelector left_key_;
+  KeySelector right_key_;
+  Duration lower_;
+  Duration upper_;
+  std::unordered_map<Value, KeyBuffers> state_;
+};
+
+/// Adapts a SinkFunction to the operator interface.
+class SinkOperator : public Operator {
+ public:
+  SinkOperator(std::string name, std::shared_ptr<SinkFunction> sink)
+      : name_(std::move(name)), sink_(std::move(sink)) {}
+
+  void ProcessRecord(int, Record&& record, Collector*) override {
+    sink_->Invoke(record);
+  }
+  void ProcessWatermark(Timestamp wm, Collector*) override {
+    sink_->OnWatermark(wm);
+  }
+  void OnBarrier(uint64_t id) override { sink_->OnBarrier(id); }
+  Status Close() override { return sink_->Close(); }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<SinkFunction> sink_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_OPERATORS_H_

@@ -1,0 +1,176 @@
+#ifndef STREAMLINE_DATAFLOW_SINK_H_
+#define STREAMLINE_DATAFLOW_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace streamline {
+
+/// Terminal consumer of a pipeline. Unlike operators, sink functions may be
+/// shared across a job and inspected after it finishes (e.g. CollectSink),
+/// so implementations must be thread-safe when parallelism > 1.
+class SinkFunction {
+ public:
+  virtual ~SinkFunction() = default;
+
+  virtual void Invoke(const Record& record) = 0;
+  virtual void OnWatermark(Timestamp wm) { (void)wm; }
+  /// A checkpoint barrier passed through the sink: everything Invoke()d
+  /// before this call is covered by checkpoint `id`.
+  virtual void OnBarrier(uint64_t id) { (void)id; }
+  virtual Status Close() { return Status::Ok(); }
+  virtual std::string Name() const = 0;
+};
+
+/// Collects all records in arrival order; thread-safe. The workhorse test
+/// and example sink. Also remembers at which output offset each checkpoint
+/// barrier passed, which exactly-once tests use to truncate output.
+class CollectSink : public SinkFunction {
+ public:
+  void Invoke(const Record& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+
+  void OnBarrier(uint64_t id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    barrier_offsets_.emplace_back(id, records_.size());
+  }
+
+  std::string Name() const override { return "collect"; }
+
+  std::vector<Record> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+  /// Output offset at the moment checkpoint `id` passed the sink, or -1.
+  /// Only meaningful when the sink node runs at parallelism 1 (e.g. behind
+  /// a Rebalance(1)): with several sink subtasks sharing one CollectSink,
+  /// their outputs interleave and no single offset separates pre- from
+  /// post-barrier records.
+  int64_t BarrierOffset(uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [bid, off] : barrier_offsets_) {
+      if (bid == id) return static_cast<int64_t>(off);
+    }
+    return -1;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    barrier_offsets_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  std::vector<std::pair<uint64_t, size_t>> barrier_offsets_;
+};
+
+/// Calls a user function per record; thread-safe iff the function is.
+class CallbackSink : public SinkFunction {
+ public:
+  explicit CallbackSink(std::function<void(const Record&)> fn)
+      : fn_(std::move(fn)) {}
+  void Invoke(const Record& record) override { fn_(record); }
+  std::string Name() const override { return "callback"; }
+
+ private:
+  std::function<void(const Record&)> fn_;
+};
+
+/// Discards records but counts them; for benchmarks.
+class NullSink : public SinkFunction {
+ public:
+  void Invoke(const Record&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string Name() const override { return "null"; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Exactly-once OUTPUT: a transactional sink that buffers records in an
+/// open "transaction" and atomically commits the buffer when a checkpoint
+/// barrier passes. On a crash, uncommitted records vanish with the
+/// transaction (exactly the suffix a restored job re-produces), so
+/// `committed()` across crash + restore equals the uninterrupted run.
+///
+/// Run the sink node at parallelism 1 (one transaction sequence).
+/// Simplification vs. a full two-phase protocol: the commit happens when
+/// the barrier reaches the sink rather than on a global
+/// checkpoint-complete notification; with aligned barriers the committed
+/// prefix is checkpoint-consistent either way.
+class TransactionalCollectSink : public SinkFunction {
+ public:
+  void Invoke(const Record& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(record);
+  }
+
+  void OnBarrier(uint64_t id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    committed_.insert(committed_.end(),
+                      std::make_move_iterator(pending_.begin()),
+                      std::make_move_iterator(pending_.end()));
+    pending_.clear();
+    last_committed_checkpoint_ = id;
+  }
+
+  std::string Name() const override { return "transactional-collect"; }
+
+  /// Records covered by a committed transaction; survives a crash.
+  std::vector<Record> committed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_;
+  }
+  size_t pending_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+  uint64_t last_committed_checkpoint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_committed_checkpoint_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> pending_;    // open transaction (lost on crash)
+  std::vector<Record> committed_;  // durable
+  uint64_t last_committed_checkpoint_ = 0;
+};
+
+/// Prints each record to stdout (serialized by an internal mutex).
+class PrintSink : public SinkFunction {
+ public:
+  explicit PrintSink(std::string prefix = "") : prefix_(std::move(prefix)) {}
+  void Invoke(const Record& record) override;
+  std::string Name() const override { return "print"; }
+
+ private:
+  std::mutex mu_;
+  std::string prefix_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_SINK_H_

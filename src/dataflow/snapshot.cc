@@ -1,0 +1,111 @@
+#include "dataflow/snapshot.h"
+
+#include <chrono>
+
+namespace streamline {
+
+void SnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
+                        std::string bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[checkpoint_id][key] = std::move(bytes);
+}
+
+Result<std::string> SnapshotStore::Get(uint64_t checkpoint_id,
+                                       const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cp = data_.find(checkpoint_id);
+  if (cp == data_.end()) {
+    return Status::NotFound("no checkpoint " + std::to_string(checkpoint_id));
+  }
+  auto it = cp->second.find(key);
+  if (it == cp->second.end()) {
+    return Status::NotFound("checkpoint " + std::to_string(checkpoint_id) +
+                            " has no state for '" + key + "'");
+  }
+  return it->second;
+}
+
+bool SnapshotStore::Has(uint64_t checkpoint_id, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cp = data_.find(checkpoint_id);
+  return cp != data_.end() && cp->second.count(key) > 0;
+}
+
+size_t SnapshotStore::NumEntries(uint64_t checkpoint_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cp = data_.find(checkpoint_id);
+  return cp == data_.end() ? 0 : cp->second.size();
+}
+
+std::vector<uint64_t> SnapshotStore::CheckpointIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(data_.size());
+  for (const auto& [id, entries] : data_) ids.push_back(id);
+  return ids;
+}
+
+size_t SnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cp = data_.find(checkpoint_id);
+  if (cp == data_.end()) return 0;
+  size_t total = 0;
+  for (const auto& [key, bytes] : cp->second) total += bytes.size();
+  return total;
+}
+
+void CheckpointCoordinator::RegisterSourceTrigger(
+    std::function<void(uint64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  source_triggers_.push_back(std::move(fn));
+}
+
+uint64_t CheckpointCoordinator::Trigger() {
+  std::vector<std::function<void(uint64_t)>> triggers;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    acks_[id] = 0;
+    triggers = source_triggers_;
+  }
+  for (auto& fn : triggers) fn(id);
+  return id;
+}
+
+void CheckpointCoordinator::AckTask(uint64_t checkpoint_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int acks = ++acks_[checkpoint_id];
+    if (acks >= expected_acks_ && checkpoint_id > latest_completed_) {
+      latest_completed_ = checkpoint_id;
+    }
+  }
+  complete_cv_.notify_all();
+}
+
+bool CheckpointCoordinator::AwaitCompletion(uint64_t id,
+                                            double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return complete_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return acks_[id] >= expected_acks_; });
+}
+
+bool CheckpointCoordinator::IsComplete(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = acks_.find(id);
+  return it != acks_.end() && it->second >= expected_acks_;
+}
+
+uint64_t CheckpointCoordinator::latest_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_completed_;
+}
+
+uint64_t CheckpointCoordinator::last_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace streamline

@@ -1,0 +1,78 @@
+#ifndef STREAMLINE_DATAFLOW_SNAPSHOT_H_
+#define STREAMLINE_DATAFLOW_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamline {
+
+/// In-memory snapshot storage, the stand-in for a durable checkpoint
+/// backend. Keyed by (checkpoint id, state key); state keys are
+/// "node<id>/<subtask>" strings assigned by the executor. Thread-safe and
+/// shareable across Job instances -- a restored job reads the snapshots a
+/// crashed job wrote.
+class SnapshotStore {
+ public:
+  void Put(uint64_t checkpoint_id, const std::string& key, std::string bytes);
+  Result<std::string> Get(uint64_t checkpoint_id,
+                          const std::string& key) const;
+  bool Has(uint64_t checkpoint_id, const std::string& key) const;
+  size_t NumEntries(uint64_t checkpoint_id) const;
+  std::vector<uint64_t> CheckpointIds() const;
+  /// Total bytes held by checkpoint `id` (0 if unknown).
+  size_t TotalBytes(uint64_t checkpoint_id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::unordered_map<std::string, std::string>> data_;
+};
+
+/// Drives asynchronous barrier snapshotting (the checkpoint protocol of the
+/// paper's execution engine [Carbone et al. 2015]): Trigger() injects a
+/// numbered barrier at every source; tasks align barriers across their
+/// inputs, snapshot their state, and ack. A checkpoint is complete when
+/// every task acked.
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(SnapshotStore* store, int expected_acks)
+      : store_(store), expected_acks_(expected_acks) {}
+
+  /// Registers the per-source-task barrier injection hook.
+  void RegisterSourceTrigger(std::function<void(uint64_t)> fn);
+
+  /// Starts a new checkpoint; returns its id.
+  uint64_t Trigger();
+
+  /// Called by each task after its snapshot is stored.
+  void AckTask(uint64_t checkpoint_id);
+
+  /// Blocks until checkpoint `id` has all acks or the timeout elapses.
+  bool AwaitCompletion(uint64_t id, double timeout_seconds);
+
+  bool IsComplete(uint64_t id) const;
+  uint64_t latest_completed() const;
+  uint64_t last_triggered() const;
+  SnapshotStore* store() const { return store_; }
+
+ private:
+  SnapshotStore* store_;
+  const int expected_acks_;
+  mutable std::mutex mu_;
+  std::condition_variable complete_cv_;
+  std::vector<std::function<void(uint64_t)>> source_triggers_;
+  std::map<uint64_t, int> acks_;
+  uint64_t next_id_ = 1;
+  uint64_t latest_completed_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_SNAPSHOT_H_

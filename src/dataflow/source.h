@@ -1,0 +1,71 @@
+#ifndef STREAMLINE_DATAFLOW_SOURCE_H_
+#define STREAMLINE_DATAFLOW_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/record.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace streamline {
+
+/// Handed to SourceFunction::Run; the source pushes records and watermarks
+/// through it. Emit() doubles as the cancellation and checkpoint point: the
+/// runtime injects pending checkpoint barriers between two emissions, which
+/// is what makes source offsets consistent with downstream state.
+class SourceContext {
+ public:
+  virtual ~SourceContext() = default;
+
+  /// Emits a record (using record.timestamp as its event time). Returns
+  /// false when the job was cancelled: the source should return promptly.
+  virtual bool Emit(Record record) = 0;
+
+  /// Emits an event-time watermark: a promise that all records emitted
+  /// later have ts >= wm.
+  virtual void EmitWatermark(Timestamp wm) = 0;
+
+  /// Sources that wait for external input (empty queue/log/socket) must
+  /// call this periodically from their idle loop: it lets the runtime
+  /// inject pending checkpoint barriers even though no records flow.
+  virtual void HandleIdle() = 0;
+
+  virtual bool IsCancelled() const = 0;
+};
+
+/// A data source. Run() drives the whole life of the source subtask: it
+/// returns when the source is exhausted (bounded input -- the "data at
+/// rest" case) or when cancelled (unbounded input -- "data in motion").
+/// The engine makes no other distinction between batch and streaming.
+class SourceFunction {
+ public:
+  virtual ~SourceFunction() = default;
+
+  virtual Status Run(SourceContext* ctx) = 0;
+
+  /// Checkpoint hooks: serialize the read position so a restored job
+  /// resumes exactly where the snapshot was taken.
+  virtual Status SnapshotState(BinaryWriter* w) const {
+    (void)w;
+    return Status::Ok();
+  }
+  virtual Status RestoreState(BinaryReader* r) {
+    (void)r;
+    return Status::Ok();
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+/// Creates the source instance for one subtask; the (subtask, parallelism)
+/// pair lets implementations split their input.
+using SourceFactory =
+    std::function<std::unique_ptr<SourceFunction>(int subtask,
+                                                  int parallelism)>;
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_SOURCE_H_

@@ -1,0 +1,138 @@
+#include "dataflow/sources.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace streamline {
+
+Status VectorSource::Run(SourceContext* ctx) {
+  while (pos_ < records_.size()) {
+    Record& r = records_[pos_];
+    const Timestamp ts = r.timestamp;
+    // Emit first, increment after: a barrier snapshot taken inside Emit
+    // (before the record is pushed) must record this element as NOT yet
+    // consumed, or a restored job would skip it. Moving out is safe: a
+    // restored source is a fresh instance built by the factory.
+    if (!ctx->Emit(std::move(r))) return Status::Ok();  // cancelled
+    ++pos_;
+    if (watermark_every_ > 0 && pos_ % watermark_every_ == 0) {
+      ctx->EmitWatermark(ts);
+    }
+  }
+  return Status::Ok();
+}
+
+Status VectorSource::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(pos_);
+  return Status::Ok();
+}
+
+Status VectorSource::RestoreState(BinaryReader* r) {
+  auto pos = r->ReadU64();
+  if (!pos.ok()) return pos.status();
+  pos_ = *pos;
+  return Status::Ok();
+}
+
+SourceFactory VectorSource::Factory(std::vector<Record> records,
+                                    uint64_t watermark_every) {
+  return [records = std::move(records), watermark_every](
+             int subtask, int parallelism) -> std::unique_ptr<SourceFunction> {
+    std::vector<Record> mine;
+    for (size_t i = subtask; i < records.size();
+         i += static_cast<size_t>(parallelism)) {
+      mine.push_back(records[i]);
+    }
+    return std::make_unique<VectorSource>(std::move(mine), watermark_every);
+  };
+}
+
+Status GeneratorSource::Run(SourceContext* ctx) {
+  for (;;) {
+    std::optional<Record> r = fn_(seq_);
+    if (!r.has_value()) return Status::Ok();
+    const Timestamp ts = r->timestamp;
+    // Emit first, increment after (see VectorSource::Run).
+    if (!ctx->Emit(std::move(*r))) return Status::Ok();
+    ++seq_;
+    if (watermark_every_ > 0 && seq_ % watermark_every_ == 0) {
+      ctx->EmitWatermark(ts);
+    }
+  }
+}
+
+Status GeneratorSource::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(seq_);
+  return Status::Ok();
+}
+
+Status GeneratorSource::RestoreState(BinaryReader* r) {
+  auto seq = r->ReadU64();
+  if (!seq.ok()) return seq.status();
+  seq_ = *seq;
+  return Status::Ok();
+}
+
+DisorderedSource::DisorderedSource(GenFn fn, size_t disorder_window,
+                                   uint64_t watermark_every, uint64_t seed)
+    : fn_(std::move(fn)), disorder_window_(std::max<size_t>(disorder_window, 1)),
+      watermark_every_(watermark_every), seed_(seed) {}
+
+Status DisorderedSource::Run(SourceContext* ctx) {
+  Rng rng(seed_);
+  std::vector<Record> buffer;
+  uint64_t seq = 0;
+  uint64_t emitted = 0;
+  bool exhausted = false;
+
+  auto emit_one = [&](size_t idx) -> bool {
+    std::swap(buffer[idx], buffer.back());
+    Record r = std::move(buffer.back());
+    buffer.pop_back();
+    if (!ctx->Emit(std::move(r))) return false;
+    ++emitted;
+    if (watermark_every_ > 0 && emitted % watermark_every_ == 0 &&
+        !buffer.empty()) {
+      // Everything still buffered may yet be emitted: the safe watermark is
+      // the minimum buffered timestamp.
+      Timestamp wm = kMaxTimestamp;
+      for (const Record& b : buffer) wm = std::min(wm, b.timestamp);
+      ctx->EmitWatermark(wm);
+    }
+    return true;
+  };
+
+  for (;;) {
+    while (!exhausted && buffer.size() < disorder_window_) {
+      std::optional<Record> r = fn_(seq);
+      if (!r.has_value()) {
+        exhausted = true;
+        break;
+      }
+      ++seq;
+      buffer.push_back(std::move(*r));
+    }
+    if (buffer.empty()) return Status::Ok();
+    if (!emit_one(rng.NextBelow(buffer.size()))) return Status::Ok();
+  }
+}
+
+Status DisorderedSource::SnapshotState(BinaryWriter* w) const {
+  (void)w;
+  return Status::Unimplemented(
+      "DisorderedSource is a workload tool and not checkpointable");
+}
+
+SourceFactory GeneratorSource::Factory(
+    std::string name, std::function<GenFn(int subtask, int parallelism)> make,
+    uint64_t watermark_every) {
+  return [name = std::move(name), make = std::move(make), watermark_every](
+             int subtask, int parallelism) -> std::unique_ptr<SourceFunction> {
+    return std::make_unique<GeneratorSource>(
+        name + "[" + std::to_string(subtask) + "]", make(subtask, parallelism),
+        watermark_every);
+  };
+}
+
+}  // namespace streamline

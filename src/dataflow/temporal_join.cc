@@ -1,0 +1,61 @@
+#include "dataflow/temporal_join.h"
+
+#include "common/logging.h"
+
+namespace streamline {
+
+TemporalJoinOperator::TemporalJoinOperator(std::string name, Spec spec)
+    : name_(std::move(name)), spec_(std::move(spec)) {
+  STREAMLINE_CHECK(spec_.fact_key != nullptr);
+  STREAMLINE_CHECK(spec_.table_key != nullptr);
+}
+
+void TemporalJoinOperator::ProcessRecord(int input, Record&& record,
+                                         Collector* out) {
+  if (input == 1) {
+    // Changelog upsert: latest row per key wins.
+    const Value key = spec_.table_key(record);
+    table_[key] = std::move(record);
+    return;
+  }
+  const Value key = spec_.fact_key(record);
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (!spec_.emit_unmatched) return;
+    Record padded = std::move(record);
+    for (size_t i = 0; i < spec_.table_width; ++i) {
+      padded.fields.push_back(Value::Null());
+    }
+    out->Emit(std::move(padded));
+    return;
+  }
+  Record joined = std::move(record);
+  joined.fields.insert(joined.fields.end(), it->second.fields.begin(),
+                       it->second.fields.end());
+  out->Emit(std::move(joined));
+}
+
+Status TemporalJoinOperator::SnapshotState(BinaryWriter* w) const {
+  w->WriteU64(table_.size());
+  for (const auto& [key, row] : table_) {
+    w->WriteValue(key);
+    w->WriteRecord(row);
+  }
+  return Status::Ok();
+}
+
+Status TemporalJoinOperator::RestoreState(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  table_.clear();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto key = r->ReadValue();
+    if (!key.ok()) return key.status();
+    auto row = r->ReadRecord();
+    if (!row.ok()) return row.status();
+    table_.emplace(std::move(*key), std::move(*row));
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamline

@@ -1,0 +1,285 @@
+#include "dataflow/window_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamline {
+namespace {
+
+void SerializeDynPartial(const DynPartial& p, BinaryWriter* w) {
+  DynAggregate::SerializePartial(p, w);
+}
+
+Result<DynPartial> DeserializeDynPartial(BinaryReader* r) {
+  return DynAggregate::DeserializePartial(r);
+}
+
+}  // namespace
+
+WindowAggOperator::WindowAggOperator(std::string name, WindowAggSpec spec)
+    : name_(std::move(name)),
+      spec_(std::move(spec)),
+      adapter_(spec_.agg_kind) {
+  STREAMLINE_CHECK(!spec_.windows.empty())
+      << "WindowAggSpec needs at least one window definition";
+}
+
+Status WindowAggOperator::Open(const OperatorContext& ctx) {
+  (void)ctx;
+  if (spec_.backend == WindowBackend::kEager) {
+    // Eager per-window state supports periodic windows only (matching the
+    // systems it models); verify the prototypes up front.
+    for (const auto& proto : spec_.windows) {
+      if (dynamic_cast<const SlidingWindowFn*>(proto.get()) == nullptr) {
+        return Status::InvalidArgument(
+            "eager window backend supports periodic windows only, got " +
+            proto->Name());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+WindowAggOperator::KeyState* WindowAggOperator::GetOrCreateKey(
+    const Value& key) {
+  auto it = keys_.find(key);
+  if (it != keys_.end()) return &it->second;
+  KeyState ks;
+  if (spec_.backend == WindowBackend::kShared) {
+    ks.shared = std::make_unique<SharedAgg>(adapter_);
+    for (size_t q = 0; q < spec_.windows.size(); ++q) {
+      // The callback captures the key by value; `current_out_` points at
+      // the collector of the call currently on the stack.
+      Value key_copy = key;
+      ks.shared->AddQuery(
+          spec_.windows[q]->Clone(),
+          [this, key_copy](size_t query, const Window& w, const Value& v) {
+            EmitResult(key_copy, query, w, v);
+          });
+    }
+  } else {
+    for (const auto& proto : spec_.windows) {
+      EagerQueryState qs;
+      qs.wf = proto->Clone();
+      const auto* sliding = dynamic_cast<const SlidingWindowFn*>(qs.wf.get());
+      STREAMLINE_CHECK(sliding != nullptr);
+      qs.range = sliding->range();
+      qs.slide = sliding->slide();
+      qs.origin = sliding->origin();
+      ks.eager.push_back(std::move(qs));
+    }
+  }
+  return &keys_.emplace(key, std::move(ks)).first->second;
+}
+
+void WindowAggOperator::EmitResult(const Value& key, size_t query,
+                                   const Window& w, const Value& result) {
+  STREAMLINE_CHECK(current_out_ != nullptr);
+  Record out;
+  out.timestamp = w.end - 1;
+  out.fields = {key, Value(w.start), Value(w.end),
+                Value(static_cast<int64_t>(query)), result};
+  current_out_->Emit(std::move(out));
+}
+
+void WindowAggOperator::ProcessRecord(int, Record&& record, Collector* out) {
+  (void)out;
+  if (record.timestamp < current_wm_) {
+    // Late record (violates upstream watermarks): dropped, the standard
+    // allowed-lateness-zero policy.
+    return;
+  }
+  pending_.emplace_back(std::move(record), seq_++);
+}
+
+void WindowAggOperator::ApplyElement(const Value& key, KeyState* ks,
+                                     const Record& record) {
+  (void)key;
+  if (spec_.backend == WindowBackend::kShared) {
+    DynAggAdapter::Input in{record.field(spec_.value_field),
+                            record.timestamp};
+    const Value payload = spec_.payload ? spec_.payload(record) : Value();
+    ks->shared->OnElement(record.timestamp, in, payload);
+    return;
+  }
+  // Eager: fold the record into every open window of every query.
+  const DynPartial lifted =
+      adapter_.dyn.Lift(record.field(spec_.value_field), record.timestamp);
+  for (EagerQueryState& qs : ks->eager) {
+    const Timestamp ts = record.timestamp;
+    Timestamp b = qs.origin +
+                  ((ts - qs.origin) >= 0
+                       ? (ts - qs.origin) / qs.slide
+                       : ((ts - qs.origin) - qs.slide + 1) / qs.slide) *
+                      qs.slide;
+    for (; b > ts - qs.range; b -= qs.slide) {
+      if (b > ts) continue;
+      const Window w{b, b + qs.range};
+      auto [it, inserted] = qs.open.try_emplace(w, adapter_.Identity());
+      (void)inserted;
+      it->second = adapter_.Combine(it->second, lifted);
+    }
+  }
+}
+
+void WindowAggOperator::EagerFire(const Value& key, KeyState* ks,
+                                  Timestamp wm) {
+  for (size_t q = 0; q < ks->eager.size(); ++q) {
+    EagerQueryState& qs = ks->eager[q];
+    auto it = qs.open.begin();
+    while (it != qs.open.end() && it->first.end <= wm) {
+      EmitResult(key, q, it->first, adapter_.Lower(it->second));
+      it = qs.open.erase(it);
+    }
+  }
+}
+
+void WindowAggOperator::AdvanceKeyWatermark(const Value& key, KeyState* ks,
+                                            Timestamp wm) {
+  if (spec_.backend == WindowBackend::kShared) {
+    ks->shared->OnWatermark(wm);
+  } else {
+    EagerFire(key, ks, wm);
+  }
+}
+
+void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
+  current_out_ = out;
+  // Hold the operator's event-time clock back by the allowed lateness:
+  // records arriving up to that much behind the upstream watermark are
+  // still sorted into place before windows fire.
+  if (wm != kMaxTimestamp && spec_.allowed_lateness > 0) {
+    wm = wm - spec_.allowed_lateness;
+    if (wm <= current_wm_) return;
+  }
+  current_wm_ = std::max(current_wm_, wm);
+  // Apply all buffered records with ts < wm in (ts, arrival) order; they can
+  // no longer be preceded by anything.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first.timestamp != b.first.timestamp) {
+                       return a.first.timestamp < b.first.timestamp;
+                     }
+                     return a.second < b.second;
+                   });
+  size_t applied = 0;
+  while (applied < pending_.size() &&
+         (wm == kMaxTimestamp || pending_[applied].first.timestamp < wm)) {
+    const Record& record = pending_[applied].first;
+    const Value key = spec_.key ? spec_.key(record) : Value(int64_t{0});
+    ApplyElement(key, GetOrCreateKey(key), record);
+    ++applied;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + applied);
+  // Advance every key's window clock: sessions and periodic windows fire on
+  // time progress even for keys with no new records.
+  for (auto& [key, ks] : keys_) {
+    AdvanceKeyWatermark(key, &ks, wm);
+  }
+  current_out_ = nullptr;
+}
+
+void WindowAggOperator::OnEndOfInput(Collector* out) {
+  // The runtime always delivers a final kMaxTimestamp watermark before end
+  // of input, which flushed everything; nothing left to do.
+  (void)out;
+}
+
+Status WindowAggOperator::SnapshotState(BinaryWriter* w) const {
+  w->WriteI64(current_wm_);
+  w->WriteU64(seq_);
+  w->WriteU64(pending_.size());
+  for (const auto& [record, seq] : pending_) {
+    w->WriteRecord(record);
+    w->WriteU64(seq);
+  }
+  w->WriteU64(keys_.size());
+  for (const auto& [key, ks] : keys_) {
+    w->WriteValue(key);
+    if (spec_.backend == WindowBackend::kShared) {
+      ks.shared->Snapshot(w, SerializeDynPartial);
+    } else {
+      w->WriteU64(ks.eager.size());
+      for (const EagerQueryState& qs : ks.eager) {
+        qs.wf->SnapshotState(w);
+        w->WriteU64(qs.open.size());
+        for (const auto& [window, partial] : qs.open) {
+          w->WriteI64(window.start);
+          w->WriteI64(window.end);
+          DynAggregate::SerializePartial(partial, w);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status WindowAggOperator::RestoreState(BinaryReader* r) {
+  auto wm = r->ReadI64();
+  if (!wm.ok()) return wm.status();
+  auto seq = r->ReadU64();
+  if (!seq.ok()) return seq.status();
+  auto np = r->ReadU64();
+  if (!np.ok()) return np.status();
+  pending_.clear();
+  for (uint64_t i = 0; i < *np; ++i) {
+    auto rec = r->ReadRecord();
+    if (!rec.ok()) return rec.status();
+    auto s = r->ReadU64();
+    if (!s.ok()) return s.status();
+    pending_.emplace_back(std::move(*rec), *s);
+  }
+  auto nk = r->ReadU64();
+  if (!nk.ok()) return nk.status();
+  keys_.clear();
+  for (uint64_t i = 0; i < *nk; ++i) {
+    auto key = r->ReadValue();
+    if (!key.ok()) return key.status();
+    KeyState* ks = GetOrCreateKey(*key);
+    if (spec_.backend == WindowBackend::kShared) {
+      STREAMLINE_RETURN_IF_ERROR(
+          ks->shared->Restore(r, DeserializeDynPartial));
+    } else {
+      auto nq = r->ReadU64();
+      if (!nq.ok()) return nq.status();
+      if (*nq != ks->eager.size()) {
+        return Status::FailedPrecondition("eager query count mismatch");
+      }
+      for (EagerQueryState& qs : ks->eager) {
+        STREAMLINE_RETURN_IF_ERROR(qs.wf->RestoreState(r));
+        auto nw = r->ReadU64();
+        if (!nw.ok()) return nw.status();
+        for (uint64_t k = 0; k < *nw; ++k) {
+          auto start = r->ReadI64();
+          if (!start.ok()) return start.status();
+          auto end = r->ReadI64();
+          if (!end.ok()) return end.status();
+          auto p = DynAggregate::DeserializePartial(r);
+          if (!p.ok()) return p.status();
+          qs.open.emplace(Window{*start, *end}, *p);
+        }
+      }
+    }
+  }
+  current_wm_ = *wm;
+  seq_ = *seq;
+  return Status::Ok();
+}
+
+AggStats WindowAggOperator::SharedStats() const {
+  AggStats total;
+  for (const auto& [key, ks] : keys_) {
+    if (!ks.shared) continue;
+    const AggStats& s = ks.shared->stats();
+    total.elements += s.elements;
+    total.partial_updates += s.partial_updates;
+    total.combine_ops += s.combine_ops;
+    total.fires += s.fires;
+    total.slices_created += s.slices_created;
+    total.peak_stored += s.peak_stored;
+  }
+  return total;
+}
+
+}  // namespace streamline

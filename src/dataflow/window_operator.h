@@ -1,0 +1,137 @@
+#ifndef STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
+#define STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "agg/slicing_aggregator.h"
+#include "dataflow/operator.h"
+#include "window/dyn_aggregate.h"
+#include "window/window_fn.h"
+
+namespace streamline {
+
+/// Adapts the runtime DynAggregate to the algebraic-aggregate concept used
+/// by the slicing machinery, so the engine's windowed operators run on the
+/// exact same Cutty code path the micro-benchmarks measure.
+struct DynAggAdapter {
+  struct Input {
+    Value value;
+    Timestamp ts = 0;
+  };
+  using Partial = DynPartial;
+  using Output = Value;
+  static constexpr bool kInvertible = false;  // conservative: kind-dependent
+  static constexpr bool kCommutative = true;
+
+  explicit DynAggAdapter(DynAggKind kind = DynAggKind::kSum) : dyn(kind) {}
+
+  Partial Identity() const { return dyn.Identity(); }
+  Partial Lift(const Input& in) const { return dyn.Lift(in.value, in.ts); }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    return dyn.Combine(a, b);
+  }
+  Output Lower(const Partial& p) const { return dyn.Lower(p); }
+
+  DynAggregate dyn;
+};
+
+/// How the windowed operator maintains per-window state.
+enum class WindowBackend : uint8_t {
+  kShared,  // Cutty slicing with a shared FlatFAT slice store (default)
+  kEager,   // one partial per open window (pre-sharing state of practice)
+};
+
+/// Configuration of a keyed event-time window aggregation.
+struct WindowAggSpec {
+  /// Key extractor; nullptr aggregates the whole stream under one key.
+  KeySelector key;
+  /// Index of the aggregated field in the input record.
+  size_t value_field = 0;
+  DynAggKind agg_kind = DynAggKind::kSum;
+  /// Prototype window definitions; each key gets fresh clones. Multiple
+  /// entries = multi-query sharing over the same slice store.
+  std::vector<std::shared_ptr<const WindowFunction>> windows;
+  WindowBackend backend = WindowBackend::kShared;
+  /// Passed as payload to content-sensitive window functions; nullptr
+  /// passes a null Value.
+  std::function<Value(const Record&)> payload;
+  /// Tolerated lateness beyond the upstream watermark: records up to this
+  /// much older than the watermark are still included, at the price of
+  /// window results firing `allowed_lateness` later (the operator holds
+  /// its internal event-time clock back by this amount).
+  Duration allowed_lateness = 0;
+};
+
+/// Keyed event-time windowed aggregation operator.
+///
+/// Out-of-order robustness: records are buffered until the watermark passes
+/// them, then applied in timestamp order -- so upstream parallelism (which
+/// interleaves channels arbitrarily) never breaks window contents.
+///
+/// Output records: [key, window_start, window_end, query_index, result]
+/// with timestamp = window_end - 1 (the last instant inside the window),
+/// so downstream windowed consumers see results in the period they
+/// describe.
+class WindowAggOperator : public Operator {
+ public:
+  WindowAggOperator(std::string name, WindowAggSpec spec);
+
+  Status Open(const OperatorContext& ctx) override;
+  void ProcessRecord(int input, Record&& record, Collector* out) override;
+  void ProcessWatermark(Timestamp wm, Collector* out) override;
+  void OnEndOfInput(Collector* out) override;
+  Status SnapshotState(BinaryWriter* w) const override;
+  Status RestoreState(BinaryReader* r) override;
+  std::string Name() const override { return name_; }
+
+  /// Aggregation work counters summed over all keys (shared backend only).
+  AggStats SharedStats() const;
+  size_t num_keys() const { return keys_.size(); }
+
+ private:
+  using SharedAgg = SlicingAggregator<DynAggAdapter, FlatFatStore<DynAggAdapter>>;
+
+  struct EagerQueryState {
+    std::unique_ptr<WindowFunction> wf;  // used only for periodic params
+    Duration range = 0;
+    Duration slide = 0;
+    Timestamp origin = 0;
+    std::map<Window, DynPartial> open;
+  };
+
+  struct KeyState {
+    // kShared backend.
+    std::unique_ptr<SharedAgg> shared;
+    // kEager backend.
+    std::vector<EagerQueryState> eager;
+  };
+
+  KeyState* GetOrCreateKey(const Value& key);
+  void ApplyElement(const Value& key, KeyState* ks, const Record& record);
+  void AdvanceKeyWatermark(const Value& key, KeyState* ks, Timestamp wm);
+  void EmitResult(const Value& key, size_t query, const Window& w,
+                  const Value& result);
+  void EagerFire(const Value& key, KeyState* ks, Timestamp wm);
+
+  std::string name_;
+  WindowAggSpec spec_;
+  DynAggAdapter adapter_;
+
+  // Reorder buffer: records not yet covered by the watermark.
+  std::vector<std::pair<Record, uint64_t>> pending_;
+  uint64_t seq_ = 0;
+  Timestamp current_wm_ = kMinTimestamp;
+
+  std::unordered_map<Value, KeyState> keys_;
+  Collector* current_out_ = nullptr;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_

@@ -1,0 +1,55 @@
+#include "ml/learner_operator.h"
+
+#include "common/logging.h"
+
+namespace streamline {
+
+OnlineClassifierOperator::OnlineClassifierOperator(std::string name,
+                                                   Spec spec)
+    : name_(std::move(name)), spec_(std::move(spec)),
+      model_(spec_.dim, spec_.model) {
+  STREAMLINE_CHECK(spec_.features != nullptr);
+  STREAMLINE_CHECK(spec_.label != nullptr);
+  STREAMLINE_CHECK_GT(spec_.emit_every, 0u);
+}
+
+void OnlineClassifierOperator::ProcessRecord(int, Record&& record,
+                                             Collector* out) {
+  const std::vector<double> x = spec_.features(record);
+  const bool y = spec_.label(record);
+  const double p = model_.Predict(x);
+  const double loss = model_.Update(x, y);
+  loss_acc_ = loss_acc_ * spec_.loss_decay + loss;
+  loss_norm_ = loss_norm_ * spec_.loss_decay + 1.0;
+  ++seen_;
+  if (seen_ % spec_.emit_every == 0) {
+    Record eval;
+    eval.timestamp = record.timestamp;
+    eval.fields = {Value(p), Value(y), Value(decayed_loss())};
+    out->Emit(std::move(eval));
+  }
+}
+
+Status OnlineClassifierOperator::SnapshotState(BinaryWriter* w) const {
+  model_.Snapshot(w);
+  w->WriteDouble(loss_acc_);
+  w->WriteDouble(loss_norm_);
+  w->WriteU64(seen_);
+  return Status::Ok();
+}
+
+Status OnlineClassifierOperator::RestoreState(BinaryReader* r) {
+  STREAMLINE_RETURN_IF_ERROR(model_.Restore(r));
+  auto acc = r->ReadDouble();
+  if (!acc.ok()) return acc.status();
+  auto norm = r->ReadDouble();
+  if (!norm.ok()) return norm.status();
+  auto seen = r->ReadU64();
+  if (!seen.ok()) return seen.status();
+  loss_acc_ = *acc;
+  loss_norm_ = *norm;
+  seen_ = *seen;
+  return Status::Ok();
+}
+
+}  // namespace streamline

@@ -1,0 +1,62 @@
+#ifndef STREAMLINE_ML_LEARNER_OPERATOR_H_
+#define STREAMLINE_ML_LEARNER_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/operator.h"
+#include "ml/online_model.h"
+
+namespace streamline {
+
+/// Prequential (test-then-train) online classification operator: for every
+/// arriving labeled example it first predicts, then updates the model —
+/// the standard streaming-ML evaluation protocol. Model weights are part
+/// of the operator's checkpointed state, so training survives
+/// failure/restore exactly once.
+///
+/// Input records supply a label field and a feature extractor; output
+/// records are [prediction(double), label(bool), running_avg_logloss] with
+/// the input's timestamp, emitted every `emit_every` examples.
+class OnlineClassifierOperator : public Operator {
+ public:
+  struct Spec {
+    /// Extracts the feature vector (must have fixed dimension `dim`).
+    std::function<std::vector<double>(const Record&)> features;
+    /// Extracts the boolean label.
+    std::function<bool(const Record&)> label;
+    size_t dim = 0;
+    OnlineModelOptions model;
+    /// Emit one evaluation record per this many examples.
+    uint64_t emit_every = 1;
+    /// Average the reported log loss over a sliding horizon of this many
+    /// most recent examples (simple exponential decay).
+    double loss_decay = 0.999;
+  };
+
+  OnlineClassifierOperator(std::string name, Spec spec);
+
+  void ProcessRecord(int input, Record&& record, Collector* out) override;
+  Status SnapshotState(BinaryWriter* w) const override;
+  Status RestoreState(BinaryReader* r) override;
+  std::string Name() const override { return name_; }
+
+  const OnlineLogisticRegression& model() const { return model_; }
+  double decayed_loss() const {
+    return loss_norm_ == 0 ? 0 : loss_acc_ / loss_norm_;
+  }
+
+ private:
+  std::string name_;
+  Spec spec_;
+  OnlineLogisticRegression model_;
+  double loss_acc_ = 0;
+  double loss_norm_ = 0;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_ML_LEARNER_OPERATOR_H_

@@ -1,0 +1,136 @@
+#include "ml/online_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace streamline {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double Dot(const std::vector<double>& w, const std::vector<double>& x) {
+  STREAMLINE_CHECK_EQ(w.size(), x.size());
+  double acc = 0;
+  for (size_t i = 0; i < w.size(); ++i) acc += w[i] * x[i];
+  return acc;
+}
+
+void SnapshotVector(const std::vector<double>& v, double bias,
+                    uint64_t updates, BinaryWriter* w) {
+  w->WriteU64(v.size());
+  for (double x : v) w->WriteDouble(x);
+  w->WriteDouble(bias);
+  w->WriteU64(updates);
+}
+
+Status RestoreVector(std::vector<double>* v, double* bias, uint64_t* updates,
+                     BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  if (*n != v->size()) {
+    return Status::FailedPrecondition(
+        "model dimension mismatch: snapshot has " + std::to_string(*n) +
+        ", model has " + std::to_string(v->size()));
+  }
+  std::vector<double> weights(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto x = r->ReadDouble();
+    if (!x.ok()) return x.status();
+    weights[i] = *x;
+  }
+  auto b = r->ReadDouble();
+  if (!b.ok()) return b.status();
+  auto u = r->ReadU64();
+  if (!u.ok()) return u.status();
+  *v = std::move(weights);
+  *bias = *b;
+  *updates = *u;
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OnlineLogisticRegression
+
+OnlineLogisticRegression::OnlineLogisticRegression(size_t dim,
+                                                   OnlineModelOptions options)
+    : options_(options), weights_(dim, 0.0) {
+  STREAMLINE_CHECK_GT(dim, 0u);
+}
+
+double OnlineLogisticRegression::Predict(
+    const std::vector<double>& features) const {
+  return Sigmoid(Dot(weights_, features) + bias_);
+}
+
+double OnlineLogisticRegression::Update(const std::vector<double>& features,
+                                        bool label) {
+  const double p = Predict(features);
+  const double y = label ? 1.0 : 0.0;
+  // Log loss of this example under the pre-update model, clamped away
+  // from 0/1 for numerical sanity.
+  const double pc = std::min(std::max(p, 1e-12), 1.0 - 1e-12);
+  const double loss = -(y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc));
+  const double g = p - y;  // dLoss/dz
+  const double lr = options_.learning_rate;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] -= lr * (g * features[i] + options_.l2 * weights_[i]);
+  }
+  bias_ -= lr * g;
+  ++updates_;
+  return loss;
+}
+
+void OnlineLogisticRegression::Snapshot(BinaryWriter* w) const {
+  SnapshotVector(weights_, bias_, updates_, w);
+}
+
+Status OnlineLogisticRegression::Restore(BinaryReader* r) {
+  return RestoreVector(&weights_, &bias_, &updates_, r);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineLinearRegression
+
+OnlineLinearRegression::OnlineLinearRegression(size_t dim,
+                                               OnlineModelOptions options)
+    : options_(options), weights_(dim, 0.0) {
+  STREAMLINE_CHECK_GT(dim, 0u);
+}
+
+double OnlineLinearRegression::Predict(
+    const std::vector<double>& features) const {
+  return Dot(weights_, features) + bias_;
+}
+
+double OnlineLinearRegression::Update(const std::vector<double>& features,
+                                      double target) {
+  const double p = Predict(features);
+  const double err = p - target;
+  const double lr = options_.learning_rate;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] -= lr * (err * features[i] + options_.l2 * weights_[i]);
+  }
+  bias_ -= lr * err;
+  ++updates_;
+  return err * err;
+}
+
+void OnlineLinearRegression::Snapshot(BinaryWriter* w) const {
+  SnapshotVector(weights_, bias_, updates_, w);
+}
+
+Status OnlineLinearRegression::Restore(BinaryReader* r) {
+  return RestoreVector(&weights_, &bias_, &updates_, r);
+}
+
+}  // namespace streamline

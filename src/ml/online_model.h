@@ -1,0 +1,76 @@
+#ifndef STREAMLINE_ML_ONLINE_MODEL_H_
+#define STREAMLINE_ML_ONLINE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace streamline {
+
+/// Hyper-parameters shared by the online models.
+struct OnlineModelOptions {
+  double learning_rate = 0.05;
+  double l2 = 0.0;  // ridge penalty per update
+};
+
+/// Online logistic regression trained by plain SGD — the streaming
+/// classifier behind STREAMLINE's proactive applications (churn
+/// prediction, click-through prediction). One Update() per arriving
+/// example; state is just the weight vector, so it checkpoints in O(dim).
+class OnlineLogisticRegression {
+ public:
+  OnlineLogisticRegression(size_t dim,
+                           OnlineModelOptions options = OnlineModelOptions());
+
+  size_t dim() const { return weights_.size(); }
+  uint64_t updates() const { return updates_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// P(label = 1 | features); features.size() must equal dim().
+  double Predict(const std::vector<double>& features) const;
+
+  /// One SGD step on (features, label). Returns the example's log loss
+  /// *before* the update (prequential / test-then-train evaluation).
+  double Update(const std::vector<double>& features, bool label);
+
+  void Snapshot(BinaryWriter* w) const;
+  Status Restore(BinaryReader* r);
+
+ private:
+  OnlineModelOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0;
+  uint64_t updates_ = 0;
+};
+
+/// Online least-squares regression via SGD; Update returns the squared
+/// error before the step.
+class OnlineLinearRegression {
+ public:
+  OnlineLinearRegression(size_t dim,
+                         OnlineModelOptions options = OnlineModelOptions());
+
+  size_t dim() const { return weights_.size(); }
+  uint64_t updates() const { return updates_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  double Predict(const std::vector<double>& features) const;
+  double Update(const std::vector<double>& features, double target);
+
+  void Snapshot(BinaryWriter* w) const;
+  Status Restore(BinaryReader* r);
+
+ private:
+  OnlineModelOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_ML_ONLINE_MODEL_H_

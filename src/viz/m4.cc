@@ -1,0 +1,111 @@
+#include "viz/m4.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+void PixelColumn::Add(Timestamp t, double v) {
+  const SeriesPoint p{t, v};
+  if (count == 0) {
+    first = last = min = max = p;
+  } else {
+    last = p;  // in-order arrival
+    if (v < min.v) min = p;
+    if (v > max.v) max = p;
+  }
+  ++count;
+}
+
+void PixelColumn::Merge(const PixelColumn& later) {
+  if (later.count == 0) return;
+  if (count == 0) {
+    *this = later;
+    return;
+  }
+  STREAMLINE_DCHECK(later.first.t >= last.t);
+  last = later.last;
+  if (later.min.v < min.v) min = later.min;
+  if (later.max.v > max.v) max = later.max;
+  count += later.count;
+  t_end = std::max(t_end, later.t_end);
+}
+
+std::vector<SeriesPoint> PixelColumn::Points() const {
+  std::vector<SeriesPoint> pts;
+  if (count == 0) return pts;
+  pts = {first, min, max, last};
+  std::sort(pts.begin(), pts.end(), [](const SeriesPoint& a,
+                                       const SeriesPoint& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.v < b.v;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+std::vector<PixelColumn> M4Aggregate(const std::vector<SeriesPoint>& data,
+                                     Timestamp t_begin, Timestamp t_end,
+                                     int width) {
+  STREAMLINE_CHECK_GT(width, 0);
+  STREAMLINE_CHECK_LT(t_begin, t_end);
+  std::vector<PixelColumn> columns(width);
+  // Integer arithmetic keeps exact-boundary samples in the right column.
+  const Timestamp span = t_end - t_begin;
+  for (int i = 0; i < width; ++i) {
+    columns[i].index = i;
+    columns[i].t_start = t_begin + span * i / width;
+    columns[i].t_end = t_begin + span * (i + 1) / width;
+  }
+  for (const SeriesPoint& p : data) {
+    if (p.t < t_begin || p.t >= t_end) continue;
+    int col = static_cast<int>((p.t - t_begin) * width / span);
+    col = std::clamp(col, 0, width - 1);
+    columns[col].Add(p.t, p.v);
+  }
+  return columns;
+}
+
+StreamingM4::StreamingM4(Duration column_width, ColumnCallback on_column)
+    : column_width_(column_width), on_column_(std::move(on_column)) {
+  STREAMLINE_CHECK_GT(column_width, 0);
+}
+
+int64_t StreamingM4::ColumnIndex(Timestamp t) const {
+  int64_t q = t / column_width_;
+  if (t % column_width_ != 0 && t < 0) --q;
+  return q;
+}
+
+void StreamingM4::EmitOpen() {
+  if (!open_.has_value()) return;
+  ++columns_emitted_;
+  if (on_column_) on_column_(*open_);
+  open_.reset();
+}
+
+void StreamingM4::OnElement(Timestamp t, double v) {
+  const int64_t idx = ColumnIndex(t);
+  if (open_.has_value() && open_->index != idx) {
+    // In-order arrival: a new column implies the previous one is complete.
+    EmitOpen();
+  }
+  if (!open_.has_value()) {
+    PixelColumn col;
+    col.index = idx;
+    col.t_start = idx * column_width_;
+    col.t_end = (idx + 1) * column_width_;
+    open_ = col;
+  }
+  open_->Add(t, v);
+}
+
+void StreamingM4::OnWatermark(Timestamp wm) {
+  if (open_.has_value() &&
+      (wm == kMaxTimestamp || open_->t_end <= wm)) {
+    EmitOpen();
+  }
+}
+
+}  // namespace streamline

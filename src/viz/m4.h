@@ -1,0 +1,80 @@
+#ifndef STREAMLINE_VIZ_M4_H_
+#define STREAMLINE_VIZ_M4_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace streamline {
+
+/// One (t, v) sample of a time series.
+struct SeriesPoint {
+  Timestamp t = 0;
+  double v = 0;
+
+  bool operator==(const SeriesPoint&) const = default;
+};
+
+/// M4 aggregate of one pixel column (Jugel et al.): the tuples holding the
+/// column's min(v), max(v), first(t) and last(t). Together with the column
+/// boundaries these four points suffice to render the column's polyline
+/// segment pixel-correctly -- I2's "correct and minimal" reduction.
+struct PixelColumn {
+  int64_t index = 0;  // column number: floor(t / width)
+  Timestamp t_start = 0;
+  Timestamp t_end = 0;  // exclusive
+  uint64_t count = 0;
+
+  SeriesPoint first;
+  SeriesPoint last;
+  SeriesPoint min;
+  SeriesPoint max;
+
+  /// Folds one sample into the column.
+  void Add(Timestamp t, double v);
+  /// Merges an adjacent, later column (used by the zoom pyramid).
+  void Merge(const PixelColumn& later);
+  /// The column's (up to 4) distinct points in time order.
+  std::vector<SeriesPoint> Points() const;
+};
+
+/// Batch M4: aggregates `data` over [t_begin, t_end) into `width` columns.
+/// Samples outside the range are ignored.
+std::vector<PixelColumn> M4Aggregate(const std::vector<SeriesPoint>& data,
+                                     Timestamp t_begin, Timestamp t_end,
+                                     int width);
+
+/// Streaming M4 with fixed column duration: emits each column once the
+/// watermark passes its right edge. The output rate is at most one column
+/// (<= 4 points) per `column_width` of event time, independent of the input
+/// data rate -- the paper's "data-rate independent" aggregation.
+class StreamingM4 {
+ public:
+  using ColumnCallback = std::function<void(const PixelColumn&)>;
+
+  StreamingM4(Duration column_width, ColumnCallback on_column);
+
+  /// Samples must arrive in non-decreasing time order.
+  void OnElement(Timestamp t, double v);
+  /// Emits every column whose end is <= wm (kMaxTimestamp flushes all).
+  void OnWatermark(Timestamp wm);
+
+  Duration column_width() const { return column_width_; }
+  uint64_t columns_emitted() const { return columns_emitted_; }
+
+ private:
+  int64_t ColumnIndex(Timestamp t) const;
+  void EmitOpen();
+
+  const Duration column_width_;
+  ColumnCallback on_column_;
+  std::optional<PixelColumn> open_;
+  uint64_t columns_emitted_ = 0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_VIZ_M4_H_

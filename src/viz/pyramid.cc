@@ -1,0 +1,143 @@
+#include "viz/pyramid.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+M4Pyramid::M4Pyramid(Duration base_width, int levels,
+                     size_t max_columns_per_level)
+    : base_width_(base_width),
+      max_columns_per_level_(max_columns_per_level),
+      ingest_(base_width,
+              [this](const PixelColumn& col) { Insert(0, col); }) {
+  STREAMLINE_CHECK_GT(levels, 0);
+  levels_.resize(levels);
+  Duration w = base_width;
+  for (int k = 0; k < levels; ++k) {
+    levels_[k].width = w;
+    w *= 2;
+  }
+}
+
+void M4Pyramid::OnElement(Timestamp t, double v) { ingest_.OnElement(t, v); }
+
+void M4Pyramid::OnWatermark(Timestamp wm) { ingest_.OnWatermark(wm); }
+
+void M4Pyramid::Insert(int level, const PixelColumn& column) {
+  Level& lvl = levels_[level];
+  lvl.columns.push_back(column);
+  // Re-key the column to this level's grid.
+  PixelColumn& stored = lvl.columns.back();
+  stored.index = column.t_start >= 0
+                     ? column.t_start / lvl.width
+                     : (column.t_start - lvl.width + 1) / lvl.width;
+  stored.t_start = stored.index * lvl.width;
+  stored.t_end = stored.t_start + lvl.width;
+  // Merge into the previous column when the child falls into the same
+  // grid cell of this level (M4 columns are algebraic partials).
+  if (lvl.columns.size() >= 2) {
+    PixelColumn& prev = lvl.columns[lvl.columns.size() - 2];
+    if (prev.index == stored.index) {
+      prev.Merge(stored);
+      // Restore grid bounds clobbered by Merge.
+      prev.t_start = prev.index * lvl.width;
+      prev.t_end = prev.t_start + lvl.width;
+      lvl.columns.pop_back();
+      return;
+    }
+  }
+  // A new grid cell started at this level, so the PREVIOUS one is complete:
+  // propagate it upward.
+  if (level + 1 < static_cast<int>(levels_.size()) &&
+      lvl.columns.size() >= 2) {
+    const PixelColumn& done = lvl.columns[lvl.columns.size() - 2];
+    // The index check avoids double-propagation after a Flush().
+    if (done.index > lvl.last_propagated) {
+      lvl.last_propagated = done.index;
+      Insert(level + 1, done);
+    }
+  }
+  if (max_columns_per_level_ > 0 &&
+      lvl.columns.size() > max_columns_per_level_) {
+    lvl.columns.pop_front();
+  }
+}
+
+void M4Pyramid::Flush() {
+  ingest_.OnWatermark(kMaxTimestamp);
+  for (int k = 0; k + 1 < static_cast<int>(levels_.size()); ++k) {
+    Level& lvl = levels_[k];
+    if (lvl.columns.empty()) continue;
+    const PixelColumn& tail = lvl.columns.back();
+    if (tail.index > lvl.last_propagated) {
+      lvl.last_propagated = tail.index;
+      Insert(k + 1, tail);
+    }
+  }
+}
+
+Duration M4Pyramid::level_width(int level) const {
+  return levels_[level].width;
+}
+
+size_t M4Pyramid::stored_columns() const {
+  size_t total = 0;
+  for (const Level& lvl : levels_) total += lvl.columns.size();
+  return total;
+}
+
+int M4Pyramid::PickLevel(Timestamp t_begin, Timestamp t_end,
+                         int width) const {
+  const double span = static_cast<double>(t_end - t_begin);
+  const double target = span / width;  // desired column duration
+  int best = 0;
+  for (int k = 0; k < static_cast<int>(levels_.size()); ++k) {
+    if (static_cast<double>(levels_[k].width) <= target) best = k;
+  }
+  return best;
+}
+
+std::vector<PixelColumn> M4Pyramid::Query(Timestamp t_begin, Timestamp t_end,
+                                          int width) const {
+  STREAMLINE_CHECK_LT(t_begin, t_end);
+  STREAMLINE_CHECK_GT(width, 0);
+  const int level = PickLevel(t_begin, t_end, width);
+  const Level& lvl = levels_[level];
+  std::vector<PixelColumn> out(width);
+  const Timestamp span = t_end - t_begin;
+  for (int i = 0; i < width; ++i) {
+    out[i].index = i;
+    out[i].t_start = t_begin + span * i / width;
+    out[i].t_end = t_begin + span * (i + 1) / width;
+  }
+  for (const PixelColumn& col : lvl.columns) {
+    if (col.t_end <= t_begin || col.t_start >= t_end || col.count == 0) {
+      continue;
+    }
+    if (col.first.t < t_begin || col.first.t >= t_end) continue;
+    // Assign by the column's first sample time (columns are narrower than
+    // pixels at the chosen level). Integer math keeps boundaries exact.
+    int pixel = static_cast<int>((col.first.t - t_begin) * width / span);
+    pixel = std::clamp(pixel, 0, width - 1);
+    out[pixel].Merge(col);
+    // Merge clobbers grid bounds; restore them.
+    out[pixel].index = pixel;
+    out[pixel].t_start = t_begin + span * pixel / width;
+    out[pixel].t_end = t_begin + span * (pixel + 1) / width;
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> M4Pyramid::QuerySeries(Timestamp t_begin,
+                                                Timestamp t_end,
+                                                int width) const {
+  std::vector<SeriesPoint> out;
+  for (const PixelColumn& col : Query(t_begin, t_end, width)) {
+    for (const SeriesPoint& p : col.Points()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace streamline

@@ -1,0 +1,70 @@
+#ifndef STREAMLINE_VIZ_PYRAMID_H_
+#define STREAMLINE_VIZ_PYRAMID_H_
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "viz/m4.h"
+
+namespace streamline {
+
+/// Multi-resolution M4 store for interactive zoom/pan: level k holds
+/// columns of duration base_width * 2^k, each built by merging two level
+/// k-1 columns (M4 columns are algebraic partials, so merging is exact).
+/// Queries pick the coarsest level that still yields at least `width`
+/// columns, then re-aggregate -- answering any viewport without touching
+/// raw data, which is what makes I2's environment interactive.
+class M4Pyramid {
+ public:
+  /// `base_width`: duration of a level-0 column; `levels`: number of
+  /// resolutions; `max_columns_per_level`: retention bound (0 = unbounded).
+  M4Pyramid(Duration base_width, int levels,
+            size_t max_columns_per_level = 0);
+
+  /// In-order sample ingestion.
+  void OnElement(Timestamp t, double v);
+  /// Completes level-0 columns up to `wm` and propagates upward.
+  void OnWatermark(Timestamp wm);
+  /// End-of-stream: completes the open column and propagates every level's
+  /// trailing column upward so coarse levels cover the stream's tail.
+  void Flush();
+
+  /// Re-aggregates stored columns into `width` pixel columns over
+  /// [t_begin, t_end). Chooses the coarsest adequate level.
+  std::vector<PixelColumn> Query(Timestamp t_begin, Timestamp t_end,
+                                 int width) const;
+
+  /// Reduced series for rendering a viewport (the points a client would be
+  /// sent).
+  std::vector<SeriesPoint> QuerySeries(Timestamp t_begin, Timestamp t_end,
+                                       int width) const;
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  Duration level_width(int level) const;
+  size_t stored_columns() const;
+  size_t stored_columns_at(int level) const {
+    return levels_[level].columns.size();
+  }
+
+ private:
+  struct Level {
+    Duration width = 0;
+    std::deque<PixelColumn> columns;  // completed, index-ordered
+    // Highest column index already propagated to the next level.
+    int64_t last_propagated = std::numeric_limits<int64_t>::min();
+  };
+
+  /// Inserts a completed column into `level` and merges upward.
+  void Insert(int level, const PixelColumn& column);
+  int PickLevel(Timestamp t_begin, Timestamp t_end, int width) const;
+
+  Duration base_width_;
+  size_t max_columns_per_level_;
+  std::vector<Level> levels_;
+  StreamingM4 ingest_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_VIZ_PYRAMID_H_

@@ -1,0 +1,111 @@
+#include "viz/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+Raster::Raster(int width, int height)
+    : width_(width), height_(height),
+      bits_(static_cast<size_t>(width) * height, false) {
+  STREAMLINE_CHECK_GT(width, 0);
+  STREAMLINE_CHECK_GT(height, 0);
+}
+
+void Raster::Set(int x, int y) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  bits_[Index(x, y)] = true;
+}
+
+void Raster::DrawLine(int x0, int y0, int x1, int y1) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    Set(x0, y0);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+uint64_t Raster::CountSetPixels() const {
+  uint64_t n = 0;
+  for (bool b : bits_) n += b ? 1 : 0;
+  return n;
+}
+
+double Raster::PixelError(const Raster& a, const Raster& b) {
+  STREAMLINE_CHECK_EQ(a.width_, b.width_);
+  STREAMLINE_CHECK_EQ(a.height_, b.height_);
+  uint64_t diff = 0;
+  for (size_t i = 0; i < a.bits_.size(); ++i) {
+    if (a.bits_[i] != b.bits_[i]) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(a.bits_.size());
+}
+
+std::string Raster::ToString() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(height_) * (width_ + 1));
+  for (int y = height_ - 1; y >= 0; --y) {
+    for (int x = 0; x < width_; ++x) {
+      out += Get(x, y) ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Raster RasterizeSeries(const std::vector<SeriesPoint>& series,
+                       Timestamp t_begin, Timestamp t_end, double v_min,
+                       double v_max, int width, int height) {
+  Raster raster(width, height);
+  if (series.empty()) return raster;
+  STREAMLINE_CHECK_LT(t_begin, t_end);
+  const double t_span = static_cast<double>(t_end - t_begin);
+  const double v_span = v_max > v_min ? v_max - v_min : 1.0;
+  auto to_x = [&](Timestamp t) {
+    const double fx = static_cast<double>(t - t_begin) / t_span * width;
+    return std::clamp(static_cast<int>(fx), 0, width - 1);
+  };
+  auto to_y = [&](double v) {
+    const double fy = (v - v_min) / v_span * (height - 1);
+    return std::clamp(static_cast<int>(std::lround(fy)), 0, height - 1);
+  };
+  int px = to_x(series[0].t);
+  int py = to_y(series[0].v);
+  raster.Set(px, py);
+  for (size_t i = 1; i < series.size(); ++i) {
+    const int x = to_x(series[i].t);
+    const int y = to_y(series[i].v);
+    raster.DrawLine(px, py, x, y);
+    px = x;
+    py = y;
+  }
+  return raster;
+}
+
+std::pair<double, double> ValueRange(const std::vector<SeriesPoint>& series) {
+  if (series.empty()) return {0.0, 1.0};
+  double lo = series[0].v;
+  double hi = series[0].v;
+  for (const SeriesPoint& p : series) {
+    lo = std::min(lo, p.v);
+    hi = std::max(hi, p.v);
+  }
+  return {lo, hi};
+}
+
+}  // namespace streamline

@@ -1,0 +1,57 @@
+#ifndef STREAMLINE_VIZ_RASTER_H_
+#define STREAMLINE_VIZ_RASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "viz/m4.h"
+
+namespace streamline {
+
+/// Binary w x h raster used to measure visualization error: a reduction is
+/// "correct" in I2's sense when the rasterized polyline of the reduced
+/// series equals the rasterized polyline of the raw series.
+class Raster {
+ public:
+  Raster(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  bool Get(int x, int y) const { return bits_[Index(x, y)]; }
+  void Set(int x, int y);
+
+  /// Draws the line segment (x0,y0)-(x1,y1) with Bresenham's algorithm.
+  void DrawLine(int x0, int y0, int x1, int y1);
+
+  uint64_t CountSetPixels() const;
+
+  /// Fraction of pixels where the two rasters differ (symmetric difference
+  /// over total pixels), in [0, 1].
+  static double PixelError(const Raster& a, const Raster& b);
+
+  /// ASCII rendering for debugging ('#' set, '.' unset), row 0 on top.
+  std::string ToString() const;
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * width_ + x;
+  }
+  int width_;
+  int height_;
+  std::vector<bool> bits_;
+};
+
+/// Rasterizes `series` (sorted by t) as a connected polyline over the
+/// viewport [t_begin, t_end) x [v_min, v_max] onto a width x height raster.
+Raster RasterizeSeries(const std::vector<SeriesPoint>& series,
+                       Timestamp t_begin, Timestamp t_end, double v_min,
+                       double v_max, int width, int height);
+
+/// Min/max of v over the series (0/1 for an empty series).
+std::pair<double, double> ValueRange(const std::vector<SeriesPoint>& series);
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_VIZ_RASTER_H_

@@ -1,0 +1,74 @@
+#include "viz/reducers.h"
+
+#include "common/logging.h"
+
+namespace streamline {
+
+// ---------------------------------------------------------------------------
+// PaaReducer
+
+PaaReducer::PaaReducer(Duration column_width)
+    : column_width_(column_width) {
+  STREAMLINE_CHECK_GT(column_width, 0);
+}
+
+void PaaReducer::EmitOpen() {
+  if (!open_ || count_ == 0) return;
+  const Timestamp mid =
+      open_index_ * column_width_ + column_width_ / 2;
+  Transfer({mid, sum_ / static_cast<double>(count_)});
+  open_ = false;
+  sum_ = 0;
+  count_ = 0;
+}
+
+void PaaReducer::OnElement(Timestamp t, double v) {
+  const int64_t idx = t / column_width_ - (t % column_width_ != 0 && t < 0);
+  if (open_ && idx != open_index_) EmitOpen();
+  if (!open_) {
+    open_ = true;
+    open_index_ = idx;
+  }
+  sum_ += v;
+  ++count_;
+}
+
+void PaaReducer::OnWatermark(Timestamp wm) {
+  if (open_ && (wm == kMaxTimestamp ||
+                (open_index_ + 1) * column_width_ <= wm)) {
+    EmitOpen();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MinMaxReducer
+
+MinMaxReducer::MinMaxReducer(Duration column_width)
+    : m4_(column_width, [this](const PixelColumn& col) {
+        if (col.count == 0) return;
+        SeriesPoint a = col.min;
+        SeriesPoint b = col.max;
+        if (b.t < a.t) std::swap(a, b);
+        Transfer(a);
+        if (!(a == b)) Transfer(b);
+      }) {}
+
+void MinMaxReducer::OnElement(Timestamp t, double v) {
+  m4_.OnElement(t, v);
+}
+
+void MinMaxReducer::OnWatermark(Timestamp wm) { m4_.OnWatermark(wm); }
+
+// ---------------------------------------------------------------------------
+// M4Reducer
+
+M4Reducer::M4Reducer(Duration column_width)
+    : m4_(column_width, [this](const PixelColumn& col) {
+        for (const SeriesPoint& p : col.Points()) Transfer(p);
+      }) {}
+
+void M4Reducer::OnElement(Timestamp t, double v) { m4_.OnElement(t, v); }
+
+void M4Reducer::OnWatermark(Timestamp wm) { m4_.OnWatermark(wm); }
+
+}  // namespace streamline

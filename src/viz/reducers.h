@@ -1,0 +1,123 @@
+#ifndef STREAMLINE_VIZ_REDUCERS_H_
+#define STREAMLINE_VIZ_REDUCERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "viz/m4.h"
+
+namespace streamline {
+
+/// A streaming time-series reducer: consumes samples, emits the (reduced)
+/// points a visualization client would receive. Implementations are the
+/// comparison axis of the I2 experiments: how many points does each
+/// technique transfer, and how wrong is the resulting chart.
+class SeriesReducer {
+ public:
+  virtual ~SeriesReducer() = default;
+
+  virtual void OnElement(Timestamp t, double v) = 0;
+  /// Event-time progress; kMaxTimestamp flushes buffered output.
+  virtual void OnWatermark(Timestamp wm) { (void)wm; }
+
+  virtual std::string Name() const = 0;
+
+  /// Points emitted for transfer so far, in time order.
+  const std::vector<SeriesPoint>& output() const { return output_; }
+  uint64_t points_transferred() const { return output_.size(); }
+  /// Wire size: 16 bytes per point (int64 t + double v).
+  uint64_t bytes_transferred() const { return output_.size() * 16; }
+
+ protected:
+  void Transfer(SeriesPoint p) { output_.push_back(p); }
+
+  std::vector<SeriesPoint> output_;
+};
+
+/// Transfers every raw sample (the no-reduction upper bound).
+class RawReducer : public SeriesReducer {
+ public:
+  void OnElement(Timestamp t, double v) override { Transfer({t, v}); }
+  std::string Name() const override { return "raw"; }
+};
+
+/// Transfers every n-th sample (systematic sampling); transfer volume
+/// still grows linearly with the data rate.
+class EveryNthReducer : public SeriesReducer {
+ public:
+  explicit EveryNthReducer(uint64_t n) : n_(n) {}
+  void OnElement(Timestamp t, double v) override {
+    if (seen_++ % n_ == 0) Transfer({t, v});
+  }
+  std::string Name() const override {
+    return "every-" + std::to_string(n_) + "th";
+  }
+
+ private:
+  uint64_t n_;
+  uint64_t seen_ = 0;
+};
+
+/// Bernoulli sampling with probability p.
+class UniformSamplingReducer : public SeriesReducer {
+ public:
+  UniformSamplingReducer(double p, uint64_t seed = 7) : p_(p), rng_(seed) {}
+  void OnElement(Timestamp t, double v) override {
+    if (rng_.NextBool(p_)) Transfer({t, v});
+  }
+  std::string Name() const override { return "uniform-sample"; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Piecewise Aggregate Approximation: one mean point per column. Data-rate
+/// independent like M4, but loses extremes (visibly wrong spikes).
+class PaaReducer : public SeriesReducer {
+ public:
+  explicit PaaReducer(Duration column_width);
+  void OnElement(Timestamp t, double v) override;
+  void OnWatermark(Timestamp wm) override;
+  std::string Name() const override { return "paa"; }
+
+ private:
+  void EmitOpen();
+  Duration column_width_;
+  bool open_ = false;
+  int64_t open_index_ = 0;
+  double sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Min/max per column (2 points): close to M4 but misses the first/last
+/// points that make inter-column line joins exact.
+class MinMaxReducer : public SeriesReducer {
+ public:
+  explicit MinMaxReducer(Duration column_width);
+  void OnElement(Timestamp t, double v) override;
+  void OnWatermark(Timestamp wm) override;
+  std::string Name() const override { return "minmax"; }
+
+ private:
+  void EmitOpen();
+  StreamingM4 m4_;
+};
+
+/// The I2/M4 reducer: <= 4 points per column, pixel-correct line rendering.
+class M4Reducer : public SeriesReducer {
+ public:
+  explicit M4Reducer(Duration column_width);
+  void OnElement(Timestamp t, double v) override;
+  void OnWatermark(Timestamp wm) override;
+  std::string Name() const override { return "m4"; }
+
+ private:
+  StreamingM4 m4_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_VIZ_REDUCERS_H_

@@ -1,0 +1,133 @@
+#include "viz/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+VizServer::VizServer(Duration base_column_width, int levels)
+    : pyramid_(base_column_width, levels),
+      base_column_width_(base_column_width) {}
+
+void VizServer::OnElement(Timestamp t, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ingested_;
+  latest_ = std::max(latest_, t);
+  // Remember the open column's points before/after to account incremental
+  // pushes: we push on column completion below via OnWatermark; element
+  // ingestion alone only updates the pyramid.
+  pyramid_.OnElement(t, v);
+}
+
+void VizServer::OnWatermark(Timestamp wm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pyramid_.OnWatermark(wm);
+  // Push the newly completed region to every following client: each gets
+  // at most one column (<= 4 points) per base_column_width of event time,
+  // independent of the input rate.
+  for (auto& [id, client] : clients_) {
+    if (!client.viewport.follow) continue;
+    const Duration span =
+        client.viewport.t_end - client.viewport.t_begin;
+    const Timestamp new_end = std::max(client.viewport.t_end, wm);
+    if (new_end == client.viewport.t_end) continue;
+    // Columns completed since the client's last known end.
+    const Timestamp from = client.viewport.t_end;
+    client.viewport.t_end = new_end;
+    client.viewport.t_begin = new_end - span;
+    const int64_t first_col = from / base_column_width_;
+    const int64_t last_col = new_end / base_column_width_;
+    const int64_t cols = std::max<int64_t>(0, last_col - first_col);
+    const uint64_t pts = static_cast<uint64_t>(cols) * 4;
+    client.stats.points += pts;
+    client.stats.bytes += PointBytes(pts);
+    if (cols > 0) ++client.stats.updates;
+  }
+}
+
+void VizServer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pyramid_.Flush();
+}
+
+int VizServer::Connect(Viewport viewport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_client_++;
+  Client client;
+  client.viewport = viewport;
+  auto [it, inserted] = clients_.emplace(id, std::move(client));
+  STREAMLINE_CHECK(inserted);
+  FullRefreshLocked(&it->second);  // initial load
+  return id;
+}
+
+void VizServer::Disconnect(int client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.erase(client);
+}
+
+std::vector<SeriesPoint> VizServer::FullRefreshLocked(Client* c) {
+  auto points = pyramid_.QuerySeries(c->viewport.t_begin, c->viewport.t_end,
+                                     c->viewport.width_px);
+  c->stats.points += points.size();
+  c->stats.bytes += PointBytes(points.size());
+  ++c->stats.refreshes;
+  return points;
+}
+
+std::vector<SeriesPoint> VizServer::Zoom(int client, double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  Viewport& vp = it->second.viewport;
+  const double span = static_cast<double>(vp.t_end - vp.t_begin);
+  const Timestamp center = vp.t_begin + static_cast<Timestamp>(span / 2);
+  const auto new_half = static_cast<Timestamp>(span * factor / 2);
+  vp.t_begin = center - std::max<Timestamp>(new_half, 1);
+  vp.t_end = center + std::max<Timestamp>(new_half, 1);
+  vp.follow = false;  // zooming detaches from live following
+  return FullRefreshLocked(&it->second);
+}
+
+std::vector<SeriesPoint> VizServer::Pan(int client, Duration delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  Viewport& vp = it->second.viewport;
+  vp.t_begin += delta;
+  vp.t_end += delta;
+  vp.follow = false;
+  return FullRefreshLocked(&it->second);
+}
+
+std::vector<SeriesPoint> VizServer::Resize(int client, int width_px) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  it->second.viewport.width_px = width_px;
+  return FullRefreshLocked(&it->second);
+}
+
+std::vector<SeriesPoint> VizServer::Refresh(int client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  return FullRefreshLocked(&it->second);
+}
+
+const Viewport& VizServer::viewport(int client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  return it->second.viewport;
+}
+
+TransferStats VizServer::transfer_stats(int client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  STREAMLINE_CHECK(it != clients_.end());
+  return it->second.stats;
+}
+
+}  // namespace streamline

@@ -1,0 +1,90 @@
+#ifndef STREAMLINE_VIZ_SERVER_H_
+#define STREAMLINE_VIZ_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "viz/pyramid.h"
+
+namespace streamline {
+
+/// A client's view of the chart: a time range rendered at a pixel width.
+struct Viewport {
+  Timestamp t_begin = 0;
+  Timestamp t_end = 1;
+  int width_px = 1000;
+  int height_px = 250;
+  /// Follow mode: the viewport slides with the newest data, keeping
+  /// (t_end - t_begin) of history.
+  bool follow = true;
+};
+
+/// Per-client transfer accounting: the quantity I2 minimizes.
+struct TransferStats {
+  uint64_t points = 0;
+  uint64_t bytes = 0;
+  uint64_t updates = 0;  // push messages
+  uint64_t refreshes = 0;  // full viewport reloads (zoom/pan/resize)
+};
+
+/// The I2 "interactive development environment" stand-in: coordinates the
+/// running stream and its visualization clients. The server maintains one
+/// multi-resolution M4 pyramid next to the stream; completed pixel columns
+/// are pushed incrementally to following clients, and zoom/pan/resize
+/// requests are answered from the pyramid without re-scanning raw data.
+/// All "network transfer" is accounted per client in bytes.
+class VizServer {
+ public:
+  /// `base_column_width`: finest aggregation granularity; `levels`:
+  /// pyramid resolutions.
+  VizServer(Duration base_column_width, int levels);
+
+  /// Stream ingestion (thread-safe with respect to client calls).
+  void OnElement(Timestamp t, double v);
+  void OnWatermark(Timestamp wm);
+  /// End-of-stream flush.
+  void Flush();
+
+  /// Registers a client; returns its id.
+  int Connect(Viewport viewport);
+  void Disconnect(int client);
+
+  /// Client interactions: each answers with a full refresh from the
+  /// pyramid (counted against the client's transfer budget) and returns
+  /// the points the client now renders.
+  std::vector<SeriesPoint> Zoom(int client, double factor);
+  std::vector<SeriesPoint> Pan(int client, Duration delta);
+  std::vector<SeriesPoint> Resize(int client, int width_px);
+  std::vector<SeriesPoint> Refresh(int client);
+
+  const Viewport& viewport(int client) const;
+  TransferStats transfer_stats(int client) const;
+  uint64_t ingested() const { return ingested_; }
+  Timestamp latest() const { return latest_; }
+  const M4Pyramid& pyramid() const { return pyramid_; }
+
+ private:
+  struct Client {
+    Viewport viewport;
+    TransferStats stats;
+  };
+
+  std::vector<SeriesPoint> FullRefreshLocked(Client* c);
+  static uint64_t PointBytes(size_t n) { return n * 16; }
+
+  mutable std::mutex mu_;
+  M4Pyramid pyramid_;
+  Duration base_column_width_;
+  std::map<int, Client> clients_;
+  int next_client_ = 0;
+  uint64_t ingested_ = 0;
+  Timestamp latest_ = kMinTimestamp;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_VIZ_SERVER_H_

@@ -1,0 +1,229 @@
+#ifndef STREAMLINE_WINDOW_AGGREGATE_FN_H_
+#define STREAMLINE_WINDOW_AGGREGATE_FN_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace streamline {
+
+/// Algebraic aggregate functions in lift/combine/lower form (Tangwongsan et
+/// al.), the form Cutty shares partials in:
+///
+///   struct Agg {
+///     using Input = ...;    // element type
+///     using Partial = ...;  // shareable partial aggregate
+///     using Output = ...;   // final result type
+///     static constexpr bool kInvertible;   // has Invert(whole, part)
+///     static constexpr bool kCommutative;  // combine order irrelevant
+///     Partial Identity() const;
+///     Partial Lift(const Input&) const;
+///     Partial Combine(const Partial&, const Partial&) const;  // associative
+///     Output Lower(const Partial&) const;
+///   };
+///
+/// Combine must be associative; slicing only ever combines adjacent ranges
+/// in stream order, so non-commutative functions are supported too.
+
+template <typename T>
+struct SumAgg {
+  using Input = T;
+  using Partial = T;
+  using Output = T;
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "sum";
+
+  Partial Identity() const { return T{}; }
+  Partial Lift(const Input& v) const { return v; }
+  Partial Combine(const Partial& a, const Partial& b) const { return a + b; }
+  Partial Invert(const Partial& whole, const Partial& part) const {
+    return whole - part;
+  }
+  Output Lower(const Partial& p) const { return p; }
+};
+
+template <typename T>
+struct CountAgg {
+  using Input = T;
+  using Partial = uint64_t;
+  using Output = uint64_t;
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "count";
+
+  Partial Identity() const { return 0; }
+  Partial Lift(const Input&) const { return 1; }
+  Partial Combine(const Partial& a, const Partial& b) const { return a + b; }
+  Partial Invert(const Partial& whole, const Partial& part) const {
+    return whole - part;
+  }
+  Output Lower(const Partial& p) const { return p; }
+};
+
+template <typename T>
+struct MinAgg {
+  using Input = T;
+  using Partial = T;
+  using Output = T;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "min";
+
+  Partial Identity() const {
+    if constexpr (std::numeric_limits<T>::has_infinity) {
+      return std::numeric_limits<T>::infinity();
+    } else {
+      return std::numeric_limits<T>::max();
+    }
+  }
+  Partial Lift(const Input& v) const { return v; }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    return b < a ? b : a;
+  }
+  Output Lower(const Partial& p) const { return p; }
+};
+
+template <typename T>
+struct MaxAgg {
+  using Input = T;
+  using Partial = T;
+  using Output = T;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "max";
+
+  Partial Identity() const {
+    if constexpr (std::numeric_limits<T>::has_infinity) {
+      return -std::numeric_limits<T>::infinity();
+    } else {
+      return std::numeric_limits<T>::lowest();
+    }
+  }
+  Partial Lift(const Input& v) const { return v; }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    return a < b ? b : a;
+  }
+  Output Lower(const Partial& p) const { return p; }
+};
+
+/// Arithmetic mean; Partial carries (sum, count) so it is invertible.
+template <typename T>
+struct MeanAgg {
+  using Input = T;
+  struct Partial {
+    double sum = 0;
+    uint64_t count = 0;
+    bool operator==(const Partial&) const = default;
+  };
+  using Output = double;
+  static constexpr bool kInvertible = true;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "mean";
+
+  Partial Identity() const { return {}; }
+  Partial Lift(const Input& v) const {
+    return {static_cast<double>(v), 1};
+  }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    return {a.sum + b.sum, a.count + b.count};
+  }
+  Partial Invert(const Partial& whole, const Partial& part) const {
+    return {whole.sum - part.sum, whole.count - part.count};
+  }
+  Output Lower(const Partial& p) const {
+    return p.count == 0 ? 0.0 : p.sum / static_cast<double>(p.count);
+  }
+};
+
+/// Population variance with numerically stable parallel combine
+/// (Chan et al.). Not invertible -- the canonical case where tree-based
+/// partial stores (FlatFat) matter.
+template <typename T>
+struct VarianceAgg {
+  using Input = T;
+  struct Partial {
+    uint64_t n = 0;
+    double mean = 0;
+    double m2 = 0;
+    bool operator==(const Partial&) const = default;
+  };
+  using Output = double;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "variance";
+
+  Partial Identity() const { return {}; }
+  Partial Lift(const Input& v) const {
+    return {1, static_cast<double>(v), 0};
+  }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    if (a.n == 0) return b;
+    if (b.n == 0) return a;
+    const double n = static_cast<double>(a.n + b.n);
+    const double delta = b.mean - a.mean;
+    Partial out;
+    out.n = a.n + b.n;
+    out.mean = a.mean + delta * static_cast<double>(b.n) / n;
+    out.m2 = a.m2 + b.m2 +
+             delta * delta * static_cast<double>(a.n) *
+                 static_cast<double>(b.n) / n;
+    return out;
+  }
+  Output Lower(const Partial& p) const {
+    return p.n == 0 ? 0.0 : p.m2 / static_cast<double>(p.n);
+  }
+};
+
+/// Value at the maximum, e.g. "timestamp of the peak". Input is
+/// (argument, value); ties keep the earliest argument. Non-invertible.
+struct ArgMaxAgg {
+  using Input = std::pair<int64_t, double>;
+  struct Partial {
+    int64_t arg = 0;
+    double value = -std::numeric_limits<double>::infinity();
+    bool valid = false;
+    bool operator==(const Partial&) const = default;
+  };
+  using Output = int64_t;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "argmax";
+
+  Partial Identity() const { return {}; }
+  Partial Lift(const Input& v) const { return {v.first, v.second, true}; }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    if (!a.valid) return b;
+    if (!b.valid) return a;
+    if (b.value > a.value) return b;
+    return a;
+  }
+  Output Lower(const Partial& p) const { return p.arg; }
+};
+
+/// Collects window contents in stream order. Deliberately non-commutative:
+/// used by tests to verify that stores combine adjacent ranges strictly
+/// left-to-right.
+template <typename T>
+struct CollectAgg {
+  using Input = T;
+  using Partial = std::vector<T>;
+  using Output = std::vector<T>;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = false;
+  static constexpr const char* kName = "collect";
+
+  Partial Identity() const { return {}; }
+  Partial Lift(const Input& v) const { return {v}; }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    Partial out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+  Output Lower(const Partial& p) const { return p; }
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WINDOW_AGGREGATE_FN_H_

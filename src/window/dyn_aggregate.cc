@@ -1,0 +1,160 @@
+#include "window/dyn_aggregate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+std::string_view DynAggKindToString(DynAggKind kind) {
+  switch (kind) {
+    case DynAggKind::kSum:
+      return "sum";
+    case DynAggKind::kCount:
+      return "count";
+    case DynAggKind::kMin:
+      return "min";
+    case DynAggKind::kMax:
+      return "max";
+    case DynAggKind::kAvg:
+      return "avg";
+    case DynAggKind::kVariance:
+      return "variance";
+    case DynAggKind::kFirst:
+      return "first";
+    case DynAggKind::kLast:
+      return "last";
+    case DynAggKind::kArgMaxTs:
+      return "argmax-ts";
+  }
+  return "unknown";
+}
+
+DynPartial DynAggregate::Lift(const Value& v, Timestamp ts) const {
+  DynPartial p;
+  p.n = 1;
+  p.ts = ts;
+  p.valid = true;
+  if (kind_ == DynAggKind::kCount) return p;
+  p.a = v.ToDouble();
+  return p;
+}
+
+DynPartial DynAggregate::Combine(const DynPartial& x,
+                                 const DynPartial& y) const {
+  if (!x.valid) return y;
+  if (!y.valid) return x;
+  DynPartial out;
+  out.valid = true;
+  out.n = x.n + y.n;
+  switch (kind_) {
+    case DynAggKind::kSum:
+    case DynAggKind::kCount:
+      out.a = x.a + y.a;
+      break;
+    case DynAggKind::kMin:
+      out.a = std::min(x.a, y.a);
+      break;
+    case DynAggKind::kMax:
+      out.a = std::max(x.a, y.a);
+      break;
+    case DynAggKind::kAvg: {
+      // a stores the running sum; Lower divides by n.
+      out.a = x.a + y.a;
+      break;
+    }
+    case DynAggKind::kVariance: {
+      // x.a/y.a carry means; x.b/y.b carry M2 (Chan et al. combine).
+      const double nx = static_cast<double>(x.n);
+      const double ny = static_cast<double>(y.n);
+      const double n = nx + ny;
+      const double delta = y.a - x.a;
+      out.a = x.a + delta * ny / n;
+      out.b = x.b + y.b + delta * delta * nx * ny / n;
+      break;
+    }
+    case DynAggKind::kFirst:
+      out = x.ts <= y.ts ? x : y;
+      out.n = x.n + y.n;
+      break;
+    case DynAggKind::kLast:
+      out = y.ts >= x.ts ? y : x;
+      out.n = x.n + y.n;
+      break;
+    case DynAggKind::kArgMaxTs:
+      // Keep the partial whose value is larger (earliest ts on ties).
+      out = (y.a > x.a || (y.a == x.a && y.ts < x.ts)) ? y : x;
+      out.n = x.n + y.n;
+      break;
+  }
+  if (kind_ == DynAggKind::kArgMaxTs) return out;
+  if (kind_ != DynAggKind::kFirst && kind_ != DynAggKind::kLast) {
+    out.ts = std::max(x.ts, y.ts);
+  }
+  return out;
+}
+
+DynPartial DynAggregate::Invert(const DynPartial& whole,
+                                const DynPartial& part) const {
+  STREAMLINE_CHECK(invertible())
+      << "Invert on non-invertible aggregate " << DynAggKindToString(kind_);
+  if (!part.valid) return whole;
+  DynPartial out = whole;
+  out.n = whole.n - part.n;
+  out.a = whole.a - part.a;
+  out.valid = out.n > 0;
+  return out;
+}
+
+Value DynAggregate::Lower(const DynPartial& p) const {
+  switch (kind_) {
+    case DynAggKind::kCount:
+      return Value(static_cast<int64_t>(p.n));
+    case DynAggKind::kSum:
+      return Value(p.valid ? p.a : 0.0);
+    case DynAggKind::kMin:
+    case DynAggKind::kMax:
+    case DynAggKind::kFirst:
+    case DynAggKind::kLast:
+      return p.valid ? Value(p.a) : Value::Null();
+    case DynAggKind::kAvg:
+      return p.n == 0 ? Value::Null()
+                      : Value(p.a / static_cast<double>(p.n));
+    case DynAggKind::kVariance:
+      return p.n == 0 ? Value::Null()
+                      : Value(p.b / static_cast<double>(p.n));
+    case DynAggKind::kArgMaxTs:
+      return p.valid ? Value(p.ts) : Value::Null();
+  }
+  return Value::Null();
+}
+
+void DynAggregate::SerializePartial(const DynPartial& p, BinaryWriter* w) {
+  w->WriteDouble(p.a);
+  w->WriteDouble(p.b);
+  w->WriteI64(p.n);
+  w->WriteI64(p.ts);
+  w->WriteBool(p.valid);
+}
+
+Result<DynPartial> DynAggregate::DeserializePartial(BinaryReader* r) {
+  DynPartial p;
+  auto a = r->ReadDouble();
+  if (!a.ok()) return a.status();
+  auto b = r->ReadDouble();
+  if (!b.ok()) return b.status();
+  auto n = r->ReadI64();
+  if (!n.ok()) return n.status();
+  auto ts = r->ReadI64();
+  if (!ts.ok()) return ts.status();
+  auto valid = r->ReadBool();
+  if (!valid.ok()) return valid.status();
+  p.a = *a;
+  p.b = *b;
+  p.n = *n;
+  p.ts = *ts;
+  p.valid = *valid;
+  return p;
+}
+
+}  // namespace streamline

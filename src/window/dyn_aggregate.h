@@ -1,0 +1,73 @@
+#ifndef STREAMLINE_WINDOW_DYN_AGGREGATE_H_
+#define STREAMLINE_WINDOW_DYN_AGGREGATE_H_
+
+#include <string>
+
+#include "common/serde.h"
+#include "common/time.h"
+#include "common/value.h"
+
+namespace streamline {
+
+/// Aggregate kinds available through the dynamic (Value-based) engine API.
+enum class DynAggKind : uint8_t {
+  kSum = 0,
+  kCount = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+  kVariance = 5,
+  kFirst = 6,
+  kLast = 7,
+  /// Timestamp at which the maximum value occurred ("when was the peak").
+  kArgMaxTs = 8,
+};
+
+std::string_view DynAggKindToString(DynAggKind kind);
+
+/// Fixed-size partial state covering every DynAggKind; cheap to copy and to
+/// snapshot. Interpretation of the fields depends on the kind.
+struct DynPartial {
+  double a = 0;        // sum / min / max / mean / value
+  double b = 0;        // m2 (variance)
+  int64_t n = 0;       // element count
+  Timestamp ts = 0;    // timestamp (first / last)
+  bool valid = false;  // has at least one element
+
+  bool operator==(const DynPartial&) const = default;
+};
+
+/// Runtime algebraic aggregate over Value fields — the engine-facing twin of
+/// the template aggregates in aggregate_fn.h. Stateless: all methods are
+/// const and take partials explicitly, so one instance can serve any number
+/// of keys/windows.
+class DynAggregate {
+ public:
+  explicit DynAggregate(DynAggKind kind) : kind_(kind) {}
+
+  DynAggKind kind() const { return kind_; }
+  bool invertible() const {
+    return kind_ == DynAggKind::kSum || kind_ == DynAggKind::kCount ||
+           kind_ == DynAggKind::kAvg;
+  }
+
+  DynPartial Identity() const { return DynPartial{}; }
+  /// Lifts one element; `v` must be numeric for numeric kinds (kCount
+  /// accepts anything).
+  DynPartial Lift(const Value& v, Timestamp ts) const;
+  DynPartial Combine(const DynPartial& x, const DynPartial& y) const;
+  /// Only valid when invertible(): removes `part` from `whole`.
+  DynPartial Invert(const DynPartial& whole, const DynPartial& part) const;
+  /// Final result; Null for an empty partial of min/max/first/last.
+  Value Lower(const DynPartial& p) const;
+
+  static void SerializePartial(const DynPartial& p, BinaryWriter* w);
+  static Result<DynPartial> DeserializePartial(BinaryReader* r);
+
+ private:
+  DynAggKind kind_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WINDOW_DYN_AGGREGATE_H_

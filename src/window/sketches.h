@@ -1,0 +1,170 @@
+#ifndef STREAMLINE_WINDOW_SKETCHES_H_
+#define STREAMLINE_WINDOW_SKETCHES_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace streamline {
+
+/// HyperLogLog register set with 2^P registers. Mergeable (register-wise
+/// max), so it is a valid algebraic Partial: windowed count-distinct
+/// queries share slices exactly like sum or max -- the "much more advanced
+/// analyses" the paper says current systems make hard.
+template <int P = 10>
+struct HllSketch {
+  static constexpr int kRegisters = 1 << P;
+  std::array<uint8_t, kRegisters> registers{};
+
+  void AddHash(uint64_t hash) {
+    // Defensive finalizer (murmur3 fmix64): HLL consumes the HIGH bits of
+    // the hash, which are weak in common hashes (e.g. FNV-1a); mixing here
+    // keeps the estimator accurate regardless of the caller's hash.
+    hash ^= hash >> 33;
+    hash *= 0xFF51AFD7ED558CCDULL;
+    hash ^= hash >> 33;
+    hash *= 0xC4CEB9FE1A85EC53ULL;
+    hash ^= hash >> 33;
+    const uint32_t idx = static_cast<uint32_t>(hash >> (64 - P));
+    const uint64_t rest = hash << P;
+    // Rank: 1 + leading zeros of the remaining bits (capped).
+    const uint8_t rank = static_cast<uint8_t>(
+        rest == 0 ? (64 - P + 1) : (1 + __builtin_clzll(rest)));
+    registers[idx] = std::max(registers[idx], rank);
+  }
+
+  void Merge(const HllSketch& other) {
+    for (int i = 0; i < kRegisters; ++i) {
+      registers[i] = std::max(registers[i], other.registers[i]);
+    }
+  }
+
+  /// Cardinality estimate with the standard bias correction for the small
+  /// range (linear counting when many registers are empty).
+  double Estimate() const {
+    const double m = kRegisters;
+    double sum = 0;
+    int zeros = 0;
+    for (int i = 0; i < kRegisters; ++i) {
+      sum += std::exp2(-static_cast<double>(registers[i]));
+      if (registers[i] == 0) ++zeros;
+    }
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double estimate = alpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+      estimate = m * std::log(m / zeros);  // linear counting
+    }
+    return estimate;
+  }
+
+  bool operator==(const HllSketch&) const = default;
+};
+
+/// Windowed approximate COUNT DISTINCT as an algebraic aggregate function:
+/// Input is a pre-hashed element (uint64), Partial a mergeable HLL sketch.
+/// Non-invertible and non-trivial to recompute -- the class of functions
+/// where shared slice stores (FlatFAT) pay off most.
+template <int P = 10>
+struct CountDistinctAgg {
+  using Input = uint64_t;  // 64-bit hash of the element
+  using Partial = HllSketch<P>;
+  using Output = double;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "count-distinct";
+
+  Partial Identity() const { return Partial{}; }
+  Partial Lift(const Input& hash) const {
+    Partial p;
+    p.AddHash(hash);
+    return p;
+  }
+  Partial Combine(const Partial& a, const Partial& b) const {
+    Partial out = a;
+    out.Merge(b);
+    return out;
+  }
+  Output Lower(const Partial& p) const { return p.Estimate(); }
+};
+
+/// Fixed-grid histogram over [lo, hi) with `N` buckets -- a mergeable
+/// summary supporting approximate quantiles (resolution (hi-lo)/N).
+/// Deterministic, algebraic, and bounded-size: the windowed-percentile
+/// partial for latency dashboards.
+template <int N = 128>
+struct GridHistogram {
+  std::array<uint64_t, N> buckets{};
+  uint64_t below = 0;  // < lo
+  uint64_t above = 0;  // >= hi
+
+  bool operator==(const GridHistogram&) const = default;
+};
+
+/// Windowed approximate quantile as an algebraic aggregate function.
+/// `q` and the value range are configuration; the partial is a
+/// GridHistogram, combined bucket-wise.
+template <int N = 128>
+class QuantileAgg {
+ public:
+  using Input = double;
+  using Partial = GridHistogram<N>;
+  using Output = double;
+  static constexpr bool kInvertible = false;
+  static constexpr bool kCommutative = true;
+  static constexpr const char* kName = "quantile";
+
+  QuantileAgg(double q, double lo, double hi) : q_(q), lo_(lo), hi_(hi) {}
+
+  Partial Identity() const { return Partial{}; }
+
+  Partial Lift(const Input& v) const {
+    Partial p;
+    if (v < lo_) {
+      p.below = 1;
+    } else if (v >= hi_) {
+      p.above = 1;
+    } else {
+      const int idx = static_cast<int>((v - lo_) / (hi_ - lo_) * N);
+      p.buckets[std::min(idx, N - 1)] = 1;
+    }
+    return p;
+  }
+
+  Partial Combine(const Partial& a, const Partial& b) const {
+    Partial out = a;
+    for (int i = 0; i < N; ++i) out.buckets[i] += b.buckets[i];
+    out.below += b.below;
+    out.above += b.above;
+    return out;
+  }
+
+  /// Approximate q-quantile: lower edge of the bucket holding the q-th
+  /// element (clamped to the configured range).
+  Output Lower(const Partial& p) const {
+    uint64_t total = p.below + p.above;
+    for (int i = 0; i < N; ++i) total += p.buckets[i];
+    if (total == 0) return lo_;
+    const auto target = static_cast<uint64_t>(q_ * static_cast<double>(total));
+    uint64_t seen = p.below;
+    if (seen > target) return lo_;
+    for (int i = 0; i < N; ++i) {
+      seen += p.buckets[i];
+      if (seen > target) {
+        return lo_ + (hi_ - lo_) * i / N;
+      }
+    }
+    return hi_;
+  }
+
+  double q() const { return q_; }
+
+ private:
+  double q_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WINDOW_SKETCHES_H_

@@ -1,0 +1,49 @@
+#ifndef STREAMLINE_WINDOW_WINDOW_H_
+#define STREAMLINE_WINDOW_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace streamline {
+
+/// Half-open event-time interval [start, end). All window kinds (periodic,
+/// session, count, punctuation, arbitrary UDWs) resolve to Window instances
+/// when they fire.
+struct Window {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  Duration length() const { return end - start; }
+  bool Contains(Timestamp ts) const { return ts >= start && ts < end; }
+
+  std::string ToString() const {
+    return "[" + std::to_string(start) + ", " + std::to_string(end) + ")";
+  }
+
+  bool operator==(const Window& other) const {
+    return start == other.start && end == other.end;
+  }
+  bool operator!=(const Window& other) const { return !(*this == other); }
+  bool operator<(const Window& other) const {
+    if (end != other.end) return end < other.end;
+    return start < other.start;
+  }
+};
+
+}  // namespace streamline
+
+namespace std {
+template <>
+struct hash<streamline::Window> {
+  size_t operator()(const streamline::Window& w) const {
+    uint64_t h = static_cast<uint64_t>(w.start) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(w.end) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std
+
+#endif  // STREAMLINE_WINDOW_WINDOW_H_

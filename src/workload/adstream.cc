@@ -1,0 +1,36 @@
+#include "workload/adstream.h"
+
+namespace streamline {
+
+Record AdEvent::ToRecord() const {
+  return MakeRecord(ts, Value(static_cast<int64_t>(campaign)),
+                    Value(is_click), Value(cost));
+}
+
+AdStreamGenerator::AdStreamGenerator(Options options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      campaigns_(options.num_campaigns, options.campaign_skew, seed ^ 0x77) {}
+
+double AdStreamGenerator::CampaignCtr(uint64_t campaign) const {
+  return options_.base_ctr * (1.0 + static_cast<double>(campaign % 5));
+}
+
+AdEvent AdStreamGenerator::Next() {
+  clock_ms_ += 1000.0 / options_.events_per_second;
+  AdEvent ev;
+  ev.ts = static_cast<Timestamp>(clock_ms_);
+  ev.campaign = campaigns_.Next();
+  ev.is_click = rng_.NextBool(CampaignCtr(ev.campaign));
+  ev.cost = ev.is_click ? 0.5 + rng_.NextDouble() : 0.01;
+  return ev;
+}
+
+std::vector<AdEvent> AdStreamGenerator::Take(size_t n) {
+  std::vector<AdEvent> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace streamline

@@ -1,0 +1,52 @@
+#ifndef STREAMLINE_WORKLOAD_ADSTREAM_H_
+#define STREAMLINE_WORKLOAD_ADSTREAM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/record.h"
+
+namespace streamline {
+
+/// One advertising event -- the paper's target-advertisement use case.
+struct AdEvent {
+  Timestamp ts = 0;
+  uint64_t campaign = 0;
+  bool is_click = false;  // else impression
+  double cost = 0;        // cost of the impression / click
+
+  /// [campaign(i64), is_click(bool), cost(double)] at `ts`.
+  Record ToRecord() const;
+};
+
+/// Impression/click stream with Zipf-distributed campaigns and per-campaign
+/// click-through rates. Timestamps advance at a configurable event rate.
+/// Multi-window CTR dashboards over this stream are the canonical
+/// multi-query sharing workload (same aggregate, many window sizes).
+class AdStreamGenerator {
+ public:
+  struct Options {
+    uint64_t num_campaigns = 100;
+    double campaign_skew = 1.0;
+    double events_per_second = 10'000;
+    double base_ctr = 0.02;  // campaign c gets base_ctr * (1 + c % 5)
+  };
+
+  explicit AdStreamGenerator(Options options, uint64_t seed = 4);
+
+  AdEvent Next();
+  std::vector<AdEvent> Take(size_t n);
+
+  /// Ground-truth click probability of a campaign.
+  double CampaignCtr(uint64_t campaign) const;
+
+ private:
+  Options options_;
+  Rng rng_;
+  ZipfGenerator campaigns_;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WORKLOAD_ADSTREAM_H_

@@ -1,0 +1,93 @@
+#include "workload/clickstream.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace streamline {
+
+Record ClickEvent::ToRecord() const {
+  return MakeRecord(ts, Value(static_cast<int64_t>(user)),
+                    Value(static_cast<int64_t>(kind)),
+                    Value(static_cast<int64_t>(item)), Value(value));
+}
+
+ClickstreamGenerator::ClickstreamGenerator(Options options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      users_(options.num_users, options.user_skew, seed ^ 0xABCD),
+      items_(options.num_items, options.item_skew, seed ^ 0x1234) {
+  STREAMLINE_CHECK_GE(options_.max_session_events,
+                      options_.min_session_events);
+  STREAMLINE_CHECK_GT(options_.min_session_events, 0u);
+}
+
+void ClickstreamGenerator::ScheduleSession() {
+  // Global Poisson session arrivals.
+  double u = rng_.NextDouble();
+  while (u <= 1e-12) u = rng_.NextDouble();
+  session_clock_ms_ +=
+      -1000.0 / options_.sessions_per_second * std::log(u);
+
+  const uint64_t user = users_.Next();
+  // Keep one user's sessions separated by at least session_gap_ms so that
+  // session windows with gap <= session_gap_ms recover them exactly.
+  double start = session_clock_ms_;
+  auto it = user_last_end_.find(user);
+  if (it != user_last_end_.end()) {
+    start = std::max(
+        start, it->second + static_cast<double>(options_.session_gap_ms) + 1);
+  }
+
+  const uint64_t n_events =
+      options_.min_session_events +
+      rng_.NextBelow(options_.max_session_events -
+                     options_.min_session_events + 1);
+  double t = start;
+  for (uint64_t i = 0; i < n_events; ++i) {
+    ClickEvent ev;
+    ev.ts = static_cast<Timestamp>(t);
+    ev.user = user;
+    ev.item = items_.Next();
+    if (rng_.NextBool(options_.click_probability)) {
+      if (rng_.NextBool(options_.purchase_probability /
+                        options_.click_probability)) {
+        ev.kind = ClickEvent::Kind::kPurchase;
+        ev.value = 5.0 + rng_.NextDouble() * 195.0;
+      } else {
+        ev.kind = ClickEvent::Kind::kClick;
+      }
+    } else {
+      ev.kind = ClickEvent::Kind::kView;
+    }
+    pending_.push(PendingEvent{ev});
+    if (i + 1 < n_events) {
+      t += 1.0 + rng_.NextDouble() *
+                     static_cast<double>(options_.max_event_gap_ms - 1);
+    }
+  }
+  user_last_end_[user] = t;
+}
+
+ClickEvent ClickstreamGenerator::Next() {
+  // Emit in global order: an event may be released once no future session
+  // (they all start at >= session_clock_ms_) could precede it.
+  while (pending_.empty() ||
+         pending_.top().event.ts >=
+             static_cast<Timestamp>(session_clock_ms_)) {
+    ScheduleSession();
+  }
+  ClickEvent ev = pending_.top().event;
+  pending_.pop();
+  return ev;
+}
+
+std::vector<ClickEvent> ClickstreamGenerator::Take(size_t n) {
+  std::vector<ClickEvent> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace streamline

@@ -1,0 +1,80 @@
+#ifndef STREAMLINE_WORKLOAD_CLICKSTREAM_H_
+#define STREAMLINE_WORKLOAD_CLICKSTREAM_H_
+
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/record.h"
+
+namespace streamline {
+
+/// One user interaction -- the unit of the paper's customer-retention and
+/// recommendation use cases.
+struct ClickEvent {
+  Timestamp ts = 0;
+  uint64_t user = 0;
+  enum class Kind : uint8_t { kView = 0, kClick = 1, kPurchase = 2 };
+  Kind kind = Kind::kView;
+  uint64_t item = 0;
+  double value = 0;  // purchase amount (kPurchase only)
+
+  /// [user(i64), kind(i64), item(i64), value(double)] at `ts`.
+  Record ToRecord() const;
+};
+
+/// Session-structured clickstream: Zipf-distributed users start sessions
+/// (Poisson arrivals); a session is a burst of events with small gaps, so
+/// session windows with a matching gap recover the generated sessions
+/// exactly. Events are emitted globally ordered by timestamp.
+class ClickstreamGenerator {
+ public:
+  struct Options {
+    uint64_t num_users = 1000;
+    double user_skew = 0.8;           // Zipf exponent over users
+    uint64_t num_items = 500;
+    double item_skew = 1.0;
+    double sessions_per_second = 5.0;  // global session start rate
+    uint64_t min_session_events = 2;
+    uint64_t max_session_events = 20;
+    Duration max_event_gap_ms = 20'000;  // intra-session spacing bound
+    Duration session_gap_ms = 30'000;    // guaranteed inter-session silence
+    double click_probability = 0.3;      // else view
+    double purchase_probability = 0.05;  // subset of clicks
+  };
+
+  explicit ClickstreamGenerator(Options options, uint64_t seed = 3);
+
+  /// Next event in global timestamp order.
+  ClickEvent Next();
+  std::vector<ClickEvent> Take(size_t n);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct PendingEvent {
+    ClickEvent event;
+    bool operator>(const PendingEvent& other) const {
+      return event.ts > other.event.ts;
+    }
+  };
+
+  void ScheduleSession();
+
+  Options options_;
+  Rng rng_;
+  ZipfGenerator users_;
+  ZipfGenerator items_;
+  double session_clock_ms_ = 0.0;
+  std::unordered_map<uint64_t, double> user_last_end_;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                      std::greater<PendingEvent>>
+      pending_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WORKLOAD_CLICKSTREAM_H_

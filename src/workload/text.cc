@@ -1,0 +1,38 @@
+#include "workload/text.h"
+
+#include <sstream>
+
+namespace streamline {
+
+TextGenerator::TextGenerator(Options options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      words_(options.vocabulary, options.skew, seed ^ 0x55) {}
+
+std::pair<Timestamp, std::string> TextGenerator::NextLine() {
+  clock_ms_ += 1000.0 / options_.lines_per_second;
+  const uint64_t n = options_.min_words +
+                     rng_.NextBelow(options_.max_words -
+                                    options_.min_words + 1);
+  std::string line;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i > 0) line += ' ';
+    line += WordFor(words_.Next());
+  }
+  return {static_cast<Timestamp>(clock_ms_), std::move(line)};
+}
+
+Record TextGenerator::NextRecord() {
+  auto [ts, line] = NextLine();
+  return MakeRecord(ts, Value(std::move(line)));
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string word;
+  while (is >> word) out.push_back(word);
+  return out;
+}
+
+}  // namespace streamline

@@ -1,0 +1,49 @@
+#ifndef STREAMLINE_WORKLOAD_TEXT_H_
+#define STREAMLINE_WORKLOAD_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/record.h"
+
+namespace streamline {
+
+/// Sentences over a Zipf-distributed synthetic vocabulary ("word0",
+/// "word1", ...) -- the word-count / multilingual-web-processing stand-in.
+class TextGenerator {
+ public:
+  struct Options {
+    uint64_t vocabulary = 1000;
+    double skew = 1.0;
+    uint64_t min_words = 3;
+    uint64_t max_words = 12;
+    double lines_per_second = 100.0;
+  };
+
+  explicit TextGenerator(Options options, uint64_t seed = 5);
+
+  /// Next line of text with its event time.
+  std::pair<Timestamp, std::string> NextLine();
+
+  /// [line(string)] record at the line's event time.
+  Record NextRecord();
+
+  /// The word for vocabulary rank `r`.
+  static std::string WordFor(uint64_t rank) {
+    return "word" + std::to_string(rank);
+  }
+
+ private:
+  Options options_;
+  Rng rng_;
+  ZipfGenerator words_;
+  double clock_ms_ = 0.0;
+};
+
+/// Splits `line` on spaces (used by the word-count examples).
+std::vector<std::string> SplitWords(const std::string& line);
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WORKLOAD_TEXT_H_

@@ -1,0 +1,64 @@
+#include "workload/timeseries.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace streamline {
+namespace {
+
+// Advances an event-time clock by one inter-arrival gap.
+double NextGapMs(const RateShape& rate, Rng* rng) {
+  STREAMLINE_CHECK_GT(rate.rate_per_second, 0.0);
+  const double mean_gap = 1000.0 / rate.rate_per_second;
+  if (rate.burstiness <= 0.0) return mean_gap;
+  // Blend regular and exponential spacing.
+  double u = rng->NextDouble();
+  while (u <= 1e-12) u = rng->NextDouble();
+  const double exp_gap = -mean_gap * std::log(u);
+  return (1.0 - rate.burstiness) * mean_gap + rate.burstiness * exp_gap;
+}
+
+}  // namespace
+
+RandomWalkSeries::RandomWalkSeries(RateShape rate, double start_value,
+                                   double sigma, uint64_t seed)
+    : rate_(rate), value_(start_value), sigma_(sigma), rng_(seed) {}
+
+SeriesPoint RandomWalkSeries::Next() {
+  clock_ms_ += NextGapMs(rate_, &rng_);
+  value_ += sigma_ * rng_.NextGaussian();
+  return SeriesPoint{static_cast<Timestamp>(clock_ms_), value_};
+}
+
+std::vector<SeriesPoint> RandomWalkSeries::Take(size_t n) {
+  std::vector<SeriesPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+SeasonalSensorSeries::SeasonalSensorSeries(RateShape rate, Options options,
+                                           uint64_t seed)
+    : rate_(rate), options_(options), rng_(seed) {}
+
+SeriesPoint SeasonalSensorSeries::Next() {
+  clock_ms_ += NextGapMs(rate_, &rng_);
+  const double phase = 2.0 * M_PI * clock_ms_ /
+                       static_cast<double>(options_.period_ms);
+  double v = options_.base + options_.amplitude * std::sin(phase) +
+             options_.noise_sigma * rng_.NextGaussian();
+  if (rng_.NextBool(options_.spike_probability)) {
+    v += (rng_.NextBool(0.5) ? 1.0 : -1.0) * options_.spike_magnitude;
+  }
+  return SeriesPoint{static_cast<Timestamp>(clock_ms_), v};
+}
+
+std::vector<SeriesPoint> SeasonalSensorSeries::Take(size_t n) {
+  std::vector<SeriesPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace streamline

@@ -1,0 +1,68 @@
+#ifndef STREAMLINE_WORKLOAD_TIMESERIES_H_
+#define STREAMLINE_WORKLOAD_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time.h"
+#include "viz/m4.h"
+
+namespace streamline {
+
+/// Arrival-rate shaping: timestamps advance so that `rate_per_second`
+/// samples fall into each 1000 ms of event time (with optional burstiness).
+struct RateShape {
+  double rate_per_second = 1000.0;
+  /// 0 = perfectly regular spacing; 1 = exponential (Poisson) spacing.
+  double burstiness = 0.0;
+};
+
+/// Gaussian random-walk series: v += sigma * N(0,1) per step. The generic
+/// "metric" signal of the I2 experiments.
+class RandomWalkSeries {
+ public:
+  RandomWalkSeries(RateShape rate, double start_value = 0.0,
+                   double sigma = 1.0, uint64_t seed = 1);
+
+  SeriesPoint Next();
+  /// Generates `n` points.
+  std::vector<SeriesPoint> Take(size_t n);
+
+ private:
+  RateShape rate_;
+  double value_;
+  double sigma_;
+  Rng rng_;
+  double clock_ms_ = 0.0;
+};
+
+/// Seasonal sensor series: daily sine + noise + occasional spikes -- the
+/// shape where mean-based reductions (PAA, sampling) visibly lose spikes
+/// while M4 keeps them.
+class SeasonalSensorSeries {
+ public:
+  struct Options {
+    double base = 20.0;        // mean level
+    double amplitude = 5.0;    // seasonal swing
+    Duration period_ms = 60'000;
+    double noise_sigma = 0.5;
+    double spike_probability = 0.001;
+    double spike_magnitude = 15.0;
+  };
+
+  SeasonalSensorSeries(RateShape rate, Options options, uint64_t seed = 2);
+
+  SeriesPoint Next();
+  std::vector<SeriesPoint> Take(size_t n);
+
+ private:
+  RateShape rate_;
+  Options options_;
+  Rng rng_;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_WORKLOAD_TIMESERIES_H_

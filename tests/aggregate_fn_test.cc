@@ -1,0 +1,112 @@
+#include "window/aggregate_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamline {
+namespace {
+
+template <typename Agg>
+typename Agg::Partial FoldAll(const Agg& agg,
+                              const std::vector<typename Agg::Input>& in) {
+  typename Agg::Partial acc = agg.Identity();
+  for (const auto& v : in) acc = agg.Combine(acc, agg.Lift(v));
+  return acc;
+}
+
+TEST(SumAggTest, Basics) {
+  SumAgg<double> agg;
+  EXPECT_DOUBLE_EQ(agg.Lower(FoldAll(agg, {1.0, 2.5, 3.5})), 7.0);
+  EXPECT_DOUBLE_EQ(agg.Lower(agg.Identity()), 0.0);
+  EXPECT_DOUBLE_EQ(agg.Invert(agg.Lift(10.0), agg.Lift(4.0)), 6.0);
+  static_assert(SumAgg<double>::kInvertible);
+}
+
+TEST(CountAggTest, CountsAnything) {
+  CountAgg<double> agg;
+  EXPECT_EQ(agg.Lower(FoldAll(agg, {1.0, 2.0, 3.0})), 3u);
+  EXPECT_EQ(agg.Invert(5, 2), 3u);
+}
+
+TEST(MinMaxAggTest, IdentityIsNeutral) {
+  MinAgg<double> mn;
+  MaxAgg<double> mx;
+  EXPECT_DOUBLE_EQ(mn.Combine(mn.Identity(), 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(mx.Combine(mx.Identity(), -5.0), -5.0);
+  EXPECT_DOUBLE_EQ(mn.Lower(FoldAll(mn, {3.0, -1.0, 2.0})), -1.0);
+  EXPECT_DOUBLE_EQ(mx.Lower(FoldAll(mx, {3.0, -1.0, 2.0})), 3.0);
+}
+
+TEST(MinMaxAggTest, IntegerIdentity) {
+  MinAgg<int64_t> mn;
+  MaxAgg<int64_t> mx;
+  EXPECT_EQ(mn.Combine(mn.Identity(), int64_t{7}), 7);
+  EXPECT_EQ(mx.Combine(mx.Identity(), int64_t{-7}), -7);
+}
+
+TEST(MeanAggTest, MeanAndInvert) {
+  MeanAgg<double> agg;
+  auto p = FoldAll(agg, {2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(agg.Lower(p), 4.0);
+  auto q = agg.Invert(p, agg.Lift(6.0));
+  EXPECT_DOUBLE_EQ(agg.Lower(q), 3.0);
+  EXPECT_DOUBLE_EQ(agg.Lower(agg.Identity()), 0.0);
+}
+
+TEST(VarianceAggTest, MatchesDirectFormula) {
+  VarianceAgg<double> agg;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  auto p = FoldAll(agg, xs);
+  EXPECT_NEAR(agg.Lower(p), 4.0, 1e-12);  // known population variance
+}
+
+TEST(VarianceAggTest, CombineIsAssociativeAcrossSplits) {
+  VarianceAgg<double> agg;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto whole = FoldAll(agg, xs);
+  // Combine of arbitrary prefix/suffix splits must match.
+  for (size_t split = 0; split <= xs.size(); ++split) {
+    auto a = FoldAll(agg, {xs.begin(), xs.begin() + split});
+    auto b = FoldAll(agg, {xs.begin() + split, xs.end()});
+    auto merged = agg.Combine(a, b);
+    EXPECT_NEAR(agg.Lower(merged), agg.Lower(whole), 1e-9) << split;
+  }
+}
+
+TEST(VarianceAggTest, IdentityIsNeutral) {
+  VarianceAgg<double> agg;
+  auto p = FoldAll(agg, {1.0, 5.0});
+  auto left = agg.Combine(agg.Identity(), p);
+  auto right = agg.Combine(p, agg.Identity());
+  EXPECT_EQ(left, p);
+  EXPECT_EQ(right, p);
+}
+
+TEST(ArgMaxAggTest, TracksArgument) {
+  ArgMaxAgg agg;
+  auto p = FoldAll(agg, {{10, 1.0}, {20, 5.0}, {30, 3.0}});
+  EXPECT_EQ(agg.Lower(p), 20);
+}
+
+TEST(ArgMaxAggTest, TieKeepsEarliest) {
+  ArgMaxAgg agg;
+  auto p = FoldAll(agg, {{10, 5.0}, {20, 5.0}});
+  EXPECT_EQ(agg.Lower(p), 10);
+}
+
+TEST(CollectAggTest, PreservesOrder) {
+  CollectAgg<int> agg;
+  auto p = FoldAll(agg, {3, 1, 2});
+  EXPECT_EQ(agg.Lower(p), (std::vector<int>{3, 1, 2}));
+  static_assert(!CollectAgg<int>::kCommutative);
+}
+
+TEST(CollectAggTest, CombineConcatenates) {
+  CollectAgg<int> agg;
+  auto ab = agg.Combine({1, 2}, {3});
+  EXPECT_EQ(ab, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,257 @@
+// The repository's central correctness property: every window-aggregation
+// technique (Cutty slicing with each store, eager, Pairs, Panes, B-Int)
+// must produce exactly the same window results as the naive
+// buffer-and-recompute oracle, for every combination of aggregate function,
+// window kind and randomized stream shape.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "agg/techniques.h"
+#include "common/random.h"
+#include "window/aggregate_fn.h"
+
+namespace streamline {
+namespace {
+
+struct StreamElement {
+  Timestamp ts;
+  double value;
+  Value payload;  // punctuation marker
+};
+
+// Scenario = a set of window queries plus stream-shape constraints.
+struct Scenario {
+  const char* name;
+  bool periodic_only;     // usable by eager/pairs/panes
+  bool needs_unique_ts;   // count/punctuation windows need distinct ts
+};
+
+constexpr Scenario kScenarios[] = {
+    {"single-tumbling", true, false},
+    {"single-sliding", true, false},
+    {"multi-periodic", true, false},
+    {"session", false, false},
+    {"mixed-periodic-session", false, false},
+    {"count-windows", false, true},
+    {"punctuation", false, true},
+};
+
+std::vector<std::unique_ptr<WindowFunction>> MakeQueries(int scenario) {
+  std::vector<std::unique_ptr<WindowFunction>> qs;
+  switch (scenario) {
+    case 0:
+      qs.push_back(std::make_unique<TumblingWindowFn>(97));
+      break;
+    case 1:
+      qs.push_back(std::make_unique<SlidingWindowFn>(100, 13));
+      break;
+    case 2:
+      qs.push_back(std::make_unique<TumblingWindowFn>(50));
+      qs.push_back(std::make_unique<SlidingWindowFn>(120, 30));
+      qs.push_back(std::make_unique<SlidingWindowFn>(75, 25));
+      break;
+    case 3:
+      qs.push_back(std::make_unique<SessionWindowFn>(7));
+      break;
+    case 4:
+      qs.push_back(std::make_unique<TumblingWindowFn>(64));
+      qs.push_back(std::make_unique<SessionWindowFn>(11));
+      break;
+    case 5:
+      qs.push_back(std::make_unique<CountWindowFn>(25, 10));
+      qs.push_back(std::make_unique<CountWindowFn>(8));
+      break;
+    case 6:
+      qs.push_back(std::make_unique<PunctuationWindowFn>(
+          [](Timestamp, const Value& v) {
+            return !v.is_null() && v.AsBool();
+          }));
+      break;
+    default:
+      ADD_FAILURE() << "unknown scenario " << scenario;
+  }
+  return qs;
+}
+
+std::vector<StreamElement> MakeStream(uint64_t seed, bool unique_ts) {
+  Rng rng(seed);
+  std::vector<StreamElement> out;
+  Timestamp ts = static_cast<Timestamp>(rng.NextBelow(50));
+  for (int i = 0; i < 3000; ++i) {
+    StreamElement e;
+    e.ts = ts;
+    e.value = rng.NextDouble(-10, 10);
+    e.payload = Value(rng.NextBool(0.04));
+    out.push_back(e);
+    // Occasional large jumps exercise empty-window skipping and sessions.
+    const uint64_t r = rng.NextBelow(100);
+    Duration inc = unique_ts ? 1 + static_cast<Duration>(rng.NextBelow(3))
+                             : static_cast<Duration>(rng.NextBelow(4));
+    if (r < 3) inc += 200 + static_cast<Duration>(rng.NextBelow(400));
+    ts += inc;
+  }
+  return out;
+}
+
+template <typename Output>
+struct ResultSet {
+  std::map<std::pair<size_t, Window>, std::vector<Output>> fired;
+};
+
+template <typename Agg>
+ResultSet<typename Agg::Output> Run(AggTechnique tech, int scenario,
+                                    const std::vector<StreamElement>& stream,
+                                    Agg agg = Agg()) {
+  ResultSet<typename Agg::Output> rs;
+  auto aggregator = MakeAggregator<Agg>(tech, std::move(agg));
+  for (auto& wf : MakeQueries(scenario)) {
+    aggregator->AddQuery(
+        std::move(wf),
+        [&rs](size_t q, const Window& w, const typename Agg::Output& v) {
+          rs.fired[{q, w}].push_back(v);
+        });
+  }
+  for (const StreamElement& e : stream) {
+    if constexpr (std::is_same_v<typename Agg::Input, double>) {
+      aggregator->OnElement(e.ts, e.value, e.payload);
+    } else {
+      aggregator->OnElement(e.ts, typename Agg::Input(e.value), e.payload);
+    }
+  }
+  aggregator->OnWatermark(kMaxTimestamp);
+  return rs;
+}
+
+void ExpectOutputsNear(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6 * (1.0 + std::abs(a[i]))) << what;
+  }
+}
+
+void ExpectOutputsNear(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b, const char* what) {
+  EXPECT_EQ(a, b) << what;
+}
+
+template <typename Agg>
+void ExpectEquivalent(AggTechnique tech, int scenario, uint64_t seed) {
+  const bool unique_ts = kScenarios[scenario].needs_unique_ts;
+  const auto stream = MakeStream(seed, unique_ts);
+  const auto expected = Run<Agg>(AggTechnique::kNaive, scenario, stream);
+  const auto actual = Run<Agg>(tech, scenario, stream);
+
+  // Identical set of fired (query, window) pairs...
+  ASSERT_EQ(expected.fired.size(), actual.fired.size())
+      << AggTechniqueToString(tech) << " fired a different window set on "
+      << kScenarios[scenario].name;
+  auto eit = expected.fired.begin();
+  auto ait = actual.fired.begin();
+  for (; eit != expected.fired.end(); ++eit, ++ait) {
+    ASSERT_EQ(eit->first.first, ait->first.first);
+    ASSERT_EQ(eit->first.second, ait->first.second)
+        << AggTechniqueToString(tech) << " window mismatch on "
+        << kScenarios[scenario].name;
+    // ... with matching results.
+    ExpectOutputsNear(eit->second, ait->second,
+                      kScenarios[scenario].name);
+  }
+}
+
+struct Param {
+  AggTechnique tech;
+  int scenario;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string s(AggTechniqueToString(info.param.tech));
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  std::string scen = kScenarios[info.param.scenario].name;
+  for (char& c : scen) {
+    if (c == '-') c = '_';
+  }
+  return s + "__" + scen;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Param> {
+ protected:
+  bool SkipIfUnsupported() {
+    const Param p = GetParam();
+    const bool periodic_capable = p.tech == AggTechnique::kEager ||
+                                  p.tech == AggTechnique::kPairs ||
+                                  p.tech == AggTechnique::kPanes;
+    if (periodic_capable && !kScenarios[p.scenario].periodic_only) {
+      return true;
+    }
+    return false;
+  }
+};
+
+TEST_P(EquivalenceTest, SumMatchesNaive) {
+  if (SkipIfUnsupported()) GTEST_SKIP() << "periodic-only technique";
+  ExpectEquivalent<SumAgg<double>>(GetParam().tech, GetParam().scenario, 1);
+}
+
+TEST_P(EquivalenceTest, CountMatchesNaive) {
+  if (SkipIfUnsupported()) GTEST_SKIP() << "periodic-only technique";
+  ExpectEquivalent<CountAgg<double>>(GetParam().tech, GetParam().scenario, 2);
+}
+
+TEST_P(EquivalenceTest, MaxMatchesNaive) {
+  if (SkipIfUnsupported()) GTEST_SKIP() << "periodic-only technique";
+  if (GetParam().tech == AggTechnique::kCuttyPrefix) {
+    GTEST_SKIP() << "prefix store needs invertible aggregates";
+  }
+  ExpectEquivalent<MaxAgg<double>>(GetParam().tech, GetParam().scenario, 3);
+}
+
+TEST_P(EquivalenceTest, MeanMatchesNaive) {
+  if (SkipIfUnsupported()) GTEST_SKIP() << "periodic-only technique";
+  ExpectEquivalent<MeanAgg<double>>(GetParam().tech, GetParam().scenario, 4);
+}
+
+TEST_P(EquivalenceTest, VarianceMatchesNaive) {
+  if (SkipIfUnsupported()) GTEST_SKIP() << "periodic-only technique";
+  if (GetParam().tech == AggTechnique::kCuttyPrefix) {
+    GTEST_SKIP() << "prefix store needs invertible aggregates";
+  }
+  ExpectEquivalent<VarianceAgg<double>>(GetParam().tech, GetParam().scenario,
+                                        5);
+}
+
+std::vector<Param> AllParams() {
+  std::vector<Param> out;
+  for (AggTechnique tech :
+       {AggTechnique::kCutty, AggTechnique::kCuttyLazy,
+        AggTechnique::kCuttyPrefix, AggTechnique::kEager, AggTechnique::kPairs,
+        AggTechnique::kPanes, AggTechnique::kBInt}) {
+    for (int s = 0; s < static_cast<int>(std::size(kScenarios)); ++s) {
+      out.push_back(Param{tech, s});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniquesAllWindows, EquivalenceTest,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+// Cross-seed robustness for the flagship technique.
+class CuttySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CuttySeedTest, MultiQueryMixedWorkload) {
+  ExpectEquivalent<SumAgg<double>>(AggTechnique::kCutty, 4, GetParam());
+  ExpectEquivalent<VarianceAgg<double>>(AggTechnique::kCutty, 2, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CuttySeedTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace streamline

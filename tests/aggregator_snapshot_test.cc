@@ -1,0 +1,177 @@
+// Snapshot/restore property of the slicing aggregator: pausing mid-stream,
+// serializing all state, restoring into a fresh identically-configured
+// aggregator and continuing must produce exactly the results of an
+// uninterrupted run. This is the contract the engine's checkpointing
+// relies on.
+
+#include <gtest/gtest.h>
+
+#include "agg/slicing_aggregator.h"
+#include "common/random.h"
+#include "window/aggregate_fn.h"
+
+namespace streamline {
+namespace {
+
+void SerializeDouble(const double& p, BinaryWriter* w) { w->WriteDouble(p); }
+Result<double> DeserializeDouble(BinaryReader* r) { return r->ReadDouble(); }
+
+template <typename AggT>
+AggT MakeConfigured(std::vector<std::pair<Window, double>>* results) {
+  AggT agg;
+  auto cb = [results](size_t q, const Window& w, const double& v) {
+    results->emplace_back(Window{w.start + static_cast<Timestamp>(q), w.end},
+                          v);
+  };
+  agg.AddQuery(std::make_unique<SlidingWindowFn>(100, 30), cb);
+  agg.AddQuery(std::make_unique<SessionWindowFn>(17), cb);
+  agg.AddQuery(std::make_unique<TumblingWindowFn>(64), cb);
+  return agg;
+}
+
+std::vector<std::pair<Timestamp, double>> MakeStream(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Timestamp, double>> out;
+  Timestamp ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += static_cast<Timestamp>(rng.NextBelow(4));
+    if (rng.NextBelow(50) == 0) ts += 100;  // session gaps
+    out.emplace_back(ts, rng.NextDouble(-5, 5));
+  }
+  return out;
+}
+
+using SumSlicing = SlicingAggregator<SumAgg<double>>;
+
+TEST(AggregatorSnapshotTest, PauseRestoreContinueEqualsStraightRun) {
+  const auto stream = MakeStream(4000, 77);
+
+  // Reference: uninterrupted.
+  std::vector<std::pair<Window, double>> reference;
+  {
+    auto agg = MakeConfigured<SumSlicing>(&reference);
+    for (const auto& [ts, v] : stream) agg.OnElement(ts, v);
+    agg.OnWatermark(kMaxTimestamp);
+  }
+
+  for (size_t cut : {1u, 137u, 2000u, 3999u}) {
+    std::vector<std::pair<Window, double>> results;
+    auto first = MakeConfigured<SumSlicing>(&results);
+    for (size_t i = 0; i < cut; ++i) {
+      first.OnElement(stream[i].first, stream[i].second);
+    }
+    BinaryWriter w;
+    first.Snapshot(&w, SerializeDouble);
+
+    auto second = MakeConfigured<SumSlicing>(&results);
+    BinaryReader r(w.buffer());
+    ASSERT_TRUE(second.Restore(&r, DeserializeDouble).ok());
+    for (size_t i = cut; i < stream.size(); ++i) {
+      second.OnElement(stream[i].first, stream[i].second);
+    }
+    second.OnWatermark(kMaxTimestamp);
+
+    ASSERT_EQ(results.size(), reference.size()) << "cut=" << cut;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].first, reference[i].first) << "cut=" << cut;
+      EXPECT_NEAR(results[i].second, reference[i].second, 1e-9);
+    }
+  }
+}
+
+TEST(AggregatorSnapshotTest, SnapshotPreservesStats) {
+  std::vector<std::pair<Window, double>> sink;
+  auto agg = MakeConfigured<SumSlicing>(&sink);
+  const auto stream = MakeStream(1000, 3);
+  for (const auto& [ts, v] : stream) agg.OnElement(ts, v);
+  BinaryWriter w;
+  agg.Snapshot(&w, SerializeDouble);
+
+  std::vector<std::pair<Window, double>> sink2;
+  auto restored = MakeConfigured<SumSlicing>(&sink2);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(restored.Restore(&r, DeserializeDouble).ok());
+  EXPECT_EQ(restored.stats().elements, agg.stats().elements);
+  EXPECT_EQ(restored.stats().partial_updates, agg.stats().partial_updates);
+  EXPECT_EQ(restored.stats().fires, agg.stats().fires);
+  EXPECT_EQ(restored.stored_slices(), agg.stored_slices());
+}
+
+TEST(AggregatorSnapshotTest, QueryCountMismatchRejected) {
+  std::vector<std::pair<Window, double>> sink;
+  auto agg = MakeConfigured<SumSlicing>(&sink);
+  agg.OnElement(1, 1.0);
+  BinaryWriter w;
+  agg.Snapshot(&w, SerializeDouble);
+
+  SumSlicing other;  // no queries registered
+  BinaryReader r(w.buffer());
+  const Status st = other.Restore(&r, DeserializeDouble);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregatorSnapshotTest, TruncatedSnapshotRejected) {
+  std::vector<std::pair<Window, double>> sink;
+  auto agg = MakeConfigured<SumSlicing>(&sink);
+  for (Timestamp t = 0; t < 500; ++t) agg.OnElement(t, 1.0);
+  BinaryWriter w;
+  agg.Snapshot(&w, SerializeDouble);
+  std::string bytes = w.Release();
+  bytes.resize(bytes.size() / 2);
+
+  auto restored = MakeConfigured<SumSlicing>(&sink);
+  BinaryReader r(bytes);
+  EXPECT_FALSE(restored.Restore(&r, DeserializeDouble).ok());
+}
+
+TEST(AggregatorSnapshotTest, AllStoreTypesRoundTrip) {
+  const auto stream = MakeStream(1500, 13);
+  auto run = [&](auto make) {
+    std::vector<std::pair<Window, double>> ref;
+    std::vector<std::pair<Window, double>> got;
+    {
+      auto agg = make(&ref);
+      for (const auto& [ts, v] : stream) agg.OnElement(ts, v);
+      agg.OnWatermark(kMaxTimestamp);
+    }
+    {
+      auto first = make(&got);
+      for (size_t i = 0; i < stream.size() / 2; ++i) {
+        first.OnElement(stream[i].first, stream[i].second);
+      }
+      BinaryWriter w;
+      first.Snapshot(&w, SerializeDouble);
+      auto second = make(&got);
+      BinaryReader r(w.buffer());
+      STREAMLINE_CHECK_OK(second.Restore(&r, DeserializeDouble));
+      for (size_t i = stream.size() / 2; i < stream.size(); ++i) {
+        second.OnElement(stream[i].first, stream[i].second);
+      }
+      second.OnWatermark(kMaxTimestamp);
+    }
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].first, got[i].first);
+      EXPECT_NEAR(ref[i].second, got[i].second, 1e-9);
+    }
+  };
+  run([](auto* sink) {
+    return MakeConfigured<SlicingAggregator<SumAgg<double>,
+                                            FlatFatStore<SumAgg<double>>>>(
+        sink);
+  });
+  run([](auto* sink) {
+    return MakeConfigured<SlicingAggregator<SumAgg<double>,
+                                            LinearStore<SumAgg<double>>>>(
+        sink);
+  });
+  run([](auto* sink) {
+    return MakeConfigured<SlicingAggregator<SumAgg<double>,
+                                            PrefixStore<SumAgg<double>>>>(
+        sink);
+  });
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,163 @@
+// API-surface tests of the uniform programming model beyond what the
+// executor tests cover: topology construction, naming, plan shapes, global
+// windows, broadcast behavior and multi-sink graphs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/datastream.h"
+
+namespace streamline {
+namespace {
+
+std::vector<Record> Numbers(int n) {
+  std::vector<Record> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeRecord(i, Value(static_cast<int64_t>(i))));
+  }
+  return out;
+}
+
+TEST(ApiTest, AutoNamesAreUnique) {
+  Environment env;
+  auto s = env.FromRecords(Numbers(1));
+  s.Map([](Record&& r) { return std::move(r); });
+  s.Map([](Record&& r) { return std::move(r); });
+  std::set<std::string> names;
+  for (const auto& node : env.graph()->nodes()) {
+    EXPECT_TRUE(names.insert(node.name).second)
+        << "duplicate node name " << node.name;
+  }
+}
+
+TEST(ApiTest, KeyFieldSelectorExtractsField) {
+  KeySelector key = KeyField(1);
+  const Record r = MakeRecord(0, Value("a"), Value(int64_t{7}));
+  EXPECT_EQ(key(r).AsInt64(), 7);
+}
+
+TEST(ApiTest, PlanDescriptionShowsChains) {
+  Environment env;
+  env.FromRecords(Numbers(1), "src")
+      .Map([](Record&& r) { return std::move(r); }, "m1")
+      .Filter([](const Record&) { return true; }, "f1")
+      .Collect("out");
+  auto job = env.CreateJob();
+  ASSERT_TRUE(job.ok());
+  const std::string plan = (*job)->PlanDescription();
+  EXPECT_NE(plan.find("src->m1->f1->out"), std::string::npos) << plan;
+  ASSERT_TRUE((*job)->Run().ok());
+}
+
+TEST(ApiTest, KeyByBreaksChain) {
+  Environment env(2);
+  env.FromRecords(Numbers(10), "src")
+      .KeyBy(0)
+      .Reduce([](const Record& a, const Record&) { return a; }, "red")
+      .Collect("out");
+  auto job = env.CreateJob();
+  ASSERT_TRUE(job.ok());
+  // src task + 2x (red->out) subtasks.
+  EXPECT_EQ((*job)->num_tasks(), 3u);
+  ASSERT_TRUE((*job)->Run().ok());
+}
+
+TEST(ApiTest, MultipleSinksOnOneStream) {
+  Environment env;
+  auto s = env.FromRecords(Numbers(100));
+  auto evens = s.Filter([](const Record& r) {
+    return r.field(0).AsInt64() % 2 == 0;
+  });
+  auto odds = s.Filter([](const Record& r) {
+    return r.field(0).AsInt64() % 2 == 1;
+  });
+  auto even_sink = evens.Collect();
+  auto odd_sink = odds.Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  EXPECT_EQ(even_sink->size(), 50u);
+  EXPECT_EQ(odd_sink->size(), 50u);
+}
+
+TEST(ApiTest, RebalancePropagatesParallelism) {
+  Environment env;
+  auto s = env.FromRecords(Numbers(100)).Rebalance(3);
+  EXPECT_EQ(s.node_parallelism(), 3);
+  auto t = s.Map([](Record&& r) { return std::move(r); });
+  EXPECT_EQ(t.node_parallelism(), 3);  // forward chain keeps parallelism
+  t.Collect();
+  ASSERT_TRUE(env.Execute().ok());
+}
+
+TEST(ApiTest, WindowAllRunsAtParallelismOne) {
+  Environment env(4);
+  auto agg = env.FromRecords(Numbers(100))
+                 .WindowAll({std::make_shared<TumblingWindowFn>(50)})
+                 .Aggregate(DynAggKind::kCount, 0);
+  EXPECT_EQ(agg.node_parallelism(), 1);
+  auto sink = agg.Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  ASSERT_EQ(sink->size(), 2u);
+}
+
+TEST(ApiTest, UnionOfDifferentParallelism) {
+  Environment env;
+  auto a = env.FromRecords(Numbers(30), "a");
+  auto b = env.FromRecords(Numbers(20), "b").Rebalance(2);
+  // a (p=1) union b (p=2): right side rebalances into the union.
+  auto sink = b.Union(a).Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  EXPECT_EQ(sink->size(), 50u);
+}
+
+TEST(ApiTest, EnvironmentParallelismControlsKeyedOps) {
+  Environment env;
+  env.SetParallelism(3);
+  auto red = env.FromRecords(Numbers(10))
+                 .KeyBy(0)
+                 .Reduce([](const Record& a, const Record&) { return a; });
+  EXPECT_EQ(red.node_parallelism(), 3);
+  red.Collect();
+  ASSERT_TRUE(env.Execute().ok());
+}
+
+TEST(ApiTest, GeneratorSourceIsBoundedWhenItReturnsNullopt) {
+  Environment env;
+  auto sink = env.FromGenerator("g",
+                                [](uint64_t seq) -> std::optional<Record> {
+                                  if (seq >= 25) return std::nullopt;
+                                  return MakeRecord(
+                                      static_cast<Timestamp>(seq),
+                                      Value(static_cast<int64_t>(seq)));
+                                })
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  EXPECT_EQ(sink->size(), 25u);
+}
+
+TEST(ApiTest, MixedWindowKindsShareOneOperator) {
+  Environment env;
+  std::vector<Record> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(
+        MakeRecord(i, Value(int64_t{0}), Value(1.0)));
+  }
+  auto sink =
+      env.FromRecords(std::move(records))
+          .KeyBy(0)
+          .Window({std::make_shared<TumblingWindowFn>(100),
+                   std::make_shared<SessionWindowFn>(50),
+                   std::make_shared<CountWindowFn>(64)})
+          .Aggregate(DynAggKind::kCount, 1)
+          .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  std::set<int64_t> queries_seen;
+  for (const Record& r : sink->records()) {
+    queries_seen.insert(r.field(3).AsInt64());
+  }
+  // All three window kinds fired from the same shared operator.
+  EXPECT_EQ(queries_seen, (std::set<int64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,129 @@
+// Dedicated unit tests of the baseline aggregators (eager, naive) beyond
+// the randomized equivalence suite: work accounting, state accounting,
+// applicability restrictions.
+
+#include <gtest/gtest.h>
+
+#include "agg/techniques.h"
+#include "window/aggregate_fn.h"
+
+namespace streamline {
+namespace {
+
+TEST(EagerAggregatorTest, PartialUpdatesEqualOverlapPerRecord) {
+  EagerAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<SlidingWindowFn>(80, 10), nullptr);
+  for (Timestamp t = 100; t < 1100; ++t) agg.OnElement(t, 1.0);
+  // Steady state: every record updates range/slide = 8 windows.
+  EXPECT_NEAR(static_cast<double>(agg.stats().partial_updates) /
+                  static_cast<double>(agg.stats().elements),
+              8.0, 0.1);
+}
+
+TEST(EagerAggregatorTest, PeakStateEqualsOpenWindows) {
+  EagerAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<SlidingWindowFn>(100, 10), nullptr);
+  for (Timestamp t = 0; t < 5000; ++t) agg.OnElement(t, 1.0);
+  EXPECT_LE(agg.stats().peak_stored, 11u);  // ~range/slide open windows
+  EXPECT_GE(agg.stats().peak_stored, 9u);
+}
+
+TEST(EagerAggregatorTest, RejectsNonPeriodicWindows) {
+  EagerAggregator<SumAgg<double>> agg;
+  EXPECT_DEATH(
+      agg.AddQuery(std::make_unique<SessionWindowFn>(10), nullptr),
+      "periodic windows only");
+}
+
+TEST(EagerAggregatorTest, FiresOnWatermarkOnly) {
+  EagerAggregator<SumAgg<double>> agg;
+  std::vector<Window> fired;
+  agg.AddQuery(std::make_unique<TumblingWindowFn>(10),
+               [&fired](size_t, const Window& w, const double&) {
+                 fired.push_back(w);
+               });
+  for (Timestamp t = 0; t < 10; ++t) agg.OnElement(t, 1.0);
+  EXPECT_TRUE(fired.empty());
+  agg.OnWatermark(10);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (Window{0, 10}));
+}
+
+TEST(NaiveAggregatorTest, BufferEvictionBoundsMemory) {
+  NaiveBufferAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<SlidingWindowFn>(100, 10), nullptr);
+  for (Timestamp t = 0; t < 50000; ++t) agg.OnElement(t, 1.0);
+  // Buffer holds ~range of raw tuples plus an eviction-period lag.
+  EXPECT_LE(agg.buffered(), 100u + 128u);
+  EXPECT_LE(agg.stats().peak_stored, 100u + 128u);
+}
+
+TEST(NaiveAggregatorTest, RecomputeCostScalesWithWindowSize) {
+  auto run = [](Duration range) {
+    NaiveBufferAggregator<SumAgg<double>> agg;
+    agg.AddQuery(std::make_unique<SlidingWindowFn>(range, 10), nullptr);
+    for (Timestamp t = 0; t < 5000; ++t) agg.OnElement(t, 1.0);
+    return agg.stats().OpsPerRecord();
+  };
+  const double small = run(50);
+  const double large = run(500);
+  EXPECT_GT(large, small * 5);
+}
+
+TEST(NaiveAggregatorTest, SupportsEveryWindowKind) {
+  NaiveBufferAggregator<SumAgg<double>> agg;
+  int fires = 0;
+  auto cb = [&fires](size_t, const Window&, const double&) { ++fires; };
+  agg.AddQuery(std::make_unique<SessionWindowFn>(5), cb);
+  agg.AddQuery(std::make_unique<CountWindowFn>(3), cb);
+  agg.AddQuery(std::make_unique<PunctuationWindowFn>(
+                   [](Timestamp, const Value& v) {
+                     return !v.is_null() && v.AsBool();
+                   }),
+               cb);
+  for (Timestamp t = 0; t < 30; ++t) {
+    agg.OnElement(t * 2, 1.0, Value(t % 10 == 0));
+  }
+  agg.OnWatermark(kMaxTimestamp);
+  EXPECT_GT(fires, 10);
+}
+
+TEST(TechniqueFactoryTest, NamesMatchEnum) {
+  for (AggTechnique t :
+       {AggTechnique::kCutty, AggTechnique::kCuttyLazy,
+        AggTechnique::kCuttyPrefix, AggTechnique::kEager,
+        AggTechnique::kNaive, AggTechnique::kPairs, AggTechnique::kPanes,
+        AggTechnique::kBInt}) {
+    auto agg = MakeAggregator<SumAgg<double>>(t);
+    ASSERT_NE(agg, nullptr);
+    EXPECT_FALSE(agg->name().empty());
+  }
+}
+
+TEST(SlicingAblationTest, FastPathOffStillCorrect) {
+  typename SlicingAggregator<SumAgg<double>>::Options opt;
+  opt.disable_wakeup_fastpath = true;
+  SlicingAggregator<SumAgg<double>> slow(SumAgg<double>(), opt);
+  SlicingAggregator<SumAgg<double>> fast;
+  std::vector<double> slow_out;
+  std::vector<double> fast_out;
+  slow.AddQuery(std::make_unique<SlidingWindowFn>(70, 10),
+                [&](size_t, const Window&, const double& v) {
+                  slow_out.push_back(v);
+                });
+  fast.AddQuery(std::make_unique<SlidingWindowFn>(70, 10),
+                [&](size_t, const Window&, const double& v) {
+                  fast_out.push_back(v);
+                });
+  for (Timestamp t = 0; t < 2000; ++t) {
+    slow.OnElement(t, static_cast<double>(t % 13));
+    fast.OnElement(t, static_cast<double>(t % 13));
+  }
+  slow.OnWatermark(kMaxTimestamp);
+  fast.OnWatermark(kMaxTimestamp);
+  EXPECT_EQ(slow_out, fast_out);
+  ASSERT_FALSE(fast_out.empty());
+}
+
+}  // namespace
+}  // namespace streamline

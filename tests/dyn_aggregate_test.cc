@@ -1,0 +1,133 @@
+#include "window/dyn_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamline {
+namespace {
+
+DynPartial FoldAll(const DynAggregate& agg,
+                   const std::vector<std::pair<Timestamp, double>>& in) {
+  DynPartial acc = agg.Identity();
+  for (const auto& [ts, v] : in) {
+    acc = agg.Combine(acc, agg.Lift(Value(v), ts));
+  }
+  return acc;
+}
+
+TEST(DynAggregateTest, Sum) {
+  DynAggregate agg(DynAggKind::kSum);
+  auto p = FoldAll(agg, {{1, 1.0}, {2, 2.0}, {3, 3.5}});
+  EXPECT_DOUBLE_EQ(agg.Lower(p).AsDouble(), 6.5);
+  EXPECT_DOUBLE_EQ(agg.Lower(agg.Identity()).AsDouble(), 0.0);
+}
+
+TEST(DynAggregateTest, Count) {
+  DynAggregate agg(DynAggKind::kCount);
+  auto p = FoldAll(agg, {{1, 1.0}, {2, 2.0}});
+  EXPECT_EQ(agg.Lower(p).AsInt64(), 2);
+  // Count lifts non-numeric values too.
+  auto q = agg.Combine(p, agg.Lift(Value("str"), 3));
+  EXPECT_EQ(agg.Lower(q).AsInt64(), 3);
+}
+
+TEST(DynAggregateTest, MinMax) {
+  DynAggregate mn(DynAggKind::kMin);
+  DynAggregate mx(DynAggKind::kMax);
+  auto in = std::vector<std::pair<Timestamp, double>>{{1, 3.0}, {2, -1.0},
+                                                      {3, 2.0}};
+  EXPECT_DOUBLE_EQ(mn.Lower(FoldAll(mn, in)).AsDouble(), -1.0);
+  EXPECT_DOUBLE_EQ(mx.Lower(FoldAll(mx, in)).AsDouble(), 3.0);
+  EXPECT_TRUE(mn.Lower(mn.Identity()).is_null());
+}
+
+TEST(DynAggregateTest, Avg) {
+  DynAggregate agg(DynAggKind::kAvg);
+  auto p = FoldAll(agg, {{1, 2.0}, {2, 4.0}, {3, 9.0}});
+  EXPECT_DOUBLE_EQ(agg.Lower(p).AsDouble(), 5.0);
+  EXPECT_TRUE(agg.Lower(agg.Identity()).is_null());
+}
+
+TEST(DynAggregateTest, VarianceMatchesFormula) {
+  DynAggregate agg(DynAggKind::kVariance);
+  auto p = FoldAll(agg, {{1, 2.0}, {2, 4.0}, {3, 4.0}, {4, 4.0},
+                         {5, 5.0}, {6, 5.0}, {7, 7.0}, {8, 9.0}});
+  EXPECT_NEAR(agg.Lower(p).AsDouble(), 4.0, 1e-12);
+}
+
+TEST(DynAggregateTest, VarianceCombineSplit) {
+  DynAggregate agg(DynAggKind::kVariance);
+  auto a = FoldAll(agg, {{1, 1.0}, {2, 2.0}});
+  auto b = FoldAll(agg, {{3, 3.0}, {4, 4.0}, {5, 5.0}});
+  auto whole = FoldAll(agg, {{1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0},
+                             {5, 5.0}});
+  EXPECT_NEAR(agg.Lower(agg.Combine(a, b)).AsDouble(),
+              agg.Lower(whole).AsDouble(), 1e-12);
+}
+
+TEST(DynAggregateTest, FirstLastByTimestamp) {
+  DynAggregate first(DynAggKind::kFirst);
+  DynAggregate last(DynAggKind::kLast);
+  auto in = std::vector<std::pair<Timestamp, double>>{{5, 50.0}, {1, 10.0},
+                                                      {9, 90.0}};
+  EXPECT_DOUBLE_EQ(first.Lower(FoldAll(first, in)).AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(last.Lower(FoldAll(last, in)).AsDouble(), 90.0);
+}
+
+TEST(DynAggregateTest, ArgMaxTsFindsThePeak) {
+  DynAggregate agg(DynAggKind::kArgMaxTs);
+  auto p = FoldAll(agg, {{10, 1.0}, {20, 9.0}, {30, 3.0}, {40, 9.0}});
+  // Peak value 9.0 first occurred at ts=20 (ties keep the earliest).
+  EXPECT_EQ(agg.Lower(p).AsInt64(), 20);
+  EXPECT_TRUE(agg.Lower(agg.Identity()).is_null());
+}
+
+TEST(DynAggregateTest, InvertSumAndAvg) {
+  DynAggregate sum(DynAggKind::kSum);
+  auto whole = FoldAll(sum, {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  auto part = FoldAll(sum, {{1, 1.0}});
+  EXPECT_DOUBLE_EQ(sum.Lower(sum.Invert(whole, part)).AsDouble(), 5.0);
+
+  DynAggregate avg(DynAggKind::kAvg);
+  auto w2 = FoldAll(avg, {{1, 2.0}, {2, 4.0}, {3, 6.0}});
+  auto p2 = FoldAll(avg, {{1, 2.0}});
+  EXPECT_DOUBLE_EQ(avg.Lower(avg.Invert(w2, p2)).AsDouble(), 5.0);
+}
+
+TEST(DynAggregateTest, InvertibilityFlags) {
+  EXPECT_TRUE(DynAggregate(DynAggKind::kSum).invertible());
+  EXPECT_TRUE(DynAggregate(DynAggKind::kCount).invertible());
+  EXPECT_TRUE(DynAggregate(DynAggKind::kAvg).invertible());
+  EXPECT_FALSE(DynAggregate(DynAggKind::kMin).invertible());
+  EXPECT_FALSE(DynAggregate(DynAggKind::kMax).invertible());
+  EXPECT_FALSE(DynAggregate(DynAggKind::kVariance).invertible());
+}
+
+TEST(DynAggregateTest, IdentityIsNeutralForAllKinds) {
+  for (DynAggKind kind :
+       {DynAggKind::kSum, DynAggKind::kCount, DynAggKind::kMin,
+        DynAggKind::kMax, DynAggKind::kAvg, DynAggKind::kVariance,
+        DynAggKind::kFirst, DynAggKind::kLast, DynAggKind::kArgMaxTs}) {
+    DynAggregate agg(kind);
+    const DynPartial p = agg.Lift(Value(3.5), 7);
+    EXPECT_EQ(agg.Combine(agg.Identity(), p), p)
+        << DynAggKindToString(kind);
+    EXPECT_EQ(agg.Combine(p, agg.Identity()), p)
+        << DynAggKindToString(kind);
+  }
+}
+
+TEST(DynAggregateTest, PartialSerdeRoundTrip) {
+  DynAggregate agg(DynAggKind::kVariance);
+  auto p = FoldAll(agg, {{1, 1.0}, {2, 5.0}, {3, 9.0}});
+  BinaryWriter w;
+  DynAggregate::SerializePartial(p, &w);
+  BinaryReader r(w.buffer());
+  auto got = DynAggregate::DeserializePartial(&r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, p);
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,113 @@
+#include "dataflow/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/operators.h"
+#include "dataflow/sources.h"
+
+namespace streamline {
+namespace {
+
+OperatorFactory NoopOp(const std::string& name) {
+  return [name]() {
+    return std::make_unique<MapOperator>(
+        name, [](Record&& r) { return std::move(r); });
+  };
+}
+
+SourceFactory EmptySource() {
+  return [](int, int) {
+    return std::make_unique<VectorSource>(std::vector<Record>{});
+  };
+}
+
+TEST(LogicalGraphTest, ValidLinearGraph) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int map = g.AddOperator("map", 1, NoopOp("map"));
+  ASSERT_TRUE(g.Connect(src, map, PartitionScheme::kForward).ok());
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.TopologicalOrder(), (std::vector<int>{src, map}));
+}
+
+TEST(LogicalGraphTest, EmptyGraphInvalid) {
+  LogicalGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(LogicalGraphTest, GraphWithoutSourceInvalid) {
+  LogicalGraph g;
+  g.AddOperator("op", 1, NoopOp("op"));
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(LogicalGraphTest, OperatorWithoutInputInvalid) {
+  LogicalGraph g;
+  g.AddSource("src", 1, EmptySource());
+  g.AddOperator("orphan", 1, NoopOp("orphan"));
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(LogicalGraphTest, ConnectIntoSourceRejected) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int src2 = g.AddSource("src2", 1, EmptySource());
+  EXPECT_FALSE(g.Connect(src, src2, PartitionScheme::kForward).ok());
+}
+
+TEST(LogicalGraphTest, HashWithoutKeyRejected) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int op = g.AddOperator("op", 2, NoopOp("op"));
+  EXPECT_FALSE(g.Connect(src, op, PartitionScheme::kHash).ok());
+  EXPECT_TRUE(g.Connect(src, op, PartitionScheme::kHash,
+                        [](const Record& r) { return r.field(0); })
+                  .ok());
+}
+
+TEST(LogicalGraphTest, ForwardParallelismMismatchRejected) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int op = g.AddOperator("op", 2, NoopOp("op"));
+  EXPECT_FALSE(g.Connect(src, op, PartitionScheme::kForward).ok());
+  EXPECT_TRUE(g.Connect(src, op, PartitionScheme::kRebalance).ok());
+}
+
+TEST(LogicalGraphTest, UnknownNodeRejected) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  EXPECT_FALSE(g.Connect(src, 99, PartitionScheme::kForward).ok());
+  EXPECT_FALSE(g.Connect(-1, src, PartitionScheme::kForward).ok());
+}
+
+TEST(LogicalGraphTest, DiamondTopologyValid) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int a = g.AddOperator("a", 1, NoopOp("a"));
+  const int b = g.AddOperator("b", 1, NoopOp("b"));
+  const int join = g.AddOperator("join", 1, NoopOp("join"));
+  ASSERT_TRUE(g.Connect(src, a, PartitionScheme::kRebalance).ok());
+  ASSERT_TRUE(g.Connect(src, b, PartitionScheme::kRebalance).ok());
+  ASSERT_TRUE(g.Connect(a, join, PartitionScheme::kRebalance).ok());
+  ASSERT_TRUE(g.Connect(b, join, PartitionScheme::kRebalance, nullptr, 1).ok());
+  EXPECT_TRUE(g.Validate().ok());
+  const auto topo = g.TopologicalOrder();
+  ASSERT_EQ(topo.size(), 4u);
+  EXPECT_EQ(topo.front(), src);
+  EXPECT_EQ(topo.back(), join);
+}
+
+TEST(LogicalGraphTest, InOutEdges) {
+  LogicalGraph g;
+  const int src = g.AddSource("src", 1, EmptySource());
+  const int a = g.AddOperator("a", 1, NoopOp("a"));
+  const int b = g.AddOperator("b", 1, NoopOp("b"));
+  ASSERT_TRUE(g.Connect(src, a, PartitionScheme::kRebalance).ok());
+  ASSERT_TRUE(g.Connect(src, b, PartitionScheme::kRebalance).ok());
+  EXPECT_EQ(g.OutEdges(src).size(), 2u);
+  EXPECT_EQ(g.InEdges(a).size(), 1u);
+  EXPECT_EQ(g.InEdges(src).size(), 0u);
+}
+
+}  // namespace
+}  // namespace streamline

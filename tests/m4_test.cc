@@ -1,0 +1,174 @@
+#include "viz/m4.h"
+
+#include <gtest/gtest.h>
+
+#include "viz/raster.h"
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+TEST(PixelColumnTest, AddTracksFourAggregates) {
+  PixelColumn col;
+  col.Add(10, 5.0);
+  col.Add(11, 9.0);
+  col.Add(12, 1.0);
+  col.Add(13, 4.0);
+  EXPECT_EQ(col.count, 4u);
+  EXPECT_EQ(col.first, (SeriesPoint{10, 5.0}));
+  EXPECT_EQ(col.last, (SeriesPoint{13, 4.0}));
+  EXPECT_EQ(col.min, (SeriesPoint{12, 1.0}));
+  EXPECT_EQ(col.max, (SeriesPoint{11, 9.0}));
+}
+
+TEST(PixelColumnTest, PointsSortedAndDeduped) {
+  PixelColumn col;
+  col.Add(10, 5.0);  // single sample: first==last==min==max
+  EXPECT_EQ(col.Points().size(), 1u);
+  col.Add(11, 9.0);
+  col.Add(12, 1.0);
+  const auto pts = col.Points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].t, 10);
+  EXPECT_EQ(pts[1].t, 11);
+  EXPECT_EQ(pts[2].t, 12);
+}
+
+TEST(PixelColumnTest, MergeEqualsDirectAggregation) {
+  PixelColumn a;
+  PixelColumn b;
+  PixelColumn whole;
+  const std::vector<SeriesPoint> first = {{1, 2.0}, {2, -3.0}, {3, 7.0}};
+  const std::vector<SeriesPoint> second = {{4, 10.0}, {5, 0.0}};
+  for (const auto& p : first) {
+    a.Add(p.t, p.v);
+    whole.Add(p.t, p.v);
+  }
+  for (const auto& p : second) {
+    b.Add(p.t, p.v);
+    whole.Add(p.t, p.v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, whole.count);
+  EXPECT_EQ(a.first, whole.first);
+  EXPECT_EQ(a.last, whole.last);
+  EXPECT_EQ(a.min, whole.min);
+  EXPECT_EQ(a.max, whole.max);
+}
+
+TEST(M4AggregateTest, AssignsSamplesToColumns) {
+  std::vector<SeriesPoint> data;
+  for (int t = 0; t < 100; ++t) {
+    data.push_back({t, static_cast<double>(t % 10)});
+  }
+  const auto cols = M4Aggregate(data, 0, 100, 10);
+  ASSERT_EQ(cols.size(), 10u);
+  for (const auto& col : cols) {
+    EXPECT_EQ(col.count, 10u);
+    EXPECT_DOUBLE_EQ(col.min.v, 0.0);
+    EXPECT_DOUBLE_EQ(col.max.v, 9.0);
+  }
+}
+
+TEST(M4AggregateTest, IgnoresOutOfRangeSamples) {
+  std::vector<SeriesPoint> data = {{-5, 1.0}, {5, 2.0}, {150, 3.0}};
+  const auto cols = M4Aggregate(data, 0, 100, 4);
+  uint64_t total = 0;
+  for (const auto& col : cols) total += col.count;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(StreamingM4Test, EmitsOnColumnBoundaryAndWatermark) {
+  std::vector<PixelColumn> emitted;
+  StreamingM4 m4(10, [&](const PixelColumn& c) { emitted.push_back(c); });
+  m4.OnElement(1, 1.0);
+  m4.OnElement(5, 2.0);
+  EXPECT_TRUE(emitted.empty());
+  m4.OnElement(12, 3.0);  // new column: [0,10) completes
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].t_start, 0);
+  EXPECT_EQ(emitted[0].count, 2u);
+  m4.OnWatermark(19);  // open column [10, 20) not yet complete
+  EXPECT_EQ(emitted.size(), 1u);
+  m4.OnWatermark(20);
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[1].count, 1u);
+  m4.OnWatermark(kMaxTimestamp);  // nothing open
+  EXPECT_EQ(emitted.size(), 2u);
+}
+
+TEST(StreamingM4Test, MatchesBatchM4) {
+  RandomWalkSeries walk(RateShape{200.0, 0.5}, 0.0, 1.0, 11);
+  const auto data = walk.Take(5000);
+  // Streaming with column width 100 ms.
+  std::vector<PixelColumn> streamed;
+  StreamingM4 m4(100, [&](const PixelColumn& c) { streamed.push_back(c); });
+  for (const auto& p : data) m4.OnElement(p.t, p.v);
+  m4.OnWatermark(kMaxTimestamp);
+  // Batch over the same grid.
+  const Timestamp t_end =
+      (data.back().t / 100 + 1) * 100;
+  const int width = static_cast<int>(t_end / 100);
+  const auto batch = M4Aggregate(data, 0, t_end, width);
+  size_t bi = 0;
+  for (const auto& s : streamed) {
+    while (bi < batch.size() && batch[bi].count == 0) ++bi;
+    ASSERT_LT(bi, batch.size());
+    EXPECT_EQ(s.count, batch[bi].count);
+    EXPECT_EQ(s.min, batch[bi].min);
+    EXPECT_EQ(s.max, batch[bi].max);
+    EXPECT_EQ(s.first, batch[bi].first);
+    EXPECT_EQ(s.last, batch[bi].last);
+    ++bi;
+  }
+}
+
+TEST(StreamingM4Test, DataRateIndependentOutput) {
+  // The paper's I2 claim: the reduction output depends on the time span and
+  // column width, NOT on the input rate.
+  auto columns_for_rate = [](double rate) {
+    RandomWalkSeries walk(RateShape{rate}, 0.0, 1.0, 3);
+    StreamingM4 m4(1000, nullptr);
+    // ~60 seconds of event time at the given rate.
+    const auto n = static_cast<size_t>(rate * 60);
+    for (const auto& p : walk.Take(n)) m4.OnElement(p.t, p.v);
+    m4.OnWatermark(kMaxTimestamp);
+    return m4.columns_emitted();
+  };
+  const uint64_t slow = columns_for_rate(100);
+  const uint64_t fast = columns_for_rate(10000);
+  // 100x the data rate, same number of emitted columns (±1 boundary).
+  EXPECT_NEAR(static_cast<double>(slow), static_cast<double>(fast), 1.0);
+  EXPECT_NEAR(static_cast<double>(slow), 60.0, 2.0);
+}
+
+TEST(M4CorrectnessTest, PixelErrorNearZeroVsRaw) {
+  // I2's correctness claim: rendering the M4-reduced series is (near)
+  // pixel-identical to rendering the raw series, while using <= 4 points
+  // per pixel column.
+  SeasonalSensorSeries sensor(RateShape{500.0, 0.3},
+                              SeasonalSensorSeries::Options{}, 17);
+  const auto raw = sensor.Take(30000);
+  constexpr int kW = 200;
+  constexpr int kH = 100;
+  // Align the raster grid with the M4 columns (1 column == 1 pixel).
+  const Duration col = (raw.back().t + kW) / kW;
+  const Timestamp t_end = col * kW;
+
+  std::vector<SeriesPoint> reduced;
+  StreamingM4 m4(col, [&](const PixelColumn& c) {
+    for (const auto& p : c.Points()) reduced.push_back(p);
+  });
+  for (const auto& p : raw) m4.OnElement(p.t, p.v);
+  m4.OnWatermark(kMaxTimestamp);
+
+  ASSERT_LE(reduced.size(), static_cast<size_t>(4 * (kW + 1)));
+  const auto [lo, hi] = ValueRange(raw);
+  const Raster raw_raster = RasterizeSeries(raw, 0, t_end, lo, hi, kW, kH);
+  const Raster red_raster =
+      RasterizeSeries(reduced, 0, t_end, lo, hi, kW, kH);
+  EXPECT_LT(Raster::PixelError(raw_raster, red_raster), 0.02);
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,180 @@
+#include "ml/online_model.h"
+
+#include <gtest/gtest.h>
+
+#include "api/datastream.h"
+#include "common/random.h"
+#include "ml/learner_operator.h"
+
+namespace streamline {
+namespace {
+
+TEST(OnlineLogisticRegressionTest, LearnsSeparableData) {
+  // True decision rule: x0 + x1 > 1.
+  OnlineLogisticRegression model(2, {.learning_rate = 0.3});
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::vector<double> x = {rng.NextDouble(), rng.NextDouble()};
+    model.Update(x, x[0] + x[1] > 1.0);
+  }
+  int correct = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<double> x = {rng.NextDouble(), rng.NextDouble()};
+    const bool truth = x[0] + x[1] > 1.0;
+    if ((model.Predict(x) > 0.5) == truth) ++correct;
+  }
+  EXPECT_GT(correct, 950);
+}
+
+TEST(OnlineLogisticRegressionTest, PrequentialLossDecreases) {
+  OnlineLogisticRegression model(2, {.learning_rate = 0.2});
+  Rng rng(2);
+  double early = 0;
+  double late = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::vector<double> x = {rng.NextDouble(-1, 1),
+                                   rng.NextDouble(-1, 1)};
+    const double loss = model.Update(x, x[0] > 0.3 * x[1]);
+    if (i < 500) early += loss;
+    if (i >= 9500) late += loss;
+  }
+  EXPECT_LT(late, early * 0.5);
+}
+
+TEST(OnlineLogisticRegressionTest, PredictsCalibratedProbability) {
+  // Labels drawn Bernoulli(0.25) with a constant feature: the model's
+  // prediction should approach 0.25 (bias learns the base rate).
+  // Small learning rate: SGD's stationary oscillation around the optimum
+  // scales with the step size.
+  OnlineLogisticRegression model(1, {.learning_rate = 0.01});
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    model.Update({1.0}, rng.NextBool(0.25));
+  }
+  EXPECT_NEAR(model.Predict({1.0}), 0.25, 0.04);
+}
+
+TEST(OnlineLinearRegressionTest, RecoversWeights) {
+  OnlineLinearRegression model(2, {.learning_rate = 0.05});
+  Rng rng(4);
+  for (int i = 0; i < 30000; ++i) {
+    const std::vector<double> x = {rng.NextDouble(-1, 1),
+                                   rng.NextDouble(-1, 1)};
+    const double y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+    model.Update(x, y);
+  }
+  EXPECT_NEAR(model.weights()[0], 3.0, 0.05);
+  EXPECT_NEAR(model.weights()[1], -2.0, 0.05);
+  EXPECT_NEAR(model.bias(), 0.5, 0.05);
+}
+
+TEST(OnlineModelTest, SnapshotRestoreContinuesIdentically) {
+  OnlineLogisticRegression a(3, {.learning_rate = 0.1});
+  Rng rng(5);
+  std::vector<std::pair<std::vector<double>, bool>> stream;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble()};
+    stream.emplace_back(x, x[0] + x[1] - x[2] > 0.5);
+  }
+  for (int i = 0; i < 1000; ++i) a.Update(stream[i].first, stream[i].second);
+  BinaryWriter w;
+  a.Snapshot(&w);
+  OnlineLogisticRegression b(3, {.learning_rate = 0.1});
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(b.Restore(&r).ok());
+  EXPECT_EQ(b.updates(), a.updates());
+  for (int i = 1000; i < 2000; ++i) {
+    a.Update(stream[i].first, stream[i].second);
+    b.Update(stream[i].first, stream[i].second);
+  }
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(a.weights()[k], b.weights()[k]);
+  }
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(OnlineModelTest, DimensionMismatchRejected) {
+  OnlineLogisticRegression a(3);
+  a.Update({1, 2, 3}, true);
+  BinaryWriter w;
+  a.Snapshot(&w);
+  OnlineLogisticRegression b(5);
+  BinaryReader r(w.buffer());
+  const Status st = b.Restore(&r);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OnlineClassifierOperatorTest, TrainsInsideThePipeline) {
+  // Labeled stream: [label(bool), f0, f1]; rule: f0 > f1.
+  Environment env;
+  Rng rng(6);
+  std::vector<Record> examples;
+  for (int i = 0; i < 20000; ++i) {
+    const double f0 = rng.NextDouble();
+    const double f1 = rng.NextDouble();
+    examples.push_back(
+        MakeRecord(i, Value(f0 > f1), Value(f0), Value(f1)));
+  }
+  OnlineClassifierOperator::Spec spec;
+  spec.dim = 2;
+  spec.model.learning_rate = 0.3;
+  spec.features = [](const Record& r) {
+    return std::vector<double>{r.field(1).AsDouble(), r.field(2).AsDouble()};
+  };
+  spec.label = [](const Record& r) { return r.field(0).AsBool(); };
+  spec.emit_every = 100;
+
+  const int node = env.graph()->AddOperator(
+      "learner", 1, [spec]() {
+        return std::make_unique<OnlineClassifierOperator>("learner", spec);
+      });
+  auto src = env.FromRecords(std::move(examples), "examples");
+  STREAMLINE_CHECK_OK(env.graph()->Connect(src.node_id(), node,
+                                           PartitionScheme::kForward));
+  auto sink = std::make_shared<CollectSink>();
+  const int sink_node = env.graph()->AddOperator(
+      "sink", 1,
+      [sink]() { return std::make_unique<SinkOperator>("sink", sink); });
+  STREAMLINE_CHECK_OK(
+      env.graph()->Connect(node, sink_node, PartitionScheme::kForward));
+  ASSERT_TRUE(env.Execute().ok());
+
+  // Output: [prediction, label, decayed_logloss] every 100 examples.
+  const auto evals = sink->records();
+  ASSERT_EQ(evals.size(), 200u);
+  const double early_loss = evals[2].field(2).AsDouble();
+  const double late_loss = evals.back().field(2).AsDouble();
+  EXPECT_LT(late_loss, early_loss * 0.5);
+  EXPECT_LT(late_loss, 0.3);
+}
+
+TEST(OnlineClassifierOperatorTest, StateSurvivesSnapshotRestore) {
+  OnlineClassifierOperator::Spec spec;
+  spec.dim = 1;
+  spec.features = [](const Record& r) {
+    return std::vector<double>{r.field(1).AsDouble()};
+  };
+  spec.label = [](const Record& r) { return r.field(0).AsBool(); };
+  OnlineClassifierOperator op("learner", spec);
+  class NullCollector : public Collector {
+   public:
+    void Emit(Record) override {}
+  } out;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double f = rng.NextDouble(-1, 1);
+    op.ProcessRecord(0, MakeRecord(i, Value(f > 0), Value(f)), &out);
+  }
+  BinaryWriter w;
+  ASSERT_TRUE(op.SnapshotState(&w).ok());
+  OnlineClassifierOperator restored("learner", spec);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(restored.RestoreState(&r).ok());
+  EXPECT_DOUBLE_EQ(restored.model().weights()[0], op.model().weights()[0]);
+  EXPECT_DOUBLE_EQ(restored.decayed_loss(), op.decayed_loss());
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,119 @@
+#include "viz/pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+TEST(PyramidTest, LevelWidthsDouble) {
+  M4Pyramid pyr(100, 4);
+  EXPECT_EQ(pyr.level_width(0), 100);
+  EXPECT_EQ(pyr.level_width(1), 200);
+  EXPECT_EQ(pyr.level_width(2), 400);
+  EXPECT_EQ(pyr.level_width(3), 800);
+}
+
+TEST(PyramidTest, QueryPreservesSampleCounts) {
+  M4Pyramid pyr(10, 5);
+  for (Timestamp t = 0; t < 10000; ++t) {
+    pyr.OnElement(t, static_cast<double>(t % 37));
+  }
+  pyr.Flush();
+  // Any viewport must account for exactly the samples inside it.
+  const auto cols = pyr.Query(0, 10000, 100);
+  uint64_t total = 0;
+  for (const auto& c : cols) total += c.count;
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(PyramidTest, CoarseQueryMatchesBatchM4Extremes) {
+  RandomWalkSeries walk(RateShape{100.0, 0.4}, 0.0, 2.0, 23);
+  const auto data = walk.Take(20000);
+  const Timestamp t_end = data.back().t + 1;
+
+  M4Pyramid pyr(50, 8);
+  for (const auto& p : data) pyr.OnElement(p.t, p.v);
+  pyr.Flush();
+
+  constexpr int kWidth = 40;
+  const auto pyramid_cols = pyr.Query(0, t_end, kWidth);
+  const auto batch_cols = M4Aggregate(data, 0, t_end, kWidth);
+  ASSERT_EQ(pyramid_cols.size(), batch_cols.size());
+  // The pyramid answers from coarser pre-aggregates whose grid does not
+  // align perfectly with the queried pixels, so compare the global
+  // extremes (which any correct M4 representation must preserve).
+  double pyr_min = 1e300;
+  double pyr_max = -1e300;
+  double batch_min = 1e300;
+  double batch_max = -1e300;
+  uint64_t pyr_count = 0;
+  uint64_t batch_count = 0;
+  for (int i = 0; i < kWidth; ++i) {
+    if (pyramid_cols[i].count > 0) {
+      pyr_min = std::min(pyr_min, pyramid_cols[i].min.v);
+      pyr_max = std::max(pyr_max, pyramid_cols[i].max.v);
+      pyr_count += pyramid_cols[i].count;
+    }
+    if (batch_cols[i].count > 0) {
+      batch_min = std::min(batch_min, batch_cols[i].min.v);
+      batch_max = std::max(batch_max, batch_cols[i].max.v);
+      batch_count += batch_cols[i].count;
+    }
+  }
+  EXPECT_EQ(pyr_count, batch_count);
+  EXPECT_DOUBLE_EQ(pyr_min, batch_min);
+  EXPECT_DOUBLE_EQ(pyr_max, batch_max);
+}
+
+TEST(PyramidTest, FineQueryUsesLevelZeroExactly) {
+  M4Pyramid pyr(10, 4);
+  std::vector<SeriesPoint> data;
+  for (Timestamp t = 0; t < 1000; ++t) {
+    data.push_back({t, static_cast<double>((t * 7) % 101)});
+    pyr.OnElement(t, data.back().v);
+  }
+  pyr.Flush();
+  // Query granularity == level-0 granularity: exact M4 columns.
+  const auto cols = pyr.Query(0, 1000, 100);
+  const auto batch = M4Aggregate(data, 0, 1000, 100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cols[i].count, batch[i].count) << i;
+    EXPECT_EQ(cols[i].min.v, batch[i].min.v) << i;
+    EXPECT_EQ(cols[i].max.v, batch[i].max.v) << i;
+    EXPECT_EQ(cols[i].first, batch[i].first) << i;
+    EXPECT_EQ(cols[i].last, batch[i].last) << i;
+  }
+}
+
+TEST(PyramidTest, ZoomedQueryTouchesSubrangeOnly) {
+  M4Pyramid pyr(10, 4);
+  for (Timestamp t = 0; t < 4000; ++t) pyr.OnElement(t, 1.0);
+  pyr.Flush();
+  const auto cols = pyr.Query(1000, 2000, 50);
+  uint64_t total = 0;
+  for (const auto& c : cols) total += c.count;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(PyramidTest, RetentionBoundCapsMemory) {
+  M4Pyramid pyr(10, 3, /*max_columns_per_level=*/16);
+  for (Timestamp t = 0; t < 100000; ++t) pyr.OnElement(t, 1.0);
+  EXPECT_LE(pyr.stored_columns_at(0), 17u);
+  EXPECT_LE(pyr.stored_columns_at(1), 17u);
+  EXPECT_LE(pyr.stored_columns(), 3 * 17u);
+}
+
+TEST(PyramidTest, StoredColumnsGrowLogarithmically) {
+  // Unbounded retention: level k has ~n/2^k columns.
+  M4Pyramid pyr(10, 6);
+  for (Timestamp t = 0; t < 12800; ++t) pyr.OnElement(t, 1.0);
+  pyr.Flush();
+  EXPECT_NEAR(static_cast<double>(pyr.stored_columns_at(0)), 1280, 2);
+  EXPECT_NEAR(static_cast<double>(pyr.stored_columns_at(1)), 640, 2);
+  EXPECT_NEAR(static_cast<double>(pyr.stored_columns_at(5)), 40, 2);
+}
+
+}  // namespace
+}  // namespace streamline

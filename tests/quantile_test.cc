@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agg/naive_aggregator.h"
+#include "agg/slicing_aggregator.h"
+#include "common/random.h"
+#include "window/sketches.h"
+
+namespace streamline {
+namespace {
+
+TEST(QuantileAggTest, MedianOfUniform) {
+  QuantileAgg<256> agg(0.5, 0.0, 100.0);
+  auto p = agg.Identity();
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    p = agg.Combine(p, agg.Lift(rng.NextDouble(0, 100)));
+  }
+  EXPECT_NEAR(agg.Lower(p), 50.0, 1.5);
+}
+
+TEST(QuantileAggTest, TailQuantile) {
+  QuantileAgg<256> agg(0.99, 0.0, 1000.0);
+  auto p = agg.Identity();
+  for (int i = 0; i < 10000; ++i) {
+    p = agg.Combine(p, agg.Lift(static_cast<double>(i % 1000)));
+  }
+  EXPECT_NEAR(agg.Lower(p), 990.0, 1000.0 / 256 + 1);
+}
+
+TEST(QuantileAggTest, OutOfRangeValuesCounted) {
+  QuantileAgg<16> agg(0.5, 0.0, 10.0);
+  // 100 below range, 1 inside, 100 above: the median IS the inside value
+  // (rank 100 of 201), reported at its bucket's lower edge.
+  auto p = agg.Identity();
+  for (int i = 0; i < 100; ++i) p = agg.Combine(p, agg.Lift(-5.0));
+  p = agg.Combine(p, agg.Lift(5.0));
+  for (int i = 0; i < 100; ++i) p = agg.Combine(p, agg.Lift(50.0));
+  EXPECT_DOUBLE_EQ(agg.Lower(p), 5.0);
+  // Median of below-heavy data clamps to lo.
+  auto q = agg.Identity();
+  for (int i = 0; i < 100; ++i) q = agg.Combine(q, agg.Lift(-5.0));
+  q = agg.Combine(q, agg.Lift(5.0));
+  EXPECT_DOUBLE_EQ(agg.Lower(q), 0.0);
+  // Median of above-heavy data clamps to hi.
+  auto r = agg.Identity();
+  r = agg.Combine(r, agg.Lift(5.0));
+  for (int i = 0; i < 100; ++i) r = agg.Combine(r, agg.Lift(50.0));
+  EXPECT_DOUBLE_EQ(agg.Lower(r), 10.0);
+}
+
+TEST(QuantileAggTest, CombineOrderIrrelevant) {
+  QuantileAgg<64> agg(0.9, 0.0, 1.0);
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextDouble());
+  auto forward = agg.Identity();
+  for (double x : xs) forward = agg.Combine(forward, agg.Lift(x));
+  auto backward = agg.Identity();
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    backward = agg.Combine(agg.Lift(*it), backward);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(QuantileAggTest, EmptyWindowReturnsLo) {
+  QuantileAgg<32> agg(0.5, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(agg.Lower(agg.Identity()), 10.0);
+}
+
+TEST(QuantileAggTest, WindowedP95SharedVsNaiveVsExact) {
+  // Sliding-window p95 latency: slicing == recompute, and both within one
+  // bucket of the exact order statistic.
+  constexpr double kLo = 0.0;
+  constexpr double kHi = 500.0;
+  QuantileAgg<500> agg(0.95, kLo, kHi);  // 1ms buckets
+
+  auto run = [&](auto&& aggregator) {
+    std::vector<std::pair<Window, double>> out;
+    aggregator.AddQuery(std::make_unique<SlidingWindowFn>(1000, 200),
+                        [&out](size_t, const Window& w, const double& v) {
+                          out.emplace_back(w, v);
+                        });
+    Rng rng(3);
+    std::vector<std::pair<Timestamp, double>> stream;
+    for (Timestamp t = 0; t < 5000; ++t) {
+      // Latency-shaped: mostly small, occasional spikes.
+      double v = 5.0 + rng.NextDouble() * 20.0;
+      if (rng.NextBool(0.02)) v += rng.NextDouble() * 400.0;
+      stream.emplace_back(t, v);
+      aggregator.OnElement(t, v);
+    }
+    aggregator.OnWatermark(kMaxTimestamp);
+    return std::make_pair(out, stream);
+  };
+
+  using Agg = QuantileAgg<500>;
+  auto [shared, stream] =
+      run(SlicingAggregator<Agg, FlatFatStore<Agg>>(agg));
+  auto [naive, stream2] = run(NaiveBufferAggregator<Agg>(agg));
+  ASSERT_EQ(shared.size(), naive.size());
+  ASSERT_FALSE(shared.empty());
+  for (size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_EQ(shared[i].first, naive[i].first);
+    EXPECT_DOUBLE_EQ(shared[i].second, naive[i].second);
+    // Exact p95 of the window contents.
+    std::vector<double> in_window;
+    for (const auto& [t, v] : stream) {
+      if (shared[i].first.Contains(t)) in_window.push_back(v);
+    }
+    ASSERT_FALSE(in_window.empty());
+    std::sort(in_window.begin(), in_window.end());
+    const double exact =
+        in_window[static_cast<size_t>(0.95 * in_window.size())];
+    EXPECT_NEAR(shared[i].second, exact, (kHi - kLo) / 500 + 1e-9)
+        << shared[i].first.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace streamline

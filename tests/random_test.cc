@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace streamline {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  for (const auto& [v, n] : counts) {
+    EXPECT_NEAR(n, kDraws / 10, kDraws / 10 * 0.10) << "value " << v;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble(-5.0, 5.0);
+    ASSERT_GE(d, -5.0);
+    ASSERT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  ZipfGenerator zipf(100, 1.0, 3);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // Rank 0 must dominate; with s=1 and n=100, P(0) = 1/H_100 ~ 0.192.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.192, 0.02);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 5);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next()]++;
+  for (const auto& [v, n] : counts) {
+    EXPECT_NEAR(n, kDraws / 10, kDraws / 10 * 0.12) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, DeterministicForSameSeed) {
+  ZipfGenerator a(50, 0.8, 9);
+  ZipfGenerator b(50, 0.8, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace streamline

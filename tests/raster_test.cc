@@ -1,0 +1,88 @@
+#include "viz/raster.h"
+
+#include <gtest/gtest.h>
+
+namespace streamline {
+namespace {
+
+TEST(RasterTest, SetGetAndBounds) {
+  Raster r(10, 5);
+  EXPECT_FALSE(r.Get(3, 3));
+  r.Set(3, 3);
+  EXPECT_TRUE(r.Get(3, 3));
+  r.Set(-1, 0);   // silently clipped
+  r.Set(10, 0);
+  r.Set(0, 5);
+  EXPECT_EQ(r.CountSetPixels(), 1u);
+}
+
+TEST(RasterTest, HorizontalLine) {
+  Raster r(10, 3);
+  r.DrawLine(1, 1, 8, 1);
+  for (int x = 1; x <= 8; ++x) EXPECT_TRUE(r.Get(x, 1)) << x;
+  EXPECT_EQ(r.CountSetPixels(), 8u);
+}
+
+TEST(RasterTest, VerticalAndDiagonalLines) {
+  Raster r(5, 5);
+  r.DrawLine(2, 0, 2, 4);
+  EXPECT_EQ(r.CountSetPixels(), 5u);
+  Raster d(5, 5);
+  d.DrawLine(0, 0, 4, 4);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(d.Get(i, i));
+}
+
+TEST(RasterTest, LineIsDirectionSymmetricEnough) {
+  Raster a(20, 10);
+  Raster b(20, 10);
+  a.DrawLine(1, 1, 17, 8);
+  b.DrawLine(17, 8, 1, 1);
+  // Bresenham may differ by a pixel or two between directions.
+  EXPECT_LT(Raster::PixelError(a, b), 0.02);
+}
+
+TEST(RasterTest, PixelErrorExtremes) {
+  Raster a(10, 10);
+  Raster b(10, 10);
+  EXPECT_DOUBLE_EQ(Raster::PixelError(a, b), 0.0);
+  a.Set(0, 0);
+  EXPECT_DOUBLE_EQ(Raster::PixelError(a, b), 0.01);
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) b.Set(x, y);
+  }
+  // a has 1 set pixel, b all 100: 99 differences.
+  EXPECT_DOUBLE_EQ(Raster::PixelError(a, b), 0.99);
+}
+
+TEST(RasterizeSeriesTest, SinglePointAndPolyline) {
+  const Raster one = RasterizeSeries({{50, 0.5}}, 0, 100, 0, 1, 10, 10);
+  EXPECT_EQ(one.CountSetPixels(), 1u);
+  const Raster line =
+      RasterizeSeries({{0, 0.0}, {99, 1.0}}, 0, 100, 0, 1, 10, 10);
+  EXPECT_GE(line.CountSetPixels(), 9u);
+  EXPECT_TRUE(line.Get(0, 0));
+  EXPECT_TRUE(line.Get(9, 9));
+}
+
+TEST(RasterizeSeriesTest, EmptySeries) {
+  const Raster r = RasterizeSeries({}, 0, 100, 0, 1, 10, 10);
+  EXPECT_EQ(r.CountSetPixels(), 0u);
+}
+
+TEST(RasterizeSeriesTest, FlatSeriesConstantValueRange) {
+  // v_min == v_max must not divide by zero.
+  const Raster r =
+      RasterizeSeries({{0, 5.0}, {50, 5.0}, {99, 5.0}}, 0, 100, 5.0, 5.0,
+                      10, 10);
+  EXPECT_GT(r.CountSetPixels(), 0u);
+}
+
+TEST(ValueRangeTest, MinMax) {
+  EXPECT_EQ(ValueRange({}), (std::pair<double, double>{0.0, 1.0}));
+  const auto [lo, hi] = ValueRange({{0, 3.0}, {1, -2.0}, {2, 7.0}});
+  EXPECT_DOUBLE_EQ(lo, -2.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+}  // namespace
+}  // namespace streamline

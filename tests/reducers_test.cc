@@ -1,0 +1,139 @@
+#include "viz/reducers.h"
+
+#include <gtest/gtest.h>
+
+#include "viz/raster.h"
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+std::vector<SeriesPoint> Feed(SeriesReducer* reducer,
+                              const std::vector<SeriesPoint>& data) {
+  for (const auto& p : data) reducer->OnElement(p.t, p.v);
+  reducer->OnWatermark(kMaxTimestamp);
+  return reducer->output();
+}
+
+TEST(ReducersTest, RawTransfersEverything) {
+  RawReducer raw;
+  RandomWalkSeries walk(RateShape{100.0}, 0, 1, 5);
+  const auto data = walk.Take(500);
+  Feed(&raw, data);
+  EXPECT_EQ(raw.points_transferred(), 500u);
+  EXPECT_EQ(raw.bytes_transferred(), 500u * 16);
+}
+
+TEST(ReducersTest, EveryNth) {
+  EveryNthReducer nth(10);
+  RandomWalkSeries walk(RateShape{100.0}, 0, 1, 5);
+  Feed(&nth, walk.Take(500));
+  EXPECT_EQ(nth.points_transferred(), 50u);
+}
+
+TEST(ReducersTest, UniformSamplingApproximatesProbability) {
+  UniformSamplingReducer sampler(0.1);
+  RandomWalkSeries walk(RateShape{100.0}, 0, 1, 5);
+  Feed(&sampler, walk.Take(20000));
+  EXPECT_NEAR(static_cast<double>(sampler.points_transferred()), 2000, 200);
+}
+
+TEST(ReducersTest, PaaOnePointPerColumn) {
+  PaaReducer paa(1000);
+  // 10 seconds of data at 100 ev/s.
+  RandomWalkSeries walk(RateShape{100.0}, 0, 1, 5);
+  Feed(&paa, walk.Take(1000));
+  EXPECT_NEAR(static_cast<double>(paa.points_transferred()), 10, 1);
+}
+
+TEST(ReducersTest, PaaEmitsColumnMean) {
+  PaaReducer paa(10);
+  paa.OnElement(0, 2.0);
+  paa.OnElement(5, 4.0);
+  paa.OnWatermark(10);
+  ASSERT_EQ(paa.output().size(), 1u);
+  EXPECT_DOUBLE_EQ(paa.output()[0].v, 3.0);
+  EXPECT_EQ(paa.output()[0].t, 5);  // column midpoint
+}
+
+TEST(ReducersTest, M4AtMostFourPerColumn) {
+  M4Reducer m4(1000);
+  RandomWalkSeries walk(RateShape{1000.0, 0.5}, 0, 1, 5);
+  const auto data = walk.Take(60000);  // ~60 s
+  Feed(&m4, data);
+  const double seconds =
+      static_cast<double>(data.back().t) / 1000.0;
+  EXPECT_LE(m4.points_transferred(),
+            static_cast<uint64_t>(4 * (seconds + 2)));
+  EXPECT_GE(m4.points_transferred(), static_cast<uint64_t>(seconds - 2));
+}
+
+TEST(ReducersTest, MinMaxAtMostTwoPerColumn) {
+  MinMaxReducer mm(1000);
+  RandomWalkSeries walk(RateShape{1000.0}, 0, 1, 5);
+  const auto data = walk.Take(30000);
+  Feed(&mm, data);
+  const double seconds = static_cast<double>(data.back().t) / 1000.0;
+  EXPECT_LE(mm.points_transferred(),
+            static_cast<uint64_t>(2 * (seconds + 2)));
+}
+
+TEST(ReducersTest, M4TransferIsDataRateIndependentRawIsNot) {
+  // The paper's I2 claim, head to head.
+  auto transferred = [](auto make_reducer, double rate) {
+    auto reducer = make_reducer();
+    RandomWalkSeries walk(RateShape{rate}, 0, 1, 9);
+    const auto n = static_cast<size_t>(rate * 30);  // 30 s of event time
+    for (const auto& p : walk.Take(n)) reducer->OnElement(p.t, p.v);
+    reducer->OnWatermark(kMaxTimestamp);
+    return reducer->points_transferred();
+  };
+  auto make_m4 = [] { return std::make_unique<M4Reducer>(1000); };
+  auto make_raw = [] { return std::make_unique<RawReducer>(); };
+
+  const auto m4_slow = transferred(make_m4, 100);
+  const auto m4_fast = transferred(make_m4, 10000);
+  const auto raw_slow = transferred(make_raw, 100);
+  const auto raw_fast = transferred(make_raw, 10000);
+
+  EXPECT_NEAR(static_cast<double>(m4_fast),
+              static_cast<double>(m4_slow),
+              static_cast<double>(m4_slow) * 0.1 + 8);
+  EXPECT_EQ(raw_fast, raw_slow * 100);
+}
+
+TEST(ReducersTest, M4BeatsSamplersAtEqualBudget) {
+  // At (roughly) the same point budget, M4's rendering error is far below
+  // systematic or random sampling: extremes are never lost.
+  SeasonalSensorSeries sensor(
+      RateShape{2000.0, 0.3},
+      SeasonalSensorSeries::Options{.spike_probability = 0.002}, 31);
+  const auto raw = sensor.Take(60000);
+  constexpr int kW = 300;
+  constexpr int kH = 120;
+  // Align the raster grid with the M4 columns (1 column == 1 pixel), the
+  // setting in which M4's pixel-correctness theorem applies.
+  const Duration col = (raw.back().t + kW) / kW;
+  const Timestamp t_end = col * kW;
+
+  M4Reducer m4(col);
+  Feed(&m4, raw);
+  // Give the sampler the same number of points.
+  const uint64_t budget = m4.points_transferred();
+  EveryNthReducer nth(raw.size() / std::max<uint64_t>(budget, 1));
+  Feed(&nth, raw);
+
+  const auto [lo, hi] = ValueRange(raw);
+  const Raster raw_r = RasterizeSeries(raw, 0, t_end, lo, hi, kW, kH);
+  const Raster m4_r =
+      RasterizeSeries(m4.output(), 0, t_end, lo, hi, kW, kH);
+  const Raster nth_r =
+      RasterizeSeries(nth.output(), 0, t_end, lo, hi, kW, kH);
+  const double m4_err = Raster::PixelError(raw_r, m4_r);
+  const double nth_err = Raster::PixelError(raw_r, nth_r);
+  EXPECT_LT(m4_err, 0.02);
+  EXPECT_GT(nth_err, m4_err * 2);
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,107 @@
+#include "agg/reordering_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/slicing_aggregator.h"
+#include "common/random.h"
+#include "window/aggregate_fn.h"
+
+namespace streamline {
+namespace {
+
+using Result = std::pair<Window, double>;
+
+std::unique_ptr<ReorderingAggregator<SumAgg<double>>> MakeReordering(
+    std::vector<Result>* out) {
+  auto inner = std::make_unique<SlicingAggregator<SumAgg<double>>>();
+  auto reorder = std::make_unique<ReorderingAggregator<SumAgg<double>>>(
+      std::move(inner));
+  reorder->AddQuery(std::make_unique<TumblingWindowFn>(100),
+                    [out](size_t, const Window& w, const double& v) {
+                      out->emplace_back(w, v);
+                    });
+  return reorder;
+}
+
+TEST(ReorderingAggregatorTest, ShuffledStreamMatchesOrderedStream) {
+  // Ordered reference.
+  std::vector<Result> expect;
+  {
+    auto agg = MakeReordering(&expect);
+    for (Timestamp t = 0; t < 1000; ++t) {
+      agg->OnElement(t, static_cast<double>(t % 7));
+      if (t % 10 == 9) agg->OnWatermark(t + 1);
+    }
+    agg->OnWatermark(kMaxTimestamp);
+  }
+  // Shuffle within windows of 50 while keeping truthful watermarks.
+  std::vector<Result> got;
+  {
+    auto agg = MakeReordering(&got);
+    Rng rng(5);
+    std::vector<Timestamp> buffer;
+    Timestamp next = 0;
+    auto flush_one = [&]() {
+      const size_t i = rng.NextBelow(buffer.size());
+      std::swap(buffer[i], buffer.back());
+      const Timestamp t = buffer.back();
+      buffer.pop_back();
+      agg->OnElement(t, static_cast<double>(t % 7));
+    };
+    while (next < 1000 || !buffer.empty()) {
+      if (next < 1000 && buffer.size() < 50) {
+        buffer.push_back(next++);
+        continue;
+      }
+      flush_one();
+      // Watermark = min buffered (the safe bound).
+      Timestamp wm = next >= 1000 ? kMaxTimestamp : *std::min_element(
+          buffer.begin(), buffer.end());
+      if (!buffer.empty() && wm != kMaxTimestamp) agg->OnWatermark(wm);
+    }
+    agg->OnWatermark(kMaxTimestamp);
+    EXPECT_EQ(agg->dropped_late(), 0u);
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, expect[i].first);
+    EXPECT_NEAR(got[i].second, expect[i].second, 1e-9);
+  }
+}
+
+TEST(ReorderingAggregatorTest, LateElementsDroppedAndCounted) {
+  std::vector<Result> out;
+  auto agg = MakeReordering(&out);
+  agg->OnElement(10, 1.0);
+  agg->OnWatermark(50);
+  agg->OnElement(20, 1.0);  // late
+  agg->OnElement(60, 1.0);
+  agg->OnWatermark(kMaxTimestamp);
+  EXPECT_EQ(agg->dropped_late(), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].second, 2.0);  // the late element is excluded
+}
+
+TEST(ReorderingAggregatorTest, BufferDrainsOnWatermark) {
+  std::vector<Result> out;
+  auto agg = MakeReordering(&out);
+  for (Timestamp t = 0; t < 100; ++t) agg->OnElement(t, 1.0);
+  EXPECT_EQ(agg->buffered(), 100u);
+  agg->OnWatermark(50);
+  EXPECT_EQ(agg->buffered(), 50u);
+  agg->OnWatermark(kMaxTimestamp);
+  EXPECT_EQ(agg->buffered(), 0u);
+}
+
+TEST(ReorderingAggregatorTest, StatsDelegateToInner) {
+  std::vector<Result> out;
+  auto agg = MakeReordering(&out);
+  for (Timestamp t = 0; t < 500; ++t) agg->OnElement(t, 1.0);
+  agg->OnWatermark(kMaxTimestamp);
+  EXPECT_EQ(agg->stats().elements, 500u);
+  EXPECT_EQ(agg->stats().partial_updates, 500u);
+  EXPECT_EQ(agg->name(), "reordering(cutty)");
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,101 @@
+// Robustness fuzzing of every deserialization path: random byte strings
+// and randomly truncated/corrupted valid snapshots must yield error
+// Statuses, never crashes or hangs.
+
+#include <gtest/gtest.h>
+
+#include "agg/slicing_aggregator.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "ml/online_model.h"
+#include "window/aggregate_fn.h"
+#include "window/dyn_aggregate.h"
+
+namespace streamline {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = rng->NextBelow(max_len + 1);
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<char>(rng->NextBelow(256));
+  }
+  return out;
+}
+
+TEST(SerdeFuzzTest, RandomBytesNeverCrashRecordReader) {
+  Rng rng(1);
+  int ok_count = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const std::string bytes = RandomBytes(&rng, 64);
+    BinaryReader r(bytes);
+    auto rec = r.ReadRecord();
+    if (rec.ok()) ++ok_count;  // tiny chance of being valid: fine
+  }
+  // The overwhelming majority must be rejected.
+  EXPECT_LT(ok_count, 100);
+}
+
+TEST(SerdeFuzzTest, RandomBytesNeverCrashValueReader) {
+  Rng rng(2);
+  for (int round = 0; round < 2000; ++round) {
+    const std::string bytes = RandomBytes(&rng, 32);
+    BinaryReader r(bytes);
+    (void)r.ReadValue();
+  }
+  SUCCEED();
+}
+
+TEST(SerdeFuzzTest, TruncatedAggregatorSnapshotsAllRejected) {
+  SlicingAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<SlidingWindowFn>(50, 10), nullptr);
+  agg.AddQuery(std::make_unique<SessionWindowFn>(7), nullptr);
+  for (Timestamp t = 0; t < 300; ++t) agg.OnElement(t, 1.0);
+  BinaryWriter w;
+  agg.Snapshot(&w, [](const double& p, BinaryWriter* out) {
+    out->WriteDouble(p);
+  });
+  const std::string full = w.buffer();
+  auto de = [](BinaryReader* r) { return r->ReadDouble(); };
+  // Every strict prefix must fail cleanly.
+  for (size_t len = 0; len < full.size(); len += 7) {
+    SlicingAggregator<SumAgg<double>> target;
+    target.AddQuery(std::make_unique<SlidingWindowFn>(50, 10), nullptr);
+    target.AddQuery(std::make_unique<SessionWindowFn>(7), nullptr);
+    BinaryReader r(std::string_view(full.data(), len));
+    EXPECT_FALSE(target.Restore(&r, de).ok()) << "prefix " << len;
+  }
+}
+
+TEST(SerdeFuzzTest, CorruptedModelSnapshotsRejectedOrBenign) {
+  OnlineLogisticRegression model(4);
+  for (int i = 0; i < 100; ++i) model.Update({1, 2, 3, 4}, i % 2 == 0);
+  BinaryWriter w;
+  model.Snapshot(&w);
+  std::string bytes = w.Release();
+  Rng rng(3);
+  for (int round = 0; round < 500; ++round) {
+    std::string corrupted = bytes;
+    const size_t pos = rng.NextBelow(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.NextBelow(256));
+    OnlineLogisticRegression target(4);
+    BinaryReader r(corrupted);
+    (void)target.Restore(&r);  // must not crash; error or benign change
+  }
+  SUCCEED();
+}
+
+TEST(SerdeFuzzTest, DynPartialTruncations) {
+  DynAggregate agg(DynAggKind::kVariance);
+  DynPartial p = agg.Lift(Value(3.0), 7);
+  BinaryWriter w;
+  DynAggregate::SerializePartial(p, &w);
+  const std::string full = w.buffer();
+  for (size_t len = 0; len < full.size(); ++len) {
+    BinaryReader r(std::string_view(full.data(), len));
+    EXPECT_FALSE(DynAggregate::DeserializePartial(&r).ok());
+  }
+}
+
+}  // namespace
+}  // namespace streamline

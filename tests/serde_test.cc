@@ -1,0 +1,100 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace streamline {
+namespace {
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteI64(-123456789);
+  w.WriteU64(987654321);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteString("hello");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().value(), 7);
+  EXPECT_EQ(r.ReadI64().value(), -123456789);
+  EXPECT_EQ(r.ReadU64().value(), 987654321u);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.25);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ValueRoundTripAllTypes) {
+  const Value values[] = {Value::Null(), Value(int64_t{-5}), Value(2.75),
+                          Value(false), Value("abc def")};
+  BinaryWriter w;
+  for (const Value& v : values) w.WriteValue(v);
+  BinaryReader r(w.buffer());
+  for (const Value& v : values) {
+    auto got = r.ReadValue();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, RecordRoundTrip) {
+  Record rec = MakeRecord(99, Value("user-1"), Value(int64_t{17}),
+                          Value(0.5));
+  BinaryWriter w;
+  w.WriteRecord(rec);
+  BinaryReader r(w.buffer());
+  auto got = r.ReadRecord();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, rec);
+}
+
+TEST(SerdeTest, EmptyStringRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("");
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadString().value(), "");
+}
+
+TEST(SerdeTest, TruncatedBufferReportsOutOfRange) {
+  BinaryWriter w;
+  w.WriteI64(1);
+  std::string buf = w.Release();
+  buf.resize(buf.size() - 1);
+  BinaryReader r(buf);
+  auto got = r.ReadI64();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, TruncatedStringReportsOutOfRange) {
+  BinaryWriter w;
+  w.WriteString("long payload");
+  std::string buf = w.Release();
+  buf.resize(buf.size() - 4);
+  BinaryReader r(buf);
+  auto got = r.ReadString();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, UnknownValueTagReportsInternal) {
+  std::string buf(1, static_cast<char>(250));
+  BinaryReader r(buf);
+  auto got = r.ReadValue();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+}
+
+TEST(SerdeTest, TruncatedRecordReportsError) {
+  Record rec = MakeRecord(1, Value(int64_t{2}), Value("xyz"));
+  BinaryWriter w;
+  w.WriteRecord(rec);
+  std::string buf = w.Release();
+  buf.resize(buf.size() / 2);
+  BinaryReader r(buf);
+  EXPECT_FALSE(r.ReadRecord().ok());
+}
+
+}  // namespace
+}  // namespace streamline

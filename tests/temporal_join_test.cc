@@ -1,0 +1,129 @@
+#include "dataflow/temporal_join.h"
+
+#include <gtest/gtest.h>
+
+#include "api/datastream.h"
+
+namespace streamline {
+namespace {
+
+class VecCollector : public Collector {
+ public:
+  void Emit(Record r) override { records.push_back(std::move(r)); }
+  std::vector<Record> records;
+};
+
+TemporalJoinOperator::Spec BasicSpec(bool emit_unmatched = false) {
+  TemporalJoinOperator::Spec spec;
+  spec.fact_key = KeyField(0);
+  spec.table_key = KeyField(0);
+  spec.emit_unmatched = emit_unmatched;
+  spec.table_width = 2;
+  return spec;
+}
+
+TEST(TemporalJoinTest, EnrichesWithLatestRow) {
+  TemporalJoinOperator op("tj", BasicSpec());
+  VecCollector out;
+  // Table row for key 1: [1, "v1", 10.0].
+  op.ProcessRecord(1, MakeRecord(0, Value(int64_t{1}), Value("v1"),
+                                 Value(10.0)),
+                   &out);
+  // Fact for key 1.
+  op.ProcessRecord(0, MakeRecord(5, Value(int64_t{1}), Value(100.0)), &out);
+  ASSERT_EQ(out.records.size(), 1u);
+  ASSERT_EQ(out.records[0].num_fields(), 5u);
+  EXPECT_EQ(out.records[0].field(3).AsString(), "v1");
+  // Upsert the row; later facts see the new version.
+  op.ProcessRecord(1, MakeRecord(6, Value(int64_t{1}), Value("v2"),
+                                 Value(20.0)),
+                   &out);
+  op.ProcessRecord(0, MakeRecord(7, Value(int64_t{1}), Value(200.0)), &out);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[1].field(3).AsString(), "v2");
+  EXPECT_EQ(op.table_size(), 1u);
+}
+
+TEST(TemporalJoinTest, UnmatchedDroppedOrPadded) {
+  {
+    TemporalJoinOperator drop("tj", BasicSpec(false));
+    VecCollector out;
+    drop.ProcessRecord(0, MakeRecord(1, Value(int64_t{9}), Value(1.0)), &out);
+    EXPECT_TRUE(out.records.empty());
+  }
+  {
+    TemporalJoinOperator pad("tj", BasicSpec(true));
+    VecCollector out;
+    pad.ProcessRecord(0, MakeRecord(1, Value(int64_t{9}), Value(1.0)), &out);
+    ASSERT_EQ(out.records.size(), 1u);
+    ASSERT_EQ(out.records[0].num_fields(), 4u);  // 2 fact + 2 null pad
+    EXPECT_TRUE(out.records[0].field(2).is_null());
+    EXPECT_TRUE(out.records[0].field(3).is_null());
+  }
+}
+
+TEST(TemporalJoinTest, TableStateSnapshotRoundTrip) {
+  TemporalJoinOperator op("tj", BasicSpec());
+  VecCollector out;
+  for (int k = 0; k < 10; ++k) {
+    op.ProcessRecord(
+        1,
+        MakeRecord(k, Value(static_cast<int64_t>(k)),
+                   Value("row" + std::to_string(k)), Value(1.0 * k)),
+        &out);
+  }
+  BinaryWriter w;
+  ASSERT_TRUE(op.SnapshotState(&w).ok());
+  TemporalJoinOperator restored("tj", BasicSpec());
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(restored.RestoreState(&r).ok());
+  EXPECT_EQ(restored.table_size(), 10u);
+  restored.ProcessRecord(0, MakeRecord(99, Value(int64_t{7}), Value(0.0)),
+                         &out);
+  ASSERT_EQ(out.records.size(), 1u);
+  // Joined layout: [fact key, fact value, row key, row name, row value].
+  EXPECT_EQ(out.records[0].field(3).AsString(), "row7");
+}
+
+TEST(TemporalJoinTest, EndToEndThroughApi) {
+  Environment env(2);
+  // Dimension changelog: item -> category.
+  std::vector<Record> table_rows;
+  for (int item = 0; item < 20; ++item) {
+    table_rows.push_back(MakeRecord(
+        0, Value(static_cast<int64_t>(item)),
+        Value("cat" + std::to_string(item % 4))));
+  }
+  // Facts arrive after the table (ts > 0 just for clarity; the temporal
+  // join is processing-order based, so feed the table from one bounded
+  // source which completes quickly).
+  std::vector<Record> facts;
+  for (int i = 0; i < 200; ++i) {
+    facts.push_back(MakeRecord(100 + i, Value(static_cast<int64_t>(i % 20)),
+                               Value(1.0)));
+  }
+  auto table = env.FromRecords(std::move(table_rows), "dim").KeyBy(0);
+  auto sink = env.FromRecords(std::move(facts), "facts")
+                  .KeyBy(0)
+                  .TemporalJoin(table, /*table_width=*/2,
+                                /*emit_unmatched=*/true)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  ASSERT_EQ(sink->size(), 200u);
+  // Every matched record carries its category; unmatched ones (races where
+  // a fact beat its table row) are null-padded rather than dropped.
+  size_t matched = 0;
+  for (const Record& r : sink->records()) {
+    ASSERT_EQ(r.num_fields(), 4u);
+    if (!r.field(3).is_null()) {
+      ++matched;
+      const int64_t item = r.field(0).AsInt64();
+      EXPECT_EQ(r.field(3).AsString(),
+                "cat" + std::to_string(item % 4));
+    }
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+}  // namespace
+}  // namespace streamline

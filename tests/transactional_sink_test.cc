@@ -1,0 +1,125 @@
+// End-to-end exactly-once OUTPUT with the transactional sink: the records
+// committed across crash + restore equal the uninterrupted run exactly --
+// no truncation bookkeeping needed by the consumer.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "api/datastream.h"
+#include "dataflow/event_log.h"
+
+namespace streamline {
+namespace {
+
+Record Ev(uint64_t i) {
+  return MakeRecord(static_cast<Timestamp>(i),
+                    Value(static_cast<int64_t>(i % 5)),
+                    Value(static_cast<int64_t>(i)));
+}
+
+std::shared_ptr<TransactionalCollectSink> Build(
+    Environment* env, const std::shared_ptr<EventLog>& log) {
+  auto sink = std::make_shared<TransactionalCollectSink>();
+  env->FromSource("log", LogSource::Factory(log, /*watermark_every=*/16), 1)
+      .KeyBy(0)
+      .Reduce([](const Record& acc, const Record& in) {
+        Record out = acc;
+        out.fields[1] = Value(acc.field(1).AsInt64() + in.field(1).AsInt64());
+        return out;
+      })
+      .Sink(sink);
+  return sink;
+}
+
+TEST(TransactionalSinkTest, NoCheckpointMeansNothingCommitted) {
+  auto log = std::make_shared<EventLog>(1);
+  for (uint64_t i = 0; i < 100; ++i) log->Append(0, Ev(i));
+  log->Close();
+  Environment env;
+  auto sink = Build(&env, log);
+  ASSERT_TRUE(env.Execute().ok());
+  // Without barriers no transaction ever commits.
+  EXPECT_TRUE(sink->committed().empty());
+  EXPECT_EQ(sink->pending_size(), 100u);
+}
+
+TEST(TransactionalSinkTest, ExactlyOnceOutputAcrossCrashRestore) {
+  auto log = std::make_shared<EventLog>(1);
+
+  // Run 1: emit 600, checkpoint while idle, emit past the checkpoint,
+  // crash. Only the pre-barrier prefix is committed.
+  auto store = std::make_shared<SnapshotStore>();
+  uint64_t cp = 0;
+  std::vector<Record> committed_run1;
+  {
+    for (uint64_t i = 0; i < 600; ++i) log->Append(0, Ev(i));
+    Environment env;
+    auto sink = Build(&env, log);
+    JobOptions opts;
+    opts.snapshot_store = store;
+    auto job = env.CreateJob(opts);
+    ASSERT_TRUE(job.ok());
+    ASSERT_TRUE((*job)->Start().ok());
+    while (sink->pending_size() < 600) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    cp = (*job)->TriggerCheckpoint();
+    ASSERT_TRUE((*job)->AwaitCheckpoint(cp, 10.0));
+    for (uint64_t i = 600; i < 1000; ++i) log->Append(0, Ev(i));
+    log->Close();
+    // Let some post-checkpoint output accumulate, then "crash".
+    while (sink->pending_size() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    (*job)->Cancel();
+    ASSERT_TRUE((*job)->AwaitCompletion().ok());
+    committed_run1 = sink->committed();  // the durable prefix
+    EXPECT_EQ(committed_run1.size(), 600u);
+    EXPECT_EQ(sink->last_committed_checkpoint(), cp);
+  }
+
+  // Run 2: restore and finish; its committed output (after a final
+  // checkpoint) is the continuation.
+  std::vector<Record> committed_run2;
+  {
+    Environment env;
+    auto sink = Build(&env, log);
+    JobOptions opts;
+    opts.snapshot_store = store;
+    opts.restore_from_checkpoint = cp;
+    opts.checkpoint_interval_ms = 2;  // commit transactions as we go
+    auto job = env.CreateJob(opts);
+    ASSERT_TRUE(job.ok()) << job.status().ToString();
+    ASSERT_TRUE((*job)->Start().ok());
+    ASSERT_TRUE((*job)->AwaitCompletion().ok());
+    committed_run2 = sink->committed();
+    // The tail after the last barrier stays pending (a real deployment
+    // would checkpoint once more before shutdown); fold it in explicitly
+    // to model that final commit.
+    sink->OnBarrier(999);
+    committed_run2 = sink->committed();
+  }
+
+  // Reference: uninterrupted run committed via one final transaction.
+  std::vector<Record> reference;
+  {
+    Environment env;
+    auto sink = Build(&env, log);
+    ASSERT_TRUE(env.Execute().ok());
+    sink->OnBarrier(1);
+    reference = sink->committed();
+  }
+
+  ASSERT_EQ(committed_run1.size() + committed_run2.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const Record& got =
+        i < committed_run1.size()
+            ? committed_run1[i]
+            : committed_run2[i - committed_run1.size()];
+    EXPECT_EQ(got, reference[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace streamline

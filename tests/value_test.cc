@@ -1,0 +1,99 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/record.h"
+#include "common/schema.h"
+
+namespace streamline {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(true).type(), DataType::kBool);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value("abc").type(), DataType::kString);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(false).ToDouble(), 0.0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // distinct types
+  EXPECT_EQ(Value(), Value::Null());
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+}
+
+TEST(ValueTest, HashStableAndDiscriminating) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
+  // Same bit pattern across types must not collide (type is hashed in).
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(true).Hash());
+  EXPECT_EQ(Value("key").Hash(), Value(std::string("key")).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));  // null sorts first
+  EXPECT_FALSE(Value(int64_t{0}) < Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"user", DataType::kString}, {"clicks", DataType::kInt64}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  ASSERT_TRUE(s.FieldIndex("clicks").ok());
+  EXPECT_EQ(s.FieldIndex("clicks").value(), 1u);
+  EXPECT_FALSE(s.FieldIndex("nope").ok());
+  EXPECT_TRUE(s.HasField("user"));
+  EXPECT_FALSE(s.HasField("nope"));
+}
+
+TEST(SchemaTest, ToStringAndEquality) {
+  Schema a({{"x", DataType::kDouble}});
+  Schema b({{"x", DataType::kDouble}});
+  Schema c({{"x", DataType::kInt64}});
+  EXPECT_EQ(a.ToString(), "(x: double)");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RecordTest, MakeRecordAndToString) {
+  Record r = MakeRecord(12, Value(int64_t{1}), Value("a"));
+  EXPECT_EQ(r.timestamp, 12);
+  ASSERT_EQ(r.num_fields(), 2u);
+  EXPECT_EQ(r.field(0).AsInt64(), 1);
+  EXPECT_EQ(r.field(1).AsString(), "a");
+  EXPECT_EQ(r.ToString(), "@12 [1, a]");
+}
+
+TEST(RecordTest, Equality) {
+  EXPECT_EQ(MakeRecord(1, Value(2.0)), MakeRecord(1, Value(2.0)));
+  EXPECT_FALSE(MakeRecord(1, Value(2.0)) == MakeRecord(2, Value(2.0)));
+  EXPECT_FALSE(MakeRecord(1, Value(2.0)) == MakeRecord(1, Value(3.0)));
+}
+
+}  // namespace
+}  // namespace streamline

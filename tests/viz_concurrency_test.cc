@@ -1,0 +1,93 @@
+// Thread-safety stress of the VizServer: concurrent stream ingestion and
+// client interactions (connect/zoom/pan/resize/refresh/disconnect) must
+// neither crash nor corrupt transfer accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "viz/server.h"
+
+namespace streamline {
+namespace {
+
+TEST(VizConcurrencyTest, IngestAndInteractConcurrently) {
+  VizServer server(100, 5);
+  std::atomic<bool> stop{false};
+
+  std::thread ingest([&] {
+    Timestamp t = 0;
+    Rng rng(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 100; ++i) {
+        server.OnElement(t++, rng.NextDouble(-10, 10));
+      }
+      server.OnWatermark(t);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> interactions{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      for (int round = 0; round < 200; ++round) {
+        const int id = server.Connect(
+            Viewport{0, 10'000, 200, 80, rng.NextBool(0.5)});
+        for (int op = 0; op < 5; ++op) {
+          switch (rng.NextBelow(4)) {
+            case 0:
+              server.Zoom(id, rng.NextDouble(0.3, 2.0));
+              break;
+            case 1:
+              server.Pan(id, static_cast<Duration>(rng.NextBelow(2000)));
+              break;
+            case 2:
+              server.Resize(id, 50 + static_cast<int>(rng.NextBelow(400)));
+              break;
+            default:
+              server.Refresh(id);
+          }
+          ++interactions;
+        }
+        const auto stats = server.transfer_stats(id);
+        EXPECT_EQ(stats.bytes, stats.points * 16);
+        EXPECT_GE(stats.refreshes, 5u);
+        server.Disconnect(id);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  ingest.join();
+
+  EXPECT_EQ(interactions.load(), 3u * 200 * 5);
+  EXPECT_GT(server.ingested(), 0u);
+}
+
+TEST(VizConcurrencyTest, ManyFollowersUnderLoad) {
+  VizServer server(50, 4);
+  std::vector<int> ids;
+  for (int c = 0; c < 16; ++c) {
+    ids.push_back(server.Connect(Viewport{0, 5'000, 100, 50, true}));
+  }
+  std::thread ingest([&] {
+    for (Timestamp t = 0; t < 100'000; ++t) {
+      server.OnElement(t, static_cast<double>(t % 101));
+      if (t % 50 == 49) server.OnWatermark(t + 1);
+    }
+  });
+  ingest.join();
+  server.Flush();
+  for (int id : ids) {
+    const auto stats = server.transfer_stats(id);
+    // Follow-mode push volume is bounded by event-time columns, not rate.
+    EXPECT_GT(stats.points, 0u);
+    EXPECT_LE(stats.points, 4u * (100'000 / 50) + 4u * 100);
+  }
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,102 @@
+#include "viz/server.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+TEST(VizServerTest, ConnectInitialRefresh) {
+  VizServer server(100, 4);
+  for (Timestamp t = 0; t < 5000; ++t) {
+    server.OnElement(t, static_cast<double>(t % 13));
+  }
+  server.OnWatermark(5000);
+  const int client = server.Connect(Viewport{0, 5000, 100, 50, false});
+  const auto stats = server.transfer_stats(client);
+  EXPECT_EQ(stats.refreshes, 1u);
+  EXPECT_GT(stats.points, 0u);
+  // Never more than 4 points per pixel column.
+  EXPECT_LE(stats.points, 4u * 100);
+  EXPECT_EQ(stats.bytes, stats.points * 16);
+}
+
+TEST(VizServerTest, FollowModePushIsRateIndependent) {
+  auto run = [](int per_ms) {
+    VizServer server(100, 3);
+    const int client =
+        server.Connect(Viewport{0, 1000, 100, 50, /*follow=*/true});
+    const auto initial = server.transfer_stats(client).bytes;
+    for (Timestamp t = 0; t < 10000; ++t) {
+      for (int k = 0; k < per_ms; ++k) {
+        server.OnElement(t, static_cast<double>(k));
+      }
+      if (t % 100 == 99) server.OnWatermark(t + 1);
+    }
+    return server.transfer_stats(client).bytes - initial;
+  };
+  const uint64_t slow = run(1);
+  const uint64_t fast = run(50);  // 50x the data rate
+  EXPECT_EQ(slow, fast);  // same event-time span -> same transfer
+  EXPECT_GT(slow, 0u);
+}
+
+TEST(VizServerTest, ZoomPanResizeAccountRefreshes) {
+  VizServer server(10, 6);
+  for (Timestamp t = 0; t < 10000; ++t) {
+    server.OnElement(t, static_cast<double>((t * 31) % 97));
+  }
+  server.Flush();
+  const int c = server.Connect(Viewport{0, 10000, 200, 80, false});
+  const auto p0 = server.Zoom(c, 0.5);
+  EXPECT_FALSE(p0.empty());
+  const Viewport& vp = server.viewport(c);
+  EXPECT_EQ(vp.t_end - vp.t_begin, 5000);
+  const auto p1 = server.Pan(c, -1000);
+  EXPECT_FALSE(p1.empty());
+  const auto p2 = server.Resize(c, 50);
+  EXPECT_FALSE(p2.empty());
+  EXPECT_LE(p2.size(), 4u * 50);
+  const auto stats = server.transfer_stats(c);
+  EXPECT_EQ(stats.refreshes, 4u);  // initial + zoom + pan + resize
+}
+
+TEST(VizServerTest, ZoomInShowsFinerData) {
+  VizServer server(10, 6);
+  // A spike hidden at coarse zoom.
+  for (Timestamp t = 0; t < 10000; ++t) {
+    server.OnElement(t, t == 5555 ? 100.0 : 0.0);
+  }
+  server.Flush();
+  const int c = server.Connect(Viewport{5000, 6000, 100, 50, false});
+  const auto points = server.Refresh(c);
+  bool found_spike = false;
+  for (const auto& p : points) {
+    if (p.v == 100.0) found_spike = true;
+  }
+  EXPECT_TRUE(found_spike);
+}
+
+TEST(VizServerTest, DisconnectForgetsClient) {
+  VizServer server(10, 2);
+  const int c = server.Connect(Viewport{});
+  server.Disconnect(c);
+  const int c2 = server.Connect(Viewport{});
+  EXPECT_NE(c, c2);
+}
+
+TEST(VizServerTest, MultipleClientsIndependentViewports) {
+  VizServer server(10, 4);
+  for (Timestamp t = 0; t < 2000; ++t) server.OnElement(t, 1.0);
+  server.Flush();
+  const int a = server.Connect(Viewport{0, 2000, 100, 50, false});
+  const int b = server.Connect(Viewport{0, 500, 50, 50, false});
+  server.Zoom(a, 0.25);
+  EXPECT_EQ(server.viewport(a).t_end - server.viewport(a).t_begin, 500);
+  EXPECT_EQ(server.viewport(b).t_end - server.viewport(b).t_begin, 500);
+  EXPECT_EQ(server.viewport(b).t_begin, 0);
+}
+
+}  // namespace
+}  // namespace streamline

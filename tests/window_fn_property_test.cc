@@ -1,0 +1,110 @@
+// Property tests of SlidingWindowFn against a brute-force oracle: for
+// random (range, slide, origin) and random sparse streams, the event
+// stream must declare exactly the begins of element-containing windows
+// before their first element, and fire exactly the non-empty windows,
+// in order, once the watermark covers them.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "window/window_fn.h"
+
+namespace streamline {
+namespace {
+
+struct Oracle {
+  // All non-empty windows for the element set under (range, slide, origin).
+  static std::set<Window> NonEmptyWindows(const std::vector<Timestamp>& ts,
+                                          Duration range, Duration slide,
+                                          Timestamp origin) {
+    std::set<Window> out;
+    for (Timestamp t : ts) {
+      // Aligned begins b with b <= t < b + range.
+      Timestamp b = origin + ((t - origin) >= 0
+                                  ? (t - origin) / slide
+                                  : ((t - origin) - slide + 1) / slide) *
+                                 slide;
+      for (; b > t - range; b -= slide) {
+        if (b <= t) out.insert(Window{b, b + range});
+      }
+    }
+    return out;
+  }
+};
+
+struct Params {
+  Duration range;
+  Duration slide;
+  Timestamp origin;
+  uint64_t seed;
+};
+
+class SlidingOracleTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SlidingOracleTest, FiresExactlyNonEmptyWindowsInOrder) {
+  const Params p = GetParam();
+  Rng rng(p.seed);
+  // Sparse stream with gaps so empty windows exist.
+  std::vector<Timestamp> stream;
+  Timestamp ts = static_cast<Timestamp>(rng.NextBelow(100)) - 50;
+  for (int i = 0; i < 500; ++i) {
+    stream.push_back(ts);
+    ts += static_cast<Timestamp>(rng.NextBelow(4));
+    if (rng.NextBelow(20) == 0) {
+      ts += p.range + static_cast<Timestamp>(rng.NextBelow(
+                          static_cast<uint64_t>(3 * p.range)));
+    }
+  }
+
+  SlidingWindowFn fn(p.range, p.slide, p.origin);
+  std::vector<Window> fired;
+  std::map<Timestamp, size_t> begin_declared_at;  // begin ts -> element idx
+  WindowEvents events;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    events.clear();
+    fn.OnElement(stream[i], Value(), &events);
+    for (const WindowEvent& e : events) {
+      if (e.kind == WindowEvent::Kind::kEnd) {
+        fired.push_back(e.window);
+      } else {
+        // Begins must be declared no later than the first element >= begin.
+        EXPECT_GE(stream[i], e.at);
+        begin_declared_at.emplace(e.at, i);
+      }
+    }
+  }
+  events.clear();
+  fn.OnWatermark(kMaxTimestamp, &events);
+  for (const WindowEvent& e : events) {
+    if (e.kind == WindowEvent::Kind::kEnd) fired.push_back(e.window);
+  }
+
+  // Fired set == oracle's non-empty windows, strictly ordered by end.
+  const std::set<Window> expect =
+      Oracle::NonEmptyWindows(stream, p.range, p.slide, p.origin);
+  ASSERT_EQ(fired.size(), expect.size());
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1].end, fired[i].end);
+  }
+  for (const Window& w : fired) {
+    EXPECT_TRUE(expect.count(w)) << w.ToString() << " fired but is empty";
+    // Its begin boundary was declared before/at its first element.
+    EXPECT_TRUE(begin_declared_at.count(w.start))
+        << "begin " << w.start << " never declared";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomParams, SlidingOracleTest,
+    ::testing::Values(Params{10, 3, 0, 1}, Params{10, 10, 0, 2},
+                      Params{100, 7, 0, 3}, Params{64, 16, 5, 4},
+                      Params{7, 7, -3, 5}, Params{50, 1, 0, 6},
+                      Params{3, 11, 0, 7},  // slide > range (gaps)
+                      Params{1000, 333, 17, 8}, Params{2, 1, 0, 9},
+                      Params{500, 250, -100, 10}));
+
+}  // namespace
+}  // namespace streamline

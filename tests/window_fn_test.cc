@@ -1,0 +1,245 @@
+#include "window/window_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamline {
+namespace {
+
+// Drives a WindowFunction over in-order timestamps and records its events.
+struct Driver {
+  explicit Driver(std::unique_ptr<WindowFunction> fn) : fn(std::move(fn)) {}
+
+  void Element(Timestamp ts, const Value& payload = Value()) {
+    fn->OnElement(ts, payload, &events);
+    fn->AfterElement(ts, payload, &events);
+  }
+
+  void Watermark(Timestamp wm) { fn->OnWatermark(wm, &events); }
+
+  std::vector<Timestamp> Begins() const {
+    std::vector<Timestamp> out;
+    for (const auto& e : events) {
+      if (e.kind == WindowEvent::Kind::kBegin) out.push_back(e.at);
+    }
+    return out;
+  }
+
+  std::vector<Window> Ends() const {
+    std::vector<Window> out;
+    for (const auto& e : events) {
+      if (e.kind == WindowEvent::Kind::kEnd) out.push_back(e.window);
+    }
+    return out;
+  }
+
+  std::unique_ptr<WindowFunction> fn;
+  WindowEvents events;
+};
+
+TEST(TumblingWindowFnTest, BeginsAndFires) {
+  Driver d(std::make_unique<TumblingWindowFn>(10));
+  d.Element(0);
+  d.Element(5);
+  d.Element(12);
+  d.Element(25);
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{0, 10, 20}));
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 10}, {10, 20}, {20, 30}}));
+}
+
+TEST(TumblingWindowFnTest, FirstElementNotAtOrigin) {
+  Driver d(std::make_unique<TumblingWindowFn>(10));
+  d.Element(7);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{0}));
+  EXPECT_TRUE(d.Ends().empty());
+}
+
+TEST(TumblingWindowFnTest, EmptyWindowsAreSkipped) {
+  Driver d(std::make_unique<TumblingWindowFn>(10));
+  d.Element(0);
+  d.Element(100);  // 9 empty windows in between
+  d.Watermark(kMaxTimestamp);
+  // Only the two non-empty windows fire.
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 10}, {100, 110}}));
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{0, 100}));
+}
+
+TEST(TumblingWindowFnTest, EndEmittedBeforeBeginOnBoundaryElement) {
+  Driver d(std::make_unique<TumblingWindowFn>(10));
+  d.Element(3);
+  d.events.clear();
+  d.Element(10);
+  ASSERT_EQ(d.events.size(), 2u);
+  EXPECT_EQ(d.events[0].kind, WindowEvent::Kind::kEnd);
+  EXPECT_EQ(d.events[0].window, (Window{0, 10}));
+  EXPECT_EQ(d.events[1].kind, WindowEvent::Kind::kBegin);
+  EXPECT_EQ(d.events[1].at, 10);
+}
+
+TEST(SlidingWindowFnTest, OverlappingBegins) {
+  Driver d(std::make_unique<SlidingWindowFn>(10, 5));
+  d.Element(0);
+  // Windows [-5, 5) and [0, 10) both contain ts=0.
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{-5, 0}));
+}
+
+TEST(SlidingWindowFnTest, FiresEveryslide) {
+  Driver d(std::make_unique<SlidingWindowFn>(10, 5));
+  for (Timestamp t = 0; t <= 20; ++t) d.Element(t);
+  d.Watermark(kMaxTimestamp);
+  const std::vector<Window> ends = d.Ends();
+  ASSERT_GE(ends.size(), 4u);
+  EXPECT_EQ(ends[0], (Window{-5, 5}));
+  EXPECT_EQ(ends[1], (Window{0, 10}));
+  EXPECT_EQ(ends[2], (Window{5, 15}));
+  EXPECT_EQ(ends[3], (Window{10, 20}));
+  // Final watermark flushes the still-open windows [15, 25) and [20, 30).
+  EXPECT_EQ(ends.back(), (Window{20, 30}));
+}
+
+TEST(SlidingWindowFnTest, WatermarkFiresWithoutNewElements) {
+  Driver d(std::make_unique<SlidingWindowFn>(10, 5));
+  d.Element(3);
+  d.events.clear();
+  d.Watermark(5);
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{-5, 5}}));
+  d.events.clear();
+  d.Watermark(10);
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 10}}));
+}
+
+TEST(SlidingWindowFnTest, SlideLargerThanRangeGapsAllowed) {
+  // Sampling windows [0,2), [10,12), ... -- elements between windows belong
+  // to no window.
+  Driver d(std::make_unique<SlidingWindowFn>(2, 10));
+  d.Element(0);
+  d.Element(5);   // in no window
+  d.Element(11);  // in [10, 12)
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 2}, {10, 12}}));
+}
+
+TEST(SlidingWindowFnTest, OldestNeededBeginTracksUnfiredWindow) {
+  auto fn = std::make_unique<SlidingWindowFn>(10, 5);
+  SlidingWindowFn* raw = fn.get();
+  Driver d(std::move(fn));
+  EXPECT_EQ(raw->OldestNeededBegin(), kMaxTimestamp);
+  d.Element(0);
+  EXPECT_EQ(raw->OldestNeededBegin(), -5);
+  d.Element(7);  // fires [-5, 5)
+  EXPECT_EQ(raw->OldestNeededBegin(), 0);
+}
+
+TEST(SlidingWindowFnTest, CustomOrigin) {
+  Driver d(std::make_unique<SlidingWindowFn>(10, 10, 3));
+  d.Element(3);
+  d.Element(14);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{3, 13}));
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{3, 13}}));
+}
+
+TEST(SessionWindowFnTest, GapSplitsSessions) {
+  Driver d(std::make_unique<SessionWindowFn>(10));
+  d.Element(0);
+  d.Element(5);
+  d.Element(20);  // 20 - 5 > 10: closes [0, 15), opens at 20
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{0, 20}));
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 15}, {20, 30}}));
+}
+
+TEST(SessionWindowFnTest, ExactGapDoesNotSplit) {
+  Driver d(std::make_unique<SessionWindowFn>(10));
+  d.Element(0);
+  d.Element(10);  // exactly gap apart: same session
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 20}}));
+}
+
+TEST(SessionWindowFnTest, WatermarkClosesIdleSession) {
+  Driver d(std::make_unique<SessionWindowFn>(10));
+  d.Element(0);
+  d.events.clear();
+  d.Watermark(5);  // not idle long enough
+  EXPECT_TRUE(d.Ends().empty());
+  d.Watermark(11);  // 11 - 0 > 10
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{0, 10}}));
+  // A second watermark must not re-fire.
+  d.events.clear();
+  d.Watermark(100);
+  EXPECT_TRUE(d.Ends().empty());
+}
+
+TEST(SessionWindowFnTest, OldestNeededBegin) {
+  auto fn = std::make_unique<SessionWindowFn>(10);
+  SessionWindowFn* raw = fn.get();
+  Driver d(std::move(fn));
+  EXPECT_EQ(raw->OldestNeededBegin(), kMaxTimestamp);
+  d.Element(42);
+  EXPECT_EQ(raw->OldestNeededBegin(), 42);
+}
+
+TEST(CountWindowFnTest, TumblingCounts) {
+  Driver d(std::make_unique<CountWindowFn>(3));
+  for (Timestamp t : {1, 2, 3, 4, 5, 6, 7}) d.Element(t);
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{1, 4, 7}));
+  // Windows close on their 3rd element; the trailing partial one is dropped.
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{1, 4}, {4, 7}}));
+}
+
+TEST(CountWindowFnTest, SlidingCounts) {
+  Driver d(std::make_unique<CountWindowFn>(4, 2));
+  for (Timestamp t : {10, 20, 30, 40, 50, 60}) d.Element(t);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{10, 30, 50}));
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{10, 41}, {30, 61}}));
+}
+
+TEST(PunctuationWindowFnTest, PredicateSplits) {
+  auto is_marker = [](Timestamp, const Value& v) {
+    return !v.is_null() && v.AsBool();
+  };
+  Driver d(std::make_unique<PunctuationWindowFn>(is_marker));
+  d.Element(1, Value(false));
+  d.Element(2, Value(false));
+  d.Element(5, Value(true));  // punctuation: closes [1, 5), opens at 5
+  d.Element(7, Value(false));
+  d.Watermark(kMaxTimestamp);
+  EXPECT_EQ(d.Begins(), (std::vector<Timestamp>{1, 5}));
+  EXPECT_EQ(d.Ends(), (std::vector<Window>{{1, 5}, {5, 8}}));
+}
+
+TEST(WindowFnTest, CloneResetsState) {
+  SlidingWindowFn original(10, 5);
+  WindowEvents ev;
+  original.OnElement(7, Value(), &ev);
+  auto clone = original.Clone();
+  // The clone must behave like a fresh instance.
+  WindowEvents clone_ev;
+  clone->OnElement(7, Value(), &clone_ev);
+  ASSERT_EQ(clone_ev.size(), 2u);  // begins at 0 and 5
+  EXPECT_EQ(clone_ev[0].at, 0);
+  EXPECT_EQ(clone_ev[1].at, 5);
+}
+
+TEST(WindowFnTest, Names) {
+  EXPECT_EQ(SlidingWindowFn(10, 5).Name(), "sliding(range=10,slide=5)");
+  EXPECT_EQ(TumblingWindowFn(10).Name(), "tumbling(size=10)");
+  EXPECT_EQ(SessionWindowFn(3).Name(), "session(gap=3)");
+  EXPECT_EQ(CountWindowFn(4, 2).Name(), "count(count=4,slide=2)");
+}
+
+TEST(WindowTest, ContainsAndLength) {
+  Window w{10, 20};
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_TRUE(w.Contains(19));
+  EXPECT_FALSE(w.Contains(20));
+  EXPECT_FALSE(w.Contains(9));
+  EXPECT_EQ(w.length(), 10);
+  EXPECT_EQ(w.ToString(), "[10, 20)");
+}
+
+}  // namespace
+}  // namespace streamline

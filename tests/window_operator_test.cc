@@ -1,0 +1,280 @@
+#include "dataflow/window_operator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/datastream.h"
+
+namespace streamline {
+namespace {
+
+// Output record layout: [key, window_start, window_end, query, result].
+struct WindowResult {
+  Value key;
+  Window window;
+  int64_t query;
+  Value result;
+};
+
+std::vector<WindowResult> Parse(const std::vector<Record>& records) {
+  std::vector<WindowResult> out;
+  for (const Record& r : records) {
+    out.push_back(WindowResult{
+        r.field(0),
+        Window{r.field(1).AsInt64(), r.field(2).AsInt64()},
+        r.field(3).AsInt64(), r.field(4)});
+  }
+  return out;
+}
+
+std::vector<Record> KeyedSeries(int keys, int per_key) {
+  // Interleaved keys; ts = i, value = i; key = i % keys.
+  std::vector<Record> out;
+  for (int i = 0; i < keys * per_key; ++i) {
+    out.push_back(MakeRecord(i, Value(static_cast<int64_t>(i % keys)),
+                             Value(static_cast<double>(1.0))));
+  }
+  return out;
+}
+
+TEST(WindowOperatorTest, KeyedTumblingCount) {
+  Environment env(2);
+  auto sink = env.FromRecords(KeyedSeries(2, 50))
+                  .KeyBy(0)
+                  .Window(std::make_shared<TumblingWindowFn>(20))
+                  .Aggregate(DynAggKind::kCount, 1)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  // 100 records over ts 0..99: 5 tumbling windows of 20; each key has 10
+  // elements per window.
+  const auto results = Parse(sink->records());
+  ASSERT_EQ(results.size(), 10u);  // 5 windows x 2 keys
+  for (const auto& r : results) {
+    EXPECT_EQ(r.result.AsInt64(), 10);
+    EXPECT_EQ(r.window.length(), 20);
+  }
+}
+
+TEST(WindowOperatorTest, SlidingSumMatchesExpectation) {
+  Environment env;
+  std::vector<Record> records;
+  for (int i = 0; i < 40; ++i) {
+    records.push_back(MakeRecord(i, Value(int64_t{7}), Value(1.0)));
+  }
+  auto sink = env.FromRecords(std::move(records))
+                  .KeyBy(0)
+                  .Window(std::make_shared<SlidingWindowFn>(20, 10))
+                  .Aggregate(DynAggKind::kSum, 1)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  std::map<Window, double> sums;
+  for (const auto& r : Parse(sink->records())) {
+    sums[r.window] = r.result.AsDouble();
+  }
+  EXPECT_DOUBLE_EQ((sums[Window{-10, 10}]), 10.0);
+  EXPECT_DOUBLE_EQ((sums[Window{0, 20}]), 20.0);
+  EXPECT_DOUBLE_EQ((sums[Window{10, 30}]), 20.0);
+  EXPECT_DOUBLE_EQ((sums[Window{20, 40}]), 20.0);
+  EXPECT_DOUBLE_EQ((sums[Window{30, 50}]), 10.0);
+}
+
+TEST(WindowOperatorTest, SessionWindowsPerKey) {
+  Environment env(2);
+  std::vector<Record> records;
+  // Key "a": bursts {0..4} and {100..104}; key "b": one burst {50..54}.
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(MakeRecord(i, Value("a"), Value(1.0)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(MakeRecord(50 + i, Value("b"), Value(1.0)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(MakeRecord(100 + i, Value("a"), Value(1.0)));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& x, const Record& y) {
+              return x.timestamp < y.timestamp;
+            });
+  auto sink = env.FromRecords(std::move(records))
+                  .KeyBy(0)
+                  .Window(std::make_shared<SessionWindowFn>(10))
+                  .Aggregate(DynAggKind::kCount, 1)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  const auto results = Parse(sink->records());
+  ASSERT_EQ(results.size(), 3u);
+  std::map<std::string, int> sessions_per_key;
+  for (const auto& r : results) {
+    sessions_per_key[r.key.AsString()]++;
+    EXPECT_EQ(r.result.AsInt64(), 5);
+  }
+  EXPECT_EQ(sessions_per_key["a"], 2);
+  EXPECT_EQ(sessions_per_key["b"], 1);
+}
+
+TEST(WindowOperatorTest, MultiQuerySharingInOneOperator) {
+  Environment env;
+  auto sink =
+      env.FromRecords(KeyedSeries(1, 100))
+          .KeyBy(0)
+          .Window({std::make_shared<TumblingWindowFn>(25),
+                   std::make_shared<SlidingWindowFn>(50, 25)})
+          .Aggregate(DynAggKind::kCount, 1)
+          .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  std::map<int64_t, int> per_query;
+  for (const auto& r : Parse(sink->records())) {
+    per_query[r.query]++;
+    if (r.query == 0) {
+      EXPECT_EQ(r.result.AsInt64(), 25);
+    }
+  }
+  EXPECT_EQ(per_query[0], 4);  // tumbling 25 over 0..99
+  EXPECT_GE(per_query[1], 4);  // sliding 50/25
+}
+
+TEST(WindowOperatorTest, SharedAndEagerBackendsAgree) {
+  auto run = [](WindowBackend backend) {
+    Environment env(2);
+    auto sink = env.FromRecords(KeyedSeries(3, 60))
+                    .KeyBy(0)
+                    .Window(std::make_shared<SlidingWindowFn>(30, 10))
+                    .Aggregate(DynAggKind::kSum, 1, backend)
+                    .Collect();
+    STREAMLINE_CHECK_OK(env.Execute());
+    std::map<std::tuple<int64_t, Timestamp, Timestamp>, double> out;
+    for (const auto& r : Parse(sink->records())) {
+      out[{r.key.AsInt64(), r.window.start, r.window.end}] =
+          r.result.AsDouble();
+    }
+    return out;
+  };
+  const auto shared = run(WindowBackend::kShared);
+  const auto eager = run(WindowBackend::kEager);
+  ASSERT_FALSE(shared.empty());
+  EXPECT_EQ(shared, eager);
+}
+
+TEST(WindowOperatorTest, OutOfOrderAcrossParallelSources) {
+  // Two parallel source subtasks emit interleaved halves of a keyed stream;
+  // the window operator's reorder buffer must still produce exact windows.
+  Environment env;
+  auto source = env.FromSource(
+      "split-source",
+      [](int subtask, int parallelism) -> std::unique_ptr<SourceFunction> {
+        std::vector<Record> mine;
+        for (int i = subtask; i < 200; i += parallelism) {
+          mine.push_back(MakeRecord(i, Value(int64_t{0}), Value(1.0)));
+        }
+        return std::make_unique<VectorSource>(std::move(mine),
+                                              /*watermark_every=*/8);
+      },
+      /*parallelism=*/2);
+  auto sink = source.KeyBy(0)
+                  .Window(std::make_shared<TumblingWindowFn>(50))
+                  .Aggregate(DynAggKind::kCount, 1)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  const auto results = Parse(sink->records());
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.result.AsInt64(), 50) << r.window.ToString();
+  }
+}
+
+TEST(WindowOperatorTest, GlobalWindowAll) {
+  Environment env;
+  auto sink = env.FromRecords(KeyedSeries(4, 25))
+                  .WindowAll({std::make_shared<TumblingWindowFn>(50)})
+                  .Aggregate(DynAggKind::kCount, 1)
+                  .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  const auto results = Parse(sink->records());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].result.AsInt64(), 50);
+  EXPECT_EQ(results[1].result.AsInt64(), 50);
+}
+
+TEST(WindowOperatorTest, MinMaxAvgKinds) {
+  Environment env;
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(
+        MakeRecord(i, Value(int64_t{0}), Value(static_cast<double>(i))));
+  }
+  auto src = env.FromRecords(std::move(records));
+  auto min_sink = src.KeyBy(0)
+                      .Window(std::make_shared<TumblingWindowFn>(10))
+                      .Aggregate(DynAggKind::kMin, 1)
+                      .Collect();
+  auto max_sink = src.KeyBy(0)
+                      .Window(std::make_shared<TumblingWindowFn>(10))
+                      .Aggregate(DynAggKind::kMax, 1)
+                      .Collect();
+  auto avg_sink = src.KeyBy(0)
+                      .Window(std::make_shared<TumblingWindowFn>(10))
+                      .Aggregate(DynAggKind::kAvg, 1)
+                      .Collect();
+  ASSERT_TRUE(env.Execute().ok());
+  ASSERT_EQ(min_sink->size(), 1u);
+  EXPECT_DOUBLE_EQ(Parse(min_sink->records())[0].result.AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Parse(max_sink->records())[0].result.AsDouble(), 9.0);
+  EXPECT_DOUBLE_EQ(Parse(avg_sink->records())[0].result.AsDouble(), 4.5);
+}
+
+TEST(WindowOperatorTest, LateRecordsAreDropped) {
+  // Drive the operator directly: a record older than the current watermark
+  // must be discarded, not corrupt past windows.
+  WindowAggSpec spec;
+  spec.key = KeyField(0);
+  spec.value_field = 1;
+  spec.agg_kind = DynAggKind::kCount;
+  spec.windows = {std::make_shared<TumblingWindowFn>(10)};
+  WindowAggOperator op("w", spec);
+  ASSERT_TRUE(op.Open(OperatorContext{}).ok());
+
+  class VecCollector : public Collector {
+   public:
+    void Emit(Record r) override { records.push_back(std::move(r)); }
+    std::vector<Record> records;
+  } out;
+
+  op.ProcessRecord(0, MakeRecord(5, Value(int64_t{0}), Value(1.0)), &out);
+  op.ProcessWatermark(20, &out);  // fires [0, 10) with count 1
+  op.ProcessRecord(0, MakeRecord(3, Value(int64_t{0}), Value(1.0)),
+                   &out);  // late: ts 3 < wm 20
+  op.ProcessRecord(0, MakeRecord(25, Value(int64_t{0}), Value(1.0)), &out);
+  op.ProcessWatermark(kMaxTimestamp, &out);
+  const auto results = Parse(out.records);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].window, (Window{0, 10}));
+  EXPECT_EQ(results[0].result.AsInt64(), 1);  // late record not counted
+  EXPECT_EQ(results[1].window, (Window{20, 30}));
+  EXPECT_EQ(results[1].result.AsInt64(), 1);
+}
+
+TEST(WindowOperatorTest, SharedStatsReportConstantWorkPerRecord) {
+  WindowAggSpec spec;
+  spec.key = KeyField(0);
+  spec.value_field = 1;
+  spec.agg_kind = DynAggKind::kSum;
+  spec.windows = {std::make_shared<SlidingWindowFn>(100, 10),
+                  std::make_shared<SlidingWindowFn>(200, 20)};
+  WindowAggOperator op("w", spec);
+  ASSERT_TRUE(op.Open(OperatorContext{}).ok());
+  class NullCollector : public Collector {
+   public:
+    void Emit(Record) override {}
+  } out;
+  for (int i = 0; i < 5000; ++i) {
+    op.ProcessRecord(0, MakeRecord(i, Value(int64_t{0}), Value(1.0)), &out);
+    if (i % 50 == 0) op.ProcessWatermark(i, &out);
+  }
+  op.ProcessWatermark(kMaxTimestamp, &out);
+  const AggStats stats = op.SharedStats();
+  EXPECT_EQ(stats.partial_updates, stats.elements);  // Cutty's property
+}
+
+}  // namespace
+}  // namespace streamline

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/adstream.h"
+#include "workload/clickstream.h"
+#include "workload/text.h"
+#include "workload/timeseries.h"
+
+namespace streamline {
+namespace {
+
+TEST(TimeseriesTest, RandomWalkRespectsRate) {
+  RandomWalkSeries walk(RateShape{1000.0}, 0, 1, 1);
+  const auto data = walk.Take(10000);
+  // 10000 points at 1000/s span ~10 s of event time.
+  EXPECT_NEAR(static_cast<double>(data.back().t), 10000.0, 100.0);
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_GE(data[i].t, data[i - 1].t);
+  }
+}
+
+TEST(TimeseriesTest, BurstinessPreservesMeanRate) {
+  RandomWalkSeries bursty(RateShape{1000.0, 1.0}, 0, 1, 2);
+  const auto data = bursty.Take(20000);
+  EXPECT_NEAR(static_cast<double>(data.back().t), 20000.0, 1500.0);
+}
+
+TEST(TimeseriesTest, DeterministicBySeed) {
+  RandomWalkSeries a(RateShape{100.0, 0.5}, 0, 1, 42);
+  RandomWalkSeries b(RateShape{100.0, 0.5}, 0, 1, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(TimeseriesTest, SensorSeriesOscillatesAroundBase) {
+  SeasonalSensorSeries::Options opt;
+  opt.base = 20;
+  opt.amplitude = 5;
+  opt.spike_probability = 0;
+  SeasonalSensorSeries sensor(RateShape{100.0}, opt, 3);
+  double sum = 0;
+  double lo = 1e300;
+  double hi = -1e300;
+  const auto data = sensor.Take(20000);
+  for (const auto& p : data) {
+    sum += p.v;
+    lo = std::min(lo, p.v);
+    hi = std::max(hi, p.v);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(data.size()), 20.0, 0.5);
+  EXPECT_LT(lo, 16.0);
+  EXPECT_GT(hi, 24.0);
+}
+
+TEST(ClickstreamTest, GlobalOrderAndSessionStructure) {
+  ClickstreamGenerator::Options opt;
+  opt.num_users = 50;
+  opt.session_gap_ms = 30000;
+  opt.max_event_gap_ms = 5000;
+  ClickstreamGenerator gen(opt, 7);
+  const auto events = gen.Take(5000);
+
+  Timestamp prev = 0;
+  std::map<uint64_t, Timestamp> last_by_user;
+  std::map<uint64_t, int> sessions_by_user;
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.ts, prev);  // globally ordered
+    prev = ev.ts;
+    auto it = last_by_user.find(ev.user);
+    if (it == last_by_user.end() || ev.ts - it->second > opt.session_gap_ms) {
+      ++sessions_by_user[ev.user];
+    } else {
+      // Within a session, gaps stay below the configured bound (and hence
+      // below the session gap) so sessionization recovers sessions exactly.
+      EXPECT_LE(ev.ts - it->second, opt.max_event_gap_ms);
+    }
+    last_by_user[ev.user] = ev.ts;
+  }
+  // Zipf skew: the heaviest user has the most sessions.
+  EXPECT_GE(sessions_by_user[0], sessions_by_user[10]);
+}
+
+TEST(ClickstreamTest, EventKindsDistributed) {
+  ClickstreamGenerator gen(ClickstreamGenerator::Options{}, 11);
+  std::map<ClickEvent::Kind, int> kinds;
+  for (const auto& ev : gen.Take(20000)) kinds[ev.kind]++;
+  EXPECT_GT(kinds[ClickEvent::Kind::kView], kinds[ClickEvent::Kind::kClick]);
+  EXPECT_GT(kinds[ClickEvent::Kind::kClick],
+            kinds[ClickEvent::Kind::kPurchase]);
+  EXPECT_GT(kinds[ClickEvent::Kind::kPurchase], 0);
+}
+
+TEST(ClickstreamTest, ToRecordLayout) {
+  ClickEvent ev;
+  ev.ts = 42;
+  ev.user = 7;
+  ev.kind = ClickEvent::Kind::kPurchase;
+  ev.item = 3;
+  ev.value = 19.5;
+  const Record r = ev.ToRecord();
+  EXPECT_EQ(r.timestamp, 42);
+  EXPECT_EQ(r.field(0).AsInt64(), 7);
+  EXPECT_EQ(r.field(1).AsInt64(), 2);
+  EXPECT_EQ(r.field(2).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(r.field(3).AsDouble(), 19.5);
+}
+
+TEST(AdStreamTest, CtrMatchesGroundTruth) {
+  AdStreamGenerator::Options opt;
+  opt.num_campaigns = 10;
+  opt.campaign_skew = 0.0;  // uniform so every campaign gets samples
+  AdStreamGenerator gen(opt, 13);
+  std::map<uint64_t, std::pair<int, int>> stats;  // campaign -> (clicks, n)
+  for (const auto& ev : gen.Take(200000)) {
+    auto& [clicks, n] = stats[ev.campaign];
+    clicks += ev.is_click ? 1 : 0;
+    ++n;
+  }
+  for (const auto& [campaign, cn] : stats) {
+    const double ctr = static_cast<double>(cn.first) / cn.second;
+    EXPECT_NEAR(ctr, gen.CampaignCtr(campaign), 0.01) << campaign;
+  }
+}
+
+TEST(AdStreamTest, TimestampsAdvanceWithRate) {
+  AdStreamGenerator::Options opt;
+  opt.events_per_second = 1000;
+  AdStreamGenerator gen(opt, 17);
+  const auto events = gen.Take(5000);
+  EXPECT_NEAR(static_cast<double>(events.back().ts), 5000, 10);
+}
+
+TEST(TextTest, WordsComeFromVocabulary) {
+  TextGenerator::Options opt;
+  opt.vocabulary = 20;
+  TextGenerator gen(opt, 19);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 1000; ++i) {
+    auto [ts, line] = gen.NextLine();
+    for (const auto& w : SplitWords(line)) {
+      EXPECT_EQ(w.substr(0, 4), "word");
+      counts[w]++;
+    }
+  }
+  // Zipf: word0 most frequent.
+  EXPECT_GT(counts["word0"], counts["word5"]);
+  EXPECT_GT(counts["word5"], 0);
+}
+
+TEST(TextTest, LineLengthWithinBounds) {
+  TextGenerator::Options opt;
+  opt.min_words = 2;
+  opt.max_words = 4;
+  TextGenerator gen(opt, 23);
+  for (int i = 0; i < 200; ++i) {
+    auto [ts, line] = gen.NextLine();
+    const auto words = SplitWords(line);
+    EXPECT_GE(words.size(), 2u);
+    EXPECT_LE(words.size(), 4u);
+  }
+}
+
+TEST(TextTest, SplitWordsHandlesEdges) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_EQ(SplitWords("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(SplitWords("  a   b "), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace streamline
