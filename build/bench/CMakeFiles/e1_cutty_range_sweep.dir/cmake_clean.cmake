@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_cutty_range_sweep.dir/e1_cutty_range_sweep.cc.o"
+  "CMakeFiles/e1_cutty_range_sweep.dir/e1_cutty_range_sweep.cc.o.d"
+  "e1_cutty_range_sweep"
+  "e1_cutty_range_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_cutty_range_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

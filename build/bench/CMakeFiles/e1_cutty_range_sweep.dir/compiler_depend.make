@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e1_cutty_range_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_cutty_multi_query.dir/e2_cutty_multi_query.cc.o"
+  "CMakeFiles/e2_cutty_multi_query.dir/e2_cutty_multi_query.cc.o.d"
+  "e2_cutty_multi_query"
+  "e2_cutty_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_cutty_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

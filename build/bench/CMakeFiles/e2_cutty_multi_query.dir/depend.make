@@ -1,0 +1,2 @@
+# Empty dependencies file for e2_cutty_multi_query.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_cutty_sessions.dir/e3_cutty_sessions.cc.o"
+  "CMakeFiles/e3_cutty_sessions.dir/e3_cutty_sessions.cc.o.d"
+  "e3_cutty_sessions"
+  "e3_cutty_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_cutty_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

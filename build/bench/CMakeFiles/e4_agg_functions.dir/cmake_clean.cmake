@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_agg_functions.dir/e4_agg_functions.cc.o"
+  "CMakeFiles/e4_agg_functions.dir/e4_agg_functions.cc.o.d"
+  "e4_agg_functions"
+  "e4_agg_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_agg_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

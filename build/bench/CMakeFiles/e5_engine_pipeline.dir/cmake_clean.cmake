@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_engine_pipeline.dir/e5_engine_pipeline.cc.o"
+  "CMakeFiles/e5_engine_pipeline.dir/e5_engine_pipeline.cc.o.d"
+  "e5_engine_pipeline"
+  "e5_engine_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_engine_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_checkpoint_overhead.dir/e6_checkpoint_overhead.cc.o"
+  "CMakeFiles/e6_checkpoint_overhead.dir/e6_checkpoint_overhead.cc.o.d"
+  "e6_checkpoint_overhead"
+  "e6_checkpoint_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_checkpoint_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_i2_transfer.dir/e7_i2_transfer.cc.o"
+  "CMakeFiles/e7_i2_transfer.dir/e7_i2_transfer.cc.o.d"
+  "e7_i2_transfer"
+  "e7_i2_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_i2_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

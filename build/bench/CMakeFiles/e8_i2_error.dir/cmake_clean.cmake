@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_i2_error.dir/e8_i2_error.cc.o"
+  "CMakeFiles/e8_i2_error.dir/e8_i2_error.cc.o.d"
+  "e8_i2_error"
+  "e8_i2_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_i2_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_integrated_sharing.dir/e9_integrated_sharing.cc.o"
+  "CMakeFiles/e9_integrated_sharing.dir/e9_integrated_sharing.cc.o.d"
+  "e9_integrated_sharing"
+  "e9_integrated_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_integrated_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_ctr_dashboard.dir/ad_ctr_dashboard.cpp.o"
+  "CMakeFiles/ad_ctr_dashboard.dir/ad_ctr_dashboard.cpp.o.d"
+  "ad_ctr_dashboard"
+  "ad_ctr_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_ctr_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

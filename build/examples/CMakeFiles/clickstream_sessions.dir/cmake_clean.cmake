@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_sessions.dir/clickstream_sessions.cpp.o"
+  "CMakeFiles/clickstream_sessions.dir/clickstream_sessions.cpp.o.d"
+  "clickstream_sessions"
+  "clickstream_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ctr_prediction.cpp" "examples/CMakeFiles/ctr_prediction.dir/ctr_prediction.cpp.o" "gcc" "examples/CMakeFiles/ctr_prediction.dir/ctr_prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/streamline_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/streamline_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/streamline_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/streamline_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/streamline_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/streamline_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

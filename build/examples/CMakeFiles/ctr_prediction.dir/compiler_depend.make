@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctr_prediction.
+# This may be replaced when dependencies are built.

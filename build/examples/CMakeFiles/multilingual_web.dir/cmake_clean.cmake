@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilingual_web.dir/multilingual_web.cpp.o"
+  "CMakeFiles/multilingual_web.dir/multilingual_web.cpp.o.d"
+  "multilingual_web"
+  "multilingual_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilingual_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_api.dir/datastream.cc.o"
+  "CMakeFiles/streamline_api.dir/datastream.cc.o.d"
+  "libstreamline_api.a"
+  "libstreamline_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_common.dir/logging.cc.o"
+  "CMakeFiles/streamline_common.dir/logging.cc.o.d"
+  "CMakeFiles/streamline_common.dir/metrics.cc.o"
+  "CMakeFiles/streamline_common.dir/metrics.cc.o.d"
+  "CMakeFiles/streamline_common.dir/random.cc.o"
+  "CMakeFiles/streamline_common.dir/random.cc.o.d"
+  "CMakeFiles/streamline_common.dir/record.cc.o"
+  "CMakeFiles/streamline_common.dir/record.cc.o.d"
+  "CMakeFiles/streamline_common.dir/schema.cc.o"
+  "CMakeFiles/streamline_common.dir/schema.cc.o.d"
+  "CMakeFiles/streamline_common.dir/serde.cc.o"
+  "CMakeFiles/streamline_common.dir/serde.cc.o.d"
+  "CMakeFiles/streamline_common.dir/status.cc.o"
+  "CMakeFiles/streamline_common.dir/status.cc.o.d"
+  "CMakeFiles/streamline_common.dir/thread_pool.cc.o"
+  "CMakeFiles/streamline_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/streamline_common.dir/value.cc.o"
+  "CMakeFiles/streamline_common.dir/value.cc.o.d"
+  "libstreamline_common.a"
+  "libstreamline_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/event_log.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/event_log.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/event_log.cc.o.d"
+  "/root/repo/src/dataflow/executor.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/executor.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/executor.cc.o.d"
+  "/root/repo/src/dataflow/graph.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/graph.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/graph.cc.o.d"
+  "/root/repo/src/dataflow/io.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/io.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/io.cc.o.d"
+  "/root/repo/src/dataflow/operators.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/operators.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/operators.cc.o.d"
+  "/root/repo/src/dataflow/snapshot.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/snapshot.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/snapshot.cc.o.d"
+  "/root/repo/src/dataflow/sources.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/sources.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/sources.cc.o.d"
+  "/root/repo/src/dataflow/temporal_join.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/temporal_join.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/temporal_join.cc.o.d"
+  "/root/repo/src/dataflow/window_operator.cc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/window_operator.cc.o" "gcc" "src/dataflow/CMakeFiles/streamline_dataflow.dir/window_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/window/CMakeFiles/streamline_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

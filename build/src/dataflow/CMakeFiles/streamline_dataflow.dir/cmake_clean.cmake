@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_dataflow.dir/event_log.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/event_log.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/executor.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/executor.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/graph.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/graph.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/io.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/io.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/operators.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/operators.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/snapshot.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/snapshot.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/sources.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/sources.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/temporal_join.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/temporal_join.cc.o.d"
+  "CMakeFiles/streamline_dataflow.dir/window_operator.cc.o"
+  "CMakeFiles/streamline_dataflow.dir/window_operator.cc.o.d"
+  "libstreamline_dataflow.a"
+  "libstreamline_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_ml.dir/learner_operator.cc.o"
+  "CMakeFiles/streamline_ml.dir/learner_operator.cc.o.d"
+  "CMakeFiles/streamline_ml.dir/online_model.cc.o"
+  "CMakeFiles/streamline_ml.dir/online_model.cc.o.d"
+  "libstreamline_ml.a"
+  "libstreamline_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/m4.cc" "src/viz/CMakeFiles/streamline_viz.dir/m4.cc.o" "gcc" "src/viz/CMakeFiles/streamline_viz.dir/m4.cc.o.d"
+  "/root/repo/src/viz/pyramid.cc" "src/viz/CMakeFiles/streamline_viz.dir/pyramid.cc.o" "gcc" "src/viz/CMakeFiles/streamline_viz.dir/pyramid.cc.o.d"
+  "/root/repo/src/viz/raster.cc" "src/viz/CMakeFiles/streamline_viz.dir/raster.cc.o" "gcc" "src/viz/CMakeFiles/streamline_viz.dir/raster.cc.o.d"
+  "/root/repo/src/viz/reducers.cc" "src/viz/CMakeFiles/streamline_viz.dir/reducers.cc.o" "gcc" "src/viz/CMakeFiles/streamline_viz.dir/reducers.cc.o.d"
+  "/root/repo/src/viz/server.cc" "src/viz/CMakeFiles/streamline_viz.dir/server.cc.o" "gcc" "src/viz/CMakeFiles/streamline_viz.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_viz.dir/m4.cc.o"
+  "CMakeFiles/streamline_viz.dir/m4.cc.o.d"
+  "CMakeFiles/streamline_viz.dir/pyramid.cc.o"
+  "CMakeFiles/streamline_viz.dir/pyramid.cc.o.d"
+  "CMakeFiles/streamline_viz.dir/raster.cc.o"
+  "CMakeFiles/streamline_viz.dir/raster.cc.o.d"
+  "CMakeFiles/streamline_viz.dir/reducers.cc.o"
+  "CMakeFiles/streamline_viz.dir/reducers.cc.o.d"
+  "CMakeFiles/streamline_viz.dir/server.cc.o"
+  "CMakeFiles/streamline_viz.dir/server.cc.o.d"
+  "libstreamline_viz.a"
+  "libstreamline_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_window.dir/dyn_aggregate.cc.o"
+  "CMakeFiles/streamline_window.dir/dyn_aggregate.cc.o.d"
+  "CMakeFiles/streamline_window.dir/window_fn.cc.o"
+  "CMakeFiles/streamline_window.dir/window_fn.cc.o.d"
+  "libstreamline_window.a"
+  "libstreamline_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adstream.cc" "src/workload/CMakeFiles/streamline_workload.dir/adstream.cc.o" "gcc" "src/workload/CMakeFiles/streamline_workload.dir/adstream.cc.o.d"
+  "/root/repo/src/workload/clickstream.cc" "src/workload/CMakeFiles/streamline_workload.dir/clickstream.cc.o" "gcc" "src/workload/CMakeFiles/streamline_workload.dir/clickstream.cc.o.d"
+  "/root/repo/src/workload/text.cc" "src/workload/CMakeFiles/streamline_workload.dir/text.cc.o" "gcc" "src/workload/CMakeFiles/streamline_workload.dir/text.cc.o.d"
+  "/root/repo/src/workload/timeseries.cc" "src/workload/CMakeFiles/streamline_workload.dir/timeseries.cc.o" "gcc" "src/workload/CMakeFiles/streamline_workload.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/streamline_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

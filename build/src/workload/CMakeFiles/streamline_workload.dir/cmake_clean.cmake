@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamline_workload.dir/adstream.cc.o"
+  "CMakeFiles/streamline_workload.dir/adstream.cc.o.d"
+  "CMakeFiles/streamline_workload.dir/clickstream.cc.o"
+  "CMakeFiles/streamline_workload.dir/clickstream.cc.o.d"
+  "CMakeFiles/streamline_workload.dir/text.cc.o"
+  "CMakeFiles/streamline_workload.dir/text.cc.o.d"
+  "CMakeFiles/streamline_workload.dir/timeseries.cc.o"
+  "CMakeFiles/streamline_workload.dir/timeseries.cc.o.d"
+  "libstreamline_workload.a"
+  "libstreamline_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamline_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

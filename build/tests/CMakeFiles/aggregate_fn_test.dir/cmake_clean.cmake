@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_fn_test.dir/aggregate_fn_test.cc.o"
+  "CMakeFiles/aggregate_fn_test.dir/aggregate_fn_test.cc.o.d"
+  "aggregate_fn_test"
+  "aggregate_fn_test.pdb"
+  "aggregate_fn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_fn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

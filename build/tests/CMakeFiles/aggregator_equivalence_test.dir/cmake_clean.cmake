@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_equivalence_test.dir/aggregator_equivalence_test.cc.o"
+  "CMakeFiles/aggregator_equivalence_test.dir/aggregator_equivalence_test.cc.o.d"
+  "aggregator_equivalence_test"
+  "aggregator_equivalence_test.pdb"
+  "aggregator_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

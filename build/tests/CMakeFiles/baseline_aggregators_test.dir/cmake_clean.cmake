@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_aggregators_test.dir/baseline_aggregators_test.cc.o"
+  "CMakeFiles/baseline_aggregators_test.dir/baseline_aggregators_test.cc.o.d"
+  "baseline_aggregators_test"
+  "baseline_aggregators_test.pdb"
+  "baseline_aggregators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_aggregators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

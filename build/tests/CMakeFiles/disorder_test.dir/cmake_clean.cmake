@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disorder_test.dir/disorder_test.cc.o"
+  "CMakeFiles/disorder_test.dir/disorder_test.cc.o.d"
+  "disorder_test"
+  "disorder_test.pdb"
+  "disorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_aggregate_test.dir/dyn_aggregate_test.cc.o"
+  "CMakeFiles/dyn_aggregate_test.dir/dyn_aggregate_test.cc.o.d"
+  "dyn_aggregate_test"
+  "dyn_aggregate_test.pdb"
+  "dyn_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

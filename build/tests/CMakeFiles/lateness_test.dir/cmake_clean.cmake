@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateness_test.dir/lateness_test.cc.o"
+  "CMakeFiles/lateness_test.dir/lateness_test.cc.o.d"
+  "lateness_test"
+  "lateness_test.pdb"
+  "lateness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

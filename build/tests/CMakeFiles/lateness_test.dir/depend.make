@@ -1,0 +1,2 @@
+# Empty dependencies file for lateness_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m4_test.dir/m4_test.cc.o"
+  "CMakeFiles/m4_test.dir/m4_test.cc.o.d"
+  "m4_test"
+  "m4_test.pdb"
+  "m4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

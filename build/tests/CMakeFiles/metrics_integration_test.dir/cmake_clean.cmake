@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_integration_test.dir/metrics_integration_test.cc.o"
+  "CMakeFiles/metrics_integration_test.dir/metrics_integration_test.cc.o.d"
+  "metrics_integration_test"
+  "metrics_integration_test.pdb"
+  "metrics_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reducers_test.dir/reducers_test.cc.o"
+  "CMakeFiles/reducers_test.dir/reducers_test.cc.o.d"
+  "reducers_test"
+  "reducers_test.pdb"
+  "reducers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reducers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

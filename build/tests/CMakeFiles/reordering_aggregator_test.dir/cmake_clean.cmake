@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reordering_aggregator_test.dir/reordering_aggregator_test.cc.o"
+  "CMakeFiles/reordering_aggregator_test.dir/reordering_aggregator_test.cc.o.d"
+  "reordering_aggregator_test"
+  "reordering_aggregator_test.pdb"
+  "reordering_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reordering_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_join_test.dir/temporal_join_test.cc.o"
+  "CMakeFiles/temporal_join_test.dir/temporal_join_test.cc.o.d"
+  "temporal_join_test"
+  "temporal_join_test.pdb"
+  "temporal_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

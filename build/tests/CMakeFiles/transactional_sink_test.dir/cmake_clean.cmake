@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_sink_test.dir/transactional_sink_test.cc.o"
+  "CMakeFiles/transactional_sink_test.dir/transactional_sink_test.cc.o.d"
+  "transactional_sink_test"
+  "transactional_sink_test.pdb"
+  "transactional_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

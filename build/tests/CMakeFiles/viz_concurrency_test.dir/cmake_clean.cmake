@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_concurrency_test.dir/viz_concurrency_test.cc.o"
+  "CMakeFiles/viz_concurrency_test.dir/viz_concurrency_test.cc.o.d"
+  "viz_concurrency_test"
+  "viz_concurrency_test.pdb"
+  "viz_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_fn_property_test.dir/window_fn_property_test.cc.o"
+  "CMakeFiles/window_fn_property_test.dir/window_fn_property_test.cc.o.d"
+  "window_fn_property_test"
+  "window_fn_property_test.pdb"
+  "window_fn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_fn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_fn_test.dir/window_fn_test.cc.o"
+  "CMakeFiles/window_fn_test.dir/window_fn_test.cc.o.d"
+  "window_fn_test"
+  "window_fn_test.pdb"
+  "window_fn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_fn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/window_operator_test.cc" "tests/CMakeFiles/window_operator_test.dir/window_operator_test.cc.o" "gcc" "tests/CMakeFiles/window_operator_test.dir/window_operator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/streamline_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/streamline_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/streamline_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
