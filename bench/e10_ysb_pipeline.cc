@@ -80,6 +80,10 @@ void Run() {
       "canonical ad-analytics pipeline; channel batching is what pays for "
       "the shuffle");
 
+  bench::JsonReport report("BENCH_E10.json");
+  report.AddString("bench", "e10_ysb_pipeline");
+  report.Add("events", static_cast<uint64_t>(kEvents));
+
   auto log = BuildLog(4);
   {
     Table table({"pipeline", "events", "throughput"});
@@ -87,6 +91,7 @@ void Run() {
     table.AddRow({"filter->join->window (p=2)", bench::Count(kEvents),
                   bench::Rate(static_cast<double>(kEvents), secs)});
     table.Print();
+    report.Add("ysb_p2_events_per_sec", static_cast<double>(kEvents) / secs);
   }
   {
     std::printf("Ablation: channel batch size (network buffers)\n\n");
@@ -98,9 +103,13 @@ void Run() {
       table.AddRow({Fmt("%zu", batch),
                     bench::Rate(static_cast<double>(kEvents), secs),
                     Fmt("%.2fx", base / secs)});
+      report.Add(Fmt("batch_%zu_events_per_sec", batch),
+                 static_cast<double>(kEvents) / secs);
     }
     table.Print();
   }
+
+  report.Write();
 }
 
 }  // namespace

@@ -6,8 +6,10 @@
 // at rest (bounded vector source) and data in motion (bounded generator
 // standing in for a stream), and keyed work scales with parallelism.
 
+#include <chrono>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "api/datastream.h"
 #include "bench/harness.h"
@@ -82,11 +84,47 @@ double RunKeyedReduce(int parallelism) {
   return sw.ElapsedSeconds();
 }
 
+// End-to-end record latency through a real channel: each record carries
+// its emit time (steady-clock ns) in a field, the sink records the delta.
+// Rebalance(1) forces the record across an SPSC channel, so the number
+// includes output batching, ring transfer and the consumer poll loop.
+std::pair<double, double> RunLatencyProbe() {
+  constexpr uint64_t kProbeRecords = 200'000;
+  auto hist = std::make_shared<Histogram>();
+  Environment env;
+  env.FromGenerator(
+         "latency-probe",
+         [](uint64_t seq) -> std::optional<Record> {
+           if (seq >= kProbeRecords) return std::nullopt;
+           const int64_t now_ns =
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+           return MakeRecord(static_cast<Timestamp>(seq), Value(now_ns));
+         })
+      .Rebalance(1)
+      .Sink(std::make_shared<CallbackSink>([hist](const Record& r) {
+        const int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        const double us =
+            static_cast<double>(now_ns - r.field(0).AsInt64()) / 1e3;
+        hist->Record(us);
+      }));
+  STREAMLINE_CHECK_OK(env.Execute());
+  return {hist->Quantile(0.5), hist->Quantile(0.99)};
+}
+
 void Run() {
   bench::Header(
       "E5: unified engine -- batch vs streaming, parallel scaling",
       "One pipelined engine executes data at rest and data in motion; "
       "keyed pipelines parallelize across subtasks");
+
+  bench::JsonReport report("BENCH_E5.json");
+  report.AddString("bench", "e5_engine_pipeline");
+  report.Add("records", static_cast<uint64_t>(kRecords));
 
   {
     Table table({"mode", "pipeline", "records", "throughput"});
@@ -99,6 +137,20 @@ void Run() {
                   bench::Count(kRecords),
                   bench::Rate(kRecords, stream_s)});
     table.Print();
+    report.Add("at_rest_records_per_sec",
+               static_cast<double>(kRecords) / batch_s);
+    report.Add("in_motion_records_per_sec",
+               static_cast<double>(kRecords) / stream_s);
+  }
+
+  {
+    const auto [p50_us, p99_us] = RunLatencyProbe();
+    Table table({"probe", "records", "p50 latency", "p99 latency"});
+    table.AddRow({"source->channel->sink", bench::Count(200'000),
+                  Fmt("%.1f us", p50_us), Fmt("%.1f us", p99_us)});
+    table.Print();
+    report.Add("latency_p50_us", p50_us);
+    report.Add("latency_p99_us", p99_us);
   }
 
   {
@@ -116,12 +168,16 @@ void Run() {
     for (int p : {1, 2, 4, 8}) {
       const double secs = RunKeyedReduce(p);
       if (p == 1) base = secs;
+      report.Add(Fmt("keyed_p%d_records_per_sec", p),
+                 static_cast<double>(kRecords) / secs);
       table.AddRow({Fmt("%d", p), "key_by->reduce", bench::Count(kRecords),
                     bench::Rate(kRecords, secs),
                     Fmt("%.2fx", base / secs)});
     }
     table.Print();
   }
+
+  report.Write();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -96,6 +97,48 @@ inline void Header(const std::string& title, const std::string& claim) {
   std::printf("Paper claim: %s\n", claim.c_str());
   std::printf("================================================================\n\n");
 }
+
+/// Machine-readable benchmark report: a flat JSON object written next to
+/// the binary (e.g. BENCH_E5.json) so CI and regression tooling can track
+/// throughput and latency without scraping the human tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void Add(const std::string& key, double value) {
+    entries_.push_back({key, Fmt("%.6g", value)});
+  }
+  void Add(const std::string& key, uint64_t value) {
+    entries_.push_back(
+        {key, Fmt("%llu", static_cast<unsigned long long>(value))});
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    entries_.push_back({key, "\"" + value + "\""});
+  }
+
+  /// Writes the report; returns false (and says so on stdout) on IO error.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("(could not write %s)\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace streamline::bench
 

@@ -109,7 +109,8 @@ KeyedStream DataStream::KeyBy(KeySelector key) const {
 }
 
 KeyedStream DataStream::KeyBy(size_t field_index) const {
-  return KeyBy(KeyField(field_index));
+  return KeyedStream(env_, node_, KeyField(field_index),
+                     static_cast<int>(field_index));
 }
 
 DataStream DataStream::Union(const DataStream& other, std::string name) {
@@ -171,14 +172,15 @@ DataStream KeyedStream::Reduce(KeyedReduceOperator::ReduceFn fn,
       name, parallelism, [name, key, fn = std::move(fn)]() {
         return std::make_unique<KeyedReduceOperator>(name, key, fn);
       });
-  STREAMLINE_CHECK_OK(
-      env_->graph_.Connect(upstream_, node, PartitionScheme::kHash, key_));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
   return DataStream(env_, node, parallelism);
 }
 
 WindowedStream KeyedStream::Window(
     std::vector<std::shared_ptr<const WindowFunction>> windows) const {
-  return WindowedStream(env_, upstream_, key_, std::move(windows));
+  return WindowedStream(env_, upstream_, key_, std::move(windows),
+                        key_field_);
 }
 
 WindowedStream KeyedStream::Window(
@@ -200,10 +202,11 @@ DataStream KeyedStream::IntervalJoin(const KeyedStream& right, Duration lower,
         return std::make_unique<IntervalJoinOperator>(name, lk, rk, lower,
                                                       upper);
       });
-  STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
-                                           PartitionScheme::kHash, key_, 0));
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
-      right.upstream_, node, PartitionScheme::kHash, right.key_, 1));
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(right.upstream_, node,
+                                           PartitionScheme::kHash, right.key_,
+                                           1, right.key_field_));
   return DataStream(env_, node, parallelism);
 }
 
@@ -222,10 +225,11 @@ DataStream KeyedStream::TemporalJoin(const KeyedStream& table,
       name, parallelism, [name, spec]() {
         return std::make_unique<TemporalJoinOperator>(name, spec);
       });
-  STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
-                                           PartitionScheme::kHash, key_, 0));
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
-      table.upstream_, node, PartitionScheme::kHash, table.key_, 1));
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(table.upstream_, node,
+                                           PartitionScheme::kHash, table.key_,
+                                           1, table.key_field_));
   return DataStream(env_, node, parallelism);
 }
 
@@ -250,8 +254,8 @@ DataStream WindowedStream::Aggregate(DynAggKind kind, size_t value_field,
         return std::make_unique<WindowAggOperator>(name, spec);
       });
   if (keyed) {
-    STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,
-                                             PartitionScheme::kHash, key_));
+    STREAMLINE_CHECK_OK(env_->graph_.Connect(
+        upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
   } else {
     // Global windows: funnel everything into the single subtask.
     STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,

@@ -161,12 +161,17 @@ class KeyedStream {
   friend class DataStream;
   friend class WindowedStream;
 
-  KeyedStream(Environment* env, int upstream, KeySelector key)
-      : env_(env), upstream_(upstream), key_(std::move(key)) {}
+  KeyedStream(Environment* env, int upstream, KeySelector key,
+              int key_field = -1)
+      : env_(env), upstream_(upstream), key_(std::move(key)),
+        key_field_(key_field) {}
 
   Environment* env_;
   int upstream_;
   KeySelector key_;
+  // >= 0 when the key is a plain field: lets the shuffle hash the field in
+  // place instead of copying a Value per record.
+  int key_field_ = -1;
 };
 
 /// A (keyed or global) windowed stream awaiting an aggregate.
@@ -191,13 +196,15 @@ class WindowedStream {
   friend class KeyedStream;
 
   WindowedStream(Environment* env, int upstream, KeySelector key,
-                 std::vector<std::shared_ptr<const WindowFunction>> windows)
+                 std::vector<std::shared_ptr<const WindowFunction>> windows,
+                 int key_field = -1)
       : env_(env), upstream_(upstream), key_(std::move(key)),
-        windows_(std::move(windows)) {}
+        windows_(std::move(windows)), key_field_(key_field) {}
 
   Environment* env_;
   int upstream_;
   KeySelector key_;  // null = global window
+  int key_field_ = -1;
   std::vector<std::shared_ptr<const WindowFunction>> windows_;
   Duration allowed_lateness_ = 0;
 };

@@ -1,25 +1,206 @@
 #ifndef STREAMLINE_COMMON_RECORD_H_
 #define STREAMLINE_COMMON_RECORD_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "common/time.h"
 #include "common/value.h"
 
 namespace streamline {
 
+/// Field storage for Record with inline capacity for small rows: up to
+/// kInlineCapacity values live inside the record itself, so typical rows
+/// (a key, a couple of measures) never touch the heap on the engine's
+/// forward path. Wider rows spill to a heap array transparently.
+///
+/// Deliberately a minimal std::vector<Value> subset -- exactly the API the
+/// engine and its operators use.
+class FieldVec {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  using value_type = Value;
+  using iterator = Value*;
+  using const_iterator = const Value*;
+
+  FieldVec() = default;
+
+  FieldVec(std::initializer_list<Value> init) {
+    reserve(init.size());
+    for (const Value& v : init) push_back(v);
+  }
+
+  FieldVec(const FieldVec& other) {
+    reserve(other.size_);
+    Value* d = data();
+    for (uint32_t i = 0; i < other.size_; ++i) d[i] = other.data()[i];
+    size_ = other.size_;
+  }
+
+  FieldVec(FieldVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  FieldVec& operator=(const FieldVec& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    Value* d = data();
+    for (uint32_t i = 0; i < other.size_; ++i) d[i] = other.data()[i];
+    size_ = other.size_;
+    return *this;
+  }
+
+  FieldVec& operator=(FieldVec&& other) noexcept {
+    if (this == &other) return *this;
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = kInlineCapacity;
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  FieldVec& operator=(std::initializer_list<Value> init) {
+    clear();
+    reserve(init.size());
+    for (const Value& v : init) push_back(v);
+    return *this;
+  }
+
+  ~FieldVec() { delete[] heap_; }
+
+  Value* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const Value* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  Value& operator[](size_t i) { return data()[i]; }
+  const Value& operator[](size_t i) const { return data()[i]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  Value& front() { return data()[0]; }
+  Value& back() { return data()[size_ - 1]; }
+  const Value& front() const { return data()[0]; }
+  const Value& back() const { return data()[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    Grow(n);
+  }
+
+  void push_back(Value v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = std::move(v);
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(Value(std::forward<Args>(args)...));
+  }
+
+  void pop_back() { data()[--size_] = Value(); }
+
+  /// Drops all elements (releasing any string payloads) but keeps the
+  /// current storage, inline or heap.
+  void clear() {
+    Value* d = data();
+    for (uint32_t i = 0; i < size_; ++i) d[i] = Value();
+    size_ = 0;
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      Value* d = data();
+      for (size_t i = n; i < size_; ++i) d[i] = Value();
+    } else {
+      reserve(n);
+    }
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  /// Inserts [first, last) before `pos`. Iterators are invalidated.
+  template <typename InputIt>
+  iterator insert(iterator pos, InputIt first, InputIt last) {
+    const size_t idx = static_cast<size_t>(pos - begin());
+    const size_t n = static_cast<size_t>(std::distance(first, last));
+    reserve(size_ + n);
+    Value* d = data();
+    for (size_t i = size_; i > idx; --i) {
+      d[i + n - 1] = std::move(d[i - 1]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      d[idx + i] = *first++;
+    }
+    size_ += static_cast<uint32_t>(n);
+    return d + idx;
+  }
+
+  /// Inserts one value before `pos`. Iterators are invalidated.
+  iterator insert(iterator pos, Value v) {
+    const Value* p = &v;
+    return insert(pos, p, p + 1);
+  }
+
+  bool operator==(const FieldVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+  bool operator!=(const FieldVec& other) const { return !(*this == other); }
+
+ private:
+  void MoveFrom(FieldVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = kInlineCapacity;
+      other.size_ = 0;
+    } else {
+      for (uint32_t i = 0; i < other.size_; ++i) {
+        inline_[i] = std::move(other.inline_[i]);
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  void Grow(size_t want) {
+    size_t new_cap = capacity_;
+    while (new_cap < want) new_cap *= 2;
+    Value* bigger = new Value[new_cap];
+    Value* d = data();
+    for (uint32_t i = 0; i < size_; ++i) bigger[i] = std::move(d[i]);
+    delete[] heap_;
+    heap_ = bigger;
+    capacity_ = static_cast<uint32_t>(new_cap);
+  }
+
+  Value inline_[kInlineCapacity];
+  Value* heap_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineCapacity;
+};
+
 /// The engine's row: an event-time timestamp plus dynamically typed fields.
 /// Field meaning is given by the Schema attached to the stream, not stored
-/// per record.
+/// per record. Rows of up to FieldVec::kInlineCapacity fields are fully
+/// heap-allocation-free.
 struct Record {
   Timestamp timestamp = 0;
-  std::vector<Value> fields;
+  FieldVec fields;
 
   Record() = default;
-  Record(Timestamp ts, std::vector<Value> f)
+  Record(Timestamp ts, FieldVec f)
       : timestamp(ts), fields(std::move(f)) {}
 
   const Value& field(size_t i) const { return fields[i]; }
@@ -31,7 +212,10 @@ struct Record {
 
   /// Rough in-memory footprint, used for channel byte accounting.
   size_t ApproxBytes() const {
-    size_t bytes = sizeof(Record) + fields.size() * sizeof(Value);
+    size_t bytes = sizeof(Record);
+    if (fields.size() > FieldVec::kInlineCapacity) {
+      bytes += fields.capacity() * sizeof(Value);
+    }
     for (const Value& v : fields) {
       if (v.type() == DataType::kString) bytes += v.AsString().size();
     }

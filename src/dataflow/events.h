@@ -61,13 +61,6 @@ struct StreamEvent {
   }
 };
 
-/// Event tagged with the receiving task's input-channel index; a task has
-/// one input channel per (incoming edge, upstream subtask) pair.
-struct TaggedEvent {
-  int channel = 0;
-  StreamEvent event;
-};
-
 }  // namespace streamline
 
 #endif  // STREAMLINE_DATAFLOW_EVENTS_H_

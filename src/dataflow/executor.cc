@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "common/queue.h"
+#include "common/spsc_ring.h"
 #include "dataflow/events.h"
 #include "dataflow/operator.h"
 #include "dataflow/source.h"
@@ -14,14 +14,28 @@
 namespace streamline {
 namespace internal {
 
-using Mailbox = BoundedQueue<TaggedEvent>;
-
 namespace {
 
+/// One data-plane edge instance: a lock-free SPSC event ring from one
+/// upstream subtask into one downstream subtask, plus the reverse-direction
+/// recycle ring that returns drained batch buffers to the producer. Both
+/// rings are single-producer/single-consumer by construction -- every
+/// (upstream subtask, downstream subtask) pair gets its own InputChannel.
+struct InputChannel {
+  InputChannel(size_t capacity, Doorbell* doorbell)
+      : events(capacity, doorbell), recycle(capacity + 2) {}
+
+  SpscChannel<StreamEvent> events;
+  // Lossy buffer recycling: the consumer TryPushes drained
+  // std::vector<Record> buffers back (dropped when full), the producer
+  // TryPops them instead of allocating (allocates when empty). Steady
+  // state ships batches with zero heap allocations.
+  SpscRing<std::vector<Record>> recycle;
+};
+
 struct OutputTarget {
-  Mailbox* mailbox = nullptr;
-  int channel = 0;
-  // Per-target record buffer ("network buffer"): amortizes mailbox
+  InputChannel* channel = nullptr;
+  // Per-target record buffer ("network buffer"): amortizes channel
   // synchronization over batch_size records.
   std::vector<Record> buffer;
 };
@@ -29,15 +43,31 @@ struct OutputTarget {
 struct OutputEdge {
   PartitionScheme scheme = PartitionScheme::kForward;
   KeySelector key;
+  int key_field = -1;  // >= 0: hash this record field in place
   std::vector<OutputTarget> targets;  // indexed by downstream subtask
   uint64_t rr = 0;
 };
 
+// Records between ApproxBytes samples on the routing path: walking string
+// fields per record is hot-path work, so bytes_out is sampled (every
+// sampled record stands in for the whole stride).
+constexpr uint64_t kBytesSampleStride = 32;
+
+// Events drained from one channel before the poll loop moves on. One event
+// is already a whole record batch, so amortization does not need a larger
+// budget -- and visiting channels event-by-event keeps multi-input
+// operators (joins, unions) close to arrival order and lets the combined
+// watermark advance instead of one channel racing ahead by thousands of
+// records.
+constexpr size_t kDrainBudgetPerVisit = 1;
+
 }  // namespace
 
 /// One physical task: a chain of operators (possibly headed by a source)
-/// executed by a dedicated thread, fed by one mailbox with per-channel
-/// watermark tracking and barrier alignment.
+/// executed by a dedicated thread. Input arrives on one SPSC channel per
+/// upstream subtask; the thread multiplexes them with a round-robin poll
+/// loop (parking on the shared doorbell after an idle spin budget) and
+/// tracks watermarks and barrier alignment per channel.
 class Task {
  public:
   Task(Job* job, std::vector<int> node_ids, int subtask, int parallelism)
@@ -51,11 +81,16 @@ class Task {
   bool is_source = false;
   std::unique_ptr<SourceFunction> source;
   std::vector<std::unique_ptr<Operator>> ops;  // chain after optional source
-  std::unique_ptr<Mailbox> mailbox;
+  // One SPSC channel per upstream subtask, indexed by channel id; every
+  // producer rings `doorbell` after a push so this task can park when all
+  // channels are empty.
+  std::vector<std::unique_ptr<InputChannel>> inputs;
+  Doorbell doorbell;
   int num_inputs = 0;
   std::vector<int> channel_ordinal;
   std::vector<OutputEdge> outputs;
   size_t batch_size = 256;
+  size_t idle_spin_budget = 64;
 
   int subtask() const { return subtask_; }
   int parallelism() const { return parallelism_; }
@@ -85,6 +120,11 @@ class Task {
     channel_open_.assign(num_inputs, true);
     channel_aligned_.assign(num_inputs, false);
     open_channels_ = num_inputs;
+    for (OutputEdge& edge : outputs) {
+      for (OutputTarget& target : edge.targets) {
+        target.buffer.reserve(batch_size);
+      }
+    }
     records_in_ = job_->metrics()->GetCounter("task." + base_name +
                                               ".records_in");
     records_out_ = job_->metrics()->GetCounter("task." + base_name +
@@ -139,7 +179,7 @@ class Task {
   class RouterCollector : public Collector {
    public:
     explicit RouterCollector(Task* task) : task_(task) {}
-    void Emit(Record record) override {
+    void Emit(Record&& record) override {
       task_->RouteRecord(std::move(record));
     }
 
@@ -151,7 +191,7 @@ class Task {
    public:
     ChainCollector(Operator* next, Collector* downstream)
         : next_(next), downstream_(downstream) {}
-    void Emit(Record record) override {
+    void Emit(Record&& record) override {
       if (next_ != nullptr) {
         next_->ProcessRecord(0, std::move(record), downstream_);
       } else {
@@ -167,7 +207,7 @@ class Task {
   class SourceTaskContext : public SourceContext {
    public:
     explicit SourceTaskContext(Task* task) : task_(task) {}
-    bool Emit(Record record) override {
+    bool Emit(Record&& record) override {
       // Barriers are injected between records: the snapshot sees the source
       // position before this record, and the barrier is broadcast before
       // the record travels downstream.
@@ -210,13 +250,54 @@ class Task {
   }
 
   void RunOperator() {
+    // Round-robin over the input channels; a channel is skipped while it is
+    // closed or already aligned for the in-flight barrier (its producer
+    // simply backs up -- that IS the alignment, no stashing needed, because
+    // each producer owns exactly one channel into this task). After a full
+    // pass with no progress the thread spins briefly, then parks on the
+    // doorbell until some producer pushes.
+    size_t idle_spins = 0;
     while (open_channels_ > 0) {
-      auto te = mailbox->Pop();
-      if (!te.has_value()) break;
-      Dispatch(std::move(*te));
+      size_t drained = 0;
+      for (size_t c = 0; c < inputs.size(); ++c) {
+        drained += DrainChannel(c, kDrainBudgetPerVisit);
+      }
+      if (drained > 0) {
+        idle_spins = 0;
+        continue;
+      }
+      if (idle_spins < idle_spin_budget) {
+        ++idle_spins;
+        std::this_thread::yield();
+        continue;
+      }
+      idle_spins = 0;
+      doorbell.Park([this] { return AnyInputReady(); });
     }
     if (task_wm_ < kMaxTimestamp) DeliverWatermark(kMaxTimestamp);
     FinishChain();
+  }
+
+  size_t DrainChannel(size_t c, size_t budget) {
+    size_t drained = 0;
+    StreamEvent ev;
+    while (drained < budget && channel_open_[c] &&
+           !(aligning_ && channel_aligned_[c]) &&
+           inputs[c]->events.TryPop(&ev)) {
+      Dispatch(static_cast<int>(c), std::move(ev));
+      ++drained;
+    }
+    return drained;
+  }
+
+  bool AnyInputReady() const {
+    if (open_channels_ == 0) return true;
+    for (size_t c = 0; c < inputs.size(); ++c) {
+      if (!channel_open_[c]) continue;
+      if (aligning_ && channel_aligned_[c]) continue;
+      if (!inputs[c]->events.Empty()) return true;
+    }
+    return false;
   }
 
   void FinishChain() {
@@ -233,32 +314,30 @@ class Task {
     Broadcast(StreamEvent::EndOfStream());
   }
 
-  void Dispatch(TaggedEvent te) {
-    const int c = te.channel;
-    if (aligning_ && channel_aligned_[c] &&
-        te.event.kind != StreamEvent::Kind::kEndOfStream) {
-      // Channel already delivered the current barrier: its post-barrier
-      // events wait until alignment completes.
-      stash_.push_back(std::move(te));
-      return;
-    }
-    switch (te.event.kind) {
+  void Dispatch(int c, StreamEvent&& event) {
+    switch (event.kind) {
       case StreamEvent::Kind::kRecord:
         records_in_->Increment();
-        DeliverRecord(channel_ordinal[c], std::move(te.event.record));
+        DeliverRecord(channel_ordinal[c], std::move(event.record));
         break;
       case StreamEvent::Kind::kBatch:
-        records_in_->Increment(te.event.batch.size());
-        for (Record& r : te.event.batch) {
+        records_in_->Increment(event.batch.size());
+        for (Record& r : event.batch) {
           DeliverRecord(channel_ordinal[c], std::move(r));
+        }
+        // Hand the drained buffer back to the producer for reuse; if the
+        // recycle ring is full the vector just frees here.
+        event.batch.clear();
+        if (event.batch.capacity() > 0) {
+          inputs[c]->recycle.TryPush(std::move(event.batch));
         }
         break;
       case StreamEvent::Kind::kWatermark:
-        channel_wm_[c] = std::max(channel_wm_[c], te.event.watermark);
+        channel_wm_[c] = std::max(channel_wm_[c], event.watermark);
         RecomputeWatermark();
         break;
       case StreamEvent::Kind::kBarrier:
-        HandleBarrier(c, te.event.barrier_id);
+        HandleBarrier(c, event.barrier_id);
         break;
       case StreamEvent::Kind::kEndOfStream:
         if (channel_open_[c]) {
@@ -317,19 +396,19 @@ class Task {
     for (int c = 0; c < num_inputs; ++c) {
       if (channel_open_[c] && !channel_aligned_[c]) return;
     }
-    // Every live input delivered the barrier: state is consistent.
+    // Every live input delivered the barrier: state is consistent. The
+    // poll loop resumes the aligned channels once `aligning_` drops; any
+    // events they buffered meanwhile were simply never popped.
     SnapshotChain(barrier_id_);
     for (auto& op : ops) op->OnBarrier(barrier_id_);
     Broadcast(StreamEvent::OfBarrier(barrier_id_));
     aligning_ = false;
-    // Replay buffered post-barrier events; a nested barrier in the stash
-    // simply starts the next alignment.
-    std::vector<TaggedEvent> stashed = std::move(stash_);
-    stash_.clear();
-    for (auto& e : stashed) Dispatch(std::move(e));
   }
 
   void MaybeHandleSourceBarrier() {
+    // Called between every two source records: keep the common no-barrier
+    // case a plain load, not an atomic RMW.
+    if (pending_barrier_.load(std::memory_order_acquire) == 0) return;
     const uint64_t id = pending_barrier_.exchange(0, std::memory_order_acq_rel);
     if (id == 0) return;
     SnapshotChain(id);
@@ -364,9 +443,15 @@ class Task {
     }
   }
 
-  void RouteRecord(Record record) {
-    records_out_->Increment();
-    bytes_out_->Increment(record.ApproxBytes());
+  void RouteRecord(Record&& record) {
+    // Metric updates are batched: per-record atomic RMWs and per-record
+    // ApproxBytes walks both show up on profiles. Record counts stay exact
+    // (flushed with every shipped batch); bytes are sampled, with every
+    // kBytesSampleStride-th record standing in for the whole stride.
+    ++pending_records_out_;
+    if ((route_count_++ & (kBytesSampleStride - 1)) == 0) {
+      pending_bytes_out_ += record.ApproxBytes() * kBytesSampleStride;
+    }
     for (size_t e = 0; e < outputs.size(); ++e) {
       OutputEdge& edge = outputs[e];
       const bool last_edge = (e + 1 == outputs.size());
@@ -377,9 +462,13 @@ class Task {
           break;
         }
         case PartitionScheme::kHash: {
-          const size_t target =
-              edge.key(record).Hash() % edge.targets.size();
-          Push(edge.targets[target], last_edge ? std::move(record) : record);
+          // A plain field key is hashed in place; the generic selector
+          // costs a std::function call plus a Value copy per record.
+          const uint64_t h = edge.key_field >= 0
+                                 ? record.fields[edge.key_field].Hash()
+                                 : edge.key(record).Hash();
+          Push(edge.targets[h % edge.targets.size()],
+               last_edge ? std::move(record) : record);
           break;
         }
         case PartitionScheme::kRebalance: {
@@ -404,10 +493,17 @@ class Task {
 
   void FlushTarget(OutputTarget* target) {
     if (target->buffer.empty()) return;
-    std::vector<Record> batch = std::move(target->buffer);
-    target->buffer.clear();
-    target->mailbox->Push(
-        TaggedEvent{target->channel, StreamEvent::OfBatch(std::move(batch))});
+    FlushRouteMetrics();
+    InputChannel* ch = target->channel;
+    StreamEvent event = StreamEvent::OfBatch(std::move(target->buffer));
+    // Next buffer: prefer one the consumer recycled (steady state ships
+    // batches without touching the allocator).
+    target->buffer = std::vector<Record>();
+    ch->recycle.TryPop(&target->buffer);
+    if (target->buffer.capacity() < batch_size) {
+      target->buffer.reserve(batch_size);
+    }
+    ch->events.Push(std::move(event));
   }
 
   void FlushAllBuffers() {
@@ -416,13 +512,26 @@ class Task {
     }
   }
 
+  void FlushRouteMetrics() {
+    if (pending_records_out_ != 0) {
+      records_out_->Increment(pending_records_out_);
+      pending_records_out_ = 0;
+    }
+    if (pending_bytes_out_ != 0) {
+      bytes_out_->Increment(pending_bytes_out_);
+      pending_bytes_out_ = 0;
+    }
+  }
+
   void Broadcast(const StreamEvent& event) {
     // Control events (watermarks, barriers, EOS) must not overtake the
     // records emitted before them.
     FlushAllBuffers();
+    FlushRouteMetrics();
     for (OutputEdge& edge : outputs) {
       for (const OutputTarget& target : edge.targets) {
-        target.mailbox->Push(TaggedEvent{target.channel, event});
+        StreamEvent copy = event;
+        target.channel->events.Push(std::move(copy));
       }
     }
   }
@@ -442,8 +551,12 @@ class Task {
   Timestamp task_wm_ = kMinTimestamp;
   bool aligning_ = false;
   uint64_t barrier_id_ = 0;
-  std::vector<TaggedEvent> stash_;
   std::atomic<uint64_t> pending_barrier_{0};
+
+  // Batched metric state (task thread only; see RouteRecord).
+  uint64_t pending_records_out_ = 0;
+  uint64_t pending_bytes_out_ = 0;
+  uint64_t route_count_ = 0;
 
   Counter* records_in_ = nullptr;
   Counter* records_out_ = nullptr;
@@ -519,9 +632,8 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
       for (size_t i = 1; i < members.size(); ++i) {
         task->ops.push_back(graph.node(members[i]).op_factory());
       }
-      task->mailbox = std::make_unique<internal::Mailbox>(
-          options.channel_capacity);
       task->batch_size = std::max<size_t>(options.batch_size, 1);
+      task->idle_spin_budget = options.idle_spin_budget;
       task_index[head].push_back(job->tasks_.size());
       job->tasks_.push_back(std::move(task));
     }
@@ -549,6 +661,10 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
         internal::Task* down = job->tasks_[down_tasks[t]].get();
         channel_of[s][t] = down->num_inputs++;
         down->channel_ordinal.push_back(e.input_ordinal);
+        // Dedicated SPSC channel: upstream subtask s is its only producer,
+        // downstream task t its only consumer.
+        down->inputs.push_back(std::make_unique<internal::InputChannel>(
+            options.channel_capacity, &down->doorbell));
       }
     }
     for (size_t s = 0; s < up_tasks.size(); ++s) {
@@ -556,10 +672,11 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
       internal::OutputEdge out;
       out.scheme = e.scheme;
       out.key = e.key;
+      out.key_field = e.key_field;
       for (size_t t = 0; t < down_tasks.size(); ++t) {
         internal::Task* down = job->tasks_[down_tasks[t]].get();
-        out.targets.push_back(
-            internal::OutputTarget{down->mailbox.get(), channel_of[s][t]});
+        out.targets.push_back(internal::OutputTarget{
+            down->inputs[channel_of[s][t]].get()});
       }
       up->outputs.push_back(std::move(out));
     }

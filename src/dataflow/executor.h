@@ -19,13 +19,21 @@ class Task;
 
 /// Execution knobs of a job.
 struct JobOptions {
-  /// Mailbox capacity per task; full mailboxes block producers, which is
-  /// the engine's backpressure mechanism.
-  size_t channel_capacity = 1024;
+  /// Event capacity of each input channel. Every (upstream subtask,
+  /// downstream subtask) pair gets its own single-producer/single-consumer
+  /// ring of this many events (an event is usually a whole record batch);
+  /// a full ring blocks its producer, which is the engine's backpressure
+  /// mechanism. Rounded up to a power of two.
+  size_t channel_capacity = 256;
   /// Records buffered per output channel before a batch is shipped
   /// ("network buffers"); watermarks, barriers and end-of-stream flush
   /// eagerly, so batching never delays control events. 1 disables batching.
   size_t batch_size = 256;
+  /// Empty poll-loop passes an operator task makes over its input channels
+  /// (yielding between passes) before parking on its doorbell. Small by
+  /// default: parked consumers cost nothing, and on busy hosts the
+  /// producer needs the core more than the consumer needs the spin.
+  size_t idle_spin_budget = 64;
   /// Fuse forward-connected same-parallelism operators into one task
   /// (operator chaining).
   bool enable_chaining = true;

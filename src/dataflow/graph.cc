@@ -47,7 +47,8 @@ int LogicalGraph::AddOperator(std::string name, int parallelism,
 }
 
 Status LogicalGraph::Connect(int from, int to, PartitionScheme scheme,
-                             KeySelector key, int input_ordinal) {
+                             KeySelector key, int input_ordinal,
+                             int key_field) {
   if (from < 0 || from >= static_cast<int>(nodes_.size()) || to < 0 ||
       to >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("Connect: unknown node id");
@@ -70,6 +71,7 @@ Status LogicalGraph::Connect(int from, int to, PartitionScheme scheme,
   edge.scheme = scheme;
   edge.key = std::move(key);
   edge.input_ordinal = input_ordinal;
+  edge.key_field = key_field;
   edges_.push_back(std::move(edge));
   return Status::Ok();
 }

@@ -28,6 +28,10 @@ struct GraphEdge {
   int input_ordinal = 0;
   PartitionScheme scheme = PartitionScheme::kForward;
   KeySelector key;  // required for kHash
+  /// When >= 0 the hash key is exactly record field `key_field`; the router
+  /// hashes that field in place instead of materializing a Value copy
+  /// through `key`. Purely an optimization -- `key` stays authoritative.
+  int key_field = -1;
 };
 
 /// The logical job description the uniform API builds and the executor
@@ -41,9 +45,11 @@ class LogicalGraph {
   int AddOperator(std::string name, int parallelism, OperatorFactory factory);
 
   /// Connects `from` -> `to`. kHash requires `key`. kForward requires equal
-  /// parallelism on both endpoints.
+  /// parallelism on both endpoints. Pass `key_field` >= 0 when the key is a
+  /// plain record field so the router can hash it without a Value copy.
   Status Connect(int from, int to, PartitionScheme scheme,
-                 KeySelector key = nullptr, int input_ordinal = 0);
+                 KeySelector key = nullptr, int input_ordinal = 0,
+                 int key_field = -1);
 
   /// Structural checks: every non-source has at least one input, sources
   /// have none, the graph is acyclic, and edge constraints hold.

@@ -19,7 +19,10 @@ namespace streamline {
 class Collector {
  public:
   virtual ~Collector() = default;
-  virtual void Emit(Record record) = 0;
+  /// Takes the record by rvalue reference so one materialized record
+  /// threads through a whole operator chain without a move per hop; the
+  /// callee takes ownership. Pass `Record(r)` to emit a copy.
+  virtual void Emit(Record&& record) = 0;
 };
 
 /// Runtime information handed to an operator at Open time.

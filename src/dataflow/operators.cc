@@ -21,7 +21,7 @@ void KeyedReduceOperator::ProcessRecord(int, Record&& record,
     reduced.timestamp = std::max(it->second.timestamp, record.timestamp);
     it->second = std::move(reduced);
   }
-  out->Emit(it->second);
+  out->Emit(Record(it->second));
 }
 
 Status KeyedReduceOperator::SnapshotState(BinaryWriter* w) const {

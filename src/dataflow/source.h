@@ -20,9 +20,10 @@ class SourceContext {
  public:
   virtual ~SourceContext() = default;
 
-  /// Emits a record (using record.timestamp as its event time). Returns
-  /// false when the job was cancelled: the source should return promptly.
-  virtual bool Emit(Record record) = 0;
+  /// Emits a record (using record.timestamp as its event time). The callee
+  /// takes ownership. Returns false when the job was cancelled: the source
+  /// should return promptly.
+  virtual bool Emit(Record&& record) = 0;
 
   /// Emits an event-time watermark: a promise that all records emitted
   /// later have ts >= wm.

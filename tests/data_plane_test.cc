@@ -1,0 +1,147 @@
+// Invariants of the executor's lock-free data plane: control-event
+// ordering, end-of-stream drain, and producer backpressure. Every pipeline
+// here forces a real channel (Rebalance breaks operator chaining) so the
+// SPSC rings and the poll loop are actually on the path under test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "api/datastream.h"
+
+namespace streamline {
+namespace {
+
+// Asserts that by the time watermark W arrives, every record with
+// ts <= W has already been delivered. The generator emits ts = seq with a
+// watermark after every 64 records, so the expected prefix count is W + 1.
+class WatermarkOrderProbe : public Operator {
+ public:
+  WatermarkOrderProbe(std::atomic<int>* violations,
+                      std::atomic<uint64_t>* records)
+      : violations_(violations), records_(records) {}
+
+  void ProcessRecord(int, Record&& record, Collector* out) override {
+    ++seen_;
+    if (record.timestamp > max_ts_) max_ts_ = record.timestamp;
+    records_->fetch_add(1, std::memory_order_relaxed);
+    out->Emit(std::move(record));
+  }
+
+  void ProcessWatermark(Timestamp wm, Collector*) override {
+    if (wm == kMaxTimestamp || wm == kMinTimestamp) return;
+    // The channel must have delivered all records the watermark promises.
+    if (seen_ < static_cast<uint64_t>(wm) + 1) violations_->fetch_add(1);
+    // And no record behind the previous watermark may show up later --
+    // checked implicitly: watermarks only grow, records arrive in order on
+    // this single-channel pipeline.
+    if (wm < last_wm_) violations_->fetch_add(1);
+    last_wm_ = wm;
+  }
+
+  std::string Name() const override { return "wm-order-probe"; }
+
+ private:
+  std::atomic<int>* violations_;
+  std::atomic<uint64_t>* records_;
+  uint64_t seen_ = 0;
+  Timestamp max_ts_ = kMinTimestamp;
+  Timestamp last_wm_ = kMinTimestamp;
+};
+
+TEST(DataPlaneTest, ControlEventsDoNotOvertakeRecords) {
+  constexpr uint64_t kRecords = 10'000;
+  auto violations = std::make_shared<std::atomic<int>>(0);
+  auto seen = std::make_shared<std::atomic<uint64_t>>(0);
+  Environment env;
+  env.FromGenerator("seq",
+                    [](uint64_t s) -> std::optional<Record> {
+                      if (s >= kRecords) return std::nullopt;
+                      return MakeRecord(static_cast<Timestamp>(s),
+                                        Value(static_cast<int64_t>(s)));
+                    })
+      .Rebalance(1)  // forces a real channel in front of the probe
+      .Process([violations, seen]() {
+        return std::make_unique<WatermarkOrderProbe>(violations.get(),
+                                                     seen.get());
+      })
+      .Sink(std::make_shared<NullSink>());
+  JobOptions options;
+  options.batch_size = 16;  // several batches between watermarks
+  ASSERT_TRUE(env.Execute(options).ok());
+  EXPECT_EQ(seen->load(), kRecords);
+  EXPECT_EQ(violations->load(), 0);
+}
+
+TEST(DataPlaneTest, EndOfStreamDrainsEveryBufferedRecord) {
+  // Tiny channels + tiny batches: end-of-stream lands while records are
+  // still buffered in rings and output buffers; all must still arrive.
+  constexpr uint64_t kRecords = 5'000;
+  Environment env;
+  auto sink = env.FromGenerator("seq",
+                                [](uint64_t s) -> std::optional<Record> {
+                                  if (s >= kRecords) return std::nullopt;
+                                  return MakeRecord(
+                                      static_cast<Timestamp>(s),
+                                      Value(static_cast<int64_t>(s)));
+                                })
+                  .Rebalance(1)
+                  .Collect();
+  JobOptions options;
+  options.channel_capacity = 2;
+  options.batch_size = 3;
+  ASSERT_TRUE(env.Execute(options).ok());
+  ASSERT_EQ(sink->size(), kRecords);
+  uint64_t sum = 0;
+  for (const Record& r : sink->records()) {
+    sum += static_cast<uint64_t>(r.field(0).AsInt64());
+  }
+  EXPECT_EQ(sum, kRecords * (kRecords - 1) / 2);
+}
+
+// A slow consumer must stall the producer once channel + buffers are full:
+// the emitted-minus-consumed gap stays bounded by the configured capacity,
+// records are never dropped and never buffered without bound.
+TEST(DataPlaneTest, BackpressureBlocksProducerAtCapacity) {
+  auto emitted = std::make_shared<std::atomic<uint64_t>>(0);
+  auto consumed = std::make_shared<std::atomic<uint64_t>>(0);
+  Environment env;
+  env.FromGenerator("fast",
+                    [emitted](uint64_t) -> std::optional<Record> {
+                      emitted->fetch_add(1, std::memory_order_relaxed);
+                      return MakeRecord(0, Value(int64_t{1}));
+                    })
+      .Rebalance(1)
+      .Sink(std::make_shared<CallbackSink>([consumed](const Record&) {
+        consumed->fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }));
+  JobOptions options;
+  options.channel_capacity = 4;  // rounded-up ring of 4 events
+  options.batch_size = 8;
+  auto job = env.CreateJob(options);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const uint64_t e = emitted->load();
+  const uint64_t c = consumed->load();
+  // In-flight at most: the ring (4 events x 8 records), the producer's
+  // partial output buffer, one batch being dispatched, plus the record in
+  // the producer's hand. Use a generous constant bound -- the point is
+  // "bounded", not an exact count.
+  EXPECT_GT(e, c);  // producer ran ahead...
+  EXPECT_LE(e - c, 4 * 8 + 8 + 8 + 2u) << "emitted=" << e << " consumed=" << c;
+  (*job)->Cancel();
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+  // Everything emitted before cancellation that entered the pipeline was
+  // either consumed or dropped with the cancelled source -- but nothing
+  // was consumed twice.
+  EXPECT_LE(consumed->load(), emitted->load());
+}
+
+}  // namespace
+}  // namespace streamline

@@ -44,7 +44,7 @@ TEST(ExecutorTest, FilterAndFlatMap) {
                     return r.field(0).AsInt64() % 2 == 0;
                   })
                   .FlatMap([](Record&& r, Collector* out) {
-                    out->Emit(r);
+                    out->Emit(Record(r));
                     out->Emit(std::move(r));  // duplicate each
                   })
                   .Collect();

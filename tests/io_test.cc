@@ -124,7 +124,7 @@ TEST_F(IoTest, SourceOffsetCheckpointable) {
   class CountingCtx : public SourceContext {
    public:
     explicit CountingCtx(uint64_t stop_after) : stop_after_(stop_after) {}
-    bool Emit(Record r) override {
+    bool Emit(Record&& r) override {
       records.push_back(std::move(r));
       return records.size() < stop_after_;
     }
@@ -164,7 +164,7 @@ TEST_F(IoTest, MalformedLineFailsTheSource) {
   CsvFileSource source(path, kSchema);
   class NullCtx : public SourceContext {
    public:
-    bool Emit(Record) override { return true; }
+    bool Emit(Record&&) override { return true; }
     void EmitWatermark(Timestamp) override {}
     void HandleIdle() override {}
     bool IsCancelled() const override { return false; }

@@ -12,7 +12,7 @@ namespace {
 
 class VecCollector : public Collector {
  public:
-  void Emit(Record r) override { records.push_back(std::move(r)); }
+  void Emit(Record&& r) override { records.push_back(std::move(r)); }
   std::vector<Record> records;
 };
 

@@ -160,7 +160,7 @@ TEST(OnlineClassifierOperatorTest, StateSurvivesSnapshotRestore) {
   OnlineClassifierOperator op("learner", spec);
   class NullCollector : public Collector {
    public:
-    void Emit(Record) override {}
+    void Emit(Record&&) override {}
   } out;
   Rng rng(7);
   for (int i = 0; i < 1000; ++i) {

@@ -236,7 +236,7 @@ TEST(WindowOperatorTest, LateRecordsAreDropped) {
 
   class VecCollector : public Collector {
    public:
-    void Emit(Record r) override { records.push_back(std::move(r)); }
+    void Emit(Record&& r) override { records.push_back(std::move(r)); }
     std::vector<Record> records;
   } out;
 
@@ -265,7 +265,7 @@ TEST(WindowOperatorTest, SharedStatsReportConstantWorkPerRecord) {
   ASSERT_TRUE(op.Open(OperatorContext{}).ok());
   class NullCollector : public Collector {
    public:
-    void Emit(Record) override {}
+    void Emit(Record&&) override {}
   } out;
   for (int i = 0; i < 5000; ++i) {
     op.ProcessRecord(0, MakeRecord(i, Value(int64_t{0}), Value(1.0)), &out);
