@@ -53,6 +53,14 @@ Status Environment::Execute(JobOptions options) {
   return (*job)->Run();
 }
 
+Status Environment::ExecuteSupervised(JobOptions options, RestartPolicy policy,
+                                      SupervisionStats* stats) {
+  JobSupervisor supervisor(&graph_, std::move(options), policy);
+  const Status st = supervisor.Run();
+  if (stats != nullptr) *stats = supervisor.stats();
+  return st;
+}
+
 // ---------------------------------------------------------------------------
 // DataStream
 

@@ -12,6 +12,7 @@
 #include "dataflow/operators.h"
 #include "dataflow/sink.h"
 #include "dataflow/sources.h"
+#include "dataflow/supervisor.h"
 #include "dataflow/temporal_join.h"
 #include "dataflow/window_operator.h"
 
@@ -58,7 +59,17 @@ class Environment {
 
   /// Create + Run: returns when all sources are exhausted (batch semantics;
   /// an unbounded source makes this run until Cancel from another thread).
+  /// Returns the first task failure (user-code error or exception) if the
+  /// job crashed.
   Status Execute(JobOptions options = JobOptions());
+
+  /// Execute under a JobSupervisor: on a task failure the job is restarted
+  /// from the latest complete checkpoint per `policy`. Pair with
+  /// checkpoint_interval_ms > 0 and a transactional sink for exactly-once
+  /// output across crashes. `stats` (optional) receives what happened.
+  Status ExecuteSupervised(JobOptions options = JobOptions(),
+                           RestartPolicy policy = RestartPolicy(),
+                           SupervisionStats* stats = nullptr);
 
   LogicalGraph* graph() { return &graph_; }
 

@@ -1,6 +1,7 @@
 #ifndef STREAMLINE_COMMON_STATUS_H_
 #define STREAMLINE_COMMON_STATUS_H_
 
+#include <exception>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -76,6 +77,23 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+};
+
+/// Carries a Status through code paths that cannot return one (the void
+/// record-processing hooks). The executor catches it at the task boundary
+/// and fails the task with the original status instead of a generic
+/// "uncaught exception" wrapper.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 /// Result<T> is either a value or an error Status (like absl::StatusOr).

@@ -91,6 +91,10 @@ class Task {
   std::vector<OutputEdge> outputs;
   size_t batch_size = 256;
   size_t idle_spin_budget = 64;
+  // Fault injection (chaos testing): one site label per chain element,
+  // "source:<name>" / "op:<name>". Null injector = no faults.
+  FaultInjector* injector = nullptr;
+  std::vector<std::string> sites;
 
   int subtask() const { return subtask_; }
   int parallelism() const { return parallelism_; }
@@ -106,7 +110,8 @@ class Task {
           (i + 1 < ops.size()) ? static_cast<Collector*>(collectors_[i + 1].get())
                                : static_cast<Collector*>(router_.get());
       collectors_[i] = std::make_unique<ChainCollector>(
-          i + 1 < ops.size() ? ops[i + 1].get() : nullptr, downstream);
+          this, i + 1 < ops.size() ? ops[i + 1].get() : nullptr,
+          (is_source ? 1 : 0) + i + 1, downstream);
     }
     OperatorContext ctx;
     ctx.subtask_index = subtask_;
@@ -168,10 +173,24 @@ class Task {
   // --- thread body ---------------------------------------------------------
 
   void Run() {
-    if (is_source) {
-      RunSource();
-    } else {
-      RunOperator();
+    try {
+      if (is_source) {
+        RunSource();
+      } else {
+        RunOperator();
+      }
+    } catch (const StatusError& e) {
+      Fail(e.status());
+    } catch (const std::exception& e) {
+      Fail(Status::Internal("uncaught exception in task '" + task_name +
+                            "': " + e.what()));
+    } catch (...) {
+      Fail(Status::Internal("uncaught non-standard exception in task '" +
+                            task_name + "'"));
+    }
+    if (!task_status_.ok()) {
+      job_->ReportTaskFailure(task_name, task_status_);
+      AbortAndDrain();
     }
   }
 
@@ -189,10 +208,13 @@ class Task {
 
   class ChainCollector : public Collector {
    public:
-    ChainCollector(Operator* next, Collector* downstream)
-        : next_(next), downstream_(downstream) {}
+    ChainCollector(Task* task, Operator* next, size_t next_element,
+                   Collector* downstream)
+        : task_(task), next_(next), next_element_(next_element),
+          downstream_(downstream) {}
     void Emit(Record&& record) override {
       if (next_ != nullptr) {
+        if (!task_->InjectFault(next_element_)) return;
         next_->ProcessRecord(0, std::move(record), downstream_);
       } else {
         downstream_->Emit(std::move(record));
@@ -200,7 +222,9 @@ class Task {
     }
 
    private:
-    Operator* next_;       // operator this collector feeds (null: router)
+    Task* task_;
+    Operator* next_;         // operator this collector feeds (null: router)
+    size_t next_element_;    // chain-element index of `next_` (fault site)
     Collector* downstream_;  // what `next_` emits into
   };
 
@@ -212,11 +236,15 @@ class Task {
       // position before this record, and the barrier is broadcast before
       // the record travels downstream.
       task_->MaybeHandleSourceBarrier();
-      if (task_->job_->cancelled_.load(std::memory_order_relaxed)) {
+      if (!task_->task_status_.ok() ||
+          task_->job_->cancelled_.load(std::memory_order_relaxed)) {
         return false;
       }
+      if (!task_->InjectFault(0)) return false;
       task_->DeliverRecord(0, std::move(record));
-      return true;
+      // A chained operator or sink may have failed while processing this
+      // record (recorded via Fail); stop emitting then.
+      return task_->task_status_.ok();
     }
     void EmitWatermark(Timestamp wm) override {
       task_->DeliverWatermark(wm);
@@ -237,11 +265,11 @@ class Task {
 
   void RunSource() {
     SourceTaskContext ctx(this);
-    const Status st = source->Run(&ctx);
-    if (!st.ok()) {
-      LOG_ERROR << "source task " << task_name << " failed: "
-                << st.ToString();
-    }
+    Status st = source->Run(&ctx);
+    // Fail() keeps the first error: a fault recorded mid-Emit wins over
+    // whatever the source returned in response to the rejected Emit.
+    if (!st.ok()) Fail(std::move(st));
+    if (!task_status_.ok()) return;  // Run() takes the abort path
     // A checkpoint triggered while the source was finishing must still
     // complete.
     MaybeHandleSourceBarrier();
@@ -257,7 +285,7 @@ class Task {
     // pass with no progress the thread spins briefly, then parks on the
     // doorbell until some producer pushes.
     size_t idle_spins = 0;
-    while (open_channels_ > 0) {
+    while (open_channels_ > 0 && task_status_.ok()) {
       size_t drained = 0;
       for (size_t c = 0; c < inputs.size(); ++c) {
         drained += DrainChannel(c, kDrainBudgetPerVisit);
@@ -274,6 +302,7 @@ class Task {
       idle_spins = 0;
       doorbell.Park([this] { return AnyInputReady(); });
     }
+    if (!task_status_.ok()) return;  // Run() takes the abort path
     if (task_wm_ < kMaxTimestamp) DeliverWatermark(kMaxTimestamp);
     FinishChain();
   }
@@ -281,7 +310,7 @@ class Task {
   size_t DrainChannel(size_t c, size_t budget) {
     size_t drained = 0;
     StreamEvent ev;
-    while (drained < budget && channel_open_[c] &&
+    while (drained < budget && channel_open_[c] && task_status_.ok() &&
            !(aligning_ && channel_aligned_[c]) &&
            inputs[c]->events.TryPop(&ev)) {
       Dispatch(static_cast<int>(c), std::move(ev));
@@ -305,12 +334,13 @@ class Task {
       ops[i]->OnEndOfInput(collectors_[i].get());
     }
     for (auto& op : ops) {
-      const Status st = op->Close();
+      Status st = op->Close();
       if (!st.ok()) {
-        LOG_ERROR << "operator close failed in " << task_name << ": "
-                  << st.ToString();
+        Fail(Status(st.code(),
+                    "close of '" + op->Name() + "' failed: " + st.message()));
       }
     }
+    if (!task_status_.ok()) return;  // Run() takes the abort path
     Broadcast(StreamEvent::EndOfStream());
   }
 
@@ -323,6 +353,7 @@ class Task {
       case StreamEvent::Kind::kBatch:
         records_in_->Increment(event.batch.size());
         for (Record& r : event.batch) {
+          if (!task_status_.ok()) break;  // crash-like: drop the rest
           DeliverRecord(channel_ordinal[c], std::move(r));
         }
         // Hand the drained buffer back to the producer for reuse; if the
@@ -355,6 +386,9 @@ class Task {
       RouteRecord(std::move(record));
       return;
     }
+    // ops[0] is chain element 0 of an operator task, element 1 behind a
+    // source (element 0 is the source itself, injected in Emit).
+    if (!InjectFault(is_source ? 1 : 0)) return;
     ops[0]->ProcessRecord(ordinal, std::move(record), collectors_[0].get());
   }
 
@@ -400,8 +434,13 @@ class Task {
     // poll loop resumes the aligned channels once `aligning_` drops; any
     // events they buffered meanwhile were simply never popped.
     SnapshotChain(barrier_id_);
-    for (auto& op : ops) op->OnBarrier(barrier_id_);
-    Broadcast(StreamEvent::OfBarrier(barrier_id_));
+    // A failed snapshot means this checkpoint is dead: committing it at
+    // the sinks (OnBarrier) or forwarding the barrier would make an
+    // incomplete checkpoint look durable downstream.
+    if (task_status_.ok()) {
+      for (auto& op : ops) op->OnBarrier(barrier_id_);
+      Broadcast(StreamEvent::OfBarrier(barrier_id_));
+    }
     aligning_ = false;
   }
 
@@ -412,8 +451,16 @@ class Task {
     const uint64_t id = pending_barrier_.exchange(0, std::memory_order_acq_rel);
     if (id == 0) return;
     SnapshotChain(id);
+    if (!task_status_.ok()) return;  // dead checkpoint: do not commit/forward
     for (auto& op : ops) op->OnBarrier(id);
     Broadcast(StreamEvent::OfBarrier(id));
+  }
+
+  /// Checkpoint-time fault hook for chain element `idx` ("task X fails on
+  /// checkpoint K"). kThrow faults throw out of OnCheckpoint.
+  Status CheckpointFault(size_t idx, uint64_t checkpoint_id) {
+    if (injector == nullptr) return Status::Ok();
+    return injector->OnCheckpoint(sites[idx], checkpoint_id);
   }
 
   void SnapshotChain(uint64_t checkpoint_id) {
@@ -422,24 +469,96 @@ class Task {
     size_t idx = 0;
     Status st = Status::Ok();
     if (is_source) {
-      BinaryWriter w;
-      st = source->SnapshotState(&w);
-      if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      st = CheckpointFault(idx, checkpoint_id);
+      if (st.ok()) {
+        BinaryWriter w;
+        st = source->SnapshotState(&w);
+        if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      }
       ++idx;
     }
     for (auto& op : ops) {
       if (!st.ok()) break;
-      BinaryWriter w;
-      st = op->SnapshotState(&w);
-      if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      st = CheckpointFault(idx, checkpoint_id);
+      if (st.ok()) {
+        BinaryWriter w;
+        st = op->SnapshotState(&w);
+        if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+      }
       ++idx;
     }
     if (!st.ok()) {
-      LOG_ERROR << "snapshot failed in " << task_name << ": " << st.ToString();
+      // The task never acks, so the checkpoint stays incomplete and is
+      // never a restore candidate. The failure takes the job down.
+      Fail(Status(st.code(), "checkpoint " + std::to_string(checkpoint_id) +
+                                 " failed: " + st.message()));
       return;
     }
     if (job_->coordinator_ != nullptr) {
       job_->coordinator_->AckTask(checkpoint_id);
+    }
+  }
+
+  /// Records the first failure; later ones lose (user code downstream of a
+  /// fault often fails too, with less interesting errors). Task thread
+  /// only.
+  void Fail(Status st) {
+    if (task_status_.ok() && !st.ok()) task_status_ = std::move(st);
+  }
+
+  /// Fires any matching injected fault for chain element `element`.
+  /// Returns false when a Status fault fired (the task is now failing);
+  /// kThrow faults leave by exception.
+  bool InjectFault(size_t element) {
+    if (injector == nullptr) return true;
+    Status st = injector->OnHit(sites[element]);
+    if (!st.ok()) {
+      Fail(std::move(st));
+      return false;
+    }
+    return true;
+  }
+
+  /// Crash-like teardown after a failure: drop buffered (uncommitted)
+  /// output, push end-of-stream so downstream tasks terminate, and drain
+  /// our own inputs -- discarding everything -- until every producer's EOS
+  /// arrived. The drain is what unblocks upstream tasks parked in Push()
+  /// on a full ring; without it a failed consumer would deadlock its
+  /// producers. Barriers drained here are deliberately not acked: a
+  /// checkpoint interrupted by the failure must stay incomplete.
+  void AbortAndDrain() {
+    for (OutputEdge& edge : outputs) {
+      for (OutputTarget& target : edge.targets) {
+        target.buffer.clear();
+        StreamEvent eos = StreamEvent::EndOfStream();
+        target.channel->events.Push(std::move(eos));
+      }
+    }
+    aligning_ = false;  // stop skipping aligned channels
+    size_t idle_spins = 0;
+    StreamEvent ev;
+    while (open_channels_ > 0) {
+      size_t drained = 0;
+      for (size_t c = 0; c < inputs.size(); ++c) {
+        while (channel_open_[c] && inputs[c]->events.TryPop(&ev)) {
+          if (ev.kind == StreamEvent::Kind::kEndOfStream) {
+            channel_open_[c] = false;
+            --open_channels_;
+          }
+          ++drained;
+        }
+      }
+      if (drained > 0) {
+        idle_spins = 0;
+        continue;
+      }
+      if (idle_spins < idle_spin_budget) {
+        ++idle_spins;
+        std::this_thread::yield();
+        continue;
+      }
+      idle_spins = 0;
+      doorbell.Park([this] { return AnyInputReady(); });
     }
   }
 
@@ -549,6 +668,10 @@ class Task {
   std::vector<bool> channel_aligned_;
   int open_channels_ = 0;
   Timestamp task_wm_ = kMinTimestamp;
+  // First failure of this task (user-code error Status, injected fault, or
+  // caught exception). Task thread only; reported to the Job once, at the
+  // end of Run().
+  Status task_status_;
   bool aligning_ = false;
   uint64_t barrier_id_ = 0;
   std::atomic<uint64_t> pending_barrier_{0};
@@ -634,6 +757,12 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
       }
       task->batch_size = std::max<size_t>(options.batch_size, 1);
       task->idle_spin_budget = options.idle_spin_budget;
+      task->injector = options.fault_injector.get();
+      task->sites.push_back(
+          (head_node.is_source ? "source:" : "op:") + head_node.name);
+      for (size_t i = 1; i < members.size(); ++i) {
+        task->sites.push_back("op:" + graph.node(members[i]).name);
+      }
       task_index[head].push_back(job->tasks_.size());
       job->tasks_.push_back(std::move(task));
     }
@@ -695,8 +824,11 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
     job->snapshot_store_ = options.snapshot_store
                                ? options.snapshot_store
                                : std::make_shared<SnapshotStore>();
+    // Checkpoint ids continue after anything already in the store, so a
+    // restarted job never collides with its predecessor's checkpoints.
     job->coordinator_ = std::make_unique<CheckpointCoordinator>(
-        job->snapshot_store_.get(), static_cast<int>(job->tasks_.size()));
+        job->snapshot_store_.get(), static_cast<int>(job->tasks_.size()),
+        job->snapshot_store_->MaxCheckpointId() + 1);
     for (auto& task : job->tasks_) {
       if (task->is_source) {
         internal::Task* t = task.get();
@@ -726,15 +858,26 @@ Status Job::Start() {
   }
   if (options_.checkpoint_interval_ms > 0) {
     checkpoint_timer_ = std::thread([this] {
+      // All waits are chopped into short polls so a failing job (which
+      // sets cancelled_) releases the timer thread within milliseconds
+      // instead of a full interval or checkpoint timeout.
+      const auto poll = std::chrono::milliseconds(2);
       const auto interval =
           std::chrono::milliseconds(options_.checkpoint_interval_ms);
-      while (!finished_.load() && !cancelled_.load()) {
-        std::this_thread::sleep_for(interval);
-        if (finished_.load() || cancelled_.load()) break;
+      auto stop = [this] { return finished_.load() || cancelled_.load(); };
+      while (!stop()) {
+        for (auto slept = std::chrono::milliseconds(0);
+             slept < interval && !stop(); slept += poll) {
+          std::this_thread::sleep_for(
+              std::min<std::chrono::milliseconds>(poll, interval - slept));
+        }
+        if (stop()) break;
         const uint64_t id = coordinator_->Trigger();
         // Bounded wait: a checkpoint triggered after a bounded source
         // finished can never complete; don't stall shutdown on it.
-        coordinator_->AwaitCompletion(id, 2.0);
+        for (int i = 0; i < 1000 && !stop(); ++i) {
+          if (coordinator_->AwaitCompletion(id, 0.002)) break;
+        }
       }
     });
   }
@@ -750,7 +893,28 @@ Status Job::AwaitCompletion() {
   }
   finished_.store(true);
   if (checkpoint_timer_.joinable()) checkpoint_timer_.join();
-  return Status::Ok();
+  return FirstFailure();
+}
+
+Status Job::FirstFailure() const {
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  return first_failure_;
+}
+
+void Job::ReportTaskFailure(const std::string& task_name,
+                            const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (first_failure_.ok()) {
+      first_failure_ = Status(status.code(), "task '" + task_name +
+                                                 "' failed: " +
+                                                 status.message());
+    }
+  }
+  LOG_ERROR << "task " << task_name << " failed: " << status.ToString();
+  // Cancelling stops the sources; every other task sees end-of-stream (or
+  // the failing task's abort EOS) and winds down.
+  cancelled_.store(true);
 }
 
 Status Job::Run() {

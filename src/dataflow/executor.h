@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "dataflow/graph.h"
 #include "dataflow/snapshot.h"
@@ -46,6 +48,11 @@ struct JobOptions {
   /// Restore all task state from this checkpoint id before starting
   /// (requires the same graph shape and parallelism). 0 = fresh start.
   uint64_t restore_from_checkpoint = 0;
+  /// Deterministic fault injection for chaos testing. Sites are
+  /// "source:<node name>" and "op:<node name>"; a fired fault behaves
+  /// exactly like user code failing at that point. Shared across restarts
+  /// so one-shot faults do not re-fire after recovery. Null = no faults.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// A deployed dataflow job: one thread per physical task, channels with
@@ -67,8 +74,10 @@ class Job {
 
   /// Launches all task threads.
   Status Start();
-  /// Blocks until every task finished (end of bounded input, or after
-  /// Cancel()).
+  /// Blocks until every task finished (end of bounded input, after
+  /// Cancel(), or after a task failure). Returns the first task failure --
+  /// an error Status returned by user code or an exception it threw -- or
+  /// Ok on a clean run. A failure cancels the whole job.
   Status AwaitCompletion();
   /// Start + AwaitCompletion.
   Status Run();
@@ -88,10 +97,17 @@ class Job {
   /// Job-scoped metrics (task record counters etc.).
   MetricsRegistry* metrics() { return &metrics_; }
 
+  /// First task failure so far (Ok if none). Thread-safe.
+  Status FirstFailure() const;
+
  private:
   Job() = default;
 
   friend class internal::Task;
+
+  /// Called from a failing task thread: records the first failure and
+  /// cancels the job so the pipeline drains.
+  void ReportTaskFailure(const std::string& task_name, const Status& status);
 
   JobOptions options_;
   std::shared_ptr<SnapshotStore> snapshot_store_;
@@ -102,6 +118,8 @@ class Job {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
+  mutable std::mutex failure_mu_;
+  Status first_failure_;  // guarded by failure_mu_
   MetricsRegistry metrics_;
 };
 

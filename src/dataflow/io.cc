@@ -173,10 +173,19 @@ CsvFileSink::CsvFileSink(std::string path)
   STREAMLINE_CHECK(out_.is_open()) << "cannot open '" << path_ << "'";
 }
 
-void CsvFileSink::Invoke(const Record& record) {
+Status CsvFileSink::WriteErrorLocked() {
+  write_failed_ = true;
+  return Status::Internal("write error on '" + path_ + "' after " +
+                          std::to_string(lines_) + " lines");
+}
+
+Status CsvFileSink::Invoke(const Record& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (write_failed_) return WriteErrorLocked();
   out_ << FormatCsvLine(record) << '\n';
+  if (!out_.good()) return WriteErrorLocked();
   ++lines_;
+  return Status::Ok();
 }
 
 Status CsvFileSink::Close() {
@@ -184,10 +193,11 @@ Status CsvFileSink::Close() {
   if (!closed_) {
     out_.flush();
     closed_ = true;
-    if (!out_.good()) {
-      return Status::Internal("write error on '" + path_ + "'");
-    }
+    if (!out_.good()) write_failed_ = true;
   }
+  // Sticky: a write error anywhere in the sink's life makes Close fail,
+  // even when called repeatedly.
+  if (write_failed_) return WriteErrorLocked();
   return Status::Ok();
 }
 

@@ -45,22 +45,28 @@ class CsvFileSource : public SourceFunction {
 };
 
 /// Sink appending records as CSV lines; thread-safe, flushed on Close.
+/// Stream write errors (full disk, closed fd) are never swallowed: Invoke
+/// fails the job as soon as the stream goes bad, and Close re-reports the
+/// error (idempotently) so no success is claimed for lost output.
 class CsvFileSink : public SinkFunction {
  public:
   explicit CsvFileSink(std::string path);
 
-  void Invoke(const Record& record) override;
+  Status Invoke(const Record& record) override;
   Status Close() override;
   std::string Name() const override { return "csv:" + path_; }
 
   uint64_t lines_written() const;
 
  private:
+  Status WriteErrorLocked();  // sets the sticky flag, builds the status
+
   std::string path_;
   mutable std::mutex mu_;
   std::ofstream out_;
   uint64_t lines_ = 0;
   bool closed_ = false;
+  bool write_failed_ = false;
 };
 
 }  // namespace streamline

@@ -142,8 +142,16 @@ class SinkOperator : public Operator {
   SinkOperator(std::string name, std::shared_ptr<SinkFunction> sink)
       : name_(std::move(name)), sink_(std::move(sink)) {}
 
+  Status Open(const OperatorContext& ctx) override {
+    (void)ctx;
+    // Shared sink functions outlive job instances; a restarted job must
+    // abort the transaction its predecessor left open.
+    sink_->OnRestart();
+    return Status::Ok();
+  }
   void ProcessRecord(int, Record&& record, Collector*) override {
-    sink_->Invoke(record);
+    const Status st = sink_->Invoke(record);
+    if (!st.ok()) throw StatusError(st);
   }
   void ProcessWatermark(Timestamp wm, Collector*) override {
     sink_->OnWatermark(wm);

@@ -23,11 +23,18 @@ class SinkFunction {
  public:
   virtual ~SinkFunction() = default;
 
-  virtual void Invoke(const Record& record) = 0;
+  /// Consumes one record. A non-ok Status fails the task (and with it the
+  /// job), exactly like an exception thrown from user code.
+  virtual Status Invoke(const Record& record) = 0;
   virtual void OnWatermark(Timestamp wm) { (void)wm; }
   /// A checkpoint barrier passed through the sink: everything Invoke()d
   /// before this call is covered by checkpoint `id`.
   virtual void OnBarrier(uint64_t id) { (void)id; }
+  /// A new job instance attached to this (possibly shared) sink -- after a
+  /// crash the supervisor restores from the last complete checkpoint and
+  /// the sink must abort any transaction the dead job left open, since the
+  /// restored job will re-produce that uncommitted suffix.
+  virtual void OnRestart() {}
   virtual Status Close() { return Status::Ok(); }
   virtual std::string Name() const = 0;
 };
@@ -37,9 +44,10 @@ class SinkFunction {
 /// barrier passed, which exactly-once tests use to truncate output.
 class CollectSink : public SinkFunction {
  public:
-  void Invoke(const Record& record) override {
+  Status Invoke(const Record& record) override {
     std::lock_guard<std::mutex> lock(mu_);
     records_.push_back(record);
+    return Status::Ok();
   }
 
   void OnBarrier(uint64_t id) override {
@@ -89,7 +97,10 @@ class CallbackSink : public SinkFunction {
  public:
   explicit CallbackSink(std::function<void(const Record&)> fn)
       : fn_(std::move(fn)) {}
-  void Invoke(const Record& record) override { fn_(record); }
+  Status Invoke(const Record& record) override {
+    fn_(record);
+    return Status::Ok();
+  }
   std::string Name() const override { return "callback"; }
 
  private:
@@ -99,8 +110,9 @@ class CallbackSink : public SinkFunction {
 /// Discards records but counts them; for benchmarks.
 class NullSink : public SinkFunction {
  public:
-  void Invoke(const Record&) override {
+  Status Invoke(const Record&) override {
     count_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
   }
   std::string Name() const override { return "null"; }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -122,9 +134,19 @@ class NullSink : public SinkFunction {
 /// prefix is checkpoint-consistent either way.
 class TransactionalCollectSink : public SinkFunction {
  public:
-  void Invoke(const Record& record) override {
+  Status Invoke(const Record& record) override {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(record);
+    return Status::Ok();
+  }
+
+  /// Abort the transaction a crashed job left open: the restored job
+  /// replays from the last complete checkpoint, so keeping these pending
+  /// records would duplicate them.
+  void OnRestart() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ += pending_.size();
+    pending_.clear();
   }
 
   void OnBarrier(uint64_t id) override {
@@ -151,11 +173,17 @@ class TransactionalCollectSink : public SinkFunction {
     std::lock_guard<std::mutex> lock(mu_);
     return last_committed_checkpoint_;
   }
+  /// Total records dropped by OnRestart() transaction aborts.
+  size_t aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
 
  private:
   mutable std::mutex mu_;
   std::vector<Record> pending_;    // open transaction (lost on crash)
   std::vector<Record> committed_;  // durable
+  size_t aborted_ = 0;
   uint64_t last_committed_checkpoint_ = 0;
 };
 
@@ -163,7 +191,7 @@ class TransactionalCollectSink : public SinkFunction {
 class PrintSink : public SinkFunction {
  public:
   explicit PrintSink(std::string prefix = "") : prefix_(std::move(prefix)) {}
-  void Invoke(const Record& record) override;
+  Status Invoke(const Record& record) override;
   std::string Name() const override { return "print"; }
 
  private:

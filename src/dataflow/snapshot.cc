@@ -1,13 +1,27 @@
 #include "dataflow/snapshot.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "common/logging.h"
+#include "common/serde.h"
 
 namespace streamline {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// SnapshotStore (in-memory)
 
 void SnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
                         std::string bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   data_[checkpoint_id][key] = std::move(bytes);
+  max_id_ = std::max(max_id_, checkpoint_id);
 }
 
 Result<std::string> SnapshotStore::Get(uint64_t checkpoint_id,
@@ -54,6 +68,308 @@ size_t SnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
   return total;
 }
 
+void SnapshotStore::MarkComplete(uint64_t checkpoint_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_.insert(checkpoint_id);
+  max_id_ = std::max(max_id_, checkpoint_id);
+  std::vector<uint64_t> all;
+  all.reserve(data_.size());
+  for (const auto& [id, entries] : data_) all.push_back(id);
+  const std::vector<uint64_t> completed(completed_.begin(), completed_.end());
+  for (uint64_t id : PruneList(all, completed, retain_last_)) {
+    data_.erase(id);
+    completed_.erase(id);
+  }
+}
+
+uint64_t SnapshotStore::LatestComplete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_.empty() ? 0 : *completed_.rbegin();
+}
+
+std::vector<uint64_t> SnapshotStore::CompletedCheckpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<uint64_t>(completed_.begin(), completed_.end());
+}
+
+uint64_t SnapshotStore::MaxCheckpointId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_id_;
+}
+
+void SnapshotStore::Drop(uint64_t checkpoint_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.erase(checkpoint_id);
+  completed_.erase(checkpoint_id);
+}
+
+void SnapshotStore::RetainLast(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retain_last_ = std::max<size_t>(n, 1);
+}
+
+size_t SnapshotStore::retain_last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retain_last_;
+}
+
+std::vector<uint64_t> SnapshotStore::PruneList(
+    const std::vector<uint64_t>& all, const std::vector<uint64_t>& completed,
+    size_t retain) {
+  if (completed.size() <= retain) return {};
+  // Everything older than the oldest retained completed checkpoint goes --
+  // including incomplete (abandoned) checkpoints below the cutoff. Newer
+  // incomplete ones may still be in flight and are kept.
+  const uint64_t cutoff = completed[completed.size() - retain];
+  std::vector<uint64_t> prune;
+  for (uint64_t id : all) {
+    if (id < cutoff) prune.push_back(id);
+  }
+  for (uint64_t id : completed) {
+    if (id < cutoff && !std::binary_search(all.begin(), all.end(), id)) {
+      prune.push_back(id);
+    }
+  }
+  return prune;
+}
+
+// ---------------------------------------------------------------------------
+// FileSnapshotStore
+
+namespace {
+
+// Entry file layout: magic, CRC32(payload), payload length, payload.
+constexpr uint32_t kEntryMagic = 0x534C5353;  // "SLSS"
+constexpr char kCompleteMarker[] = "COMPLETE";
+
+std::string SanitizeKey(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return out;
+}
+
+Result<uint64_t> ParseCheckpointDirName(const std::string& name) {
+  if (name.rfind("chk", 0) != 0 || name.size() <= 3) {
+    return Status::InvalidArgument("not a checkpoint dir");
+  }
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(name.c_str() + 3, &end, 10);
+  if (end == name.c_str() + 3 || *end != '\0' || id == 0) {
+    return Status::InvalidArgument("not a checkpoint dir");
+  }
+  return static_cast<uint64_t>(id);
+}
+
+}  // namespace
+
+FileSnapshotStore::FileSnapshotStore(std::string root_dir)
+    : root_(std::move(root_dir)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  STREAMLINE_CHECK(!ec) << "cannot create snapshot dir '" << root_
+                        << "': " << ec.message();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t id : ScanIdsLocked()) max_id_ = std::max(max_id_, id);
+}
+
+std::string FileSnapshotStore::CheckpointDir(uint64_t id) const {
+  return (fs::path(root_) / ("chk" + std::to_string(id))).string();
+}
+
+std::string FileSnapshotStore::EntryPath(uint64_t id,
+                                         const std::string& key) const {
+  return (fs::path(CheckpointDir(id)) / SanitizeKey(key)).string();
+}
+
+Status FileSnapshotStore::WriteFileAtomic(const std::string& dir,
+                                          const std::string& file,
+                                          const std::string& bytes) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + dir + "': " + ec.message());
+  }
+  const std::string tmp = (fs::path(dir) / (".tmp." + file)).string();
+  const std::string final_path = (fs::path(dir) / file).string();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("write error on '" + tmp + "'");
+    }
+  }
+  // Same-directory rename: atomic on POSIX, so a reader sees either the
+  // whole entry or none of it.
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    return Status::Internal("rename '" + tmp + "' -> '" + final_path +
+                            "' failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+void FileSnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
+                            std::string bytes) {
+  BinaryWriter header;
+  header.WriteU64(kEntryMagic);
+  header.WriteU64(Crc32(bytes));
+  header.WriteU64(bytes.size());
+  std::string blob = header.Release();
+  blob += bytes;
+  const Status st =
+      WriteFileAtomic(CheckpointDir(checkpoint_id), SanitizeKey(key), blob);
+  if (!st.ok()) {
+    LOG_ERROR << "snapshot put(" << checkpoint_id << ", '" << key
+              << "') failed: " << st.ToString();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  max_id_ = std::max(max_id_, checkpoint_id);
+}
+
+Result<std::string> FileSnapshotStore::Get(uint64_t checkpoint_id,
+                                           const std::string& key) const {
+  const std::string path = EntryPath(checkpoint_id, key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("checkpoint " + std::to_string(checkpoint_id) +
+                            " has no state for '" + key + "'");
+  }
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  BinaryReader r(blob);
+  auto magic = r.ReadU64();
+  auto crc = r.ReadU64();
+  auto size = r.ReadU64();
+  if (!magic.ok() || !crc.ok() || !size.ok() || *magic != kEntryMagic) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': bad header");
+  }
+  if (r.remaining() != *size) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': truncated payload (" +
+                            std::to_string(r.remaining()) + " of " +
+                            std::to_string(*size) + " bytes)");
+  }
+  std::string payload = blob.substr(blob.size() - r.remaining());
+  if (Crc32(payload) != static_cast<uint32_t>(*crc)) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': CRC mismatch");
+  }
+  return payload;
+}
+
+bool FileSnapshotStore::Has(uint64_t checkpoint_id,
+                            const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(EntryPath(checkpoint_id, key), ec);
+}
+
+size_t FileSnapshotStore::NumEntries(uint64_t checkpoint_id) const {
+  std::error_code ec;
+  size_t n = 0;
+  for (const auto& e : fs::directory_iterator(CheckpointDir(checkpoint_id),
+                                              ec)) {
+    const std::string name = e.path().filename().string();
+    if (name == kCompleteMarker || name.rfind(".tmp.", 0) == 0) continue;
+    ++n;
+  }
+  return ec ? 0 : n;
+}
+
+std::vector<uint64_t> FileSnapshotStore::CheckpointIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ScanIdsLocked();
+}
+
+std::vector<uint64_t> FileSnapshotStore::ScanIdsLocked() const {
+  std::vector<uint64_t> ids;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(root_, ec)) {
+    auto id = ParseCheckpointDirName(e.path().filename().string());
+    if (id.ok()) ids.push_back(*id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> FileSnapshotStore::ScanCompletedLocked() const {
+  std::vector<uint64_t> ids;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(root_, ec)) {
+    auto id = ParseCheckpointDirName(e.path().filename().string());
+    if (!id.ok()) continue;
+    std::error_code ec2;
+    if (fs::exists(e.path() / kCompleteMarker, ec2)) ids.push_back(*id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t FileSnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
+  std::error_code ec;
+  size_t total = 0;
+  for (const auto& e : fs::directory_iterator(CheckpointDir(checkpoint_id),
+                                              ec)) {
+    const std::string name = e.path().filename().string();
+    if (name == kCompleteMarker || name.rfind(".tmp.", 0) == 0) continue;
+    std::error_code ec2;
+    const auto size = fs::file_size(e.path(), ec2);
+    if (!ec2) total += static_cast<size_t>(size);
+  }
+  return ec ? 0 : total;
+}
+
+void FileSnapshotStore::MarkComplete(uint64_t checkpoint_id) {
+  const Status st = WriteFileAtomic(CheckpointDir(checkpoint_id),
+                                    kCompleteMarker, "1");
+  if (!st.ok()) {
+    LOG_ERROR << "cannot mark checkpoint " << checkpoint_id
+              << " complete: " << st.ToString();
+    return;
+  }
+  const size_t retain = retain_last();  // locks mu_; must precede the guard
+  std::vector<uint64_t> prune;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_id_ = std::max(max_id_, checkpoint_id);
+    prune = PruneList(ScanIdsLocked(), ScanCompletedLocked(), retain);
+  }
+  for (uint64_t id : prune) Drop(id);
+}
+
+uint64_t FileSnapshotStore::LatestComplete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<uint64_t> done = ScanCompletedLocked();
+  return done.empty() ? 0 : done.back();
+}
+
+std::vector<uint64_t> FileSnapshotStore::CompletedCheckpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ScanCompletedLocked();
+}
+
+uint64_t FileSnapshotStore::MaxCheckpointId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_id = max_id_;
+  for (uint64_t id : ScanIdsLocked()) max_id = std::max(max_id, id);
+  return max_id;
+}
+
+void FileSnapshotStore::Drop(uint64_t checkpoint_id) {
+  std::error_code ec;
+  fs::remove_all(CheckpointDir(checkpoint_id), ec);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointCoordinator
+
 void CheckpointCoordinator::RegisterSourceTrigger(
     std::function<void(uint64_t)> fn) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -74,12 +390,19 @@ uint64_t CheckpointCoordinator::Trigger() {
 }
 
 void CheckpointCoordinator::AckTask(uint64_t checkpoint_id) {
+  bool completed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const int acks = ++acks_[checkpoint_id];
-    if (acks >= expected_acks_ && checkpoint_id > latest_completed_) {
-      latest_completed_ = checkpoint_id;
+    if (acks == expected_acks_) {
+      completed = true;
+      if (checkpoint_id > latest_completed_) latest_completed_ = checkpoint_id;
     }
+  }
+  if (completed && store_ != nullptr) {
+    // Outside the coordinator lock: MarkComplete may prune old checkpoints
+    // (file deletion on durable stores).
+    store_->MarkComplete(checkpoint_id);
   }
   complete_cv_.notify_all();
 }

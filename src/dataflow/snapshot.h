@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,36 +15,126 @@
 
 namespace streamline {
 
-/// In-memory snapshot storage, the stand-in for a durable checkpoint
-/// backend. Keyed by (checkpoint id, state key); state keys are
-/// "node<id>/<subtask>" strings assigned by the executor. Thread-safe and
-/// shareable across Job instances -- a restored job reads the snapshots a
-/// crashed job wrote.
+/// Snapshot storage, keyed by (checkpoint id, state key); state keys are
+/// "node<id>/<subtask>" strings assigned by the executor. The base class is
+/// the in-memory backend; FileSnapshotStore below is the durable one.
+/// Thread-safe and shareable across Job instances -- a restored job reads
+/// the snapshots a crashed job wrote, and the JobSupervisor keeps one store
+/// alive across restarts.
+///
+/// A checkpoint becomes *complete* when the CheckpointCoordinator saw every
+/// task ack it (MarkComplete); only complete checkpoints are valid restore
+/// points. Completion also drives retention: once a newer checkpoint
+/// completes, checkpoints older than the last `RetainLast(n)` completed
+/// ones (default 2, so recovery always has a fallback) are pruned.
 class SnapshotStore {
  public:
-  void Put(uint64_t checkpoint_id, const std::string& key, std::string bytes);
-  Result<std::string> Get(uint64_t checkpoint_id,
-                          const std::string& key) const;
-  bool Has(uint64_t checkpoint_id, const std::string& key) const;
-  size_t NumEntries(uint64_t checkpoint_id) const;
-  std::vector<uint64_t> CheckpointIds() const;
+  virtual ~SnapshotStore() = default;
+
+  virtual void Put(uint64_t checkpoint_id, const std::string& key,
+                   std::string bytes);
+  virtual Result<std::string> Get(uint64_t checkpoint_id,
+                                  const std::string& key) const;
+  virtual bool Has(uint64_t checkpoint_id, const std::string& key) const;
+  virtual size_t NumEntries(uint64_t checkpoint_id) const;
+  virtual std::vector<uint64_t> CheckpointIds() const;
   /// Total bytes held by checkpoint `id` (0 if unknown).
-  size_t TotalBytes(uint64_t checkpoint_id) const;
+  virtual size_t TotalBytes(uint64_t checkpoint_id) const;
+
+  /// Marks checkpoint `id` complete (all tasks acked) and prunes
+  /// checkpoints older than the last RetainLast(n) completed ones.
+  virtual void MarkComplete(uint64_t checkpoint_id);
+  /// Latest complete checkpoint, 0 if none -- the supervisor's restore
+  /// point.
+  virtual uint64_t LatestComplete() const;
+  /// All complete checkpoints, ascending.
+  virtual std::vector<uint64_t> CompletedCheckpoints() const;
+  /// Highest checkpoint id this store has ever seen (Put or MarkComplete),
+  /// monotone across pruning. A new job's coordinator numbers its
+  /// checkpoints after this, so ids never collide across restarts.
+  virtual uint64_t MaxCheckpointId() const;
+  /// Removes checkpoint `id` entirely (pruning, or a corrupt restore
+  /// candidate the supervisor gives up on).
+  virtual void Drop(uint64_t checkpoint_id);
+
+  /// Retention: keep the last `n` (>= 1) completed checkpoints.
+  void RetainLast(size_t n);
+  size_t retain_last() const;
+
+ protected:
+  /// Checkpoints to delete so only the newest `retain` of `completed` (and
+  /// anything newer than the oldest survivor) remain. `all` and `completed`
+  /// ascending.
+  static std::vector<uint64_t> PruneList(const std::vector<uint64_t>& all,
+                                         const std::vector<uint64_t>& completed,
+                                         size_t retain);
+
+  mutable std::mutex mu_;
 
  private:
-  mutable std::mutex mu_;
   std::map<uint64_t, std::unordered_map<std::string, std::string>> data_;
+  std::set<uint64_t> completed_;
+  uint64_t max_id_ = 0;
+  size_t retain_last_ = 2;
+};
+
+/// Durable snapshot backend: one directory per checkpoint
+/// (`<root>/chk<id>/`), one file per state entry, written to a temp name
+/// and atomically renamed into place so readers never observe a partial
+/// entry. Each entry carries a magic header, payload CRC32 and length;
+/// Get() verifies all three and reports corruption as an error Status,
+/// which makes the supervisor fall back to the previous complete
+/// checkpoint. Completion is a `COMPLETE` marker file (also written via
+/// rename), so "which checkpoints are valid restore points" survives a
+/// process restart.
+class FileSnapshotStore : public SnapshotStore {
+ public:
+  /// Creates `root_dir` if missing and indexes any checkpoints already on
+  /// disk (recovery across process restarts).
+  explicit FileSnapshotStore(std::string root_dir);
+
+  void Put(uint64_t checkpoint_id, const std::string& key,
+           std::string bytes) override;
+  Result<std::string> Get(uint64_t checkpoint_id,
+                          const std::string& key) const override;
+  bool Has(uint64_t checkpoint_id, const std::string& key) const override;
+  size_t NumEntries(uint64_t checkpoint_id) const override;
+  std::vector<uint64_t> CheckpointIds() const override;
+  size_t TotalBytes(uint64_t checkpoint_id) const override;
+
+  void MarkComplete(uint64_t checkpoint_id) override;
+  uint64_t LatestComplete() const override;
+  std::vector<uint64_t> CompletedCheckpoints() const override;
+  uint64_t MaxCheckpointId() const override;
+  void Drop(uint64_t checkpoint_id) override;
+
+  const std::string& root_dir() const { return root_; }
+
+ private:
+  std::string CheckpointDir(uint64_t id) const;
+  std::string EntryPath(uint64_t id, const std::string& key) const;
+  std::vector<uint64_t> ScanIdsLocked() const;
+  std::vector<uint64_t> ScanCompletedLocked() const;
+  Status WriteFileAtomic(const std::string& dir, const std::string& file,
+                         const std::string& bytes) const;
+
+  std::string root_;
+  uint64_t max_id_ = 0;  // guarded by mu_
 };
 
 /// Drives asynchronous barrier snapshotting (the checkpoint protocol of the
 /// paper's execution engine [Carbone et al. 2015]): Trigger() injects a
 /// numbered barrier at every source; tasks align barriers across their
 /// inputs, snapshot their state, and ack. A checkpoint is complete when
-/// every task acked.
+/// every task acked; completion is recorded in the SnapshotStore so
+/// recovery (and, with a durable store, later processes) can find it.
 class CheckpointCoordinator {
  public:
-  CheckpointCoordinator(SnapshotStore* store, int expected_acks)
-      : store_(store), expected_acks_(expected_acks) {}
+  /// `first_id` numbers the first checkpoint; a restarted job passes
+  /// store->MaxCheckpointId() + 1 so ids stay unique within the store.
+  CheckpointCoordinator(SnapshotStore* store, int expected_acks,
+                        uint64_t first_id = 1)
+      : store_(store), expected_acks_(expected_acks), next_id_(first_id) {}
 
   /// Registers the per-source-task barrier injection hook.
   void RegisterSourceTrigger(std::function<void(uint64_t)> fn);

@@ -1,0 +1,160 @@
+#include "dataflow/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace streamline {
+
+JobSupervisor::JobSupervisor(const LogicalGraph* graph, JobOptions options,
+                             RestartPolicy policy)
+    : graph_(graph), options_(std::move(options)), policy_(policy),
+      jitter_rng_(policy.jitter_seed) {
+  if (options_.snapshot_store == nullptr) {
+    options_.snapshot_store = std::make_shared<SnapshotStore>();
+  }
+  store_ = options_.snapshot_store;
+}
+
+uint64_t JobSupervisor::PickRestoreCheckpoint(
+    const std::vector<uint64_t>& bad) const {
+  std::vector<uint64_t> candidates = store_->CompletedCheckpoints();
+  // A caller-provided starting checkpoint competes like any completed one.
+  if (options_.restore_from_checkpoint != 0) {
+    candidates.push_back(options_.restore_from_checkpoint);
+  }
+  uint64_t best = 0;
+  for (uint64_t id : candidates) {
+    if (id > best &&
+        std::find(bad.begin(), bad.end(), id) == bad.end()) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+int64_t JobSupervisor::BackoffMs(int restart_number) {
+  double ms = static_cast<double>(policy_.initial_backoff_ms) *
+              std::pow(policy_.backoff_multiplier,
+                       std::max(0, restart_number - 1));
+  ms = std::min(ms, static_cast<double>(policy_.max_backoff_ms));
+  if (policy_.jitter > 0) {
+    // Seeded jitter: deterministic for tests, still decorrelates restart
+    // storms when several supervisors share a failing dependency.
+    ms *= 1.0 + policy_.jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(ms));
+}
+
+void JobSupervisor::InterruptibleSleep(int64_t ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void JobSupervisor::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  if (current_ != nullptr) current_->Cancel();
+}
+
+Status JobSupervisor::Run() {
+  // Restore checkpoints that failed to load this run (corrupt entries,
+  // incompatible state): skipped in favor of the next-older candidate.
+  std::vector<uint64_t> bad_checkpoints;
+  // Failure timestamps inside the circuit-breaker window.
+  std::deque<std::chrono::steady_clock::time_point> failure_times;
+  Status last_failure = Status::Ok();
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) {
+        return last_failure.ok()
+                   ? Status::Cancelled("supervision cancelled")
+                   : last_failure;
+      }
+    }
+
+    const uint64_t restore = PickRestoreCheckpoint(bad_checkpoints);
+    JobOptions opts = options_;
+    opts.restore_from_checkpoint = restore;
+    if (stats_.restarts > 0 || !stats_.failures.empty()) {
+      stats_.restored_from.push_back(restore);
+    }
+
+    auto job = Job::Create(*graph_, opts);
+    if (!job.ok()) {
+      if (restore != 0) {
+        // This checkpoint cannot be loaded (corruption surfaces here, via
+        // FileSnapshotStore::Get). Blacklist it and immediately try the
+        // next-older one -- not counted against the restart budget.
+        LOG_WARNING << "restore from checkpoint " << restore
+                 << " failed: " << job.status().ToString()
+                 << "; falling back";
+        bad_checkpoints.push_back(restore);
+        if (!stats_.restored_from.empty()) stats_.restored_from.pop_back();
+        continue;
+      }
+      return job.status();  // fresh start cannot be built: terminal
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = job->get();
+    }
+    const Status run_status = (*job)->Run();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = nullptr;
+    }
+    if (run_status.ok()) return Status::Ok();
+
+    last_failure = run_status;
+    stats_.failures.push_back(run_status.ToString());
+    LOG_WARNING << "supervised job failed (attempt "
+             << stats_.failures.size() << "): " << run_status.ToString();
+
+    // Circuit breaker: too many failures within the window means retrying
+    // is pointless (a persistent fault, not a transient one).
+    if (policy_.circuit_breaker_failures > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      failure_times.push_back(now);
+      const auto window =
+          std::chrono::milliseconds(policy_.circuit_breaker_window_ms);
+      while (!failure_times.empty() && now - failure_times.front() > window) {
+        failure_times.pop_front();
+      }
+      if (static_cast<int>(failure_times.size()) >
+          policy_.circuit_breaker_failures) {
+        stats_.circuit_broken = true;
+        return Status(run_status.code(),
+                      "circuit breaker open after " +
+                          std::to_string(failure_times.size()) +
+                          " failures in " +
+                          std::to_string(policy_.circuit_breaker_window_ms) +
+                          "ms: " + run_status.message());
+      }
+    }
+
+    if (stats_.restarts >= policy_.max_restarts) {
+      return Status(run_status.code(),
+                    "job failed after " + std::to_string(stats_.restarts) +
+                        " restarts: " + run_status.message());
+    }
+    ++stats_.restarts;
+    InterruptibleSleep(BackoffMs(stats_.restarts));
+  }
+}
+
+}  // namespace streamline

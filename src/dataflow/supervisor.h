@@ -1,0 +1,101 @@
+#ifndef STREAMLINE_DATAFLOW_SUPERVISOR_H_
+#define STREAMLINE_DATAFLOW_SUPERVISOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dataflow/executor.h"
+#include "dataflow/graph.h"
+
+namespace streamline {
+
+/// When and how often a supervised job may be restarted after a failure.
+struct RestartPolicy {
+  /// Restart attempts after the initial run; exceeding this surfaces the
+  /// last failure.
+  int max_restarts = 3;
+  /// Exponential backoff between restarts: initial * multiplier^(n-1),
+  /// capped at max, with +/- `jitter` relative randomization (seeded, so
+  /// runs are reproducible).
+  int64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  double jitter = 0.1;
+  uint64_t jitter_seed = 42;
+  /// Failure-rate circuit breaker: give up when more than
+  /// `circuit_breaker_failures` failures land within
+  /// `circuit_breaker_window_ms` (wall clock), even if max_restarts is not
+  /// exhausted. 0 disables the breaker.
+  int circuit_breaker_failures = 0;
+  int64_t circuit_breaker_window_ms = 60000;
+};
+
+/// What happened during one supervised execution.
+struct SupervisionStats {
+  /// Restarts actually performed (0 = the first run succeeded).
+  int restarts = 0;
+  /// Checkpoint id of each restore, in order (0 = fresh restart, nothing
+  /// completed yet).
+  std::vector<uint64_t> restored_from;
+  /// Failure message of every failed run, in order.
+  std::vector<std::string> failures;
+  /// True when the circuit breaker ended supervision.
+  bool circuit_broken = false;
+};
+
+/// Runs a job to completion under a restart policy -- the failure-recovery
+/// half of the checkpointing story. The supervisor owns the shared
+/// SnapshotStore: a crashed run's completed checkpoints survive it, and
+/// every restart re-creates the job from the logical graph with
+/// `restore_from_checkpoint` pointing at the newest complete checkpoint
+/// (falling back to the next-older one when a restore fails, e.g. on
+/// corrupted snapshot files). Checkpoint ids keep increasing across
+/// incarnations, so a recovered job's new checkpoints never collide with
+/// its predecessor's.
+class JobSupervisor {
+ public:
+  /// `graph` must outlive the supervisor. `options.snapshot_store` is
+  /// created (in-memory) when null -- pass a FileSnapshotStore for
+  /// durability.
+  JobSupervisor(const LogicalGraph* graph, JobOptions options,
+                RestartPolicy policy = RestartPolicy());
+
+  /// Runs until the job completes cleanly, the restart budget or circuit
+  /// breaker is exhausted (returns the last failure), or Cancel().
+  /// Blocking; call from one thread at a time.
+  Status Run();
+
+  /// Cancels the currently running incarnation and stops restarting.
+  void Cancel();
+
+  const SupervisionStats& stats() const { return stats_; }
+  SnapshotStore* snapshot_store() const { return store_.get(); }
+
+ private:
+  /// Newest complete checkpoint not in `bad`, or 0 (fresh start).
+  uint64_t PickRestoreCheckpoint(const std::vector<uint64_t>& bad) const;
+  int64_t BackoffMs(int restart_number);
+  /// Sleeps ~ms but returns early once Cancel() was called.
+  void InterruptibleSleep(int64_t ms);
+
+  const LogicalGraph* graph_;
+  JobOptions options_;
+  RestartPolicy policy_;
+  std::shared_ptr<SnapshotStore> store_;
+  SupervisionStats stats_;
+  Rng jitter_rng_;  // Run() thread only
+
+  std::mutex mu_;
+  Job* current_ = nullptr;  // guarded by mu_
+  bool cancelled_ = false;  // guarded by mu_
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_SUPERVISOR_H_

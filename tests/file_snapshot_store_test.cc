@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dataflow/snapshot.h"
+
+namespace streamline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileSnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("slss_test_" +
+              std::string(
+                  ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(FileSnapshotStoreTest, RoundTrip) {
+  FileSnapshotStore store(root_);
+  store.Put(1, "node0/0", "hello");
+  store.Put(1, "node1/0", std::string("\x00\x01\x02", 3));  // binary-safe
+  store.Put(2, "node0/0", "world");
+
+  auto a = store.Get(1, "node0/0");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(*a, "hello");
+  auto b = store.Get(1, "node1/0");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, std::string("\x00\x01\x02", 3));
+  auto c = store.Get(2, "node0/0");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, "world");
+
+  EXPECT_TRUE(store.Has(1, "node0/0"));
+  EXPECT_FALSE(store.Has(1, "node2/0"));
+  EXPECT_EQ(store.NumEntries(1), 2u);
+  EXPECT_EQ(store.CheckpointIds(), (std::vector<uint64_t>{1, 2}));
+  EXPECT_GT(store.TotalBytes(1), 0u);
+  EXPECT_FALSE(store.Get(3, "node0/0").ok());
+}
+
+TEST_F(FileSnapshotStoreTest, OverwriteReplacesEntry) {
+  FileSnapshotStore store(root_);
+  store.Put(1, "k", "v1");
+  store.Put(1, "k", "v2");
+  auto v = store.Get(1, "k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+  EXPECT_EQ(store.NumEntries(1), 1u);
+}
+
+TEST_F(FileSnapshotStoreTest, NoTempFilesLeftBehind) {
+  // Writes go to a ".tmp." name and are renamed into place atomically; a
+  // completed Put must leave no temp file, and entry counting must never
+  // see one.
+  FileSnapshotStore store(root_);
+  for (int i = 0; i < 16; ++i) {
+    store.Put(1, "k" + std::to_string(i), std::string(1024, 'x'));
+  }
+  int tmp_files = 0;
+  for (const auto& e : fs::recursive_directory_iterator(root_)) {
+    if (e.path().filename().string().rfind(".tmp.", 0) == 0) ++tmp_files;
+  }
+  EXPECT_EQ(tmp_files, 0);
+  EXPECT_EQ(store.NumEntries(1), 16u);
+}
+
+TEST_F(FileSnapshotStoreTest, CompletionSurvivesReopen) {
+  {
+    FileSnapshotStore store(root_);
+    store.Put(1, "k", "a");
+    store.Put(2, "k", "b");
+    store.MarkComplete(1);
+    // Checkpoint 2 never completed (simulates a crash mid-checkpoint).
+  }
+  FileSnapshotStore reopened(root_);
+  EXPECT_EQ(reopened.LatestComplete(), 1u);
+  EXPECT_EQ(reopened.CompletedCheckpoints(), (std::vector<uint64_t>{1}));
+  // Ids keep increasing across process restarts.
+  EXPECT_EQ(reopened.MaxCheckpointId(), 2u);
+  auto v = reopened.Get(1, "k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "a");
+}
+
+TEST_F(FileSnapshotStoreTest, CorruptionDetectedOnGet) {
+  FileSnapshotStore store(root_);
+  store.Put(1, "node0/0", "precious state bytes");
+  store.MarkComplete(1);
+
+  // Flip a payload byte on disk, as a bad disk would.
+  const fs::path entry = fs::path(root_) / "chk1" / "node0_0";
+  ASSERT_TRUE(fs::exists(entry));
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);
+    f.put('X');
+  }
+  const auto v = store.Get(1, "node0/0");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("CRC"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST_F(FileSnapshotStoreTest, TruncationDetectedOnGet) {
+  FileSnapshotStore store(root_);
+  store.Put(1, "k", std::string(256, 'z'));
+  const fs::path entry = fs::path(root_) / "chk1" / "k";
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+  const auto v = store.Get(1, "k");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FileSnapshotStoreTest, GarbageHeaderDetectedOnGet) {
+  FileSnapshotStore store(root_);
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "chk1", ec);
+  {
+    std::ofstream f(fs::path(root_) / "chk1" / "k", std::ios::binary);
+    f << "not a snapshot entry at all";
+  }
+  const auto v = store.Get(1, "k");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("bad header"), std::string::npos);
+}
+
+TEST_F(FileSnapshotStoreTest, CorruptRestoreFallsBackToPreviousCheckpoint) {
+  // The supervisor-facing contract: when the newest complete checkpoint is
+  // corrupt, Get fails and the previous complete checkpoint still loads.
+  FileSnapshotStore store(root_);
+  store.Put(1, "k", "old");
+  store.MarkComplete(1);
+  store.Put(2, "k", "new");
+  store.MarkComplete(2);
+
+  const fs::path entry = fs::path(root_) / "chk2" / "k";
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('?');
+  }
+  EXPECT_FALSE(store.Get(2, "k").ok());
+  auto prev = store.Get(1, "k");
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, "old");
+}
+
+TEST_F(FileSnapshotStoreTest, PruningKeepsLastNCompleted) {
+  FileSnapshotStore store(root_);
+  store.RetainLast(2);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    store.Put(id, "k", "v" + std::to_string(id));
+    store.MarkComplete(id);
+  }
+  EXPECT_EQ(store.CompletedCheckpoints(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "chk1"));
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "chk3"));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "chk4"));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "chk5"));
+  // max id is monotone even though chk1..3 were pruned.
+  EXPECT_EQ(store.MaxCheckpointId(), 5u);
+}
+
+TEST_F(FileSnapshotStoreTest, PruningDropsAbandonedIncompleteCheckpoints) {
+  FileSnapshotStore store(root_);
+  store.RetainLast(1);
+  store.Put(1, "k", "a");
+  store.MarkComplete(1);
+  store.Put(2, "k", "b");  // incomplete (crashed mid-checkpoint)
+  store.Put(3, "k", "c");
+  store.MarkComplete(3);
+  // Completing 3 prunes everything below it, including abandoned 2.
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "chk1"));
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "chk2"));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "chk3"));
+}
+
+TEST_F(FileSnapshotStoreTest, InMemoryStorePrunesIdentically) {
+  SnapshotStore store;
+  store.RetainLast(2);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    store.Put(id, "k", "v");
+    store.MarkComplete(id);
+  }
+  EXPECT_EQ(store.CompletedCheckpoints(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_FALSE(store.Has(3, "k"));
+  EXPECT_TRUE(store.Has(4, "k"));
+  EXPECT_EQ(store.MaxCheckpointId(), 5u);
+  EXPECT_EQ(store.LatestComplete(), 5u);
+}
+
+TEST_F(FileSnapshotStoreTest, DropRemovesCheckpointDir) {
+  FileSnapshotStore store(root_);
+  store.Put(7, "k", "v");
+  ASSERT_TRUE(fs::exists(fs::path(root_) / "chk7"));
+  store.Drop(7);
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "chk7"));
+  EXPECT_FALSE(store.Get(7, "k").ok());
+}
+
+TEST_F(FileSnapshotStoreTest, SlashInKeySanitized) {
+  FileSnapshotStore store(root_);
+  store.Put(1, "node3/12", "v");
+  auto v = store.Get(1, "node3/12");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "chk1" / "node3_12"));
+}
+
+}  // namespace
+}  // namespace streamline

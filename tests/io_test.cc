@@ -104,9 +104,37 @@ TEST_F(IoTest, MissingFileReportsNotFound) {
   env.FromSource("csv",
                  CsvFileSource::Factory("/nonexistent/nope.csv", kSchema))
       .Collect();
-  // The source task logs the error and ends the (empty) stream; the job
-  // still drains cleanly.
-  ASSERT_TRUE(env.Execute().ok());
+  // The source's error Status propagates: the task fails, the job is
+  // cancelled, and Execute surfaces the underlying error.
+  const Status st = env.Execute();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("task '"), std::string::npos) << st.ToString();
+}
+
+TEST_F(IoTest, SinkSurfacesWriteErrors) {
+  // /dev/full opens fine but fails every flush; the sink must surface the
+  // stream error instead of silently dropping records.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "no /dev/full on this platform";
+  }
+  Environment env;
+  auto sink = std::make_shared<CsvFileSink>("/dev/full");
+  env.FromGenerator("gen",
+                    [](uint64_t seq) -> std::optional<Record> {
+                      if (seq >= 5000) return std::nullopt;
+                      return MakeRecord(static_cast<Timestamp>(seq),
+                                        Value("payload" + std::to_string(seq)),
+                                        Value(static_cast<int64_t>(seq)),
+                                        Value(0.5), Value(true));
+                    })
+      .Sink(sink);
+  const Status st = env.Execute();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("write error"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("/dev/full"), std::string::npos)
+      << st.ToString();
 }
 
 TEST_F(IoTest, SourceOffsetCheckpointable) {
