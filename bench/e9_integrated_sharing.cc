@@ -3,9 +3,22 @@
 // The system-level composition of E2 and E5: a keyed ad-CTR job computes K
 // sliding-window aggregates per campaign on the pipelined engine. With the
 // Cutty-backed shared window operator, engine throughput stays ~flat as K
-// grows; with eager per-window state it degrades.
+// grows; with eager per-window state it degrades. A high-cardinality tier
+// (100k campaigns) exercises the pre-hashed flat keyed-state backend where
+// per-record state lookups dominate.
+//
+// Usage: e9_integrated_sharing [records] [max_windows]
+//   records      records per run (default 1,000,000)
+//   max_windows  cap on the K sweep (default 32); pass 4 for a smoke run
+//
+// Results: human table on stdout + machine-readable BENCH_E9.json
+// (throughput per configuration and the keyed-state gauges of the
+// high-cardinality runs).
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "api/datastream.h"
 #include "bench/harness.h"
@@ -17,7 +30,7 @@ namespace {
 using bench::Fmt;
 using bench::Table;
 
-constexpr uint64_t kRecords = 1'000'000;
+constexpr uint64_t kDefaultRecords = 1'000'000;
 
 std::vector<std::shared_ptr<const WindowFunction>> MakeWindows(int k) {
   // Dashboard-style window set: 10 s slide, ranges 1, 2, 3, ... minutes.
@@ -29,9 +42,18 @@ std::vector<std::shared_ptr<const WindowFunction>> MakeWindows(int k) {
   return out;
 }
 
-double RunOne(int k, WindowBackend backend, uint64_t records) {
+struct RunResult {
+  double secs = 0;
+  // Keyed-state gauges of the window operator, summed/maxed over subtasks.
+  double keys = 0;
+  double load_factor = 0;
+  double max_probe = 0;
+};
+
+RunResult RunOne(int k, WindowBackend backend, uint64_t records,
+                 uint64_t campaigns) {
   AdStreamGenerator::Options opt;
-  opt.num_campaigns = 64;
+  opt.num_campaigns = campaigns;
   opt.events_per_second = 10'000;
   Environment env(2);
   auto sink = std::make_shared<NullSink>();
@@ -43,43 +65,92 @@ double RunOne(int k, WindowBackend backend, uint64_t records) {
                     })
       .KeyBy(0)
       .Window(MakeWindows(k))
-      .Aggregate(DynAggKind::kAvg, 1, backend)  // CTR = avg(is_click)
+      .Aggregate(DynAggKind::kAvg, 1, backend, "ctr")  // CTR = avg(is_click)
       .Sink(sink);
+  auto job = env.CreateJob();
+  STREAMLINE_CHECK_OK(job.status());
   Stopwatch sw;
-  STREAMLINE_CHECK_OK(env.Execute());
-  return sw.ElapsedSeconds();
+  STREAMLINE_CHECK_OK((*job)->Run());
+  RunResult res;
+  res.secs = sw.ElapsedSeconds();
+  for (int s = 0; s < 2; ++s) {
+    const std::string prefix = "op.ctr." + std::to_string(s) + ".state.";
+    MetricsRegistry* m = (*job)->metrics();
+    res.keys += m->GetGauge(prefix + "keys")->value();
+    res.load_factor =
+        std::max(res.load_factor, m->GetGauge(prefix + "load_factor")->value());
+    res.max_probe =
+        std::max(res.max_probe, m->GetGauge(prefix + "max_probe")->value());
+  }
+  return res;
 }
 
-void Run() {
+const char* BackendName(WindowBackend b) {
+  return b == WindowBackend::kShared ? "cutty-shared" : "eager";
+}
+
+void Run(uint64_t records, int max_k) {
   bench::Header(
       "E9: K shared CTR windows per campaign inside the engine",
       "The Cutty-backed window operator keeps engine throughput ~flat in "
       "the number of concurrent windows; eager per-window state degrades");
 
-  Table table({"windows/key", "backend", "records", "throughput"});
+  bench::JsonReport report("BENCH_E9.json");
+  report.Add("records", records);
+
+  Table table({"campaigns", "windows/key", "backend", "records",
+               "throughput", "state keys"});
   for (int k : {1, 2, 4, 8, 16, 32}) {
+    if (k > max_k) break;
     for (WindowBackend backend :
          {WindowBackend::kShared, WindowBackend::kEager}) {
       // Eager's cost grows with total window overlap; cap its input so the
       // sweep finishes promptly (throughput is rate-normalized).
       const uint64_t n = backend == WindowBackend::kEager
-                             ? kRecords / (k > 4 ? 4 : 1)
-                             : kRecords;
-      const double secs = RunOne(k, backend, n);
-      table.AddRow({Fmt("%d", k),
-                    backend == WindowBackend::kShared ? "cutty-shared"
-                                                      : "eager",
+                             ? records / (k > 4 ? 4 : 1)
+                             : records;
+      const RunResult r = RunOne(k, backend, n, /*campaigns=*/64);
+      const double rps = static_cast<double>(n) / r.secs;
+      table.AddRow({"64", Fmt("%d", k), BackendName(backend),
                     bench::Count(static_cast<double>(n)),
-                    bench::Rate(static_cast<double>(n), secs)});
+                    bench::Rate(static_cast<double>(n), r.secs),
+                    bench::Count(r.keys)});
+      report.Add(Fmt("%s_k%d_rps", BackendName(backend), k), rps);
     }
   }
+
+  // High-cardinality tier: >= 100k distinct keys, one window. Per-record
+  // keyed-state lookups dominate here, so this row tracks the flat
+  // pre-hashed backend (and its gauges) rather than window sharing.
+  for (WindowBackend backend :
+       {WindowBackend::kShared, WindowBackend::kEager}) {
+    const uint64_t campaigns = 100'000;
+    const RunResult r = RunOne(1, backend, records, campaigns);
+    const double rps = static_cast<double>(records) / r.secs;
+    table.AddRow({bench::Count(static_cast<double>(campaigns)), "1",
+                  BackendName(backend),
+                  bench::Count(static_cast<double>(records)),
+                  bench::Rate(static_cast<double>(records), r.secs),
+                  bench::Count(r.keys)});
+    const std::string prefix = Fmt("highcard_%s", BackendName(backend));
+    report.Add(prefix + "_rps", rps);
+    report.Add(prefix + "_state_keys", r.keys);
+    report.Add(prefix + "_state_load_factor", r.load_factor);
+    report.Add(prefix + "_state_max_probe", r.max_probe);
+  }
+
   table.Print();
+  report.Write();
 }
 
 }  // namespace
 }  // namespace streamline
 
-int main() {
-  streamline::Run();
+int main(int argc, char** argv) {
+  const uint64_t records =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+               : streamline::kDefaultRecords;
+  const int max_k = argc > 2 ? std::atoi(argv[2]) : 32;
+  streamline::Run(records, max_k);
   return 0;
 }

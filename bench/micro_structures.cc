@@ -9,7 +9,10 @@
 #include <cstdlib>
 #include <new>
 
+#include <unordered_map>
+
 #include "agg/slice_store.h"
+#include "common/flat_hash_map.h"
 #include "common/queue.h"
 #include "common/random.h"
 #include "common/serde.h"
@@ -263,6 +266,199 @@ void BM_RecordLifecycleAllocations(benchmark::State& state) {
                   : 0.0;
 }
 BENCHMARK(BM_RecordLifecycleAllocations);
+
+// ---------------------------------------------------------------------------
+// Keyed-state backend: FlatHashMap (pre-hashed, open addressing) vs.
+// std::unordered_map<Value, V> (the engine's previous backend). Key mixes
+// mirror the shuffle: uniform int64 keys for hit/miss, Zipf keys for the
+// skewed ad-CTR shape, and a churn loop for join-style insert/erase.
+
+std::vector<Value> UniformKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(Value(static_cast<int64_t>(rng.NextU64() >> 1)));
+  }
+  return keys;
+}
+
+void BM_FlatMapLookupHit(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  FlatHashMap<Value, int64_t> m;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = KeyHashOf(keys[i]);
+    hashes.push_back(h);
+    m.TryEmplace(h, keys[i], static_cast<int64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % n;
+    benchmark::DoNotOptimize(m.Find(hashes[k], keys[k]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatMapLookupHit)->Arg(1024)->Arg(100000);
+
+void BM_UnorderedMapLookupHit(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  std::unordered_map<Value, int64_t> m;
+  for (size_t i = 0; i < n; ++i) m.emplace(keys[i], static_cast<int64_t>(i));
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % n;
+    benchmark::DoNotOptimize(m.find(keys[k]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_UnorderedMapLookupHit)->Arg(1024)->Arg(100000);
+
+void BM_FlatMapLookupMiss(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  const auto probes = UniformKeys(n, 8);  // disjoint with high probability
+  FlatHashMap<Value, int64_t> m;
+  for (size_t i = 0; i < n; ++i) {
+    m.TryEmplace(KeyHashOf(keys[i]), keys[i], 0);
+  }
+  std::vector<uint64_t> probe_hashes;
+  probe_hashes.reserve(n);
+  for (const Value& v : probes) probe_hashes.push_back(KeyHashOf(v));
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % n;
+    benchmark::DoNotOptimize(m.Find(probe_hashes[k], probes[k]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatMapLookupMiss)->Arg(100000);
+
+void BM_UnorderedMapLookupMiss(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  const auto probes = UniformKeys(n, 8);
+  std::unordered_map<Value, int64_t> m;
+  for (size_t i = 0; i < n; ++i) m.emplace(keys[i], 0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % n;
+    benchmark::DoNotOptimize(m.find(probes[k]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_UnorderedMapLookupMiss)->Arg(100000);
+
+// Insert/erase churn over a rolling key window, the interval-join state
+// shape: every key is inserted once and evicted once.
+void BM_FlatMapInsertEraseChurn(benchmark::State& state) {
+  FlatHashMap<Value, int64_t> m;
+  int64_t next = 0;
+  constexpr int64_t kLive = 4096;
+  for (auto _ : state) {
+    const Value k(next);
+    m.TryEmplace(KeyHashOf(k), k, next);
+    if (next >= kLive) {
+      const Value old(next - kLive);
+      m.Erase(KeyHashOf(old), old);
+    }
+    ++next;
+  }
+  state.SetItemsProcessed(next);
+}
+BENCHMARK(BM_FlatMapInsertEraseChurn);
+
+void BM_UnorderedMapInsertEraseChurn(benchmark::State& state) {
+  std::unordered_map<Value, int64_t> m;
+  int64_t next = 0;
+  constexpr int64_t kLive = 4096;
+  for (auto _ : state) {
+    m.emplace(Value(next), next);
+    if (next >= kLive) m.erase(Value(next - kLive));
+    ++next;
+  }
+  state.SetItemsProcessed(next);
+}
+BENCHMARK(BM_UnorderedMapInsertEraseChurn);
+
+// Skewed upsert mix (Zipf s=1.1 over 100k keys): the ad-CTR aggregation
+// shape -- most records hit a few hot keys already in cache, the long tail
+// keeps inserting.
+void BM_FlatMapZipfUpsert(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 1.1, 42);
+  FlatHashMap<Value, int64_t> m;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value k(static_cast<int64_t>(zipf.Next()));
+    auto [entry, inserted] = m.TryEmplace(KeyHashOf(k), k, 0);
+    (void)inserted;
+    ++entry->second;
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatMapZipfUpsert);
+
+void BM_UnorderedMapZipfUpsert(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 1.1, 42);
+  std::unordered_map<Value, int64_t> m;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value k(static_cast<int64_t>(zipf.Next()));
+    ++m[k];
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_UnorderedMapZipfUpsert);
+
+// The hash-once payoff in isolation: same flat map, same keys -- one
+// variant re-hashes the Value per lookup (what a keyed operator did before
+// carried hashes), the other uses the precomputed hash (what it does now).
+void BM_FlatMapLookupRehashed(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  FlatHashMap<Value, int64_t> m;
+  for (size_t i = 0; i < n; ++i) {
+    m.TryEmplace(KeyHashOf(keys[i]), keys[i], 0);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value& k = keys[i % n];
+    benchmark::DoNotOptimize(m.Find(KeyHashOf(k), k));  // hash per lookup
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatMapLookupRehashed)->Arg(100000);
+
+void BM_FlatMapLookupPreHashed(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto keys = UniformKeys(n, 7);
+  FlatHashMap<Value, int64_t> m;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = KeyHashOf(keys[i]);
+    hashes.push_back(h);
+    m.TryEmplace(h, keys[i], 0);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % n;
+    benchmark::DoNotOptimize(m.Find(hashes[k], keys[k]));  // carried hash
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_FlatMapLookupPreHashed)->Arg(100000);
 
 }  // namespace
 }  // namespace streamline

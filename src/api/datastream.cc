@@ -112,8 +112,8 @@ DataStream DataStream::Process(OperatorFactory factory, std::string name,
   return DataStream(env_, node, parallelism);
 }
 
-KeyedStream DataStream::KeyBy(KeySelector key) const {
-  return KeyedStream(env_, node_, std::move(key));
+KeyedStream DataStream::KeyBy(KeySelector key, KeyHashFn key_hash) const {
+  return KeyedStream(env_, node_, std::move(key), -1, std::move(key_hash));
 }
 
 KeyedStream DataStream::KeyBy(size_t field_index) const {
@@ -181,14 +181,15 @@ DataStream KeyedStream::Reduce(KeyedReduceOperator::ReduceFn fn,
         return std::make_unique<KeyedReduceOperator>(name, key, fn);
       });
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
-      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
+      key_hash_));
   return DataStream(env_, node, parallelism);
 }
 
 WindowedStream KeyedStream::Window(
     std::vector<std::shared_ptr<const WindowFunction>> windows) const {
   return WindowedStream(env_, upstream_, key_, std::move(windows),
-                        key_field_);
+                        key_field_, key_hash_);
 }
 
 WindowedStream KeyedStream::Window(
@@ -211,10 +212,11 @@ DataStream KeyedStream::IntervalJoin(const KeyedStream& right, Duration lower,
                                                       upper);
       });
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
-      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
-  STREAMLINE_CHECK_OK(env_->graph_.Connect(right.upstream_, node,
-                                           PartitionScheme::kHash, right.key_,
-                                           1, right.key_field_));
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
+      key_hash_));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(
+      right.upstream_, node, PartitionScheme::kHash, right.key_, 1,
+      right.key_field_, right.key_hash_));
   return DataStream(env_, node, parallelism);
 }
 
@@ -234,10 +236,11 @@ DataStream KeyedStream::TemporalJoin(const KeyedStream& table,
         return std::make_unique<TemporalJoinOperator>(name, spec);
       });
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
-      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
-  STREAMLINE_CHECK_OK(env_->graph_.Connect(table.upstream_, node,
-                                           PartitionScheme::kHash, table.key_,
-                                           1, table.key_field_));
+      upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
+      key_hash_));
+  STREAMLINE_CHECK_OK(env_->graph_.Connect(
+      table.upstream_, node, PartitionScheme::kHash, table.key_, 1,
+      table.key_field_, table.key_hash_));
   return DataStream(env_, node, parallelism);
 }
 
@@ -263,7 +266,8 @@ DataStream WindowedStream::Aggregate(DynAggKind kind, size_t value_field,
       });
   if (keyed) {
     STREAMLINE_CHECK_OK(env_->graph_.Connect(
-        upstream_, node, PartitionScheme::kHash, key_, 0, key_field_));
+        upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
+        key_hash_));
   } else {
     // Global windows: funnel everything into the single subtask.
     STREAMLINE_CHECK_OK(env_->graph_.Connect(upstream_, node,

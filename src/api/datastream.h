@@ -103,9 +103,12 @@ class DataStream {
                      int parallelism = 0);
 
   /// Hash-partitions the stream by `key`; subsequent stateful operators are
-  /// keyed and run at the environment parallelism.
-  KeyedStream KeyBy(KeySelector key) const;
-  /// KeyBy on a record field.
+  /// keyed and run at the environment parallelism. `key_hash` (optional) is
+  /// a hash-only selector that must equal KeyHashOf(key(record)) for every
+  /// record; supplying one lets the shuffle route without materializing a
+  /// key Value copy per record.
+  KeyedStream KeyBy(KeySelector key, KeyHashFn key_hash = nullptr) const;
+  /// KeyBy on a record field (routes hash-only, no key copy).
   KeyedStream KeyBy(size_t field_index) const;
 
   /// Merges this stream with `other` (round-robin when parallelism
@@ -173,9 +176,9 @@ class KeyedStream {
   friend class WindowedStream;
 
   KeyedStream(Environment* env, int upstream, KeySelector key,
-              int key_field = -1)
+              int key_field = -1, KeyHashFn key_hash = nullptr)
       : env_(env), upstream_(upstream), key_(std::move(key)),
-        key_field_(key_field) {}
+        key_field_(key_field), key_hash_(std::move(key_hash)) {}
 
   Environment* env_;
   int upstream_;
@@ -183,6 +186,8 @@ class KeyedStream {
   // >= 0 when the key is a plain field: lets the shuffle hash the field in
   // place instead of copying a Value per record.
   int key_field_ = -1;
+  // Hash-only selector for computed keys (see DataStream::KeyBy).
+  KeyHashFn key_hash_;
 };
 
 /// A (keyed or global) windowed stream awaiting an aggregate.
@@ -208,15 +213,17 @@ class WindowedStream {
 
   WindowedStream(Environment* env, int upstream, KeySelector key,
                  std::vector<std::shared_ptr<const WindowFunction>> windows,
-                 int key_field = -1)
+                 int key_field = -1, KeyHashFn key_hash = nullptr)
       : env_(env), upstream_(upstream), key_(std::move(key)),
-        windows_(std::move(windows)), key_field_(key_field) {}
+        windows_(std::move(windows)), key_field_(key_field),
+        key_hash_(std::move(key_hash)) {}
 
   Environment* env_;
   int upstream_;
   KeySelector key_;  // null = global window
-  int key_field_ = -1;
   std::vector<std::shared_ptr<const WindowFunction>> windows_;
+  int key_field_ = -1;
+  KeyHashFn key_hash_;
   Duration allowed_lateness_ = 0;
 };
 

@@ -196,12 +196,24 @@ class FieldVec {
 /// per record. Rows of up to FieldVec::kInlineCapacity fields are fully
 /// heap-allocation-free.
 struct Record {
+  /// Record::key_hash == kNoKeyHash: no hash attached.
+  static constexpr uint64_t kNoKeyHash = 0;
+
   Timestamp timestamp = 0;
+  /// Hash-once shuffle routing: the router stamps KeyHashOf(partition key)
+  /// here when it ships the record over a hash edge (and resets it to
+  /// kNoKeyHash on every other edge), so the keyed operator behind that
+  /// edge can index its state without re-hashing. Carried through
+  /// batching, chaining and record serde; ignored by operator==
+  /// (it is a cache of the key, not data).
+  uint64_t key_hash = kNoKeyHash;
   FieldVec fields;
 
   Record() = default;
   Record(Timestamp ts, FieldVec f)
       : timestamp(ts), fields(std::move(f)) {}
+
+  bool has_key_hash() const { return key_hash != kNoKeyHash; }
 
   const Value& field(size_t i) const { return fields[i]; }
   Value& field(size_t i) { return fields[i]; }

@@ -52,6 +52,9 @@ void BinaryWriter::WriteValue(const Value& v) {
 
 void BinaryWriter::WriteRecord(const Record& r) {
   WriteI64(r.timestamp);
+  // The carried key hash survives serde so a snapshot/restore cycle does
+  // not silently reintroduce re-hashing on buffered records.
+  WriteU64(r.key_hash);
   WriteU64(r.fields.size());
   for (const Value& v : r.fields) WriteValue(v);
 }
@@ -146,6 +149,8 @@ Result<Value> BinaryReader::ReadValue() {
 Result<Record> BinaryReader::ReadRecord() {
   auto ts = ReadI64();
   if (!ts.ok()) return ts.status();
+  auto kh = ReadU64();
+  if (!kh.ok()) return kh.status();
   auto n = ReadU64();
   if (!n.ok()) return n.status();
   // Every field needs at least one tag byte: a count beyond the remaining
@@ -156,6 +161,7 @@ Result<Record> BinaryReader::ReadRecord() {
   }
   Record r;
   r.timestamp = *ts;
+  r.key_hash = *kh;
   r.fields.reserve(*n);
   for (uint64_t i = 0; i < *n; ++i) {
     auto v = ReadValue();

@@ -21,6 +21,10 @@ constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
 
 }  // namespace
 
+namespace internal {
+std::atomic<uint64_t>* value_hash_calls = nullptr;
+}  // namespace internal
+
 std::string_view DataTypeToString(DataType type) {
   switch (type) {
     case DataType::kNull:
@@ -72,6 +76,9 @@ std::string Value::ToString() const {
 }
 
 uint64_t Value::Hash() const {
+  if (auto* c = internal::value_hash_calls; c != nullptr) {
+    c->fetch_add(1, std::memory_order_relaxed);
+  }
   const uint64_t seed = kFnvOffset ^ (static_cast<uint64_t>(type()) << 3);
   switch (type()) {
     case DataType::kNull:

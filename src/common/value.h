@@ -1,6 +1,7 @@
 #ifndef STREAMLINE_COMMON_VALUE_H_
 #define STREAMLINE_COMMON_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -8,6 +9,14 @@
 #include "common/logging.h"
 
 namespace streamline {
+
+namespace internal {
+/// Test hook for the hash-once routing contract: when non-null, every
+/// Value::Hash() call increments this counter. Set it before any job
+/// threads start and clear it after they joined; never leave it pointing
+/// at a dead counter.
+extern std::atomic<uint64_t>* value_hash_calls;
+}  // namespace internal
 
 /// Runtime type tag of a Value.
 enum class DataType : uint8_t {
@@ -77,6 +86,16 @@ class Value {
  private:
   std::variant<std::monostate, int64_t, double, bool, std::string> v_;
 };
+
+/// Key hash used by the engine for shuffle routing and keyed state. A thin
+/// normalization over Value::Hash() that never returns 0, so 0 can mean
+/// "no hash attached" on Record::key_hash. The router and every keyed
+/// state backend must agree on this function -- a record partitioned with
+/// one hash and looked up with another would silently split its key.
+inline uint64_t KeyHashOf(const Value& v) {
+  const uint64_t h = v.Hash();
+  return h != 0 ? h : 0x9E3779B97F4A7C15ULL;
+}
 
 }  // namespace streamline
 

@@ -44,6 +44,7 @@ struct OutputEdge {
   PartitionScheme scheme = PartitionScheme::kForward;
   KeySelector key;
   int key_field = -1;  // >= 0: hash this record field in place
+  KeyHashFn key_hash;  // hash-only selector for generic (non-field) keys
   std::vector<OutputTarget> targets;  // indexed by downstream subtask
   uint64_t rr = 0;
 };
@@ -576,26 +577,37 @@ class Task {
       const bool last_edge = (e + 1 == outputs.size());
       switch (edge.scheme) {
         case PartitionScheme::kForward: {
+          record.key_hash = Record::kNoKeyHash;
           Push(edge.targets[subtask_],
                last_edge ? std::move(record) : record);
           break;
         }
         case PartitionScheme::kHash: {
-          // A plain field key is hashed in place; the generic selector
-          // costs a std::function call plus a Value copy per record.
+          // Hash-once: compute the key hash here and stamp it on the
+          // record, so the keyed operator behind this edge indexes its
+          // state with the carried hash instead of re-hashing. A plain
+          // field key is hashed in place; a generic key goes through the
+          // edge's hash-only selector. An inbound key_hash is never
+          // trusted (it may belong to a different edge's key).
           const uint64_t h = edge.key_field >= 0
-                                 ? record.fields[edge.key_field].Hash()
-                                 : edge.key(record).Hash();
+                                 ? KeyHashOf(record.fields[edge.key_field])
+                                 : edge.key_hash(record);
+          record.key_hash = h;
           Push(edge.targets[h % edge.targets.size()],
                last_edge ? std::move(record) : record);
           break;
         }
         case PartitionScheme::kRebalance: {
+          // Reset the carried hash on non-hash edges: a stale hash from an
+          // upstream shuffle keyed differently must never reach a keyed
+          // operator looking like its own.
+          record.key_hash = Record::kNoKeyHash;
           const size_t target = edge.rr++ % edge.targets.size();
           Push(edge.targets[target], last_edge ? std::move(record) : record);
           break;
         }
         case PartitionScheme::kBroadcast: {
+          record.key_hash = Record::kNoKeyHash;
           for (size_t t = 0; t < edge.targets.size(); ++t) {
             Push(edge.targets[t], record);
           }
@@ -802,6 +814,7 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
       out.scheme = e.scheme;
       out.key = e.key;
       out.key_field = e.key_field;
+      out.key_hash = e.key_hash;
       for (size_t t = 0; t < down_tasks.size(); ++t) {
         internal::Task* down = job->tasks_[down_tasks[t]].get();
         out.targets.push_back(internal::OutputTarget{

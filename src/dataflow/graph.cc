@@ -48,7 +48,7 @@ int LogicalGraph::AddOperator(std::string name, int parallelism,
 
 Status LogicalGraph::Connect(int from, int to, PartitionScheme scheme,
                              KeySelector key, int input_ordinal,
-                             int key_field) {
+                             int key_field, KeyHashFn key_hash) {
   if (from < 0 || from >= static_cast<int>(nodes_.size()) || to < 0 ||
       to >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("Connect: unknown node id");
@@ -72,6 +72,15 @@ Status LogicalGraph::Connect(int from, int to, PartitionScheme scheme,
   edge.key = std::move(key);
   edge.input_ordinal = input_ordinal;
   edge.key_field = key_field;
+  edge.key_hash = std::move(key_hash);
+  if (scheme == PartitionScheme::kHash && edge.key_hash == nullptr &&
+      edge.key_field < 0) {
+    // Fallback hash-only selector: still pays the Value copy of the
+    // generic KeySelector, but keeps the router on a single code path.
+    edge.key_hash = [k = edge.key](const Record& r) {
+      return KeyHashOf(k(r));
+    };
+  }
   edges_.push_back(std::move(edge));
   return Status::Ok();
 }

@@ -32,6 +32,11 @@ struct GraphEdge {
   /// hashes that field in place instead of materializing a Value copy
   /// through `key`. Purely an optimization -- `key` stays authoritative.
   int key_field = -1;
+  /// Hash-only routing for kHash edges with a generic (non-field) key.
+  /// Connect() derives a default from `key` when none is supplied; callers
+  /// with a computed key can pass their own to avoid the per-record Value
+  /// copy the default pays. Unused when key_field >= 0.
+  KeyHashFn key_hash;
 };
 
 /// The logical job description the uniform API builds and the executor
@@ -46,10 +51,12 @@ class LogicalGraph {
 
   /// Connects `from` -> `to`. kHash requires `key`. kForward requires equal
   /// parallelism on both endpoints. Pass `key_field` >= 0 when the key is a
-  /// plain record field so the router can hash it without a Value copy.
+  /// plain record field so the router can hash it without a Value copy;
+  /// for computed keys, `key_hash` (a hash-only selector consistent with
+  /// `key`) serves the same purpose.
   Status Connect(int from, int to, PartitionScheme scheme,
                  KeySelector key = nullptr, int input_ordinal = 0,
-                 int key_field = -1);
+                 int key_field = -1, KeyHashFn key_hash = nullptr);
 
   /// Structural checks: every non-source has at least one input, sources
   /// have none, the graph is acyclic, and edge constraints hold.

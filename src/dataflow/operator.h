@@ -91,6 +91,13 @@ using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
 /// Extracts the partition/state key from a record.
 using KeySelector = std::function<Value(const Record&)>;
 
+/// Hash-only key selector: computes KeyHashOf(key of `record`) without
+/// materializing the key Value. The router prefers this over calling the
+/// KeySelector (which returns a Value copy per record) when routing hash
+/// edges whose key is not a plain field. Must agree with the edge's
+/// KeySelector: for every record, the result equals KeyHashOf(key(record)).
+using KeyHashFn = std::function<uint64_t(const Record&)>;
+
 /// How an edge distributes records across downstream subtasks.
 enum class PartitionScheme : uint8_t {
   kForward,    // subtask i -> subtask i (enables operator chaining)

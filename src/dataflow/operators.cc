@@ -10,18 +10,55 @@ namespace streamline {
 // ---------------------------------------------------------------------------
 // KeyedReduceOperator
 
+namespace {
+
+/// Binds the keyed-state gauges for one operator subtask (no-ops when the
+/// job exposes no registry).
+struct StateGauges {
+  static void Bind(const OperatorContext& ctx, const std::string& name,
+                   Gauge** load, Gauge** probe, Gauge** keys) {
+    if (ctx.metrics == nullptr) return;
+    const std::string prefix =
+        "op." + name + "." + std::to_string(ctx.subtask_index) + ".state.";
+    *load = ctx.metrics->GetGauge(prefix + "load_factor");
+    *probe = ctx.metrics->GetGauge(prefix + "max_probe");
+    *keys = ctx.metrics->GetGauge(prefix + "keys");
+  }
+
+  template <typename Map>
+  static void Update(const Map& m, Gauge* load, Gauge* probe, Gauge* keys) {
+    if (load == nullptr) return;
+    load->Set(m.load_factor());
+    probe->Set(static_cast<double>(m.max_probe_length()));
+    keys->Set(static_cast<double>(m.size()));
+  }
+};
+
+}  // namespace
+
+Status KeyedReduceOperator::Open(const OperatorContext& ctx) {
+  StateGauges::Bind(ctx, name_, &load_gauge_, &probe_gauge_, &keys_gauge_);
+  return Status::Ok();
+}
+
 void KeyedReduceOperator::ProcessRecord(int, Record&& record,
                                         Collector* out) {
+  // Hash-once: the shuffle stamped the key hash; records driven in directly
+  // (tests) fall back to hashing here.
   const Value key = key_(record);
-  auto it = state_.find(key);
-  if (it == state_.end()) {
-    it = state_.emplace(key, std::move(record)).first;
-  } else {
-    Record reduced = reduce_(it->second, record);
-    reduced.timestamp = std::max(it->second.timestamp, record.timestamp);
-    it->second = std::move(reduced);
+  const uint64_t hash =
+      record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+  auto [entry, inserted] = state_.TryEmplace(hash, key, std::move(record));
+  if (!inserted) {
+    Record reduced = reduce_(entry->second, record);
+    reduced.timestamp = std::max(entry->second.timestamp, record.timestamp);
+    entry->second = std::move(reduced);
   }
-  out->Emit(Record(it->second));
+  out->Emit(Record(entry->second));
+}
+
+void KeyedReduceOperator::ProcessWatermark(Timestamp, Collector*) {
+  StateGauges::Update(state_, load_gauge_, probe_gauge_, keys_gauge_);
 }
 
 Status KeyedReduceOperator::SnapshotState(BinaryWriter* w) const {
@@ -37,12 +74,13 @@ Status KeyedReduceOperator::RestoreState(BinaryReader* r) {
   auto n = r->ReadU64();
   if (!n.ok()) return n.status();
   state_.clear();
+  state_.Reserve(*n);
   for (uint64_t i = 0; i < *n; ++i) {
     auto key = r->ReadValue();
     if (!key.ok()) return key.status();
     auto record = r->ReadRecord();
     if (!record.ok()) return record.status();
-    state_.emplace(std::move(*key), std::move(*record));
+    state_.TryEmplace(KeyHashOf(*key), *key, std::move(*record));
   }
   return Status::Ok();
 }
@@ -62,6 +100,11 @@ IntervalJoinOperator::IntervalJoinOperator(std::string name,
   STREAMLINE_CHECK_LE(lower_, upper_);
 }
 
+Status IntervalJoinOperator::Open(const OperatorContext& ctx) {
+  StateGauges::Bind(ctx, name_, &load_gauge_, &probe_gauge_, &keys_gauge_);
+  return Status::Ok();
+}
+
 void IntervalJoinOperator::EmitJoined(const Record& l, const Record& r,
                                       Collector* out) const {
   Record joined;
@@ -76,7 +119,9 @@ void IntervalJoinOperator::ProcessRecord(int input, Record&& record,
                                          Collector* out) {
   if (input == 0) {
     const Value key = left_key_(record);
-    KeyBuffers& buf = state_[key];
+    const uint64_t hash =
+        record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    KeyBuffers& buf = state_.TryEmplace(hash, key).first->second;
     // Match against buffered right records: r.ts - l.ts in [lower, upper].
     for (const Record& r : buf.right) {
       const Duration d = r.timestamp - record.timestamp;
@@ -85,7 +130,9 @@ void IntervalJoinOperator::ProcessRecord(int input, Record&& record,
     buf.left.push_back(std::move(record));
   } else {
     const Value key = right_key_(record);
-    KeyBuffers& buf = state_[key];
+    const uint64_t hash =
+        record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    KeyBuffers& buf = state_.TryEmplace(hash, key).first->second;
     for (const Record& l : buf.left) {
       const Duration d = record.timestamp - l.timestamp;
       if (d >= lower_ && d <= upper_) EmitJoined(l, record, out);
@@ -110,11 +157,12 @@ void IntervalJoinOperator::ProcessWatermark(Timestamp wm, Collector*) {
       buf.right.pop_front();
     }
     if (wm == kMaxTimestamp || (buf.left.empty() && buf.right.empty())) {
-      it = state_.erase(it);
+      it = state_.Erase(it);
     } else {
       ++it;
     }
   }
+  StateGauges::Update(state_, load_gauge_, probe_gauge_, keys_gauge_);
 }
 
 Status IntervalJoinOperator::SnapshotState(BinaryWriter* w) const {
@@ -133,6 +181,7 @@ Status IntervalJoinOperator::RestoreState(BinaryReader* r) {
   auto n = r->ReadU64();
   if (!n.ok()) return n.status();
   state_.clear();
+  state_.Reserve(*n);
   for (uint64_t i = 0; i < *n; ++i) {
     auto key = r->ReadValue();
     if (!key.ok()) return key.status();
@@ -151,7 +200,7 @@ Status IntervalJoinOperator::RestoreState(BinaryReader* r) {
       if (!rec.ok()) return rec.status();
       buf.right.push_back(std::move(*rec));
     }
-    state_.emplace(std::move(*key), std::move(buf));
+    state_.TryEmplace(KeyHashOf(*key), *key, std::move(buf));
   }
   return Status::Ok();
 }

@@ -5,10 +5,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "dataflow/operator.h"
 #include "dataflow/sink.h"
 
@@ -74,7 +74,9 @@ class KeyedReduceOperator : public Operator {
       : name_(std::move(name)), key_(std::move(key)),
         reduce_(std::move(reduce)) {}
 
+  Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int, Record&& record, Collector* out) override;
+  void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override { return name_; }
@@ -85,7 +87,10 @@ class KeyedReduceOperator : public Operator {
   std::string name_;
   KeySelector key_;
   ReduceFn reduce_;
-  std::unordered_map<Value, Record> state_;
+  FlatHashMap<Value, Record> state_;
+  Gauge* load_gauge_ = nullptr;
+  Gauge* probe_gauge_ = nullptr;
+  Gauge* keys_gauge_ = nullptr;
 };
 
 /// Merges any number of inputs into one stream (the input ordinal is
@@ -112,6 +117,7 @@ class IntervalJoinOperator : public Operator {
   IntervalJoinOperator(std::string name, KeySelector left_key,
                        KeySelector right_key, Duration lower, Duration upper);
 
+  Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int input, Record&& record, Collector* out) override;
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
@@ -133,7 +139,10 @@ class IntervalJoinOperator : public Operator {
   KeySelector right_key_;
   Duration lower_;
   Duration upper_;
-  std::unordered_map<Value, KeyBuffers> state_;
+  FlatHashMap<Value, KeyBuffers> state_;
+  Gauge* load_gauge_ = nullptr;
+  Gauge* probe_gauge_ = nullptr;
+  Gauge* keys_gauge_ = nullptr;
 };
 
 /// Adapts a SinkFunction to the operator interface.

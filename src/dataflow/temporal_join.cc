@@ -10,17 +10,39 @@ TemporalJoinOperator::TemporalJoinOperator(std::string name, Spec spec)
   STREAMLINE_CHECK(spec_.table_key != nullptr);
 }
 
+Status TemporalJoinOperator::Open(const OperatorContext& ctx) {
+  if (ctx.metrics != nullptr) {
+    const std::string prefix = "op." + name_ + "." +
+                               std::to_string(ctx.subtask_index) + ".state.";
+    load_gauge_ = ctx.metrics->GetGauge(prefix + "load_factor");
+    probe_gauge_ = ctx.metrics->GetGauge(prefix + "max_probe");
+    keys_gauge_ = ctx.metrics->GetGauge(prefix + "keys");
+  }
+  return Status::Ok();
+}
+
+void TemporalJoinOperator::ProcessWatermark(Timestamp, Collector*) {
+  if (load_gauge_ == nullptr) return;
+  load_gauge_->Set(table_.load_factor());
+  probe_gauge_->Set(static_cast<double>(table_.max_probe_length()));
+  keys_gauge_->Set(static_cast<double>(table_.size()));
+}
+
 void TemporalJoinOperator::ProcessRecord(int input, Record&& record,
                                          Collector* out) {
   if (input == 1) {
     // Changelog upsert: latest row per key wins.
     const Value key = spec_.table_key(record);
-    table_[key] = std::move(record);
+    const uint64_t hash =
+        record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    table_.TryEmplace(hash, key).first->second = std::move(record);
     return;
   }
   const Value key = spec_.fact_key(record);
-  auto it = table_.find(key);
-  if (it == table_.end()) {
+  const uint64_t hash =
+      record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+  Record* row = table_.Find(hash, key);
+  if (row == nullptr) {
     if (!spec_.emit_unmatched) return;
     Record padded = std::move(record);
     for (size_t i = 0; i < spec_.table_width; ++i) {
@@ -30,8 +52,8 @@ void TemporalJoinOperator::ProcessRecord(int input, Record&& record,
     return;
   }
   Record joined = std::move(record);
-  joined.fields.insert(joined.fields.end(), it->second.fields.begin(),
-                       it->second.fields.end());
+  joined.fields.insert(joined.fields.end(), row->fields.begin(),
+                       row->fields.end());
   out->Emit(std::move(joined));
 }
 
@@ -48,12 +70,13 @@ Status TemporalJoinOperator::RestoreState(BinaryReader* r) {
   auto n = r->ReadU64();
   if (!n.ok()) return n.status();
   table_.clear();
+  table_.Reserve(*n);
   for (uint64_t i = 0; i < *n; ++i) {
     auto key = r->ReadValue();
     if (!key.ok()) return key.status();
     auto row = r->ReadRecord();
     if (!row.ok()) return row.status();
-    table_.emplace(std::move(*key), std::move(*row));
+    table_.TryEmplace(KeyHashOf(*key), *key, std::move(*row));
   }
   return Status::Ok();
 }

@@ -2,8 +2,8 @@
 #define STREAMLINE_DATAFLOW_TEMPORAL_JOIN_H_
 
 #include <string>
-#include <unordered_map>
 
+#include "common/flat_hash_map.h"
 #include "dataflow/operator.h"
 
 namespace streamline {
@@ -32,7 +32,9 @@ class TemporalJoinOperator : public Operator {
 
   TemporalJoinOperator(std::string name, Spec spec);
 
+  Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int input, Record&& record, Collector* out) override;
+  void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override { return name_; }
@@ -42,7 +44,10 @@ class TemporalJoinOperator : public Operator {
  private:
   std::string name_;
   Spec spec_;
-  std::unordered_map<Value, Record> table_;
+  FlatHashMap<Value, Record> table_;
+  Gauge* load_gauge_ = nullptr;
+  Gauge* probe_gauge_ = nullptr;
+  Gauge* keys_gauge_ = nullptr;
 };
 
 }  // namespace streamline

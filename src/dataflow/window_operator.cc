@@ -26,7 +26,13 @@ WindowAggOperator::WindowAggOperator(std::string name, WindowAggSpec spec)
 }
 
 Status WindowAggOperator::Open(const OperatorContext& ctx) {
-  (void)ctx;
+  if (ctx.metrics != nullptr) {
+    const std::string prefix = "op." + name_ + "." +
+                               std::to_string(ctx.subtask_index) + ".state.";
+    load_gauge_ = ctx.metrics->GetGauge(prefix + "load_factor");
+    probe_gauge_ = ctx.metrics->GetGauge(prefix + "max_probe");
+    keys_gauge_ = ctx.metrics->GetGauge(prefix + "keys");
+  }
   if (spec_.backend == WindowBackend::kEager) {
     // Eager per-window state supports periodic windows only (matching the
     // systems it models); verify the prototypes up front.
@@ -42,17 +48,17 @@ Status WindowAggOperator::Open(const OperatorContext& ctx) {
 }
 
 WindowAggOperator::KeyState* WindowAggOperator::GetOrCreateKey(
-    const Value& key) {
-  auto it = keys_.find(key);
-  if (it != keys_.end()) return &it->second;
-  KeyState ks;
+    const Value& key, uint64_t hash) {
+  auto [entry, inserted] = keys_.TryEmplace(hash, key);
+  KeyState* ks = &entry->second;
+  if (!inserted) return ks;
   if (spec_.backend == WindowBackend::kShared) {
-    ks.shared = std::make_unique<SharedAgg>(adapter_);
+    ks->shared = std::make_unique<SharedAgg>(adapter_);
     for (size_t q = 0; q < spec_.windows.size(); ++q) {
       // The callback captures the key by value; `current_out_` points at
       // the collector of the call currently on the stack.
       Value key_copy = key;
-      ks.shared->AddQuery(
+      ks->shared->AddQuery(
           spec_.windows[q]->Clone(),
           [this, key_copy](size_t query, const Window& w, const Value& v) {
             EmitResult(key_copy, query, w, v);
@@ -67,10 +73,10 @@ WindowAggOperator::KeyState* WindowAggOperator::GetOrCreateKey(
       qs.range = sliding->range();
       qs.slide = sliding->slide();
       qs.origin = sliding->origin();
-      ks.eager.push_back(std::move(qs));
+      ks->eager.push_back(std::move(qs));
     }
   }
-  return &keys_.emplace(key, std::move(ks)).first->second;
+  return ks;
 }
 
 void WindowAggOperator::EmitResult(const Value& key, size_t query,
@@ -116,8 +122,12 @@ void WindowAggOperator::ApplyElement(const Value& key, KeyState* ks,
     for (; b > ts - qs.range; b -= qs.slide) {
       if (b > ts) continue;
       const Window w{b, b + qs.range};
-      auto [it, inserted] = qs.open.try_emplace(w, adapter_.Identity());
-      (void)inserted;
+      auto it = std::lower_bound(
+          qs.open.begin(), qs.open.end(), w,
+          [](const auto& e, const Window& win) { return e.first < win; });
+      if (it == qs.open.end() || it->first != w) {
+        it = qs.open.insert(it, {w, adapter_.Identity()});
+      }
       it->second = adapter_.Combine(it->second, lifted);
     }
   }
@@ -127,11 +137,14 @@ void WindowAggOperator::EagerFire(const Value& key, KeyState* ks,
                                   Timestamp wm) {
   for (size_t q = 0; q < ks->eager.size(); ++q) {
     EagerQueryState& qs = ks->eager[q];
-    auto it = qs.open.begin();
-    while (it != qs.open.end() && it->first.end <= wm) {
-      EmitResult(key, q, it->first, adapter_.Lower(it->second));
-      it = qs.open.erase(it);
+    // Sorted by (end, start): the fired windows are a prefix.
+    size_t fired = 0;
+    while (fired < qs.open.size() && qs.open[fired].first.end <= wm) {
+      EmitResult(key, q, qs.open[fired].first,
+                 adapter_.Lower(qs.open[fired].second));
+      ++fired;
     }
+    qs.open.erase(qs.open.begin(), qs.open.begin() + fired);
   }
 }
 
@@ -167,8 +180,20 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
   while (applied < pending_.size() &&
          (wm == kMaxTimestamp || pending_[applied].first.timestamp < wm)) {
     const Record& record = pending_[applied].first;
-    const Value key = spec_.key ? spec_.key(record) : Value(int64_t{0});
-    ApplyElement(key, GetOrCreateKey(key), record);
+    Value key;
+    uint64_t hash;
+    if (spec_.key) {
+      key = spec_.key(record);
+      // Hash-once: the upstream hash shuffle already stamped the key hash on
+      // the record; only records injected outside a hash edge (tests,
+      // restore) pay a hash here.
+      hash = record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    } else {
+      key = Value(int64_t{0});
+      if (global_key_hash_ == 0) global_key_hash_ = KeyHashOf(key);
+      hash = global_key_hash_;
+    }
+    ApplyElement(key, GetOrCreateKey(key, hash), record);
     ++applied;
   }
   pending_.erase(pending_.begin(), pending_.begin() + applied);
@@ -177,7 +202,15 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
   for (auto& [key, ks] : keys_) {
     AdvanceKeyWatermark(key, &ks, wm);
   }
+  UpdateStateGauges();
   current_out_ = nullptr;
+}
+
+void WindowAggOperator::UpdateStateGauges() {
+  if (load_gauge_ == nullptr) return;
+  load_gauge_->Set(keys_.load_factor());
+  probe_gauge_->Set(static_cast<double>(keys_.max_probe_length()));
+  keys_gauge_->Set(static_cast<double>(keys_.size()));
 }
 
 void WindowAggOperator::OnEndOfInput(Collector* out) {
@@ -233,10 +266,11 @@ Status WindowAggOperator::RestoreState(BinaryReader* r) {
   auto nk = r->ReadU64();
   if (!nk.ok()) return nk.status();
   keys_.clear();
+  keys_.Reserve(*nk);
   for (uint64_t i = 0; i < *nk; ++i) {
     auto key = r->ReadValue();
     if (!key.ok()) return key.status();
-    KeyState* ks = GetOrCreateKey(*key);
+    KeyState* ks = GetOrCreateKey(*key, KeyHashOf(*key));
     if (spec_.backend == WindowBackend::kShared) {
       STREAMLINE_RETURN_IF_ERROR(
           ks->shared->Restore(r, DeserializeDynPartial));
@@ -257,7 +291,8 @@ Status WindowAggOperator::RestoreState(BinaryReader* r) {
           if (!end.ok()) return end.status();
           auto p = DynAggregate::DeserializePartial(r);
           if (!p.ok()) return p.status();
-          qs.open.emplace(Window{*start, *end}, *p);
+          // Snapshots write `open` in sorted order; appending preserves it.
+          qs.open.emplace_back(Window{*start, *end}, *p);
         }
       }
     }

@@ -2,14 +2,13 @@
 #define STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "agg/slicing_aggregator.h"
+#include "common/flat_hash_map.h"
 #include "dataflow/operator.h"
 #include "window/dyn_aggregate.h"
 #include "window/window_fn.h"
@@ -102,7 +101,9 @@ class WindowAggOperator : public Operator {
     Duration range = 0;
     Duration slide = 0;
     Timestamp origin = 0;
-    std::map<Window, DynPartial> open;
+    /// Open windows sorted by Window::operator< (end, then start); small and
+    /// short-lived, so a sorted vector beats a node-based map.
+    std::vector<std::pair<Window, DynPartial>> open;
   };
 
   struct KeyState {
@@ -112,12 +113,13 @@ class WindowAggOperator : public Operator {
     std::vector<EagerQueryState> eager;
   };
 
-  KeyState* GetOrCreateKey(const Value& key);
+  KeyState* GetOrCreateKey(const Value& key, uint64_t hash);
   void ApplyElement(const Value& key, KeyState* ks, const Record& record);
   void AdvanceKeyWatermark(const Value& key, KeyState* ks, Timestamp wm);
   void EmitResult(const Value& key, size_t query, const Window& w,
                   const Value& result);
   void EagerFire(const Value& key, KeyState* ks, Timestamp wm);
+  void UpdateStateGauges();
 
   std::string name_;
   WindowAggSpec spec_;
@@ -128,8 +130,16 @@ class WindowAggOperator : public Operator {
   uint64_t seq_ = 0;
   Timestamp current_wm_ = kMinTimestamp;
 
-  std::unordered_map<Value, KeyState> keys_;
+  FlatHashMap<Value, KeyState> keys_;
+  // Hash of the synthetic key used when spec_.key is null (global windows);
+  // computed on first use (KeyHashOf never returns 0).
+  uint64_t global_key_hash_ = 0;
   Collector* current_out_ = nullptr;
+
+  // Keyed-state observability (null when the job exposes no registry).
+  Gauge* load_gauge_ = nullptr;
+  Gauge* probe_gauge_ = nullptr;
+  Gauge* keys_gauge_ = nullptr;
 };
 
 }  // namespace streamline

@@ -1,0 +1,244 @@
+#include "common/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/value.h"
+
+namespace streamline {
+namespace {
+
+uint64_t HashOf(int64_t k) { return KeyHashOf(Value(k)); }
+
+TEST(FlatHashMapTest, EmptyMapFindsNothing) {
+  FlatHashMap<Value, int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(HashOf(1), Value(int64_t{1})), nullptr);
+  EXPECT_FALSE(m.Erase(HashOf(1), Value(int64_t{1})));
+  EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatHashMapTest, InsertFindRoundTrip) {
+  FlatHashMap<Value, int> m;
+  for (int64_t k = 0; k < 100; ++k) {
+    auto [entry, inserted] = m.TryEmplace(HashOf(k), Value(k),
+                                          static_cast<int>(k * 10));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(entry->second, static_cast<int>(k * 10));
+  }
+  EXPECT_EQ(m.size(), 100u);
+  for (int64_t k = 0; k < 100; ++k) {
+    int* v = m.Find(HashOf(k), Value(k));
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<int>(k * 10));
+  }
+  EXPECT_EQ(m.Find(HashOf(100), Value(int64_t{100})), nullptr);
+}
+
+TEST(FlatHashMapTest, TryEmplaceDoesNotOverwrite) {
+  FlatHashMap<Value, int> m;
+  m.TryEmplace(HashOf(1), Value(int64_t{1}), 7);
+  auto [entry, inserted] = m.TryEmplace(HashOf(1), Value(int64_t{1}), 99);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(entry->second, 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMapTest, IterationIsInsertionOrder) {
+  FlatHashMap<Value, int> m;
+  const int64_t keys[] = {42, 7, 300, -5, 0, 1000000};
+  for (size_t i = 0; i < std::size(keys); ++i) {
+    m.TryEmplace(HashOf(keys[i]), Value(keys[i]), static_cast<int>(i));
+  }
+  size_t i = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, Value(keys[i]));
+    EXPECT_EQ(v, static_cast<int>(i));
+    ++i;
+  }
+  EXPECT_EQ(i, std::size(keys));
+}
+
+TEST(FlatHashMapTest, InsertionOrderSurvivesRehash) {
+  FlatHashMap<Value, int> m;
+  // Enough inserts to force several growth rehashes past kMinCapacity.
+  for (int64_t k = 0; k < 1000; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), static_cast<int>(k));
+  }
+  int64_t expect = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, Value(expect));
+    EXPECT_EQ(v, static_cast<int>(expect));
+    ++expect;
+  }
+  EXPECT_EQ(expect, 1000);
+  EXPECT_GT(m.capacity(), 1000u);
+}
+
+TEST(FlatHashMapTest, EraseByKey) {
+  FlatHashMap<Value, int> m;
+  for (int64_t k = 0; k < 50; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), static_cast<int>(k));
+  }
+  for (int64_t k = 0; k < 50; k += 2) {
+    EXPECT_TRUE(m.Erase(HashOf(k), Value(k)));
+    EXPECT_FALSE(m.Erase(HashOf(k), Value(k)));  // already gone
+  }
+  EXPECT_EQ(m.size(), 25u);
+  for (int64_t k = 0; k < 50; ++k) {
+    int* v = m.Find(HashOf(k), Value(k));
+    if (k % 2 == 0) {
+      EXPECT_EQ(v, nullptr) << k;
+    } else {
+      ASSERT_NE(v, nullptr) << k;
+      EXPECT_EQ(*v, static_cast<int>(k));
+    }
+  }
+}
+
+TEST(FlatHashMapTest, EraseIteratorSweepVisitsEveryEntryOnce) {
+  FlatHashMap<Value, int> m;
+  for (int64_t k = 0; k < 200; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), static_cast<int>(k));
+  }
+  // Evict odd values mid-sweep, the IntervalJoin watermark idiom.
+  std::vector<int> kept;
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->second % 2 == 1) {
+      it = m.Erase(it);
+    } else {
+      kept.push_back(it->second);
+      ++it;
+    }
+  }
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(kept.size(), 100u);
+  for (int v : kept) EXPECT_EQ(v % 2, 0);
+  for (int64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(m.Find(HashOf(k), Value(k)) != nullptr, k % 2 == 0) << k;
+  }
+}
+
+TEST(FlatHashMapTest, TombstoneChurnStaysBounded) {
+  FlatHashMap<Value, int> m;
+  // Steady-state churn: insert and erase the same small working set far
+  // more times than the capacity; tombstone purges must keep the table
+  // usable and bounded.
+  for (int round = 0; round < 10000; ++round) {
+    const int64_t k = round % 8;
+    m.TryEmplace(HashOf(k), Value(k), round);
+    EXPECT_TRUE(m.Erase(HashOf(k), Value(k)));
+  }
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_LE(m.capacity(), 64u);  // churn alone must not balloon capacity
+  // Still functional after the churn.
+  m.TryEmplace(HashOf(5), Value(int64_t{5}), 123);
+  ASSERT_NE(m.Find(HashOf(5), Value(int64_t{5})), nullptr);
+}
+
+TEST(FlatHashMapTest, HeterogeneousPreHashedLookup) {
+  // Find() takes any KeyLike comparable with K: probe a string-keyed map
+  // with a raw char pointer, no std::string materialization on lookup.
+  const auto str_hash = [](const char* s) {
+    return KeyHashOf(Value(s));
+  };
+  FlatHashMap<std::string, int> m;
+  m.TryEmplace(str_hash("alpha"), "alpha", 1);
+  m.TryEmplace(str_hash("beta"), "beta", 2);
+  const char* probe = "beta";
+  int* v = m.Find(str_hash(probe), probe);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 2);
+  EXPECT_EQ(m.Find(str_hash("gamma"), "gamma"), nullptr);
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacityDropsEntries) {
+  FlatHashMap<Value, int> m;
+  for (int64_t k = 0; k < 100; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), static_cast<int>(k));
+  }
+  const size_t cap = m.capacity();
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.Find(HashOf(3), Value(int64_t{3})), nullptr);
+  m.TryEmplace(HashOf(3), Value(int64_t{3}), 33);
+  EXPECT_EQ(*m.Find(HashOf(3), Value(int64_t{3})), 33);
+}
+
+TEST(FlatHashMapTest, ReservePresizesNoGrowthDuringInsert) {
+  FlatHashMap<Value, int> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  EXPECT_GE(cap * 7, 1001u * 8 / 2);  // big enough for 1000 at <= 7/8 load
+  for (int64_t k = 0; k < 1000; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), static_cast<int>(k));
+  }
+  EXPECT_EQ(m.capacity(), cap);  // no rehash happened
+}
+
+TEST(FlatHashMapTest, LoadFactorAndProbeGauges) {
+  FlatHashMap<Value, int> m;
+  EXPECT_EQ(m.load_factor(), 0.0);
+  EXPECT_EQ(m.max_probe_length(), 0u);
+  for (int64_t k = 0; k < 100; ++k) {
+    m.TryEmplace(HashOf(k), Value(k), 0);
+  }
+  EXPECT_GT(m.load_factor(), 0.0);
+  EXPECT_LE(m.load_factor(), 7.0 / 8.0);
+  EXPECT_GE(m.max_probe_length(), 1u);
+  EXPECT_LT(m.max_probe_length(), m.capacity());
+}
+
+TEST(FlatHashMapTest, MatchesUnorderedMapUnderRandomChurn) {
+  FlatHashMap<Value, int64_t> m;
+  std::unordered_map<int64_t, int64_t> ref;
+  Rng rng(0xC0FFEE);
+  for (int op = 0; op < 20000; ++op) {
+    const int64_t k = static_cast<int64_t>(rng.NextBelow(512));
+    const uint64_t h = HashOf(k);
+    switch (rng.NextBelow(3)) {
+      case 0: {  // upsert
+        const int64_t v = static_cast<int64_t>(op);
+        auto [entry, inserted] = m.TryEmplace(h, Value(k), v);
+        if (!inserted) entry->second = v;
+        ref[k] = v;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(m.Erase(h, Value(k)), ref.erase(k) > 0) << k;
+        break;
+      }
+      default: {  // lookup
+        int64_t* v = m.Find(h, Value(k));
+        auto it = ref.find(k);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr) << k;
+        } else {
+          ASSERT_NE(v, nullptr) << k;
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  // Final full cross-check.
+  size_t seen = 0;
+  for (const auto& [k, v] : m) {
+    auto it = ref.find(k.AsInt64());
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    ++seen;
+  }
+  EXPECT_EQ(seen, ref.size());
+}
+
+}  // namespace
+}  // namespace streamline

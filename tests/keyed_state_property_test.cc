@@ -1,0 +1,314 @@
+// Property tests for the pre-hashed keyed-state backend: operator results
+// must match an std::unordered_map reference model under random keyed
+// workloads, snapshots must be byte-deterministic across rehash histories,
+// and keyed operators must never recompute a hash the shuffle computed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/datastream.h"
+#include "common/random.h"
+
+namespace streamline {
+namespace {
+
+struct VecCollector : public Collector {
+  void Emit(Record&& r) override { records.push_back(std::move(r)); }
+  std::vector<Record> records;
+};
+
+std::vector<Record> RandomKeyedWorkload(uint64_t seed, int n, int key_space) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeRecord(
+        i, Value(static_cast<int64_t>(rng.NextBelow(key_space))),
+        Value(static_cast<double>(rng.NextBelow(1000)))));
+  }
+  return out;
+}
+
+// --- equivalence vs. the unordered_map reference model ---------------------
+
+TEST(KeyedStatePropertyTest, ReduceMatchesReferenceModel) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const auto workload = RandomKeyedWorkload(seed, 2000, 97);
+    // Reference: per-key running sum in an unordered_map.
+    std::unordered_map<int64_t, double> ref;
+    for (const Record& r : workload) {
+      ref[r.field(0).AsInt64()] += r.field(1).AsDouble();
+    }
+
+    Environment env(2);
+    auto sink =
+        env.FromRecords(workload)
+            .KeyBy(0)
+            .Reduce([](const Record& acc, const Record& in) {
+              return MakeRecord(0, acc.field(0),
+                                Value(acc.field(1).AsDouble() +
+                                      in.field(1).AsDouble()));
+            })
+            .Collect();
+    ASSERT_TRUE(env.Execute().ok());
+    // The last emission per key carries the final accumulator.
+    std::unordered_map<int64_t, double> got;
+    for (const Record& r : sink->records()) {
+      got[r.field(0).AsInt64()] = r.field(1).AsDouble();
+    }
+    ASSERT_EQ(got.size(), ref.size()) << "seed " << seed;
+    for (const auto& [k, v] : ref) {
+      ASSERT_TRUE(got.count(k)) << "seed " << seed << " key " << k;
+      EXPECT_DOUBLE_EQ(got[k], v) << "seed " << seed << " key " << k;
+    }
+  }
+}
+
+TEST(KeyedStatePropertyTest, WindowAggMatchesReferenceModel) {
+  for (uint64_t seed : {11u, 12u}) {
+    const auto workload = RandomKeyedWorkload(seed, 3000, 64);
+    const int64_t range = 100;
+    // Reference: per (key, tumbling window) sum.
+    std::map<std::pair<int64_t, int64_t>, double> ref;
+    for (const Record& r : workload) {
+      const int64_t wstart = (r.timestamp / range) * range;
+      ref[{r.field(0).AsInt64(), wstart}] += r.field(1).AsDouble();
+    }
+
+    Environment env(2);
+    auto sink = env.FromRecords(workload)
+                    .KeyBy(0)
+                    .Window(std::make_shared<TumblingWindowFn>(range))
+                    .Aggregate(DynAggKind::kSum, 1)
+                    .Collect();
+    ASSERT_TRUE(env.Execute().ok());
+    std::map<std::pair<int64_t, int64_t>, double> got;
+    for (const Record& r : sink->records()) {
+      got[{r.field(0).AsInt64(), r.field(1).AsInt64()}] =
+          r.field(4).AsDouble();
+    }
+    ASSERT_EQ(got.size(), ref.size()) << "seed " << seed;
+    for (const auto& [kw, v] : ref) {
+      ASSERT_TRUE(got.count(kw)) << "seed " << seed;
+      EXPECT_DOUBLE_EQ(got[kw], v) << "seed " << seed;
+    }
+  }
+}
+
+// --- snapshot determinism --------------------------------------------------
+
+// Drives `make_op()` instances through snapshot -> restore -> snapshot and
+// expects byte-identical buffers. The restored map has a different rehash
+// history (one presized Reserve instead of incremental growth), so equality
+// proves serialization order is independent of capacity history.
+template <typename MakeOp, typename Feed>
+void ExpectSnapshotRoundTripStable(MakeOp make_op, Feed feed) {
+  auto op = make_op();
+  VecCollector out;
+  feed(op.get(), &out);
+  BinaryWriter w1;
+  ASSERT_TRUE(op->SnapshotState(&w1).ok());
+
+  auto restored = make_op();
+  BinaryReader r(w1.buffer());
+  ASSERT_TRUE(restored->RestoreState(&r).ok());
+  BinaryWriter w2;
+  ASSERT_TRUE(restored->SnapshotState(&w2).ok());
+  ASSERT_EQ(w1.buffer().size(), w2.buffer().size());
+  EXPECT_TRUE(w1.buffer() == w2.buffer());
+
+  // Second hop: restore the restored snapshot; still byte-stable.
+  auto restored2 = make_op();
+  BinaryReader r2(w2.buffer());
+  ASSERT_TRUE(restored2->RestoreState(&r2).ok());
+  BinaryWriter w3;
+  ASSERT_TRUE(restored2->SnapshotState(&w3).ok());
+  EXPECT_TRUE(w1.buffer() == w3.buffer());
+}
+
+KeySelector Key0() { return KeyField(0); }
+
+TEST(KeyedStatePropertyTest, ReduceSnapshotByteStableAcrossRestore) {
+  ExpectSnapshotRoundTripStable(
+      [] {
+        return std::make_unique<KeyedReduceOperator>(
+            "reduce", Key0(), [](const Record& a, const Record& b) {
+              return MakeRecord(0, a.field(0),
+                                Value(a.field(1).AsDouble() +
+                                      b.field(1).AsDouble()));
+            });
+      },
+      [](KeyedReduceOperator* op, Collector* out) {
+        // Interleaved inserts + churn force several rehashes.
+        for (const Record& r : RandomKeyedWorkload(7, 4000, 1500)) {
+          op->ProcessRecord(0, Record(r), out);
+        }
+      });
+}
+
+TEST(KeyedStatePropertyTest, IntervalJoinSnapshotByteStableAcrossRestore) {
+  ExpectSnapshotRoundTripStable(
+      [] {
+        return std::make_unique<IntervalJoinOperator>("ij", Key0(), Key0(),
+                                                      -10, 10);
+      },
+      [](IntervalJoinOperator* op, Collector* out) {
+        const auto lefts = RandomKeyedWorkload(21, 1500, 400);
+        const auto rights = RandomKeyedWorkload(22, 1500, 400);
+        for (size_t i = 0; i < lefts.size(); ++i) {
+          op->ProcessRecord(0, Record(lefts[i]), out);
+          op->ProcessRecord(1, Record(rights[i]), out);
+          // Periodic eviction mixes Erase into the history.
+          if (i % 500 == 499) {
+            op->ProcessWatermark(static_cast<Timestamp>(i) - 400, out);
+          }
+        }
+      });
+}
+
+TEST(KeyedStatePropertyTest, WindowAggSnapshotByteStableAcrossRestore) {
+  for (WindowBackend backend :
+       {WindowBackend::kShared, WindowBackend::kEager}) {
+    ExpectSnapshotRoundTripStable(
+        [backend] {
+          WindowAggSpec spec;
+          spec.key = Key0();
+          spec.value_field = 1;
+          spec.agg_kind = DynAggKind::kSum;
+          spec.windows = {std::make_shared<SlidingWindowFn>(100, 25)};
+          spec.backend = backend;
+          auto op = std::make_unique<WindowAggOperator>("wagg", spec);
+          EXPECT_TRUE(op->Open(OperatorContext{}).ok());
+          return op;
+        },
+        [](WindowAggOperator* op, Collector* out) {
+          for (const Record& r : RandomKeyedWorkload(31, 3000, 800)) {
+            op->ProcessRecord(0, Record(r), out);
+          }
+          // Partially advance so per-key window state is non-trivial but
+          // plenty of keys/windows stay open in the snapshot.
+          op->ProcessWatermark(1500, out);
+        });
+  }
+}
+
+TEST(KeyedStatePropertyTest, TemporalJoinSnapshotByteStableAcrossRestore) {
+  ExpectSnapshotRoundTripStable(
+      [] {
+        TemporalJoinOperator::Spec spec;
+        spec.fact_key = Key0();
+        spec.table_key = Key0();
+        spec.table_width = 2;
+        return std::make_unique<TemporalJoinOperator>("tj", spec);
+      },
+      [](TemporalJoinOperator* op, Collector* out) {
+        for (const Record& r : RandomKeyedWorkload(41, 3000, 900)) {
+          op->ProcessRecord(1, Record(r), out);
+        }
+      });
+}
+
+// --- hash-once contract ----------------------------------------------------
+
+// Counts every Value::Hash() call during a keyed end-to-end run. The hash
+// shuffle computes exactly one hash per routed record; the keyed operators
+// must consume the carried hash and add zero.
+TEST(KeyedStatePropertyTest, OperatorsNeverRehashShuffledRecords) {
+  const int n = 1000;
+  const auto workload = RandomKeyedWorkload(51, n, 128);
+
+  Environment env(2);
+  auto sink = env.FromRecords(workload)
+                  .KeyBy(0)
+                  .Window(std::make_shared<TumblingWindowFn>(50))
+                  .Aggregate(DynAggKind::kSum, 1)
+                  .Collect();
+
+  std::atomic<uint64_t> calls{0};
+  internal::value_hash_calls = &calls;
+  const Status st = env.Execute();
+  internal::value_hash_calls = nullptr;
+  ASSERT_TRUE(st.ok());
+  ASSERT_FALSE(sink->records().empty());
+  // One hash per record crossing the single hash edge, none elsewhere.
+  EXPECT_EQ(calls.load(), static_cast<uint64_t>(n));
+}
+
+// Same contract for the running reduce (state lookup per record, so a
+// re-hashing backend would double the count).
+TEST(KeyedStatePropertyTest, ReduceNeverRehashesShuffledRecords) {
+  const int n = 1000;
+  const auto workload = RandomKeyedWorkload(52, n, 64);
+
+  Environment env(2);
+  auto sink = env.FromRecords(workload)
+                  .KeyBy(0)
+                  .Reduce([](const Record& a, const Record& b) {
+                    return MakeRecord(0, a.field(0),
+                                      Value(a.field(1).AsDouble() +
+                                            b.field(1).AsDouble()));
+                  })
+                  .Collect();
+
+  std::atomic<uint64_t> calls{0};
+  internal::value_hash_calls = &calls;
+  const Status st = env.Execute();
+  internal::value_hash_calls = nullptr;
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(sink->records().size(), static_cast<size_t>(n));
+  EXPECT_EQ(calls.load(), static_cast<uint64_t>(n));
+}
+
+// A generic (lambda) key with a caller-supplied hash-only selector: the
+// shuffle must route through it without materializing key Values, and the
+// keyed operator must still consume the carried hash.
+TEST(KeyedStatePropertyTest, GenericKeyHashOnlySelectorRoutes) {
+  const int n = 500;
+  const auto workload = RandomKeyedWorkload(53, n, 32);
+
+  std::unordered_map<int64_t, double> ref;
+  for (const Record& r : workload) {
+    ref[r.field(0).AsInt64() % 8] += r.field(1).AsDouble();
+  }
+
+  Environment env(2);
+  KeySelector key = [](const Record& r) {
+    return Value(r.field(0).AsInt64() % 8);
+  };
+  KeyHashFn key_hash = [](const Record& r) {
+    return KeyHashOf(Value(r.field(0).AsInt64() % 8));
+  };
+  auto sink = env.FromRecords(workload)
+                  .KeyBy(key, key_hash)
+                  .Reduce([](const Record& a, const Record& b) {
+                    return MakeRecord(0, a.field(0),
+                                      Value(a.field(1).AsDouble() +
+                                            b.field(1).AsDouble()));
+                  })
+                  .Collect();
+
+  std::atomic<uint64_t> calls{0};
+  internal::value_hash_calls = &calls;
+  const Status st = env.Execute();
+  internal::value_hash_calls = nullptr;
+  ASSERT_TRUE(st.ok());
+
+  // The accumulator's field 0 is the first raw key of its group; map it
+  // back to the group id the reference model uses.
+  std::unordered_map<int64_t, double> got;
+  for (const Record& r : sink->records()) {
+    got[r.field(0).AsInt64() % 8] = r.field(1).AsDouble();
+  }
+  ASSERT_EQ(got.size(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_DOUBLE_EQ(got[k], v) << k;
+  // Router: one hash per record through key_hash; operator: zero.
+  EXPECT_EQ(calls.load(), static_cast<uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace streamline
