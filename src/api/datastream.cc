@@ -26,13 +26,16 @@ DataStream Environment::FromRecords(std::vector<Record> records,
 DataStream Environment::FromGenerator(
     std::string name, std::function<std::optional<Record>(uint64_t)> gen,
     uint64_t watermark_every) {
+  NodeTraits traits;
+  traits.emits_watermarks = watermark_every > 0;
   const int node = graph_.AddSource(
       std::move(name), 1,
       [gen = std::move(gen), watermark_every](
           int, int) -> std::unique_ptr<SourceFunction> {
         return std::make_unique<GeneratorSource>("generator", gen,
                                                  watermark_every);
-      });
+      },
+      traits);
   return DataStream(this, node, 1);
 }
 
@@ -154,10 +157,12 @@ WindowedStream DataStream::WindowAll(
 
 void DataStream::Sink(std::shared_ptr<SinkFunction> sink, std::string name) {
   if (name.empty()) name = env_->AutoName("sink");
+  NodeTraits traits;
+  traits.is_sink = true;
   const int node = env_->graph_.AddOperator(
-      name, parallelism_, [name, sink]() {
-        return std::make_unique<SinkOperator>(name, sink);
-      });
+      name, parallelism_,
+      [name, sink]() { return std::make_unique<SinkOperator>(name, sink); },
+      traits);
   STREAMLINE_CHECK_OK(
       env_->graph_.Connect(node_, node, PartitionScheme::kForward));
 }
@@ -176,10 +181,14 @@ DataStream KeyedStream::Reduce(KeyedReduceOperator::ReduceFn fn,
   if (name.empty()) name = env_->AutoName("reduce");
   const int parallelism = env_->parallelism();
   KeySelector key = key_;
+  NodeTraits traits;
+  traits.keyed_state = true;
   const int node = env_->graph_.AddOperator(
-      name, parallelism, [name, key, fn = std::move(fn)]() {
+      name, parallelism,
+      [name, key, fn = std::move(fn)]() {
         return std::make_unique<KeyedReduceOperator>(name, key, fn);
-      });
+      },
+      traits);
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
       upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
       key_hash_));
@@ -206,11 +215,16 @@ DataStream KeyedStream::IntervalJoin(const KeyedStream& right, Duration lower,
   const int parallelism = env_->parallelism();
   KeySelector lk = key_;
   KeySelector rk = right.key_;
+  NodeTraits traits;
+  traits.keyed_state = true;
+  traits.requires_watermarks = true;
   const int node = env_->graph_.AddOperator(
-      name, parallelism, [name, lk, rk, lower, upper]() {
+      name, parallelism,
+      [name, lk, rk, lower, upper]() {
         return std::make_unique<IntervalJoinOperator>(name, lk, rk, lower,
                                                       upper);
-      });
+      },
+      traits);
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
       upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
       key_hash_));
@@ -231,10 +245,15 @@ DataStream KeyedStream::TemporalJoin(const KeyedStream& table,
   spec.table_key = table.key_;
   spec.emit_unmatched = emit_unmatched;
   spec.table_width = table_width;
+  NodeTraits traits;
+  traits.keyed_state = true;
+  traits.requires_watermarks = true;
   const int node = env_->graph_.AddOperator(
-      name, parallelism, [name, spec]() {
+      name, parallelism,
+      [name, spec]() {
         return std::make_unique<TemporalJoinOperator>(name, spec);
-      });
+      },
+      traits);
   STREAMLINE_CHECK_OK(env_->graph_.Connect(
       upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,
       key_hash_));
@@ -260,10 +279,13 @@ DataStream WindowedStream::Aggregate(DynAggKind kind, size_t value_field,
   spec.windows = windows_;
   spec.backend = backend;
   spec.allowed_lateness = allowed_lateness_;
+  NodeTraits traits;
+  traits.requires_watermarks = true;
+  traits.keyed_state = keyed;
   const int node = env_->graph_.AddOperator(
-      name, parallelism, [name, spec]() {
-        return std::make_unique<WindowAggOperator>(name, spec);
-      });
+      name, parallelism,
+      [name, spec]() { return std::make_unique<WindowAggOperator>(name, spec); },
+      traits);
   if (keyed) {
     STREAMLINE_CHECK_OK(env_->graph_.Connect(
         upstream_, node, PartitionScheme::kHash, key_, 0, key_field_,

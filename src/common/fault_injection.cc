@@ -45,7 +45,7 @@ FaultInjector::Rule FaultInjector::FailWithProbability(std::string site,
 }
 
 void FaultInjector::AddRule(Rule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(RuleState{std::move(rule), 0, 0});
 }
 
@@ -56,14 +56,14 @@ Status FaultInjector::Fire(RuleState* rs, std::string_view site,
   const std::string msg =
       "injected fault at '" + std::string(site) + "' (" + why + ")";
   if (rs->rule.kind == FaultKind::kThrow) {
-    // The lock_guard in the caller unwinds with the exception.
+    // The MutexLock in the caller unwinds with the exception.
     throw std::runtime_error(msg);
   }
   return Status::Internal(msg);
 }
 
 Status FaultInjector::OnHit(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bool counted = false;
   for (auto& [s, n] : site_hits_) {
     if (s == site) {
@@ -93,7 +93,7 @@ Status FaultInjector::OnHit(std::string_view site) {
 
 Status FaultInjector::OnCheckpoint(std::string_view site,
                                    uint64_t checkpoint_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (RuleState& rs : rules_) {
     if (rs.rule.at_checkpoint == 0) continue;
     if (!SiteMatches(rs.rule.site, site)) continue;
@@ -105,12 +105,12 @@ Status FaultInjector::OnCheckpoint(std::string_view site,
 }
 
 uint64_t FaultInjector::fires() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fires_;
 }
 
 uint64_t FaultInjector::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [s, n] : site_hits_) {
     if (s == site) return n;
   }

@@ -2,14 +2,15 @@
 #define STREAMLINE_COMMON_FAULT_INJECTION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace streamline {
 
@@ -88,13 +89,15 @@ class FaultInjector {
   };
 
   /// Fires rule `rs` for `site`: throws or returns an error Status.
-  Status Fire(RuleState* rs, std::string_view site, const std::string& why);
+  Status Fire(RuleState* rs, std::string_view site, const std::string& why)
+      STREAMLINE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<RuleState> rules_;
-  std::vector<std::pair<std::string, uint64_t>> site_hits_;
-  uint64_t fires_ = 0;
+  mutable Mutex mu_;
+  Rng rng_ STREAMLINE_GUARDED_BY(mu_);
+  std::vector<RuleState> rules_ STREAMLINE_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, uint64_t>> site_hits_
+      STREAMLINE_GUARDED_BY(mu_);
+  uint64_t fires_ STREAMLINE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace streamline

@@ -3,16 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace streamline {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
-// Serializes writes so concurrent tasks do not interleave lines.
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex();
+// Serializes writes so concurrent tasks do not interleave lines. Leaked so
+// logging stays usable during static destruction.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex();
   return *mu;
 }
 
@@ -57,7 +59,7 @@ LogMessage::~LogMessage() {
   const bool fatal = level_ == LogLevel::kFatal;
   if (fatal || static_cast<int>(level_) >=
                    g_min_level.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(&LogMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

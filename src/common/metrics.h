@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace streamline {
 
@@ -63,12 +65,12 @@ class Histogram {
   static int BucketFor(double value);
   static double BucketLowerBound(int bucket);
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  mutable Mutex mu_;
+  std::vector<uint64_t> buckets_ STREAMLINE_GUARDED_BY(mu_);
+  uint64_t count_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  double sum_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  double min_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  double max_ STREAMLINE_GUARDED_BY(mu_) = 0;
 };
 
 /// Wall-clock stopwatch for benchmark harness timing.
@@ -101,10 +103,13 @@ class MetricsRegistry {
   static MetricsRegistry* Default();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      STREAMLINE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      STREAMLINE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      STREAMLINE_GUARDED_BY(mu_);
 };
 
 }  // namespace streamline

@@ -1,11 +1,12 @@
 #ifndef STREAMLINE_COMMON_QUEUE_H_
 #define STREAMLINE_COMMON_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace streamline {
 
@@ -26,37 +27,39 @@ class BoundedQueue {
   /// Blocks until there is room or the queue is closed. Returns false when
   /// the element was rejected because the queue is closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; returns false when full or closed.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an element is available or the queue is closed and empty.
   /// Returns nullopt only at end-of-queue.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    std::optional<T> item;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -64,12 +67,12 @@ class BoundedQueue {
   std::optional<T> TryPop() {
     std::optional<T> item;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -77,20 +80,20 @@ class BoundedQueue {
   /// is buffered and then see end-of-queue.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -98,11 +101,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ STREAMLINE_GUARDED_BY(mu_);
+  bool closed_ STREAMLINE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamline

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace streamline {
 
@@ -126,8 +126,8 @@ class Doorbell {
     if (parked_.load(std::memory_order_seq_cst)) {
       // Empty critical section: serializes with the consumer between its
       // predicate check and its wait, so the notify cannot fall in between.
-      { std::lock_guard<std::mutex> lock(mu_); }
-      cv_.notify_one();
+      { MutexLock lock(&mu_); }
+      cv_.NotifyOne();
     }
   }
 
@@ -135,17 +135,19 @@ class Doorbell {
   /// `ready` must be safe to call from the consumer thread only.
   template <typename Pred>
   void Park(Pred ready) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     parked_.store(true, std::memory_order_seq_cst);
     while (!ready()) {
-      cv_.wait_for(lock, std::chrono::milliseconds(1));
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
     parked_.store(false, std::memory_order_seq_cst);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // mu_ only orders the park/ring handshake; the state itself (parked_) is
+  // an atomic, so nothing is GUARDED_BY it.
+  Mutex mu_;
+  CondVar cv_;
   std::atomic<bool> parked_{false};
 };
 
@@ -233,9 +235,9 @@ class SpscChannel {
   void Close() {
     closed_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     if (doorbell_ != nullptr) doorbell_->Ring();
   }
 
@@ -254,20 +256,20 @@ class SpscChannel {
   static constexpr int kPushSpinBudget = 64;
 
   void WaitNotFull() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     producer_waiting_.store(true, std::memory_order_seq_cst);
     if (!closed_.load(std::memory_order_acquire) && ring_.Full()) {
       // Timed backstop: a pop racing with the waiting-flag handshake can
       // at worst delay us one period, never strand us.
-      not_full_.wait_for(lock, std::chrono::milliseconds(1));
+      not_full_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
     producer_waiting_.store(false, std::memory_order_seq_cst);
   }
 
   void NotifyNotFull() {
     if (producer_waiting_.load(std::memory_order_seq_cst)) {
-      { std::lock_guard<std::mutex> lock(mu_); }
-      not_full_.notify_one();
+      { MutexLock lock(&mu_); }
+      not_full_.NotifyOne();
     }
   }
 
@@ -275,9 +277,10 @@ class SpscChannel {
   Doorbell* doorbell_;
   std::atomic<bool> closed_{false};
 
-  // Slow path only: producer backpressure parking.
-  std::mutex mu_;
-  std::condition_variable not_full_;
+  // Slow path only: producer backpressure parking. Like Doorbell, mu_ just
+  // orders the handshake around atomics; no fields are GUARDED_BY it.
+  Mutex mu_;
+  CondVar not_full_;
   std::atomic<bool> producer_waiting_{false};
 };
 

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+
 namespace streamline {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -34,6 +36,12 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+void Status::IgnoreError(std::string_view reason) const {
+  if (!ok()) {
+    LOG_DEBUG << "ignored status [" << reason << "]: " << ToString();
+  }
 }
 
 }  // namespace streamline

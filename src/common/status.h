@@ -28,7 +28,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// Lightweight status object used throughout the library instead of
 /// exceptions. A default-constructed Status is OK.
-class Status {
+///
+/// The class-level [[nodiscard]] makes dropping any by-value Status a
+/// compile warning (-Werror=unused-result in this build): callers must
+/// propagate it or consume it explicitly via IgnoreError() with a reason.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -70,6 +74,12 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly consumes this status. The one sanctioned way to drop a
+  /// Status: states at the call site *why* ignoring is safe, and logs
+  /// non-OK values at debug level so silently-swallowed errors remain
+  /// observable. `reason` should say why the error cannot matter here.
+  void IgnoreError(std::string_view reason) const;
+
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
@@ -97,8 +107,10 @@ class StatusError : public std::exception {
 };
 
 /// Result<T> is either a value or an error Status (like absl::StatusOr).
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors StatusOr.
   Result(T value) : value_(std::move(value)) {}

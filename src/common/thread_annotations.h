@@ -1,0 +1,71 @@
+#ifndef STREAMLINE_COMMON_THREAD_ANNOTATIONS_H_
+#define STREAMLINE_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros.
+//
+// These drive `-Wthread-safety`: each lock-protected field is annotated with
+// the mutex that guards it (STREAMLINE_GUARDED_BY), and each function that
+// must run under a lock declares it (STREAMLINE_REQUIRES). The analysis then
+// proves, per translation unit, that every access happens with the right
+// capability held -- turning data races from "maybe TSan catches it" into a
+// compile error. Under compilers without the attributes (GCC) the macros
+// expand to nothing, so the annotations are free documentation.
+//
+// Only src/common/mutex.h should apply the capability/acquire/release
+// attributes; everything else uses GUARDED_BY / REQUIRES / EXCLUDES on its
+// own members and methods.
+
+#if defined(__clang__)
+#define STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// Marks a type as a capability ("mutex").
+#define STREAMLINE_CAPABILITY(x) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII type whose lifetime holds a capability.
+#define STREAMLINE_SCOPED_CAPABILITY \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Field `x` may only be read/written while `mu` is held.
+#define STREAMLINE_GUARDED_BY(mu) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(mu))
+
+// The pointed-to data (not the pointer itself) is guarded by `mu`.
+#define STREAMLINE_PT_GUARDED_BY(mu) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(mu))
+
+// Caller must hold the capability (exclusively / shared) to call.
+#define STREAMLINE_REQUIRES(...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define STREAMLINE_REQUIRES_SHARED(...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE( \
+      requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define STREAMLINE_ACQUIRE(...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define STREAMLINE_RELEASE(...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `b`.
+#define STREAMLINE_TRY_ACQUIRE(b, ...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE( \
+      try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (prevents self-deadlock).
+#define STREAMLINE_EXCLUDES(...) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define STREAMLINE_RETURN_CAPABILITY(x) \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function body. Every use
+// must carry a comment explaining why the invariant holds anyway.
+#define STREAMLINE_NO_THREAD_SAFETY_ANALYSIS \
+  STREAMLINE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // STREAMLINE_COMMON_THREAD_ANNOTATIONS_H_

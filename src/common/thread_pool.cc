@@ -16,25 +16,25 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     STREAMLINE_CHECK(!shutdown_) << "Submit after Shutdown";
     tasks_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!tasks_.empty() || active_ != 0) idle_.Wait(&mu_);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -44,8 +44,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) work_available_.Wait(&mu_);
       if (tasks_.empty()) return;  // shutdown with drained queue
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -53,9 +53,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+      if (tasks_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

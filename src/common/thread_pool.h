@@ -1,12 +1,13 @@
 #ifndef STREAMLINE_COMMON_THREAD_POOL_H_
 #define STREAMLINE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace streamline {
 
@@ -37,13 +38,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> tasks_ STREAMLINE_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ STREAMLINE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamline

@@ -14,7 +14,7 @@ EventLog::EventLog(int num_partitions) {
 }
 
 uint64_t EventLog::Append(int partition, Record record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STREAMLINE_CHECK(!closed_) << "append to closed log";
   STREAMLINE_CHECK_GE(partition, 0);
   STREAMLINE_CHECK_LT(partition, static_cast<int>(partitions_.size()));
@@ -33,12 +33,12 @@ uint64_t EventLog::AppendByKey(size_t key_field, Record record) {
 }
 
 uint64_t EventLog::EndOffset(int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return partitions_[partition].records.size();
 }
 
 Result<Record> EventLog::Read(int partition, uint64_t offset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto& records = partitions_[partition].records;
   if (offset >= records.size()) {
     return Status::NotFound("offset " + std::to_string(offset) +
@@ -49,12 +49,12 @@ Result<Record> EventLog::Read(int partition, uint64_t offset) const {
 }
 
 void EventLog::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   closed_ = true;
 }
 
 bool EventLog::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 

@@ -2,9 +2,10 @@
 #define STREAMLINE_DATAFLOW_EVENT_LOG_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dataflow/source.h"
 
 namespace streamline {
@@ -42,9 +43,9 @@ class EventLog {
     std::vector<Record> records;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Partition> partitions_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::vector<Partition> partitions_ STREAMLINE_GUARDED_BY(mu_);
+  bool closed_ STREAMLINE_GUARDED_BY(mu_) = false;
 };
 
 /// Source reading one or more partitions of an EventLog. Each source

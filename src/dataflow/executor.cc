@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/spsc_ring.h"
 #include "dataflow/events.h"
+#include "dataflow/graph_validator.h"
 #include "dataflow/operator.h"
 #include "dataflow/source.h"
 
@@ -707,13 +708,15 @@ class Task {
 Job::~Job() {
   if (started_.load() && !finished_.load()) {
     Cancel();
-    AwaitCompletion().ok();
+    AwaitCompletion().IgnoreError(
+        "destructor teardown after Cancel; any failure was already "
+        "observable via Run()/FirstFailure()");
   }
 }
 
 Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
                                          JobOptions options) {
-  STREAMLINE_RETURN_IF_ERROR(graph.Validate());
+  STREAMLINE_RETURN_IF_ERROR(ValidateGraph(graph));
   auto job = std::unique_ptr<Job>(new Job());
   job->options_ = options;
 
@@ -735,6 +738,7 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
     }
   }
   // Group members in topological order.
+  // lint:allow(unordered-map-hot-path): plan construction, once per job
   std::unordered_map<int, std::vector<int>> groups;
   std::vector<int> group_order;
   for (int id : topo) {
@@ -745,6 +749,7 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
 
   // 2) Instantiate tasks.
   // task_index[head][subtask] -> index into job->tasks_.
+  // lint:allow(unordered-map-hot-path): plan construction, once per job
   std::unordered_map<int, std::vector<size_t>> task_index;
   for (int head : group_order) {
     const std::vector<int>& members = groups[head];
@@ -910,14 +915,14 @@ Status Job::AwaitCompletion() {
 }
 
 Status Job::FirstFailure() const {
-  std::lock_guard<std::mutex> lock(failure_mu_);
+  MutexLock lock(&failure_mu_);
   return first_failure_;
 }
 
 void Job::ReportTaskFailure(const std::string& task_name,
                             const Status& status) {
   {
-    std::lock_guard<std::mutex> lock(failure_mu_);
+    MutexLock lock(&failure_mu_);
     if (first_failure_.ok()) {
       first_failure_ = Status(status.code(), "task '" + task_name +
                                                  "' failed: " +

@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dataflow/graph.h"
 #include "dataflow/snapshot.h"
 
@@ -118,8 +119,8 @@ class Job {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
-  mutable std::mutex failure_mu_;
-  Status first_failure_;  // guarded by failure_mu_
+  mutable Mutex failure_mu_;
+  Status first_failure_ STREAMLINE_GUARDED_BY(failure_mu_);
   MetricsRegistry metrics_;
 };
 

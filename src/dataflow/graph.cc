@@ -21,7 +21,7 @@ std::string_view PartitionSchemeToString(PartitionScheme scheme) {
 }
 
 int LogicalGraph::AddSource(std::string name, int parallelism,
-                            SourceFactory factory) {
+                            SourceFactory factory, NodeTraits traits) {
   STREAMLINE_CHECK_GT(parallelism, 0);
   GraphNode node;
   node.id = static_cast<int>(nodes_.size());
@@ -29,12 +29,13 @@ int LogicalGraph::AddSource(std::string name, int parallelism,
   node.parallelism = parallelism;
   node.is_source = true;
   node.source_factory = std::move(factory);
+  node.traits = traits;
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }
 
 int LogicalGraph::AddOperator(std::string name, int parallelism,
-                              OperatorFactory factory) {
+                              OperatorFactory factory, NodeTraits traits) {
   STREAMLINE_CHECK_GT(parallelism, 0);
   GraphNode node;
   node.id = static_cast<int>(nodes_.size());
@@ -42,6 +43,7 @@ int LogicalGraph::AddOperator(std::string name, int parallelism,
   node.parallelism = parallelism;
   node.is_source = false;
   node.op_factory = std::move(factory);
+  node.traits = traits;
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }

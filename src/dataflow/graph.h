@@ -9,6 +9,25 @@
 
 namespace streamline {
 
+/// Semantic traits the API layer attaches to a node. The factories are
+/// opaque closures, so properties the plan validator needs -- does this
+/// source emit watermarks, does this operator depend on event time or hold
+/// keyed state -- must be declared here by whoever builds the graph.
+/// Consumed by GraphValidator (graph_validator.h) at job-submission time.
+struct NodeTraits {
+  /// Sources only: the source advances event time. False for watermark-less
+  /// sources (watermark_every == 0), which starve event-time operators.
+  bool emits_watermarks = true;
+  /// Operator output depends on event-time progress (windows, interval
+  /// joins): it must sit downstream of watermark-emitting sources.
+  bool requires_watermarks = false;
+  /// Operator holds per-key state: its inputs must be key-partitioned
+  /// (a kHash edge, possibly relayed over forward edges).
+  bool keyed_state = false;
+  /// Terminal consumer; used for sink-specific reachability diagnostics.
+  bool is_sink = false;
+};
+
 /// One vertex of the logical dataflow graph: a source or an operator with a
 /// parallelism degree.
 struct GraphNode {
@@ -18,6 +37,7 @@ struct GraphNode {
   bool is_source = false;
   OperatorFactory op_factory;      // non-sources
   SourceFactory source_factory;    // sources
+  NodeTraits traits;
 };
 
 /// Directed edge with a partitioning scheme. `input_ordinal` distinguishes
@@ -44,10 +64,12 @@ struct GraphEdge {
 class LogicalGraph {
  public:
   /// Adds a source vertex; returns its node id.
-  int AddSource(std::string name, int parallelism, SourceFactory factory);
+  int AddSource(std::string name, int parallelism, SourceFactory factory,
+                NodeTraits traits = {});
 
   /// Adds an operator vertex; returns its node id.
-  int AddOperator(std::string name, int parallelism, OperatorFactory factory);
+  int AddOperator(std::string name, int parallelism, OperatorFactory factory,
+                  NodeTraits traits = {});
 
   /// Connects `from` -> `to`. kHash requires `key`. kForward requires equal
   /// parallelism on both endpoints. Pass `key_field` >= 0 when the key is a
@@ -65,6 +87,13 @@ class LogicalGraph {
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const std::vector<GraphEdge>& edges() const { return edges_; }
   const GraphNode& node(int id) const { return nodes_[id]; }
+
+  /// Escape hatches for plan rewriting and for validator tests that need
+  /// graph shapes Connect() itself refuses to build (GraphValidator is the
+  /// defense-in-depth layer behind those Connect-time checks). Regular
+  /// pipeline construction should never need these.
+  GraphNode& mutable_node(int id) { return nodes_[id]; }
+  GraphEdge& mutable_edge(size_t index) { return edges_[index]; }
 
   std::vector<const GraphEdge*> InEdges(int id) const;
   std::vector<const GraphEdge*> OutEdges(int id) const;

@@ -1,0 +1,290 @@
+#include "dataflow/graph_validator.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace streamline {
+namespace {
+
+std::string NodeRef(const LogicalGraph& g, int id) {
+  return "'" + g.node(id).name + "' (node " + std::to_string(id) + ")";
+}
+
+std::string EdgeRef(const LogicalGraph& g, int edge_index) {
+  const GraphEdge& e = g.edges()[edge_index];
+  return "edge " + std::to_string(edge_index) + " " + g.node(e.from).name +
+         " -> " + g.node(e.to).name;
+}
+
+void CheckStructure(const LogicalGraph& g,
+                    std::vector<GraphDiagnostic>& out) {
+  if (g.nodes().empty()) {
+    out.push_back({GraphRule::kStructure, -1, -1, "graph is empty"});
+    return;
+  }
+  bool has_source = false;
+  for (const GraphNode& n : g.nodes()) {
+    if (n.is_source) {
+      has_source = true;
+      if (!n.source_factory) {
+        out.push_back({GraphRule::kStructure, n.id, -1,
+                       "source " + NodeRef(g, n.id) + " has no factory"});
+      }
+      if (!g.InEdges(n.id).empty()) {
+        out.push_back({GraphRule::kStructure, n.id, -1,
+                       "source " + NodeRef(g, n.id) + " has inputs"});
+      }
+    } else {
+      if (!n.op_factory) {
+        out.push_back({GraphRule::kStructure, n.id, -1,
+                       "operator " + NodeRef(g, n.id) + " has no factory"});
+      }
+      if (g.InEdges(n.id).empty()) {
+        out.push_back({GraphRule::kStructure, n.id, -1,
+                       "operator " + NodeRef(g, n.id) + " has no inputs"});
+      }
+    }
+  }
+  if (!has_source) {
+    out.push_back({GraphRule::kStructure, -1, -1, "graph has no source"});
+  }
+}
+
+void CheckHashEdges(const LogicalGraph& g,
+                    std::vector<GraphDiagnostic>& out) {
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const GraphEdge& e = g.edges()[i];
+    if (e.scheme != PartitionScheme::kHash) continue;
+    if (e.key == nullptr) {
+      out.push_back({GraphRule::kHashEdgeMissingKey, -1, static_cast<int>(i),
+                     EdgeRef(g, static_cast<int>(i)) +
+                         " is hash-partitioned but has no key selector"});
+    } else if (e.key_hash == nullptr && e.key_field < 0) {
+      out.push_back({GraphRule::kHashEdgeMissingKey, -1, static_cast<int>(i),
+                     EdgeRef(g, static_cast<int>(i)) +
+                         " is hash-partitioned but has neither a key hash "
+                         "function nor a key field for the router"});
+    }
+  }
+}
+
+void CheckAcyclic(const LogicalGraph& g, std::vector<GraphDiagnostic>& out) {
+  const std::vector<int> order = g.TopologicalOrder();
+  if (order.size() == g.nodes().size()) return;
+  std::unordered_set<int> sorted(order.begin(), order.end());
+  std::string cyclic;
+  int witness = -1;
+  for (const GraphNode& n : g.nodes()) {
+    if (sorted.count(n.id)) continue;
+    if (witness < 0) witness = n.id;
+    if (!cyclic.empty()) cyclic += ", ";
+    cyclic += NodeRef(g, n.id);
+  }
+  out.push_back({GraphRule::kCycle, witness, -1,
+                 "graph contains a cycle through " + cyclic});
+}
+
+/// Node ids reachable downstream of `start` (excluding `start` itself
+/// unless it sits on a cycle back to itself).
+std::vector<bool> ReachableFrom(const LogicalGraph& g, int start) {
+  std::vector<bool> seen(g.nodes().size(), false);
+  std::deque<int> frontier{start};
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop_front();
+    for (const GraphEdge* e : g.OutEdges(id)) {
+      if (!seen[e->to]) {
+        seen[e->to] = true;
+        frontier.push_back(e->to);
+      }
+    }
+  }
+  return seen;
+}
+
+void CheckWatermarks(const LogicalGraph& g,
+                     std::vector<GraphDiagnostic>& out) {
+  for (const GraphNode& src : g.nodes()) {
+    if (!src.is_source || src.traits.emits_watermarks) continue;
+    const std::vector<bool> downstream = ReachableFrom(g, src.id);
+    for (const GraphNode& n : g.nodes()) {
+      if (!downstream[n.id] || !n.traits.requires_watermarks) continue;
+      out.push_back(
+          {GraphRule::kWatermarkStarvation, n.id, -1,
+           "event-time operator " + NodeRef(g, n.id) +
+               " is downstream of source " + NodeRef(g, src.id) +
+               ", which never emits watermarks; its event-time results "
+               "would never fire"});
+    }
+  }
+}
+
+void CheckForwardEdges(const LogicalGraph& g,
+                       std::vector<GraphDiagnostic>& out) {
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const GraphEdge& e = g.edges()[i];
+    if (e.scheme != PartitionScheme::kForward) continue;
+    const int pf = g.node(e.from).parallelism;
+    const int pt = g.node(e.to).parallelism;
+    if (pf == pt) continue;
+    out.push_back({GraphRule::kChainAcrossShuffle, -1, static_cast<int>(i),
+                   EdgeRef(g, static_cast<int>(i)) + " is forward but " +
+                       g.node(e.from).name + " has parallelism " +
+                       std::to_string(pf) + " and " + g.node(e.to).name +
+                       " has parallelism " + std::to_string(pt) +
+                       "; forward edges (and operator chains) cannot cross "
+                       "a parallelism change -- use a shuffle edge"});
+  }
+}
+
+/// Walks upstream from `edge` through kForward edges until it finds the
+/// partitioning that actually feeds the chain. Returns the edge index of
+/// the establishing non-forward edge, or -1 when the chain starts at a
+/// source (records arrive in source order, not key-partitioned).
+int TracePartitionOrigin(const LogicalGraph& g, const GraphEdge* edge) {
+  std::unordered_set<int> visited;
+  while (edge->scheme == PartitionScheme::kForward) {
+    if (!visited.insert(edge->from).second) return -1;  // forward cycle
+    const std::vector<const GraphEdge*> ins = g.InEdges(edge->from);
+    if (ins.empty()) return -1;  // reached a source
+    // A forward chain with several inputs is itself malformed; trace the
+    // first input and let the other rules report the rest.
+    edge = ins[0];
+  }
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    if (&g.edges()[i] == edge) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CheckKeyedState(const LogicalGraph& g,
+                     std::vector<GraphDiagnostic>& out) {
+  for (const GraphNode& n : g.nodes()) {
+    if (!n.traits.keyed_state) continue;
+    for (const GraphEdge* in : g.InEdges(n.id)) {
+      if (in->scheme == PartitionScheme::kHash) continue;  // sound
+      if (in->scheme == PartitionScheme::kRebalance ||
+          in->scheme == PartitionScheme::kBroadcast) {
+        out.push_back(
+            {GraphRule::kKeyedStatePartitioning, n.id, -1,
+             "keyed-state operator " + NodeRef(g, n.id) + " is fed by a " +
+                 std::string(PartitionSchemeToString(in->scheme)) +
+                 " edge from " + NodeRef(g, in->from) +
+                 "; records of one key would scatter across subtasks -- "
+                 "key-partition the input with a hash edge"});
+        continue;
+      }
+      // kForward: legal only as a relay of an upstream hash partitioning
+      // established at the same parallelism.
+      const int origin = TracePartitionOrigin(g, in);
+      if (origin < 0 ||
+          g.edges()[origin].scheme != PartitionScheme::kHash) {
+        out.push_back(
+            {GraphRule::kKeyedStatePartitioning, n.id, -1,
+             "keyed-state operator " + NodeRef(g, n.id) +
+                 " is fed by a forward edge from " + NodeRef(g, in->from) +
+                 " with no hash partitioning anywhere upstream; its input "
+                 "is not key-partitioned"});
+      } else if (g.node(g.edges()[origin].to).parallelism != n.parallelism) {
+        out.push_back(
+            {GraphRule::kKeyedStatePartitioning, n.id, -1,
+             "keyed-state operator " + NodeRef(g, n.id) +
+                 " has parallelism " + std::to_string(n.parallelism) +
+                 " but its key partitioning was established by " +
+                 EdgeRef(g, origin) + " at parallelism " +
+                 std::to_string(g.node(g.edges()[origin].to).parallelism) +
+                 "; the key space would be rescoped in flight"});
+      }
+    }
+  }
+}
+
+void CheckReachability(const LogicalGraph& g,
+                       std::vector<GraphDiagnostic>& out) {
+  std::vector<bool> reached(g.nodes().size(), false);
+  std::deque<int> frontier;
+  for (const GraphNode& n : g.nodes()) {
+    if (n.is_source) {
+      reached[n.id] = true;
+      frontier.push_back(n.id);
+    }
+  }
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop_front();
+    for (const GraphEdge* e : g.OutEdges(id)) {
+      if (!reached[e->to]) {
+        reached[e->to] = true;
+        frontier.push_back(e->to);
+      }
+    }
+  }
+  for (const GraphNode& n : g.nodes()) {
+    if (reached[n.id]) continue;
+    // Nodes with no inputs at all are already reported by kStructure;
+    // repeat only the ones wired to an island of dead upstreams.
+    if (g.InEdges(n.id).empty()) continue;
+    if (n.traits.is_sink) {
+      out.push_back({GraphRule::kUnreachable, n.id, -1,
+                     "sink " + NodeRef(g, n.id) +
+                         " is reachable from no source; nothing will ever "
+                         "be written to it"});
+    } else {
+      out.push_back({GraphRule::kUnreachable, n.id, -1,
+                     "operator " + NodeRef(g, n.id) +
+                         " is reachable from no source"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view GraphRuleToString(GraphRule rule) {
+  switch (rule) {
+    case GraphRule::kStructure:
+      return "structure";
+    case GraphRule::kHashEdgeMissingKey:
+      return "hash-edge-missing-key";
+    case GraphRule::kCycle:
+      return "cycle";
+    case GraphRule::kWatermarkStarvation:
+      return "watermark-starvation";
+    case GraphRule::kChainAcrossShuffle:
+      return "chain-across-shuffle";
+    case GraphRule::kKeyedStatePartitioning:
+      return "keyed-state-partitioning";
+    case GraphRule::kUnreachable:
+      return "unreachable";
+  }
+  return "unknown";
+}
+
+std::vector<GraphDiagnostic> CheckGraph(const LogicalGraph& graph) {
+  std::vector<GraphDiagnostic> out;
+  CheckStructure(graph, out);
+  if (!graph.nodes().empty()) {
+    CheckHashEdges(graph, out);
+    CheckAcyclic(graph, out);
+    CheckWatermarks(graph, out);
+    CheckForwardEdges(graph, out);
+    CheckKeyedState(graph, out);
+    CheckReachability(graph, out);
+  }
+  return out;
+}
+
+Status ValidateGraph(const LogicalGraph& graph) {
+  const std::vector<GraphDiagnostic> diags = CheckGraph(graph);
+  if (diags.empty()) return Status::Ok();
+  std::string message = "plan validation failed:";
+  for (const GraphDiagnostic& d : diags) {
+    message += "\n  [";
+    message += GraphRuleToString(d.rule);
+    message += "] ";
+    message += d.message;
+  }
+  return Status::InvalidArgument(message);
+}
+
+}  // namespace streamline

@@ -1,0 +1,67 @@
+#ifndef STREAMLINE_DATAFLOW_GRAPH_VALIDATOR_H_
+#define STREAMLINE_DATAFLOW_GRAPH_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/graph.h"
+
+namespace streamline {
+
+/// The invariant classes the plan validator checks. Each confirmed
+/// violation produces one GraphDiagnostic tagged with its rule, so tests
+/// and tooling can assert on the class rather than parse messages.
+enum class GraphRule {
+  /// Structural defects Validate() also catches: missing factories,
+  /// operators without inputs, sources with inputs, empty/sourceless graph.
+  kStructure,
+  /// A kHash edge with no key selector, or with neither a key_hash nor a
+  /// key_field the router could hash records by.
+  kHashEdgeMissingKey,
+  /// The graph contains a cycle; the diagnostic names the nodes on it.
+  kCycle,
+  /// An event-time operator (requires_watermarks) is fed, directly or
+  /// transitively, by a source that never emits watermarks: its windows
+  /// would never fire.
+  kWatermarkStarvation,
+  /// A kForward edge between endpoints of different parallelism: the
+  /// chaining contract (subtask i feeds subtask i) is unsatisfiable.
+  kChainAcrossShuffle,
+  /// A keyed-state operator whose input is not key-partitioned at its own
+  /// parallelism: rebalance/broadcast inputs scatter a key across
+  /// subtasks, and a forward relay from a hash edge established at a
+  /// different parallelism rescopes the key space.
+  kKeyedStatePartitioning,
+  /// A node no source can reach. Sinks get a dedicated message since a
+  /// dangling sink usually means a mis-wired pipeline tail.
+  kUnreachable,
+};
+
+std::string_view GraphRuleToString(GraphRule rule);
+
+/// One violation: which rule, where (node id and/or edge index, -1 when not
+/// applicable), and a human-readable message naming the offending node or
+/// edge endpoints.
+struct GraphDiagnostic {
+  GraphRule rule = GraphRule::kStructure;
+  int node = -1;
+  int edge = -1;
+  std::string message;
+};
+
+/// Runs every rule over `graph` and returns all violations (empty when the
+/// plan is sound). Unlike LogicalGraph::Validate(), which stops at the
+/// first structural defect, this collects the full list so a user fixes a
+/// bad plan in one round trip.
+std::vector<GraphDiagnostic> CheckGraph(const LogicalGraph& graph);
+
+/// CheckGraph folded into a Status: Ok when clean, otherwise
+/// InvalidArgument whose message concatenates every diagnostic (one per
+/// line, prefixed with its rule). This is the job-submission gate --
+/// Job::Create calls it before building the physical plan.
+Status ValidateGraph(const LogicalGraph& graph);
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_GRAPH_VALIDATOR_H_

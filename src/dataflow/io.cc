@@ -180,7 +180,7 @@ Status CsvFileSink::WriteErrorLocked() {
 }
 
 Status CsvFileSink::Invoke(const Record& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (write_failed_) return WriteErrorLocked();
   out_ << FormatCsvLine(record) << '\n';
   if (!out_.good()) return WriteErrorLocked();
@@ -189,7 +189,7 @@ Status CsvFileSink::Invoke(const Record& record) {
 }
 
 Status CsvFileSink::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!closed_) {
     out_.flush();
     closed_ = true;
@@ -202,7 +202,7 @@ Status CsvFileSink::Close() {
 }
 
 uint64_t CsvFileSink::lines_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lines_;
 }
 

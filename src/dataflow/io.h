@@ -2,11 +2,12 @@
 #define STREAMLINE_DATAFLOW_IO_H_
 
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/schema.h"
+#include "common/thread_annotations.h"
 #include "dataflow/sink.h"
 #include "dataflow/source.h"
 
@@ -59,14 +60,15 @@ class CsvFileSink : public SinkFunction {
   uint64_t lines_written() const;
 
  private:
-  Status WriteErrorLocked();  // sets the sticky flag, builds the status
+  /// Sets the sticky flag, builds the status.
+  Status WriteErrorLocked() STREAMLINE_REQUIRES(mu_);
 
   std::string path_;
-  mutable std::mutex mu_;
-  std::ofstream out_;
-  uint64_t lines_ = 0;
-  bool closed_ = false;
-  bool write_failed_ = false;
+  mutable Mutex mu_;
+  std::ofstream out_ STREAMLINE_GUARDED_BY(mu_);
+  uint64_t lines_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  bool closed_ STREAMLINE_GUARDED_BY(mu_) = false;
+  bool write_failed_ STREAMLINE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamline

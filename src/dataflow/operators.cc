@@ -217,7 +217,7 @@ size_t IntervalJoinOperator::buffered() const {
 // PrintSink (lives here to keep sink.h header-only aside from this)
 
 Status PrintSink::Invoke(const Record& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::printf("%s%s\n", prefix_.c_str(), record.ToString().c_str());
   return Status::Ok();
 }

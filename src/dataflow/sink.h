@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/record.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/time.h"
 
@@ -45,25 +46,25 @@ class SinkFunction {
 class CollectSink : public SinkFunction {
  public:
   Status Invoke(const Record& record) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     records_.push_back(record);
     return Status::Ok();
   }
 
   void OnBarrier(uint64_t id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     barrier_offsets_.emplace_back(id, records_.size());
   }
 
   std::string Name() const override { return "collect"; }
 
   std::vector<Record> records() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return records_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return records_.size();
   }
 
@@ -73,7 +74,7 @@ class CollectSink : public SinkFunction {
   /// their outputs interleave and no single offset separates pre- from
   /// post-barrier records.
   int64_t BarrierOffset(uint64_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [bid, off] : barrier_offsets_) {
       if (bid == id) return static_cast<int64_t>(off);
     }
@@ -81,15 +82,16 @@ class CollectSink : public SinkFunction {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     records_.clear();
     barrier_offsets_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Record> records_;
-  std::vector<std::pair<uint64_t, size_t>> barrier_offsets_;
+  mutable Mutex mu_;
+  std::vector<Record> records_ STREAMLINE_GUARDED_BY(mu_);
+  std::vector<std::pair<uint64_t, size_t>> barrier_offsets_
+      STREAMLINE_GUARDED_BY(mu_);
 };
 
 /// Calls a user function per record; thread-safe iff the function is.
@@ -135,7 +137,7 @@ class NullSink : public SinkFunction {
 class TransactionalCollectSink : public SinkFunction {
  public:
   Status Invoke(const Record& record) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_.push_back(record);
     return Status::Ok();
   }
@@ -144,13 +146,13 @@ class TransactionalCollectSink : public SinkFunction {
   /// replays from the last complete checkpoint, so keeping these pending
   /// records would duplicate them.
   void OnRestart() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     aborted_ += pending_.size();
     pending_.clear();
   }
 
   void OnBarrier(uint64_t id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     committed_.insert(committed_.end(),
                       std::make_move_iterator(pending_.begin()),
                       std::make_move_iterator(pending_.end()));
@@ -162,29 +164,31 @@ class TransactionalCollectSink : public SinkFunction {
 
   /// Records covered by a committed transaction; survives a crash.
   std::vector<Record> committed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return committed_;
   }
   size_t pending_size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return pending_.size();
   }
   uint64_t last_committed_checkpoint() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return last_committed_checkpoint_;
   }
   /// Total records dropped by OnRestart() transaction aborts.
   size_t aborted() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return aborted_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Record> pending_;    // open transaction (lost on crash)
-  std::vector<Record> committed_;  // durable
-  size_t aborted_ = 0;
-  uint64_t last_committed_checkpoint_ = 0;
+  mutable Mutex mu_;
+  // Open transaction (lost on crash).
+  std::vector<Record> pending_ STREAMLINE_GUARDED_BY(mu_);
+  // Durable.
+  std::vector<Record> committed_ STREAMLINE_GUARDED_BY(mu_);
+  size_t aborted_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  uint64_t last_committed_checkpoint_ STREAMLINE_GUARDED_BY(mu_) = 0;
 };
 
 /// Prints each record to stdout (serialized by an internal mutex).
@@ -195,7 +199,7 @@ class PrintSink : public SinkFunction {
   std::string Name() const override { return "print"; }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
   std::string prefix_;
 };
 

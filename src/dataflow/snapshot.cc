@@ -19,14 +19,14 @@ namespace fs = std::filesystem;
 
 void SnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
                         std::string bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   data_[checkpoint_id][key] = std::move(bytes);
   max_id_ = std::max(max_id_, checkpoint_id);
 }
 
 Result<std::string> SnapshotStore::Get(uint64_t checkpoint_id,
                                        const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto cp = data_.find(checkpoint_id);
   if (cp == data_.end()) {
     return Status::NotFound("no checkpoint " + std::to_string(checkpoint_id));
@@ -40,19 +40,19 @@ Result<std::string> SnapshotStore::Get(uint64_t checkpoint_id,
 }
 
 bool SnapshotStore::Has(uint64_t checkpoint_id, const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto cp = data_.find(checkpoint_id);
   return cp != data_.end() && cp->second.count(key) > 0;
 }
 
 size_t SnapshotStore::NumEntries(uint64_t checkpoint_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto cp = data_.find(checkpoint_id);
   return cp == data_.end() ? 0 : cp->second.size();
 }
 
 std::vector<uint64_t> SnapshotStore::CheckpointIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> ids;
   ids.reserve(data_.size());
   for (const auto& [id, entries] : data_) ids.push_back(id);
@@ -60,7 +60,7 @@ std::vector<uint64_t> SnapshotStore::CheckpointIds() const {
 }
 
 size_t SnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto cp = data_.find(checkpoint_id);
   if (cp == data_.end()) return 0;
   size_t total = 0;
@@ -69,7 +69,7 @@ size_t SnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
 }
 
 void SnapshotStore::MarkComplete(uint64_t checkpoint_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   completed_.insert(checkpoint_id);
   max_id_ = std::max(max_id_, checkpoint_id);
   std::vector<uint64_t> all;
@@ -83,33 +83,33 @@ void SnapshotStore::MarkComplete(uint64_t checkpoint_id) {
 }
 
 uint64_t SnapshotStore::LatestComplete() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return completed_.empty() ? 0 : *completed_.rbegin();
 }
 
 std::vector<uint64_t> SnapshotStore::CompletedCheckpoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::vector<uint64_t>(completed_.begin(), completed_.end());
 }
 
 uint64_t SnapshotStore::MaxCheckpointId() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_id_;
 }
 
 void SnapshotStore::Drop(uint64_t checkpoint_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   data_.erase(checkpoint_id);
   completed_.erase(checkpoint_id);
 }
 
 void SnapshotStore::RetainLast(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   retain_last_ = std::max<size_t>(n, 1);
 }
 
 size_t SnapshotStore::retain_last() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return retain_last_;
 }
 
@@ -170,7 +170,7 @@ FileSnapshotStore::FileSnapshotStore(std::string root_dir)
   fs::create_directories(root_, ec);
   STREAMLINE_CHECK(!ec) << "cannot create snapshot dir '" << root_
                         << "': " << ec.message();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (uint64_t id : ScanIdsLocked()) max_id_ = std::max(max_id_, id);
 }
 
@@ -229,7 +229,7 @@ void FileSnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
               << "') failed: " << st.ToString();
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   max_id_ = std::max(max_id_, checkpoint_id);
 }
 
@@ -284,7 +284,7 @@ size_t FileSnapshotStore::NumEntries(uint64_t checkpoint_id) const {
 }
 
 std::vector<uint64_t> FileSnapshotStore::CheckpointIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ScanIdsLocked();
 }
 
@@ -337,7 +337,7 @@ void FileSnapshotStore::MarkComplete(uint64_t checkpoint_id) {
   const size_t retain = retain_last();  // locks mu_; must precede the guard
   std::vector<uint64_t> prune;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     max_id_ = std::max(max_id_, checkpoint_id);
     prune = PruneList(ScanIdsLocked(), ScanCompletedLocked(), retain);
   }
@@ -345,18 +345,18 @@ void FileSnapshotStore::MarkComplete(uint64_t checkpoint_id) {
 }
 
 uint64_t FileSnapshotStore::LatestComplete() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::vector<uint64_t> done = ScanCompletedLocked();
   return done.empty() ? 0 : done.back();
 }
 
 std::vector<uint64_t> FileSnapshotStore::CompletedCheckpoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ScanCompletedLocked();
 }
 
 uint64_t FileSnapshotStore::MaxCheckpointId() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t max_id = max_id_;
   for (uint64_t id : ScanIdsLocked()) max_id = std::max(max_id, id);
   return max_id;
@@ -372,7 +372,7 @@ void FileSnapshotStore::Drop(uint64_t checkpoint_id) {
 
 void CheckpointCoordinator::RegisterSourceTrigger(
     std::function<void(uint64_t)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   source_triggers_.push_back(std::move(fn));
 }
 
@@ -380,7 +380,7 @@ uint64_t CheckpointCoordinator::Trigger() {
   std::vector<std::function<void(uint64_t)>> triggers;
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = next_id_++;
     acks_[id] = 0;
     triggers = source_triggers_;
@@ -392,7 +392,7 @@ uint64_t CheckpointCoordinator::Trigger() {
 void CheckpointCoordinator::AckTask(uint64_t checkpoint_id) {
   bool completed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const int acks = ++acks_[checkpoint_id];
     if (acks == expected_acks_) {
       completed = true;
@@ -404,30 +404,37 @@ void CheckpointCoordinator::AckTask(uint64_t checkpoint_id) {
     // (file deletion on durable stores).
     store_->MarkComplete(checkpoint_id);
   }
-  complete_cv_.notify_all();
+  complete_cv_.NotifyAll();
 }
 
 bool CheckpointCoordinator::AwaitCompletion(uint64_t id,
                                             double timeout_seconds) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return complete_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds),
-      [&] { return acks_[id] >= expected_acks_; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(&mu_);
+  while (acks_[id] < expected_acks_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    complete_cv_.WaitFor(&mu_, deadline - now);
+  }
+  return true;
 }
 
 bool CheckpointCoordinator::IsComplete(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = acks_.find(id);
   return it != acks_.end() && it->second >= expected_acks_;
 }
 
 uint64_t CheckpointCoordinator::latest_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return latest_completed_;
 }
 
 uint64_t CheckpointCoordinator::last_triggered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_id_ - 1;
 }
 

@@ -1,17 +1,17 @@
 #ifndef STREAMLINE_DATAFLOW_SNAPSHOT_H_
 #define STREAMLINE_DATAFLOW_SNAPSHOT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace streamline {
 
@@ -69,13 +69,15 @@ class SnapshotStore {
                                          const std::vector<uint64_t>& completed,
                                          size_t retain);
 
-  mutable std::mutex mu_;
+  // Shared with FileSnapshotStore, which guards its own max_id_ with it.
+  mutable Mutex mu_;
 
  private:
-  std::map<uint64_t, std::unordered_map<std::string, std::string>> data_;
-  std::set<uint64_t> completed_;
-  uint64_t max_id_ = 0;
-  size_t retain_last_ = 2;
+  std::map<uint64_t, std::unordered_map<std::string, std::string>> data_
+      STREAMLINE_GUARDED_BY(mu_);
+  std::set<uint64_t> completed_ STREAMLINE_GUARDED_BY(mu_);
+  uint64_t max_id_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  size_t retain_last_ STREAMLINE_GUARDED_BY(mu_) = 2;
 };
 
 /// Durable snapshot backend: one directory per checkpoint
@@ -113,13 +115,13 @@ class FileSnapshotStore : public SnapshotStore {
  private:
   std::string CheckpointDir(uint64_t id) const;
   std::string EntryPath(uint64_t id, const std::string& key) const;
-  std::vector<uint64_t> ScanIdsLocked() const;
-  std::vector<uint64_t> ScanCompletedLocked() const;
+  std::vector<uint64_t> ScanIdsLocked() const STREAMLINE_REQUIRES(mu_);
+  std::vector<uint64_t> ScanCompletedLocked() const STREAMLINE_REQUIRES(mu_);
   Status WriteFileAtomic(const std::string& dir, const std::string& file,
                          const std::string& bytes) const;
 
   std::string root_;
-  uint64_t max_id_ = 0;  // guarded by mu_
+  uint64_t max_id_ STREAMLINE_GUARDED_BY(mu_) = 0;
 };
 
 /// Drives asynchronous barrier snapshotting (the checkpoint protocol of the
@@ -156,12 +158,13 @@ class CheckpointCoordinator {
  private:
   SnapshotStore* store_;
   const int expected_acks_;
-  mutable std::mutex mu_;
-  std::condition_variable complete_cv_;
-  std::vector<std::function<void(uint64_t)>> source_triggers_;
-  std::map<uint64_t, int> acks_;
-  uint64_t next_id_ = 1;
-  uint64_t latest_completed_ = 0;
+  mutable Mutex mu_;
+  CondVar complete_cv_;
+  std::vector<std::function<void(uint64_t)>> source_triggers_
+      STREAMLINE_GUARDED_BY(mu_);
+  std::map<uint64_t, int> acks_ STREAMLINE_GUARDED_BY(mu_);
+  uint64_t next_id_ STREAMLINE_GUARDED_BY(mu_) = 1;
+  uint64_t latest_completed_ STREAMLINE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace streamline

@@ -55,7 +55,7 @@ void JobSupervisor::InterruptibleSleep(int64_t ms) {
       std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   while (std::chrono::steady_clock::now() < deadline) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (cancelled_) return;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -63,7 +63,7 @@ void JobSupervisor::InterruptibleSleep(int64_t ms) {
 }
 
 void JobSupervisor::Cancel() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cancelled_ = true;
   if (current_ != nullptr) current_->Cancel();
 }
@@ -78,7 +78,7 @@ Status JobSupervisor::Run() {
 
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (cancelled_) {
         return last_failure.ok()
                    ? Status::Cancelled("supervision cancelled")
@@ -110,12 +110,12 @@ Status JobSupervisor::Run() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       current_ = job->get();
     }
     const Status run_status = (*job)->Run();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       current_ = nullptr;
     }
     if (run_status.ok()) return Status::Ok();

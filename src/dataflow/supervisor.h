@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "dataflow/executor.h"
 #include "dataflow/graph.h"
@@ -91,9 +92,9 @@ class JobSupervisor {
   SupervisionStats stats_;
   Rng jitter_rng_;  // Run() thread only
 
-  std::mutex mu_;
-  Job* current_ = nullptr;  // guarded by mu_
-  bool cancelled_ = false;  // guarded by mu_
+  Mutex mu_;
+  Job* current_ STREAMLINE_GUARDED_BY(mu_) = nullptr;
+  bool cancelled_ STREAMLINE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamline

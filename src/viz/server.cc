@@ -11,7 +11,7 @@ VizServer::VizServer(Duration base_column_width, int levels)
       base_column_width_(base_column_width) {}
 
 void VizServer::OnElement(Timestamp t, double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++ingested_;
   latest_ = std::max(latest_, t);
   // Remember the open column's points before/after to account incremental
@@ -21,7 +21,7 @@ void VizServer::OnElement(Timestamp t, double v) {
 }
 
 void VizServer::OnWatermark(Timestamp wm) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pyramid_.OnWatermark(wm);
   // Push the newly completed region to every following client: each gets
   // at most one column (<= 4 points) per base_column_width of event time,
@@ -47,12 +47,12 @@ void VizServer::OnWatermark(Timestamp wm) {
 }
 
 void VizServer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pyramid_.Flush();
 }
 
 int VizServer::Connect(Viewport viewport) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int id = next_client_++;
   Client client;
   client.viewport = viewport;
@@ -63,7 +63,7 @@ int VizServer::Connect(Viewport viewport) {
 }
 
 void VizServer::Disconnect(int client) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   clients_.erase(client);
 }
 
@@ -77,7 +77,7 @@ std::vector<SeriesPoint> VizServer::FullRefreshLocked(Client* c) {
 }
 
 std::vector<SeriesPoint> VizServer::Zoom(int client, double factor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   Viewport& vp = it->second.viewport;
@@ -91,7 +91,7 @@ std::vector<SeriesPoint> VizServer::Zoom(int client, double factor) {
 }
 
 std::vector<SeriesPoint> VizServer::Pan(int client, Duration delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   Viewport& vp = it->second.viewport;
@@ -102,7 +102,7 @@ std::vector<SeriesPoint> VizServer::Pan(int client, Duration delta) {
 }
 
 std::vector<SeriesPoint> VizServer::Resize(int client, int width_px) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   it->second.viewport.width_px = width_px;
@@ -110,21 +110,21 @@ std::vector<SeriesPoint> VizServer::Resize(int client, int width_px) {
 }
 
 std::vector<SeriesPoint> VizServer::Refresh(int client) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   return FullRefreshLocked(&it->second);
 }
 
 const Viewport& VizServer::viewport(int client) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   return it->second.viewport;
 }
 
 TransferStats VizServer::transfer_stats(int client) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = clients_.find(client);
   STREAMLINE_CHECK(it != clients_.end());
   return it->second.stats;

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "viz/pyramid.h"
 
 namespace streamline {
@@ -63,9 +64,21 @@ class VizServer {
 
   const Viewport& viewport(int client) const;
   TransferStats transfer_stats(int client) const;
-  uint64_t ingested() const { return ingested_; }
-  Timestamp latest() const { return latest_; }
-  const M4Pyramid& pyramid() const { return pyramid_; }
+  uint64_t ingested() const {
+    MutexLock lock(&mu_);
+    return ingested_;
+  }
+  Timestamp latest() const {
+    MutexLock lock(&mu_);
+    return latest_;
+  }
+  /// Direct pyramid access for inspection after the stream has quiesced
+  /// (Flush() called, no concurrent OnElement/OnWatermark). The returned
+  /// reference is not lock-protected, which is why the analysis is off
+  /// here.
+  const M4Pyramid& pyramid() const STREAMLINE_NO_THREAD_SAFETY_ANALYSIS {
+    return pyramid_;
+  }
 
  private:
   struct Client {
@@ -73,16 +86,17 @@ class VizServer {
     TransferStats stats;
   };
 
-  std::vector<SeriesPoint> FullRefreshLocked(Client* c);
+  std::vector<SeriesPoint> FullRefreshLocked(Client* c)
+      STREAMLINE_REQUIRES(mu_);
   static uint64_t PointBytes(size_t n) { return n * 16; }
 
-  mutable std::mutex mu_;
-  M4Pyramid pyramid_;
+  mutable Mutex mu_;
+  M4Pyramid pyramid_ STREAMLINE_GUARDED_BY(mu_);
   Duration base_column_width_;
-  std::map<int, Client> clients_;
-  int next_client_ = 0;
-  uint64_t ingested_ = 0;
-  Timestamp latest_ = kMinTimestamp;
+  std::map<int, Client> clients_ STREAMLINE_GUARDED_BY(mu_);
+  int next_client_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  uint64_t ingested_ STREAMLINE_GUARDED_BY(mu_) = 0;
+  Timestamp latest_ STREAMLINE_GUARDED_BY(mu_) = kMinTimestamp;
 };
 
 }  // namespace streamline

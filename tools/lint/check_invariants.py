@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Engine-invariant lints for the STREAMLINE source tree.
+
+These are repo-specific rules that generic tooling (clang-tidy, compiler
+warnings) cannot express. Each rule guards an invariant the engine's
+performance or correctness story depends on:
+
+  raw-mutex
+      All locking goes through the annotated wrappers in
+      src/common/mutex.h so Clang thread-safety analysis sees every
+      critical section. Raw std::mutex / std::lock_guard /
+      std::condition_variable anywhere else is invisible to the analysis.
+
+  unordered-map-hot-path
+      Hot-path files must use FlatHashMap (open addressing, no per-node
+      allocation) instead of std::unordered_map for per-record lookups.
+
+  record-copy-hot-path
+      The data plane is allocation-free per record; Records moving through
+      ProcessRecord/Emit chains must be moved, never copied. (Sinks taking
+      `const Record&` copy deliberately -- they are outside the hot set.)
+
+  snapshot-nondeterminism
+      Snapshot/restore paths must be deterministic: no wall-clock reads, no
+      ambient randomness. Monotonic steady_clock timeouts are fine.
+
+Waivers: append `lint:allow(<rule>): <reason>` in a comment on the
+offending line or the line directly above it. Waivers without a reason are
+themselves an error.
+
+Exit status: 0 clean, 1 violations, 2 usage/environment error.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+# The sanctioned home of raw std::mutex primitives.
+MUTEX_HOME = SRC / "common" / "mutex.h"
+
+# Files on the per-record data path. Per-record lookups and copies here are
+# what the paper's single-engine throughput claims rest on.
+HOT_PATH_FILES = [
+    SRC / "dataflow" / "executor.cc",
+    SRC / "dataflow" / "operators.h",
+    SRC / "dataflow" / "operators.cc",
+    SRC / "dataflow" / "window_operator.h",
+    SRC / "dataflow" / "window_operator.cc",
+    SRC / "dataflow" / "temporal_join.h",
+    SRC / "dataflow" / "temporal_join.cc",
+    SRC / "dataflow" / "events.h",
+    SRC / "common" / "spsc_ring.h",
+]
+
+# Files on the snapshot/restore path, where nondeterminism breaks
+# checkpoint reproducibility.
+SNAPSHOT_PATH_PATTERNS = ["*snapshot*", "event_log.*"]
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|condition_variable\w*)\b"
+)
+UNORDERED_MAP_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+# Copy-initializing a Record from an lvalue, or handing a named record to
+# Emit/push_back without std::move.
+RECORD_COPY_RES = [
+    re.compile(r"\bRecord\s+\w+\s*=\s*(?!std::move\b|MakeRecord\b|Record\b)"
+               r"[A-Za-z_]\w*(\.\w+\(\))?\s*;"),
+    re.compile(r"\b(Emit|push_back|emplace_back)\(\s*(record|rec)\s*\)"),
+]
+NONDETERMINISM_RE = re.compile(
+    r"\bstd::chrono::system_clock\b|\bstd::random_device\b|"
+    r"(?<![\w:])rand\s*\(|(?<![\w:_])time\s*\(\s*(NULL|nullptr|0)?\s*\)|"
+    r"\blocaltime\b|\bgmtime\b"
+)
+WAIVER_RE = re.compile(r"lint:allow\(([\w-]+)\)(:\s*\S)?")
+
+
+def waived(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = WAIVER_RE.search(text)
+        if m and m.group(1) == rule:
+            if not m.group(2):
+                return "missing-reason"
+            return "waived"
+    return None
+
+
+def scan_file(path, rules, violations):
+    """rules: list of (rule_name, regex). Appends (path, lineno, rule, line)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    prev = ""
+    for i, line in enumerate(lines, 1):
+        for rule, regex in rules:
+            if not regex.search(line):
+                continue
+            w = waived(rule, line, prev)
+            if w == "waived":
+                continue
+            if w == "missing-reason":
+                violations.append(
+                    (path, i, rule, "waiver has no reason: " + line.strip()))
+                continue
+            violations.append((path, i, rule, line.strip()))
+        prev = line
+
+
+def main():
+    if not SRC.is_dir():
+        print(f"error: {SRC} not found", file=sys.stderr)
+        return 2
+
+    violations = []
+
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
+            continue
+        if path == MUTEX_HOME:
+            continue
+        scan_file(path, [("raw-mutex", RAW_MUTEX_RE)], violations)
+
+    for path in HOT_PATH_FILES:
+        if not path.is_file():
+            print(f"error: hot-path file {path} missing (update the list)",
+                  file=sys.stderr)
+            return 2
+        rules = [("unordered-map-hot-path", UNORDERED_MAP_RE)]
+        rules += [("record-copy-hot-path", r) for r in RECORD_COPY_RES]
+        scan_file(path, rules, violations)
+
+    snapshot_files = set()
+    for pattern in SNAPSHOT_PATH_PATTERNS:
+        snapshot_files.update(SRC.rglob(pattern))
+    for path in sorted(snapshot_files):
+        if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
+            continue
+        scan_file(path, [("snapshot-nondeterminism", NONDETERMINISM_RE)],
+                  violations)
+
+    if violations:
+        for path, lineno, rule, line in violations:
+            rel = path.relative_to(REPO)
+            print(f"{rel}:{lineno}: [{rule}] {line}")
+        print(f"\n{len(violations)} invariant violation(s). Fix them or add "
+              "'lint:allow(<rule>): <reason>' where the pattern is "
+              "intentional.", file=sys.stderr)
+        return 1
+    print("engine invariants clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
