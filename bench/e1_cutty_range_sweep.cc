@@ -10,6 +10,7 @@
 // degrade with the number of overlapping windows (range/slide).
 
 #include <memory>
+#include <string>
 
 #include "agg/techniques.h"
 #include "bench/harness.h"
@@ -77,11 +78,61 @@ RunResult RunOne(AggTechnique technique, Duration range_ms,
   return out;
 }
 
+// OnElement vs OnElements: the same aggregator fed one element per virtual
+// call vs contiguous spans of 256. The batched path folds whole
+// quiet-period runs into the open slice (Cutty) or open windows (Eager)
+// with the AggFoldSpan kernels; outputs are bit-identical by contract.
+template <typename Agg>
+double RunKernel(AggTechnique technique, uint64_t n, size_t batch) {
+  auto agg = MakeAggregator<Agg>(technique);
+  uint64_t fired = 0;
+  agg->AddQuery(
+      std::make_unique<SlidingWindowFn>(64'000, kSlideMs),
+      [&fired](size_t, const Window&, const typename Agg::Output&) {
+        ++fired;
+      });
+  Rng rng(7);
+  std::vector<Timestamp> ts(n);
+  std::vector<typename Agg::Input> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ts[i] = static_cast<Timestamp>(i);
+    values[i] = static_cast<typename Agg::Input>(rng.NextDouble());
+  }
+  Stopwatch sw;
+  if (batch <= 1) {
+    for (uint64_t i = 0; i < n; ++i) agg->OnElement(ts[i], values[i]);
+  } else {
+    for (uint64_t i = 0; i < n; i += batch) {
+      const size_t m = static_cast<size_t>(std::min<uint64_t>(batch, n - i));
+      agg->OnElements(ts.data() + i, values.data() + i, m);
+    }
+  }
+  return sw.ElapsedSeconds();
+}
+
+template <typename Agg>
+void KernelRow(Table* table, bench::JsonReport* report,
+               AggTechnique technique, const char* tname, uint64_t n) {
+  const double per_element_s = RunKernel<Agg>(technique, n, 1);
+  const double spans_s = RunKernel<Agg>(technique, n, 256);
+  table->AddRow({tname, Agg::kName,
+                 bench::Rate(static_cast<double>(n), per_element_s),
+                 bench::Rate(static_cast<double>(n), spans_s),
+                 Fmt("%.2fx", per_element_s / spans_s)});
+  report->Add(Fmt("%s_%s_per_element_rps", tname, Agg::kName),
+              static_cast<double>(n) / per_element_s);
+  report->Add(Fmt("%s_%s_on_elements_rps", tname, Agg::kName),
+              static_cast<double>(n) / spans_s);
+}
+
 void Run() {
   bench::Header(
       "E1: single-query sliding window SUM, range sweep (slide = 1 s)",
       "Cutty outperforms previous solutions by orders of magnitude; its "
       "cost is independent of the window range");
+
+  bench::JsonReport report("BENCH_E1.json");
+  report.AddString("bench", "e1_cutty_range_sweep");
 
   const Duration ranges_s[] = {16, 64, 256, 1024, 4096, 16384};
   const AggTechnique techniques[] = {
@@ -95,22 +146,54 @@ void Run() {
                "peak stored", "records"});
   for (Duration rs : ranges_s) {
     for (AggTechnique t : techniques) {
+      const std::string tname(AggTechniqueToString(t));
       const RunResult r = RunOne(t, rs * 1000, kBaseRecords);
       if (r.dnf) {
-        table.AddRow({Fmt("%llds", static_cast<long long>(rs)),
-                      std::string(AggTechniqueToString(t)),
+        table.AddRow({Fmt("%llds", static_cast<long long>(rs)), tname,
                       "dnf (op budget)", "-", "-", "-"});
         continue;
       }
-      table.AddRow({Fmt("%llds", static_cast<long long>(rs)),
-                    std::string(AggTechniqueToString(t)),
+      table.AddRow({Fmt("%llds", static_cast<long long>(rs)), tname,
                     bench::Rate(static_cast<double>(r.records), r.seconds),
                     Fmt("%.2f", r.stats.OpsPerRecord()),
                     bench::Count(static_cast<double>(r.stats.peak_stored)),
                     bench::Count(static_cast<double>(r.records))});
+      report.Add(Fmt("%s_range%lld_rps", tname.c_str(),
+                     static_cast<long long>(rs)),
+                 static_cast<double>(r.records) / r.seconds);
     }
   }
   table.Print();
+
+  {
+    // Vectorized aggregation kernels: per-element OnElement dispatch vs
+    // contiguous OnElements spans (batch path), SUM/COUNT/MIN/MAX, range
+    // 64 s. Eager uses a shorter stream (its per-element cost scales with
+    // overlap); throughput is rate-normalized.
+    Table kernels({"technique", "agg", "OnElement", "OnElements(256)",
+                   "speedup"});
+    constexpr uint64_t kCuttyN = 2'000'000;
+    constexpr uint64_t kEagerN = 500'000;
+    KernelRow<SumAgg<double>>(&kernels, &report, AggTechnique::kCutty,
+                              "cutty", kCuttyN);
+    KernelRow<CountAgg<double>>(&kernels, &report, AggTechnique::kCutty,
+                                "cutty", kCuttyN);
+    KernelRow<MinAgg<double>>(&kernels, &report, AggTechnique::kCutty,
+                              "cutty", kCuttyN);
+    KernelRow<MaxAgg<double>>(&kernels, &report, AggTechnique::kCutty,
+                              "cutty", kCuttyN);
+    KernelRow<SumAgg<double>>(&kernels, &report, AggTechnique::kEager,
+                              "eager", kEagerN);
+    KernelRow<CountAgg<double>>(&kernels, &report, AggTechnique::kEager,
+                                "eager", kEagerN);
+    KernelRow<MinAgg<double>>(&kernels, &report, AggTechnique::kEager,
+                              "eager", kEagerN);
+    KernelRow<MaxAgg<double>>(&kernels, &report, AggTechnique::kEager,
+                              "eager", kEagerN);
+    kernels.Print();
+  }
+
+  report.Write();
 }
 
 }  // namespace

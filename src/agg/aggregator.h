@@ -1,6 +1,7 @@
 #ifndef STREAMLINE_AGG_AGGREGATOR_H_
 #define STREAMLINE_AGG_AGGREGATOR_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,6 +47,17 @@ class WindowAggregator {
 
   void OnElement(Timestamp ts, const Input& value) {
     OnElement(ts, value, Value());
+  }
+
+  /// Processes a contiguous run of `n` elements (parallel arrays, same
+  /// non-decreasing-timestamp contract as OnElement). Semantically identical
+  /// to calling OnElement(ts[i], values[i]) for each i in order -- the
+  /// default does exactly that; aggregators with batch kernels override it.
+  /// Payloads are not supported on this path: punctuation-window users go
+  /// per-element.
+  virtual void OnElements(const Timestamp* ts, const Input* values,
+                          size_t n) {
+    for (size_t i = 0; i < n; ++i) OnElement(ts[i], values[i], Value());
   }
 
   /// Advances the watermark, firing all windows with end <= wm.

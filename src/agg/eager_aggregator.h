@@ -10,6 +10,7 @@
 
 #include "agg/aggregator.h"
 #include "common/logging.h"
+#include "window/aggregate_fn.h"
 
 namespace streamline {
 
@@ -66,6 +67,57 @@ class EagerAggregator : public WindowAggregator<Agg> {
     UpdatePeak();
   }
 
+  /// Batch entry point. After FireUpTo(t0) every open window contains t0,
+  /// so until the next aligned window begin (b0 + slide per query) or the
+  /// earliest open-window end, the set of windows containing an element is
+  /// constant and no fires are due. The whole run is prefolded into one
+  /// partial (contiguous kernel) and combined once per member window,
+  /// replacing one Combine per (element, window) -- associativity is all
+  /// that is needed, since every run element is later in stream order than
+  /// everything previously folded into those windows.
+  void OnElements(const Timestamp* ts, const Input* values,
+                  size_t n) override {
+    size_t i = 0;
+    while (i < n) {
+      const Timestamp t0 = ts[i];
+      FireUpTo(t0);
+      Timestamp horizon = kMaxTimestamp;
+      member_scratch_.clear();
+      for (QueryState& q : queries_) {
+        const Timestamp b0 =
+            q.origin + FloorDiv(t0 - q.origin, q.slide) * q.slide;
+        horizon = std::min(horizon, b0 + q.slide);
+        for (Timestamp b = b0; b > t0 - q.range; b -= q.slide) {
+          if (b > t0) continue;  // can happen only when slide > range
+          const Window w{b, b + q.range};
+          auto [it, inserted] = q.open.try_emplace(w, agg_.Identity());
+          if (inserted) ++stats_.slices_created;
+          // std::map nodes are stable; pointers survive later emplaces.
+          member_scratch_.push_back(&it->second);
+        }
+        if (!q.open.empty()) {
+          horizon = std::min(horizon, q.open.begin()->first.end);
+        }
+      }
+      size_t j = i + 1;
+      while (j < n && ts[j] < horizon) ++j;
+      if (j - i == 1) {
+        const Partial lifted = agg_.Lift(values[i]);
+        for (Partial* p : member_scratch_) *p = agg_.Combine(*p, lifted);
+      } else {
+        Partial run = agg_.Lift(values[i]);
+        AggFoldSpan(agg_, &run, values + i + 1, j - i - 1);
+        for (Partial* p : member_scratch_) *p = agg_.Combine(*p, run);
+      }
+      // Count the work actually done: the prefold plus one combine per
+      // member window (equals the per-element count when the run is 1).
+      stats_.partial_updates += (j - i - 1) + member_scratch_.size();
+      stats_.elements += j - i;
+      UpdatePeak();
+      i = j;
+    }
+  }
+
   void OnWatermark(Timestamp wm) override {
     FireUpTo(wm);
     UpdatePeak();
@@ -111,6 +163,9 @@ class EagerAggregator : public WindowAggregator<Agg> {
 
   Agg agg_;
   std::vector<QueryState> queries_;
+  // Scratch: pointers to the member windows of the current run (capacity
+  // persists across calls).
+  std::vector<Partial*> member_scratch_;
   AggStats stats_;
 };
 

@@ -10,6 +10,7 @@
 #include "agg/aggregator.h"
 #include "agg/slice_store.h"
 #include "common/logging.h"
+#include "window/aggregate_fn.h"
 
 namespace streamline {
 
@@ -128,6 +129,51 @@ class SlicingAggregator : public WindowAggregator<Agg> {
 
     if (stats_.elements % options_.eviction_period == 0) Evict();
     UpdatePeak();
+  }
+
+  /// Batch entry point. Elements strictly below the published wakeup
+  /// threshold cannot produce window events (no begins, no ends, no slice
+  /// cuts), so a whole run of them folds into the open slice with one
+  /// contiguous AggFoldSpan kernel call -- same left-to-right association as
+  /// per-element Combine, so results are bit-identical. Elements at or past
+  /// the threshold (and all elements when a data-driven query is registered
+  /// or the slicer emulates per-tuple slices) fall back to OnElement.
+  void OnElements(const Timestamp* ts, const Input* values,
+                  size_t n) override {
+    size_t i = 0;
+    while (i < n) {
+      const bool fast =
+          wakeup_valid_ && !options_.slice_per_element &&
+          always_poll_queries_.empty() && always_poll_gens_.empty() &&
+          ts[i] < wakeup_threshold_;
+      if (!fast) {
+        OnElement(ts[i], values[i], Value());
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && ts[j] < wakeup_threshold_) ++j;
+      STREAMLINE_DCHECK(stats_.elements == 0 || ts[i] >= last_ts_);
+      if (!has_open_slice_) {
+        has_open_slice_ = true;
+        open_start_ = ts[i];
+      }
+      AggFoldSpan(agg_, &open_partial_, values + i, j - i);
+      has_open_data_ = true;
+      last_ts_ = ts[j - 1];
+      const uint64_t before = stats_.elements;
+      stats_.elements += j - i;
+      stats_.partial_updates += j - i;
+      // Same eviction cadence as per-element: evict iff the run crossed an
+      // eviction-period boundary (Evict is idempotent while no window
+      // events intervene, so once per run equals once per crossing).
+      if (before / options_.eviction_period !=
+          stats_.elements / options_.eviction_period) {
+        Evict();
+      }
+      UpdatePeak();
+      i = j;
+    }
   }
 
   void OnWatermark(Timestamp wm) override {

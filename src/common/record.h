@@ -6,6 +6,7 @@
 #include <initializer_list>
 #include <iterator>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "common/time.h"
@@ -56,6 +57,14 @@ class FieldVec {
 
   FieldVec& operator=(FieldVec&& other) noexcept {
     if (this == &other) return *this;
+    if (heap_ == nullptr && size_ == 0) {
+      // Moved-from or fresh destination -- the dominant case on the batch
+      // path (map write-back, filter compaction): nothing to release,
+      // relocation alone suffices.
+      MoveFrom(std::move(other));
+      return *this;
+    }
+    clear();  // release owned payloads before relocation overwrites them
     delete[] heap_;
     heap_ = nullptr;
     capacity_ = kInlineCapacity;
@@ -112,15 +121,20 @@ class FieldVec {
   /// Drops all elements (releasing any string payloads) but keeps the
   /// current storage, inline or heap.
   void clear() {
-    Value* d = data();
-    for (uint32_t i = 0; i < size_; ++i) d[i] = Value();
+    if (heap_ == nullptr) {
+      // Destroy the whole inline array with a compile-time span length:
+      // the elements past size_ are null by the invariant, so the extra
+      // string checks predict false and the memset lowers to plain stores.
+      Value::DestroySpan(inline_, kInlineCapacity);
+    } else {
+      Value::DestroySpan(heap_, size_);
+    }
     size_ = 0;
   }
 
   void resize(size_t n) {
     if (n < size_) {
-      Value* d = data();
-      for (size_t i = n; i < size_; ++i) d[i] = Value();
+      Value::DestroySpan(data() + n, size_ - n);
     } else {
       reserve(n);
     }
@@ -128,10 +142,24 @@ class FieldVec {
   }
 
   /// Inserts [first, last) before `pos`. Iterators are invalidated.
+  /// Inserting a range of this vector's own elements is supported (like
+  /// std::vector): the source is copied aside first, because reserve() may
+  /// reallocate out from under it and the shift below moves the tail --
+  /// which can contain the source -- even without reallocation.
   template <typename InputIt>
   iterator insert(iterator pos, InputIt first, InputIt last) {
     const size_t idx = static_cast<size_t>(pos - begin());
     const size_t n = static_cast<size_t>(std::distance(first, last));
+    if (n == 0) return begin() + idx;
+    if constexpr (std::is_convertible_v<InputIt, const Value*>) {
+      const Value* f = first;
+      if (f >= data() && f < data() + size_) {
+        FieldVec tmp;
+        tmp.reserve(n);
+        for (size_t i = 0; i < n; ++i) tmp.push_back(f[i]);
+        return insert(begin() + idx, tmp.begin(), tmp.end());
+      }
+    }
     reserve(size_ + n);
     Value* d = data();
     for (size_t i = size_; i > idx; --i) {
@@ -157,6 +185,10 @@ class FieldVec {
   bool operator!=(const FieldVec& other) const { return !(*this == other); }
 
  private:
+  // Relocation invariant: every inline_ element at index >= size_ (and all
+  // of inline_ once the vector has spilled to heap_) is null. clear(),
+  // pop_back(), resize() and RelocateSpan() all null what they vacate, so
+  // MoveFrom can memcpy-relocate over the destination without leaking.
   void MoveFrom(FieldVec&& other) noexcept {
     if (other.heap_ != nullptr) {
       heap_ = other.heap_;
@@ -166,9 +198,11 @@ class FieldVec {
       other.capacity_ = kInlineCapacity;
       other.size_ = 0;
     } else {
-      for (uint32_t i = 0; i < other.size_; ++i) {
-        inline_[i] = std::move(other.inline_[i]);
-      }
+      // Relocate the full inline array, not just other.size_ elements:
+      // the elements past size_ are null by the invariant, so copying and
+      // re-nulling them is harmless, and the compile-time span length
+      // turns the memcpy+memset into a handful of inline stores.
+      Value::RelocateSpan(inline_, other.inline_, kInlineCapacity);
       size_ = other.size_;
       other.size_ = 0;
     }
@@ -178,8 +212,7 @@ class FieldVec {
     size_t new_cap = capacity_;
     while (new_cap < want) new_cap *= 2;
     Value* bigger = new Value[new_cap];
-    Value* d = data();
-    for (uint32_t i = 0; i < size_; ++i) bigger[i] = std::move(d[i]);
+    Value::RelocateSpan(bigger, data(), size_);
     delete[] heap_;
     heap_ = bigger;
     capacity_ = static_cast<uint32_t>(new_cap);

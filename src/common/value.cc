@@ -44,11 +44,11 @@ std::string_view DataTypeToString(DataType type) {
 double Value::ToDouble() const {
   switch (type()) {
     case DataType::kInt64:
-      return static_cast<double>(std::get<int64_t>(v_));
+      return static_cast<double>(p_.i);
     case DataType::kDouble:
-      return std::get<double>(v_);
+      return p_.d;
     case DataType::kBool:
-      return std::get<bool>(v_) ? 1.0 : 0.0;
+      return p_.b ? 1.0 : 0.0;
     default:
       LOG_FATAL << "Value::ToDouble on non-numeric type "
                 << DataTypeToString(type());
@@ -61,16 +61,16 @@ std::string Value::ToString() const {
     case DataType::kNull:
       return "null";
     case DataType::kInt64:
-      return std::to_string(std::get<int64_t>(v_));
+      return std::to_string(p_.i);
     case DataType::kDouble: {
       std::ostringstream os;
-      os << std::get<double>(v_);
+      os << p_.d;
       return os.str();
     }
     case DataType::kBool:
-      return std::get<bool>(v_) ? "true" : "false";
+      return p_.b ? "true" : "false";
     case DataType::kString:
-      return std::get<std::string>(v_);
+      return *p_.s;
   }
   return "?";
 }
@@ -84,22 +84,22 @@ uint64_t Value::Hash() const {
     case DataType::kNull:
       return seed;
     case DataType::kInt64: {
-      int64_t x = std::get<int64_t>(v_);
+      int64_t x = p_.i;
       return Fnv1a(&x, sizeof(x), seed);
     }
     case DataType::kDouble: {
-      double d = std::get<double>(v_);
+      double d = p_.d;
       if (d == 0.0) d = 0.0;  // normalize -0.0 to +0.0
       uint64_t bits;
       std::memcpy(&bits, &d, sizeof(bits));
       return Fnv1a(&bits, sizeof(bits), seed);
     }
     case DataType::kBool: {
-      unsigned char b = std::get<bool>(v_) ? 1 : 0;
+      unsigned char b = p_.b ? 1 : 0;
       return Fnv1a(&b, 1, seed);
     }
     case DataType::kString: {
-      const std::string& s = std::get<std::string>(v_);
+      const std::string& s = *p_.s;
       return Fnv1a(s.data(), s.size(), seed);
     }
   }
@@ -119,13 +119,13 @@ bool Value::operator<(const Value& other) const {
     case DataType::kNull:
       return false;
     case DataType::kInt64:
-      return std::get<int64_t>(v_) < std::get<int64_t>(other.v_);
+      return p_.i < other.p_.i;
     case DataType::kDouble:
-      return std::get<double>(v_) < std::get<double>(other.v_);
+      return p_.d < other.p_.d;
     case DataType::kBool:
-      return std::get<bool>(v_) < std::get<bool>(other.v_);
+      return p_.b < other.p_.b;
     case DataType::kString:
-      return std::get<std::string>(v_) < std::get<std::string>(other.v_);
+      return *p_.s < *other.p_.s;
   }
   return false;
 }

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <new>
 #include <string>
-#include <variant>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -32,38 +34,109 @@ std::string_view DataTypeToString(DataType type);
 
 /// Dynamically typed scalar used by the Record row model. Values are small,
 /// copyable and hashable; the engine uses them for fields and keys.
+///
+/// Implemented as a 16-byte hand-rolled tagged union rather than
+/// std::variant: records are moved and copied on every hot path (batches,
+/// channels, keyed state, window buffers), and for the numeric types that
+/// dominate those paths this representation makes a move or copy a tag
+/// check plus one 8-byte store. The string alternative is boxed behind an
+/// owning pointer, which makes Value *trivially relocatable*: moving a
+/// span of Values is one memcpy plus forgetting the source (see
+/// RelocateSpan), the primitive FieldVec and the batch path build on.
+/// The cost is one extra indirection and a heap allocation per string
+/// value -- strings are cold on the engine's numeric hot paths.
 class Value {
  public:
-  Value() : v_(std::monostate{}) {}
-  explicit Value(int64_t v) : v_(v) {}
-  explicit Value(double v) : v_(v) {}
-  explicit Value(bool v) : v_(v) {}
-  explicit Value(std::string v) : v_(std::move(v)) {}
-  explicit Value(const char* v) : v_(std::string(v)) {}
+  Value() noexcept : type_(DataType::kNull) { p_.i = 0; }
+  explicit Value(int64_t v) noexcept : type_(DataType::kInt64) { p_.i = v; }
+  explicit Value(double v) noexcept : type_(DataType::kDouble) { p_.d = v; }
+  explicit Value(bool v) noexcept : type_(DataType::kBool) {
+    p_.i = 0;  // define all payload bytes so raw copies are fully read
+    p_.b = v;
+  }
+  explicit Value(std::string v) : type_(DataType::kString) {
+    p_.s = new std::string(std::move(v));
+  }
+  explicit Value(const char* v) : Value(std::string(v)) {}
+
+  Value(const Value& other) { CopyFrom(other); }
+  Value(Value&& other) noexcept : type_(other.type_), p_(other.p_) {
+    other.type_ = DataType::kNull;  // payload ownership transferred
+    other.p_.i = 0;
+  }
+
+  Value& operator=(const Value& other) {
+    if (this == &other) return *this;
+    if (type_ == DataType::kString) {
+      if (other.type_ == DataType::kString) {
+        *p_.s = *other.p_.s;  // reuse the existing string's capacity
+        return *this;
+      }
+      delete p_.s;
+    }
+    CopyFrom(other);
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this == &other) return *this;
+    if (type_ == DataType::kString) delete p_.s;
+    type_ = other.type_;
+    p_ = other.p_;
+    other.type_ = DataType::kNull;
+    other.p_.i = 0;
+    return *this;
+  }
+
+  ~Value() {
+    if (type_ == DataType::kString) delete p_.s;
+  }
 
   static Value Null() { return Value(); }
 
-  DataType type() const {
-    return static_cast<DataType>(v_.index());
+  /// Relocates `n` Values from `from` onto `to` as if by move-construct +
+  /// destroy-source, but with one byte copy: the string payload is an
+  /// owning pointer, so the object representation is position-independent.
+  /// `to` must hold Values that own no payload (null, or freshly
+  /// constructed); the source elements are reset to null so their
+  /// destructors are no-ops.
+  static void RelocateSpan(Value* to, Value* from, size_t n) noexcept {
+    std::memcpy(static_cast<void*>(to), static_cast<const void*>(from),
+                n * sizeof(Value));
+    // All-zero bytes is exactly the null Value (kNull tag + zero payload),
+    // so forgetting the source is one memset. With a compile-time n both
+    // calls lower to straight stores, no libc call.
+    std::memset(static_cast<void*>(from), 0, n * sizeof(Value));
   }
+
+  /// Destroys `n` Values in place and leaves them null: releases any
+  /// string payloads, then zeroes the span. The branchy per-element work
+  /// is only the string check; the reset is one memset.
+  static void DestroySpan(Value* v, size_t n) noexcept {
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i].type_ == DataType::kString) delete v[i].p_.s;
+    }
+    std::memset(static_cast<void*>(v), 0, n * sizeof(Value));
+  }
+
+  DataType type() const { return type_; }
   bool is_null() const { return type() == DataType::kNull; }
 
   /// Checked accessors; CHECK-fail on type mismatch.
   int64_t AsInt64() const {
     STREAMLINE_CHECK(type() == DataType::kInt64);
-    return std::get<int64_t>(v_);
+    return p_.i;
   }
   double AsDouble() const {
     STREAMLINE_CHECK(type() == DataType::kDouble);
-    return std::get<double>(v_);
+    return p_.d;
   }
   bool AsBool() const {
     STREAMLINE_CHECK(type() == DataType::kBool);
-    return std::get<bool>(v_);
+    return p_.b;
   }
   const std::string& AsString() const {
     STREAMLINE_CHECK(type() == DataType::kString);
-    return std::get<std::string>(v_);
+    return *p_.s;
   }
 
   /// Numeric coercion: int64/double/bool widen to double; CHECK-fails for
@@ -76,7 +149,22 @@ class Value {
   /// Stable 64-bit hash (used for hash partitioning and keyed state).
   uint64_t Hash() const;
 
-  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator==(const Value& other) const {
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case DataType::kNull:
+        return true;
+      case DataType::kInt64:
+        return p_.i == other.p_.i;
+      case DataType::kDouble:
+        return p_.d == other.p_.d;  // IEEE semantics: NaN != NaN, -0 == +0
+      case DataType::kBool:
+        return p_.b == other.p_.b;
+      case DataType::kString:
+        return *p_.s == *other.p_.s;
+    }
+    return false;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Ordering across same-typed values; CHECK-fails across distinct types
@@ -84,8 +172,32 @@ class Value {
   bool operator<(const Value& other) const;
 
  private:
-  std::variant<std::monostate, int64_t, double, bool, std::string> v_;
+  union Payload {
+    int64_t i;
+    double d;
+    bool b;
+    std::string* s;  // owned; boxed so Value stays trivially relocatable
+  };
+
+  void CopyFrom(const Value& other) {
+    type_ = other.type_;
+    if (other.type_ == DataType::kString) {
+      p_.s = new std::string(*other.p_.s);
+    } else {
+      // All non-string payloads are fully-defined scalars of <= 8 bytes
+      // (bool zero-fills the rest); one union copy covers them branch-free.
+      p_ = other.p_;
+    }
+  }
+
+  DataType type_;
+  Payload p_;
 };
+
+// RelocateSpan/DestroySpan reset vacated storage with memset: an all-zero
+// object representation must stay a valid null Value.
+static_assert(static_cast<uint8_t>(DataType::kNull) == 0,
+              "zeroed bytes must denote the null Value");
 
 /// Key hash used by the engine for shuffle routing and keyed state. A thin
 /// normalization over Value::Hash() that never returns 0, so 0 can mean

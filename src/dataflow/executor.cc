@@ -115,6 +115,12 @@ class Task {
           this, i + 1 < ops.size() ? ops[i + 1].get() : nullptr,
           (is_source ? 1 : 0) + i + 1, downstream);
     }
+    // Batch-at-a-time execution: whole channel events flow through
+    // ProcessBatch chains. Disabled when a fault injector is configured
+    // (per-record fault-hit accounting requires per-record delivery) and
+    // at batch_size 1, which IS the per-record path.
+    batch_path_ = injector == nullptr && batch_size > 1;
+    if (batch_path_ && is_source) source_batch_.reserve(batch_size);
     OperatorContext ctx;
     ctx.subtask_index = subtask_;
     ctx.parallelism = parallelism_;
@@ -203,6 +209,9 @@ class Task {
     void Emit(Record&& record) override {
       task_->RouteRecord(std::move(record));
     }
+    void EmitBatch(std::vector<Record>&& batch) override {
+      task_->RouteBatch(std::move(batch));
+    }
 
    private:
     Task* task_;
@@ -222,6 +231,20 @@ class Task {
         downstream_->Emit(std::move(record));
       }
     }
+    /// Batch hop: the whole batch moves to the next chain element in one
+    /// virtual call. Only reached on the batch path (no fault injector;
+    /// per-record fault-hit accounting stays on the per-record path).
+    void EmitBatch(std::vector<Record>&& batch) override {
+      if (next_ != nullptr) {
+        if (!task_->InjectFault(next_element_)) {
+          batch.clear();
+          return;
+        }
+        next_->ProcessBatch(0, std::move(batch), downstream_);
+      } else {
+        downstream_->EmitBatch(std::move(batch));
+      }
+    }
 
    private:
     Task* task_;
@@ -236,24 +259,86 @@ class Task {
     bool Emit(Record&& record) override {
       // Barriers are injected between records: the snapshot sees the source
       // position before this record, and the barrier is broadcast before
-      // the record travels downstream.
+      // the record travels downstream. (The barrier handler flushes the
+      // pending source batch first, so batching never reorders a record
+      // across a barrier.)
       task_->MaybeHandleSourceBarrier();
       if (!task_->task_status_.ok() ||
           task_->job_->cancelled_.load(std::memory_order_relaxed)) {
         return false;
       }
       if (!task_->InjectFault(0)) return false;
-      task_->DeliverRecord(0, std::move(record));
+      task_->BufferSourceRecord(std::move(record));
       // A chained operator or sink may have failed while processing this
       // record (recorded via Fail); stop emitting then.
       return task_->task_status_.ok();
+    }
+    bool EmitSpan(Record* records, size_t n) override {
+      if (!task_->batch_path_) {
+        // Per-record path (bs=1 or fault injection): keep the exact
+        // per-emission semantics, including per-record fault sites.
+        for (size_t i = 0; i < n; ++i) {
+          if (!Emit(std::move(records[i]))) return false;
+        }
+        return true;
+      }
+      // Batch path: barrier and cancellation checks once per span. The
+      // barrier handler flushes the pending source batch before
+      // broadcasting, and the snapshot sees the source position before
+      // this span, so restore replays exactly the unemitted suffix.
+      task_->MaybeHandleSourceBarrier();
+      if (!task_->task_status_.ok() ||
+          task_->job_->cancelled_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      task_->BufferSourceSpan(records, n);
+      return task_->task_status_.ok();
+    }
+    bool EmitBatch(std::vector<Record>&& batch) override {
+      if (!task_->batch_path_) {
+        // Per-record path: preserve exact per-emission semantics.
+        for (Record& r : batch) {
+          if (!Emit(std::move(r))) {
+            batch.clear();
+            return false;
+          }
+        }
+        batch.clear();
+        return true;
+      }
+      task_->MaybeHandleSourceBarrier();
+      if (!task_->task_status_.ok() ||
+          task_->job_->cancelled_.load(std::memory_order_relaxed)) {
+        batch.clear();
+        return false;
+      }
+      if (batch.size() > task_->batch_size) {
+        // Oversized batch: re-chunk through the staging buffer so the
+        // configured batch granularity holds downstream.
+        task_->BufferSourceSpan(batch.data(), batch.size());
+        batch.clear();
+        return task_->task_status_.ok();
+      }
+      // Any records staged via Emit() must go first to preserve order.
+      task_->FlushSourceBatch();
+      if (!task_->task_status_.ok()) return false;
+      // Straight into the chain: no per-record staging move. DeliverBatch
+      // threads the vector's identity through in-place chain hops, so the
+      // caller usually gets its capacity back for the next batch.
+      task_->DeliverBatch(0, std::move(batch));
+      return task_->task_status_.ok();
+    }
+    size_t PreferredBatchSize() const override {
+      return task_->batch_path_ ? task_->batch_size : 1;
     }
     void EmitWatermark(Timestamp wm) override {
       task_->DeliverWatermark(wm);
     }
     void HandleIdle() override {
-      // An idle source must not sit on partially-filled output batches
-      // (downstream would starve), and must service pending barriers.
+      // An idle source must not sit on batched records or partially-filled
+      // output buffers (downstream would starve), and must service pending
+      // barriers.
+      task_->FlushSourceBatch();
       task_->FlushAllBuffers();
       task_->MaybeHandleSourceBarrier();
     }
@@ -272,6 +357,8 @@ class Task {
     // whatever the source returned in response to the rejected Emit.
     if (!st.ok()) Fail(std::move(st));
     if (!task_status_.ok()) return;  // Run() takes the abort path
+    FlushSourceBatch();
+    if (!task_status_.ok()) return;  // flush may fail a chained operator
     // A checkpoint triggered while the source was finishing must still
     // complete.
     MaybeHandleSourceBarrier();
@@ -354,9 +441,20 @@ class Task {
         break;
       case StreamEvent::Kind::kBatch:
         records_in_->Increment(event.batch.size());
-        for (Record& r : event.batch) {
-          if (!task_status_.ok()) break;  // crash-like: drop the rest
-          DeliverRecord(channel_ordinal[c], std::move(r));
+        if (batch_path_) {
+          // Batch-at-a-time: the whole event flows through the operator
+          // chain in one ProcessBatch call per hop. Most batch overrides
+          // transform in place, so `event.batch` usually keeps its
+          // identity (and capacity) all the way through and gets recycled
+          // below.
+          DeliverBatch(channel_ordinal[c], std::move(event.batch));
+        } else {
+          // lint:allow(virtual-per-record-loop): per-record path kept for
+          // fault injection (per-record fault-hit accounting)
+          for (Record& r : event.batch) {
+            if (!task_status_.ok()) break;  // crash-like: drop the rest
+            DeliverRecord(channel_ordinal[c], std::move(r));
+          }
         }
         // Hand the drained buffer back to the producer for reuse; if the
         // recycle ring is full the vector just frees here.
@@ -394,7 +492,66 @@ class Task {
     ops[0]->ProcessRecord(ordinal, std::move(record), collectors_[0].get());
   }
 
+  /// Batch-path twin of DeliverRecord: hands the whole batch to the chain
+  /// head in one call. Only reached with batch_path_ set (no fault
+  /// injector -- per-record fault-hit counting needs the per-record path).
+  void DeliverBatch(int ordinal, std::vector<Record>&& batch) {
+    if (batch.empty()) return;
+    if (ops.empty()) {
+      RouteBatch(std::move(batch));
+      return;
+    }
+    ops[0]->ProcessBatch(ordinal, std::move(batch), collectors_[0].get());
+  }
+
+  /// Source-side batching: records a source Emit()s accumulate here and
+  /// travel through the chain batch-at-a-time. Flushed eagerly before
+  /// every control event (watermark, barrier, idle, end of input) so
+  /// batching never reorders records against control flow.
+  void BufferSourceRecord(Record&& record) {
+    if (!batch_path_) {
+      DeliverRecord(0, std::move(record));
+      return;
+    }
+    source_batch_.push_back(std::move(record));
+    if (source_batch_.size() >= batch_size) FlushSourceBatch();
+  }
+
+  /// Span twin of BufferSourceRecord: appends a contiguous run of records
+  /// to the pending source batch, flushing at batch-size boundaries. Only
+  /// reached with batch_path_ set. The inner loop is just a move per
+  /// record -- no per-record virtual dispatch or status checks.
+  void BufferSourceSpan(Record* records, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      const size_t room = batch_size - source_batch_.size();
+      const size_t take = std::min(room, n - i);
+      for (size_t k = 0; k < take; ++k) {
+        // The span usually streams out of a cold source vector; pull the
+        // next lines in while the current record is being moved.
+        __builtin_prefetch(records + i + k + 8);
+        source_batch_.push_back(std::move(records[i + k]));
+      }
+      i += take;
+      if (source_batch_.size() >= batch_size) {
+        FlushSourceBatch();
+        if (!task_status_.ok()) return;  // chained failure: drop the rest
+      }
+    }
+  }
+
+  void FlushSourceBatch() {
+    if (source_batch_.empty()) return;
+    // DeliverBatch preserves the vector's identity through in-place chain
+    // hops, so source_batch_ keeps its capacity for the next fill.
+    DeliverBatch(0, std::move(source_batch_));
+    source_batch_.clear();
+  }
+
   void DeliverWatermark(Timestamp wm) {
+    // Records emitted before this watermark must reach the operators
+    // before it does (no-op on operator tasks).
+    FlushSourceBatch();
     for (size_t i = 0; i < ops.size(); ++i) {
       ops[i]->ProcessWatermark(wm, collectors_[i].get());
     }
@@ -452,6 +609,10 @@ class Task {
     if (pending_barrier_.load(std::memory_order_acquire) == 0) return;
     const uint64_t id = pending_barrier_.exchange(0, std::memory_order_acq_rel);
     if (id == 0) return;
+    // Records emitted before the barrier must be in operator state before
+    // the snapshot (the snapshotted source position already covers them).
+    FlushSourceBatch();
+    if (!task_status_.ok()) return;
     SnapshotChain(id);
     if (!task_status_.ok()) return;  // dead checkpoint: do not commit/forward
     for (auto& op : ops) op->OnBarrier(id);
@@ -529,6 +690,7 @@ class Task {
   /// producers. Barriers drained here are deliberately not acked: a
   /// checkpoint interrupted by the failure must stay incomplete.
   void AbortAndDrain() {
+    source_batch_.clear();  // uncommitted, dropped like buffered output
     for (OutputEdge& edge : outputs) {
       for (OutputTarget& target : edge.targets) {
         target.buffer.clear();
@@ -618,6 +780,96 @@ class Task {
     }
   }
 
+  /// Batch-path twin of RouteRecord: partitions a whole batch in one pass.
+  /// The common single-edge case gets a tight per-scheme loop (hash
+  /// stamping + target push, no per-record dispatch); multi-edge plans
+  /// fall back to the per-record router.
+  void RouteBatch(std::vector<Record>&& batch) {
+    if (batch.empty()) return;
+    if (outputs.empty()) {
+      // Terminal chain (sink emitted nothing downstream of it); count the
+      // records like RouteRecord would.
+      CountRoutedBatch(batch);
+      batch.clear();
+      return;
+    }
+    if (outputs.size() != 1) {
+      for (Record& record : batch) RouteRecord(std::move(record));
+      batch.clear();
+      return;
+    }
+    CountRoutedBatch(batch);
+    OutputEdge& edge = outputs[0];
+    const size_t num_targets = edge.targets.size();
+    switch (edge.scheme) {
+      case PartitionScheme::kForward: {
+        OutputTarget& target = edge.targets[subtask_];
+        for (Record& record : batch) {
+          record.key_hash = Record::kNoKeyHash;
+          target.buffer.push_back(std::move(record));
+        }
+        if (target.buffer.size() >= batch_size) FlushTarget(&target);
+        break;
+      }
+      case PartitionScheme::kHash: {
+        // Hash-once, one pass: stamp every record's key hash and scatter
+        // into the per-target buffers (see RouteRecord for the stamping
+        // contract).
+        if (edge.key_field >= 0) {
+          const int field = edge.key_field;
+          for (Record& record : batch) {
+            const uint64_t h = KeyHashOf(record.fields[field]);
+            record.key_hash = h;
+            OutputTarget& target = edge.targets[h % num_targets];
+            target.buffer.push_back(std::move(record));
+            if (target.buffer.size() >= batch_size) FlushTarget(&target);
+          }
+        } else {
+          for (Record& record : batch) {
+            const uint64_t h = edge.key_hash(record);
+            record.key_hash = h;
+            OutputTarget& target = edge.targets[h % num_targets];
+            target.buffer.push_back(std::move(record));
+            if (target.buffer.size() >= batch_size) FlushTarget(&target);
+          }
+        }
+        break;
+      }
+      case PartitionScheme::kRebalance: {
+        for (Record& record : batch) {
+          record.key_hash = Record::kNoKeyHash;
+          OutputTarget& target = edge.targets[edge.rr++ % num_targets];
+          target.buffer.push_back(std::move(record));
+          if (target.buffer.size() >= batch_size) FlushTarget(&target);
+        }
+        break;
+      }
+      case PartitionScheme::kBroadcast: {
+        for (Record& record : batch) {
+          record.key_hash = Record::kNoKeyHash;
+          for (size_t t = 0; t < num_targets; ++t) {
+            Push(edge.targets[t], record);
+          }
+        }
+        break;
+      }
+    }
+    batch.clear();
+  }
+
+  /// Batched routing metrics, same cadence as RouteRecord: record counts
+  /// exact, bytes sampled every kBytesSampleStride-th routed record.
+  void CountRoutedBatch(const std::vector<Record>& batch) {
+    pending_records_out_ += batch.size();
+    const uint64_t mask = kBytesSampleStride - 1;
+    size_t off = static_cast<size_t>((kBytesSampleStride -
+                                      (route_count_ & mask)) & mask);
+    for (; off < batch.size(); off += kBytesSampleStride) {
+      pending_bytes_out_ += batch[off].ApproxBytes() * kBytesSampleStride;
+    }
+    route_count_ += batch.size();
+  }
+
   void Push(OutputTarget& target, Record record) {
     target.buffer.push_back(std::move(record));
     if (target.buffer.size() >= batch_size) FlushTarget(&target);
@@ -688,6 +940,11 @@ class Task {
   bool aligning_ = false;
   uint64_t barrier_id_ = 0;
   std::atomic<uint64_t> pending_barrier_{0};
+
+  // Batch-at-a-time execution (see Init). source_batch_ accumulates source
+  // emits; its capacity survives every flush (task thread only).
+  bool batch_path_ = false;
+  std::vector<Record> source_batch_;
 
   // Batched metric state (task thread only; see RouteRecord).
   uint64_t pending_records_out_ = 0;

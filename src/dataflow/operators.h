@@ -24,6 +24,13 @@ class MapOperator : public Operator {
   void ProcessRecord(int, Record&& record, Collector* out) override {
     out->Emit(fn_(std::move(record)));
   }
+  /// Transforms the batch in place: one fn_ call per record, one virtual
+  /// call per batch, no per-record dispatch.
+  void ProcessBatch(int, std::vector<Record>&& batch,
+                    Collector* out) override {
+    for (Record& record : batch) record = fn_(std::move(record));
+    out->EmitBatch(std::move(batch));
+  }
   std::string Name() const override { return name_; }
 
  private:
@@ -41,11 +48,23 @@ class FlatMapOperator : public Operator {
   void ProcessRecord(int, Record&& record, Collector* out) override {
     fn_(std::move(record), out);
   }
+  /// Gathers the per-record expansions into one output batch so the rest
+  /// of the chain still runs batch-at-a-time. scratch_ keeps its capacity
+  /// across batches (downstream drains it and leaves it empty).
+  void ProcessBatch(int, std::vector<Record>&& batch,
+                    Collector* out) override {
+    scratch_.clear();
+    VectorCollector gather(&scratch_);
+    for (Record& record : batch) fn_(std::move(record), &gather);
+    batch.clear();
+    out->EmitBatch(std::move(scratch_));
+  }
   std::string Name() const override { return name_; }
 
  private:
   std::string name_;
   FlatMapFn fn_;
+  std::vector<Record> scratch_;
 };
 
 /// Keeps records matching a predicate.
@@ -57,6 +76,19 @@ class FilterOperator : public Operator {
 
   void ProcessRecord(int, Record&& record, Collector* out) override {
     if (pred_(record)) out->Emit(std::move(record));
+  }
+  /// In-place swap-compaction: survivors slide down over the dropped
+  /// records, the batch shrinks, order is preserved.
+  void ProcessBatch(int, std::vector<Record>&& batch,
+                    Collector* out) override {
+    size_t keep = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!pred_(batch[i])) continue;
+      if (keep != i) batch[keep] = std::move(batch[i]);
+      ++keep;
+    }
+    batch.resize(keep);
+    out->EmitBatch(std::move(batch));
   }
   std::string Name() const override { return name_; }
 
@@ -76,6 +108,8 @@ class KeyedReduceOperator : public Operator {
 
   Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int, Record&& record, Collector* out) override;
+  void ProcessBatch(int, std::vector<Record>&& batch,
+                    Collector* out) override;
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
@@ -88,6 +122,21 @@ class KeyedReduceOperator : public Operator {
   KeySelector key_;
   ReduceFn reduce_;
   FlatHashMap<Value, Record> state_;
+
+  // Per-batch key cache: open-addressed {key_hash -> dense entry index}
+  // scratch table, generation-stamped so clearing between batches is O(1).
+  // Repeated keys within a batch (the common case behind a hash shuffle)
+  // skip the full state_ probe. Entry indices are stable because state_
+  // stores entries densely and ProcessBatch never erases.
+  struct CacheSlot {
+    uint64_t hash = 0;
+    uint32_t index = 0;
+    uint32_t gen = 0;
+  };
+  std::vector<CacheSlot> cache_;
+  uint32_t cache_gen_ = 0;
+  std::vector<Record> batch_out_;
+
   Gauge* load_gauge_ = nullptr;
   Gauge* probe_gauge_ = nullptr;
   Gauge* keys_gauge_ = nullptr;
@@ -100,6 +149,10 @@ class UnionOperator : public Operator {
   explicit UnionOperator(std::string name) : name_(std::move(name)) {}
   void ProcessRecord(int, Record&& record, Collector* out) override {
     out->Emit(std::move(record));
+  }
+  void ProcessBatch(int, std::vector<Record>&& batch,
+                    Collector* out) override {
+    out->EmitBatch(std::move(batch));
   }
   std::string Name() const override { return name_; }
 
@@ -161,6 +214,16 @@ class SinkOperator : public Operator {
   void ProcessRecord(int, Record&& record, Collector*) override {
     const Status st = sink_->Invoke(record);
     if (!st.ok()) throw StatusError(st);
+  }
+  /// One virtual ProcessBatch per batch; sink_->Invoke is the only
+  /// indirect call left per record. A mid-batch failure throws and drops
+  /// the rest of the batch, exactly like the per-record path.
+  void ProcessBatch(int, std::vector<Record>&& batch, Collector*) override {
+    for (const Record& record : batch) {
+      const Status st = sink_->Invoke(record);
+      if (!st.ok()) throw StatusError(st);
+    }
+    batch.clear();
   }
   void ProcessWatermark(Timestamp wm, Collector*) override {
     sink_->OnWatermark(wm);

@@ -4,6 +4,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/record.h"
 #include "common/serde.h"
@@ -24,6 +26,44 @@ class SourceContext {
   /// takes ownership. Returns false when the job was cancelled: the source
   /// should return promptly.
   virtual bool Emit(Record&& record) = 0;
+
+  /// Span twin of Emit(): hands `n` records (moved from) to the engine,
+  /// equivalent to Emit()-ing each in order. Sources that hold records
+  /// contiguously (data at rest) should prefer this: the engine amortizes
+  /// its per-emission bookkeeping -- cancellation, checkpoint-barrier
+  /// injection, batch-boundary checks -- over the span instead of paying
+  /// it per record. Barriers are injected at span boundaries, which is
+  /// still "between two emissions"; keep spans modest (the watermark
+  /// cadence or a few batches) so cancellation stays responsive.
+  virtual bool EmitSpan(Record* records, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!Emit(std::move(records[i]))) return false;
+    }
+    return true;
+  }
+
+  /// Hands a whole staged batch to the engine, equivalent to Emit()-ing
+  /// each record in order. The batch is drained: on return the vector is
+  /// empty (usually with its capacity preserved -- the engine threads the
+  /// same vector through the chain), so a source can stage into one
+  /// scratch buffer and reuse it every batch. Stage at most
+  /// PreferredBatchSize() records per call; with a preferred size of 1
+  /// use plain Emit() instead.
+  virtual bool EmitBatch(std::vector<Record>&& batch) {
+    for (Record& r : batch) {
+      if (!Emit(std::move(r))) {
+        batch.clear();
+        return false;
+      }
+    }
+    batch.clear();
+    return true;
+  }
+
+  /// How many records the engine would like per EmitBatch call: the job's
+  /// configured batch size on the batch path, 1 when the engine runs
+  /// record-at-a-time (then EmitBatch gains nothing over Emit).
+  virtual size_t PreferredBatchSize() const { return 1; }
 
   /// Emits an event-time watermark: a promise that all records emitted
   /// later have ts >= wm.

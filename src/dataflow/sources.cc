@@ -7,26 +7,38 @@
 namespace streamline {
 
 Status VectorSource::Run(SourceContext* ctx) {
-  // Countdown instead of `pos_ % watermark_every_`: a 64-bit division per
-  // record is measurable at engine throughput. One division here restores
-  // the cadence after a checkpoint restore.
+  // Records are contiguous, so emit whole spans: one EmitSpan per
+  // watermark interval instead of one Emit per record amortizes the
+  // engine's per-emission bookkeeping. Spans are capped so cancellation
+  // stays responsive when watermarks are disabled.
+  constexpr uint64_t kMaxSpan = 1024;
+  // Countdown instead of `pos_ % watermark_every_`: one division here
+  // restores the cadence after a checkpoint restore.
   uint64_t until_wm =
       watermark_every_ > 0 ? watermark_every_ - pos_ % watermark_every_ : 0;
   while (pos_ < records_.size()) {
-    Record& r = records_[pos_];
-    if (pos_ + 8 < records_.size()) {
-      __builtin_prefetch(&records_[pos_ + 8]);
+    const uint64_t remaining = records_.size() - pos_;
+    uint64_t span = std::min(remaining, kMaxSpan);
+    if (watermark_every_ > 0) span = std::min(span, until_wm);
+    // Read the cadence timestamp before the span is moved from: a
+    // moved-from record's scalar timestamp happens to survive, but don't
+    // rely on it.
+    const Timestamp last_ts = records_[pos_ + span - 1].timestamp;
+    // Emit first, advance pos_ after: a barrier snapshot taken inside
+    // EmitSpan (before any span record is pushed) must record these
+    // elements as NOT yet consumed, or a restored job would skip them.
+    // Moving out is safe: a restored source is a fresh instance built by
+    // the factory.
+    if (!ctx->EmitSpan(records_.data() + pos_, span)) {
+      return Status::Ok();  // cancelled
     }
-    const Timestamp ts = r.timestamp;
-    // Emit first, increment after: a barrier snapshot taken inside Emit
-    // (before the record is pushed) must record this element as NOT yet
-    // consumed, or a restored job would skip it. Moving out is safe: a
-    // restored source is a fresh instance built by the factory.
-    if (!ctx->Emit(std::move(r))) return Status::Ok();  // cancelled
-    ++pos_;
-    if (watermark_every_ > 0 && --until_wm == 0) {
-      until_wm = watermark_every_;
-      ctx->EmitWatermark(ts);
+    pos_ += span;
+    if (watermark_every_ > 0) {
+      until_wm -= span;
+      if (until_wm == 0) {
+        until_wm = watermark_every_;
+        ctx->EmitWatermark(last_ts);
+      }
     }
   }
   return Status::Ok();
@@ -61,17 +73,60 @@ Status GeneratorSource::Run(SourceContext* ctx) {
   // Countdown instead of a per-record modulo (see VectorSource::Run).
   uint64_t until_wm =
       watermark_every_ > 0 ? watermark_every_ - seq_ % watermark_every_ : 0;
-  for (;;) {
-    std::optional<Record> r = fn_(seq_);
-    if (!r.has_value()) return Status::Ok();
-    const Timestamp ts = r->timestamp;
-    // Emit first, increment after (see VectorSource::Run).
-    if (!ctx->Emit(std::move(*r))) return Status::Ok();
-    ++seq_;
-    if (watermark_every_ > 0 && --until_wm == 0) {
-      until_wm = watermark_every_;
-      ctx->EmitWatermark(ts);
+  const size_t preferred = ctx->PreferredBatchSize();
+  if (preferred <= 1) {
+    // Record-at-a-time engine: plain Emit per record.
+    for (;;) {
+      std::optional<Record> r = fn_(seq_);
+      if (!r.has_value()) return Status::Ok();
+      const Timestamp ts = r->timestamp;
+      // Emit first, increment after (see VectorSource::Run).
+      if (!ctx->Emit(std::move(*r))) return Status::Ok();
+      ++seq_;
+      if (watermark_every_ > 0 && --until_wm == 0) {
+        until_wm = watermark_every_;
+        ctx->EmitWatermark(ts);
+      }
     }
+  }
+  // Batch engine: stage one batch in a reused scratch buffer and hand it
+  // over whole -- the per-emission bookkeeping (virtual dispatch, barrier
+  // and cancellation checks) is paid once per batch. seq_ advances only
+  // after EmitBatch returns, so a barrier snapshot taken at the batch
+  // boundary records the first unemitted sequence number and a restored
+  // job regenerates exactly the unemitted suffix (fn_ is a pure function
+  // of seq).
+  std::vector<Record> scratch;
+  for (;;) {
+    uint64_t span = preferred;
+    if (watermark_every_ > 0) span = std::min<uint64_t>(span, until_wm);
+    scratch.reserve(span);
+    bool exhausted = false;
+    for (uint64_t k = 0; k < span; ++k) {
+      std::optional<Record> r = fn_(seq_ + k);
+      if (!r.has_value()) {
+        exhausted = true;
+        break;
+      }
+      scratch.push_back(std::move(*r));
+    }
+    const uint64_t n = scratch.size();
+    if (n > 0) {
+      const Timestamp last_ts = scratch[n - 1].timestamp;
+      if (!ctx->EmitBatch(std::move(scratch))) return Status::Ok();
+      seq_ += n;
+      if (watermark_every_ > 0) {
+        until_wm -= n;
+        if (until_wm == 0) {
+          // The batch ended exactly at the cadence point, so the last
+          // record is the cadence record -- same watermark the per-record
+          // loop emits.
+          until_wm = watermark_every_;
+          ctx->EmitWatermark(last_ts);
+        }
+      }
+    }
+    if (exhausted) return Status::Ok();
   }
 }
 

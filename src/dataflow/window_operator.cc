@@ -99,6 +99,18 @@ void WindowAggOperator::ProcessRecord(int, Record&& record, Collector* out) {
   pending_.emplace_back(std::move(record), seq_++);
 }
 
+void WindowAggOperator::ProcessBatch(int, std::vector<Record>&& batch,
+                                     Collector*) {
+  // Windowing buffers until the watermark anyway, so the batch entry point
+  // is just a bulk append into the reorder buffer.
+  pending_.reserve(pending_.size() + batch.size());
+  for (Record& record : batch) {
+    if (record.timestamp < current_wm_) continue;  // late: dropped
+    pending_.emplace_back(std::move(record), seq_++);
+  }
+  batch.clear();
+}
+
 void WindowAggOperator::ApplyElement(const Value& key, KeyState* ks,
                                      const Record& record) {
   (void)key;
@@ -176,25 +188,72 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
                      }
                      return a.second < b.second;
                    });
-  size_t applied = 0;
-  while (applied < pending_.size() &&
-         (wm == kMaxTimestamp || pending_[applied].first.timestamp < wm)) {
-    const Record& record = pending_[applied].first;
-    Value key;
-    uint64_t hash;
+  const auto in_bound = [&](size_t i) {
+    return i < pending_.size() &&
+           (wm == kMaxTimestamp || pending_[i].first.timestamp < wm);
+  };
+  const auto resolve_key = [&](const Record& record, Value* key,
+                               uint64_t* hash) {
     if (spec_.key) {
-      key = spec_.key(record);
+      *key = spec_.key(record);
       // Hash-once: the upstream hash shuffle already stamped the key hash on
       // the record; only records injected outside a hash edge (tests,
       // restore) pay a hash here.
-      hash = record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+      *hash = record.has_key_hash() ? record.key_hash : KeyHashOf(*key);
     } else {
-      key = Value(int64_t{0});
-      if (global_key_hash_ == 0) global_key_hash_ = KeyHashOf(key);
-      hash = global_key_hash_;
+      *key = Value(int64_t{0});
+      if (global_key_hash_ == 0) global_key_hash_ = KeyHashOf(*key);
+      *hash = global_key_hash_;
     }
-    ApplyElement(key, GetOrCreateKey(key, hash), record);
-    ++applied;
+  };
+  // Only contiguous same-key runs go through the aggregator's batch entry
+  // point, so element order within and across keys is exactly the
+  // per-element order (byte-identical output). Payload-carrying specs stay
+  // per-element: the batch API carries no payloads.
+  const bool can_batch =
+      spec_.backend == WindowBackend::kShared && !spec_.payload;
+  size_t applied = 0;
+  while (in_bound(applied)) {
+    const Record& record = pending_[applied].first;
+    Value key;
+    uint64_t hash;
+    resolve_key(record, &key, &hash);
+    KeyState* ks = GetOrCreateKey(key, hash);
+    if (!can_batch) {
+      ApplyElement(key, ks, record);
+      ++applied;
+      continue;
+    }
+    // Extend the contiguous run of records with this key (for the global
+    // key that is every in-bound record).
+    size_t j = applied + 1;
+    while (in_bound(j)) {
+      if (spec_.key) {
+        const Record& next = pending_[j].first;
+        Value next_key;
+        uint64_t next_hash;
+        resolve_key(next, &next_key, &next_hash);
+        if (next_hash != hash || !(next_key == key)) break;
+      }
+      ++j;
+    }
+    const size_t n = j - applied;
+    if (n == 1) {
+      ApplyElement(key, ks, record);
+    } else {
+      run_ts_.clear();
+      run_in_.clear();
+      run_ts_.reserve(n);
+      run_in_.reserve(n);
+      for (size_t i = applied; i < j; ++i) {
+        const Record& r = pending_[i].first;
+        run_ts_.push_back(r.timestamp);
+        run_in_.push_back(DynAggAdapter::Input{r.field(spec_.value_field),
+                                               r.timestamp});
+      }
+      ks->shared->OnElements(run_ts_.data(), run_in_.data(), n);
+    }
+    applied = j;
   }
   pending_.erase(pending_.begin(), pending_.begin() + applied);
   // Advance every key's window clock: sessions and periodic windows fire on

@@ -1,6 +1,8 @@
 #ifndef STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
 #define STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,6 +38,74 @@ struct DynAggAdapter {
     return dyn.Combine(a, b);
   }
   Output Lower(const Partial& p) const { return dyn.Lower(p); }
+
+  /// Contiguous fold kernel for the hot numeric kinds: the per-element
+  /// Combine's branches (validity check, kind switch) are hoisted out of
+  /// the loop and the accumulator lives in registers. Bit-identical to the
+  /// sequential `acc = Combine(acc, Lift(v))` chain -- the batch vs
+  /// per-record equivalence tests compare sink output bytes. Keep-one kinds
+  /// (variance/first/last/argmax) fall back to that chain unchanged.
+  void FoldSpan(Partial* acc, const Input* values, size_t n) const {
+    if (n == 0) return;
+    size_t i = 0;
+    if (!acc->valid) {
+      // Combine(invalid, y) returns y exactly; take the first element
+      // directly (folding into 0.0 could flip the sign of -0.0).
+      *acc = dyn.Lift(values[0].value, values[0].ts);
+      i = 1;
+      if (i == n) return;
+    }
+    const size_t start = i;
+    switch (dyn.kind()) {
+      case DynAggKind::kSum:
+      case DynAggKind::kAvg: {
+        double s = acc->a;
+        Timestamp ts = acc->ts;
+        for (; i < n; ++i) {
+          s = s + values[i].value.ToDouble();
+          ts = std::max(ts, values[i].ts);
+        }
+        acc->a = s;
+        acc->ts = ts;
+        break;
+      }
+      case DynAggKind::kCount: {
+        Timestamp ts = acc->ts;
+        for (; i < n; ++i) ts = std::max(ts, values[i].ts);
+        acc->a = acc->a + 0.0;  // matches x.a + y.a with y.a == 0
+        acc->ts = ts;
+        break;
+      }
+      case DynAggKind::kMin: {
+        double m = acc->a;
+        Timestamp ts = acc->ts;
+        for (; i < n; ++i) {
+          m = std::min(m, values[i].value.ToDouble());
+          ts = std::max(ts, values[i].ts);
+        }
+        acc->a = m;
+        acc->ts = ts;
+        break;
+      }
+      case DynAggKind::kMax: {
+        double m = acc->a;
+        Timestamp ts = acc->ts;
+        for (; i < n; ++i) {
+          m = std::max(m, values[i].value.ToDouble());
+          ts = std::max(ts, values[i].ts);
+        }
+        acc->a = m;
+        acc->ts = ts;
+        break;
+      }
+      default:
+        for (; i < n; ++i) {
+          *acc = dyn.Combine(*acc, dyn.Lift(values[i].value, values[i].ts));
+        }
+        return;  // Combine maintained n itself
+    }
+    acc->n += static_cast<int64_t>(n - start);
+  }
 
   DynAggregate dyn;
 };
@@ -83,6 +153,8 @@ class WindowAggOperator : public Operator {
 
   Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int input, Record&& record, Collector* out) override;
+  void ProcessBatch(int input, std::vector<Record>&& batch,
+                    Collector* out) override;
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   void OnEndOfInput(Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
@@ -127,6 +199,10 @@ class WindowAggOperator : public Operator {
 
   // Reorder buffer: records not yet covered by the watermark.
   std::vector<std::pair<Record, uint64_t>> pending_;
+  // Scratch for contiguous same-key runs handed to the aggregator's batch
+  // entry point (shared backend only); capacity persists across watermarks.
+  std::vector<Timestamp> run_ts_;
+  std::vector<DynAggAdapter::Input> run_in_;
   uint64_t seq_ = 0;
   Timestamp current_wm_ = kMinTimestamp;
 

@@ -1,6 +1,7 @@
 #ifndef STREAMLINE_WINDOW_AGGREGATE_FN_H_
 #define STREAMLINE_WINDOW_AGGREGATE_FN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -42,6 +43,14 @@ struct SumAgg {
     return whole - part;
   }
   Output Lower(const Partial& p) const { return p; }
+  /// Contiguous fold kernel: local accumulator, no memory round-trip per
+  /// element, same left-to-right association as the sequential fold (so
+  /// results are bit-identical, including for floating T).
+  void FoldSpan(Partial* acc, const Input* values, size_t n) const {
+    T s = *acc;
+    for (size_t i = 0; i < n; ++i) s = s + values[i];
+    *acc = s;
+  }
 };
 
 template <typename T>
@@ -60,6 +69,7 @@ struct CountAgg {
     return whole - part;
   }
   Output Lower(const Partial& p) const { return p; }
+  void FoldSpan(Partial* acc, const Input*, size_t n) const { *acc += n; }
 };
 
 template <typename T>
@@ -83,6 +93,11 @@ struct MinAgg {
     return b < a ? b : a;
   }
   Output Lower(const Partial& p) const { return p; }
+  void FoldSpan(Partial* acc, const Input* values, size_t n) const {
+    T m = *acc;
+    for (size_t i = 0; i < n; ++i) m = values[i] < m ? values[i] : m;
+    *acc = m;
+  }
 };
 
 template <typename T>
@@ -106,6 +121,11 @@ struct MaxAgg {
     return a < b ? b : a;
   }
   Output Lower(const Partial& p) const { return p; }
+  void FoldSpan(Partial* acc, const Input* values, size_t n) const {
+    T m = *acc;
+    for (size_t i = 0; i < n; ++i) m = m < values[i] ? values[i] : m;
+    *acc = m;
+  }
 };
 
 /// Arithmetic mean; Partial carries (sum, count) so it is invertible.
@@ -134,6 +154,12 @@ struct MeanAgg {
   }
   Output Lower(const Partial& p) const {
     return p.count == 0 ? 0.0 : p.sum / static_cast<double>(p.count);
+  }
+  void FoldSpan(Partial* acc, const Input* values, size_t n) const {
+    double s = acc->sum;
+    for (size_t i = 0; i < n; ++i) s = s + static_cast<double>(values[i]);
+    acc->sum = s;
+    acc->count += n;
   }
 };
 
@@ -223,6 +249,25 @@ struct CollectAgg {
   }
   Output Lower(const Partial& p) const { return p; }
 };
+
+/// Folds a contiguous span of inputs into *acc: the batch kernel entry
+/// point used by the aggregators' OnElements paths. Dispatches to
+/// Agg::FoldSpan when the aggregate provides one (a tight local-accumulator
+/// loop the compiler can vectorize), else falls back to the generic
+/// per-element left fold. Both forms must be bit-identical to
+/// `for (v in span) *acc = Combine(*acc, Lift(v))` -- the batch/per-record
+/// equivalence tests depend on it (same association order, no reordering).
+template <typename Agg>
+inline void AggFoldSpan(const Agg& agg, typename Agg::Partial* acc,
+                        const typename Agg::Input* values, size_t n) {
+  if constexpr (requires { agg.FoldSpan(acc, values, n); }) {
+    agg.FoldSpan(acc, values, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      *acc = agg.Combine(*acc, agg.Lift(values[i]));
+    }
+  }
+}
 
 }  // namespace streamline
 

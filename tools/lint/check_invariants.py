@@ -24,6 +24,15 @@ performance or correctness story depends on:
       Snapshot/restore paths must be deterministic: no wall-clock reads, no
       ambient randomness. Monotonic steady_clock timeouts are fine.
 
+  virtual-per-record-loop
+      The data plane executes batch-at-a-time: one ProcessBatch virtual
+      call per operator hop per batch. A loop in a hot-path file that
+      dispatches ProcessRecord/DeliverRecord/Emit per iteration reverts to
+      per-record dispatch and silently undoes that; such loops must either
+      move behind a ProcessBatch override or carry an explicit waiver
+      (default fallbacks and the fault-injection path are the sanctioned
+      cases).
+
 Waivers: append `lint:allow(<rule>): <reason>` in a comment on the
 offending line or the line directly above it. Waivers without a reason are
 themselves an error.
@@ -45,6 +54,7 @@ MUTEX_HOME = SRC / "common" / "mutex.h"
 # what the paper's single-engine throughput claims rest on.
 HOT_PATH_FILES = [
     SRC / "dataflow" / "executor.cc",
+    SRC / "dataflow" / "operator.h",
     SRC / "dataflow" / "operators.h",
     SRC / "dataflow" / "operators.cc",
     SRC / "dataflow" / "window_operator.h",
@@ -77,6 +87,48 @@ NONDETERMINISM_RE = re.compile(
     r"\blocaltime\b|\bgmtime\b"
 )
 WAIVER_RE = re.compile(r"lint:allow\(([\w-]+)\)(:\s*\S)?")
+
+# Per-record dispatch inside a loop body. Detected in two parts because the
+# loop header and the dispatch usually sit on different lines. Only loops
+# that visibly iterate records/batches count; index loops over fields or
+# subtasks are not per-record dispatch.
+LOOP_HEADER_RE = re.compile(
+    r"\b(for|while)\s*\(.*\b([Rr]ecords?|batch|event\.batch)\b")
+PER_RECORD_DISPATCH_RE = re.compile(
+    r"\b(ProcessRecord|DeliverRecord)\s*\(|->\s*Emit\s*\(")
+# How many lines a loop header (and a waiver comment above it) may precede
+# the dispatch call by and still be considered the same loop.
+LOOP_WINDOW = 5
+
+
+def scan_virtual_per_record_loops(path, violations):
+    """Flags per-record dispatch calls within LOOP_WINDOW lines of a loop
+    header. The waiver may sit on the call line or anywhere in the window
+    above it (typically the comment right above the loop header)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rule = "virtual-per-record-loop"
+    for i, line in enumerate(lines, 1):
+        if not PER_RECORD_DISPATCH_RE.search(line):
+            continue
+        window = lines[max(0, i - 1 - LOOP_WINDOW):i]
+        if not any(LOOP_HEADER_RE.search(w) for w in window):
+            continue
+        waiver = None
+        for text in window + [line]:
+            m = WAIVER_RE.search(text)
+            if m and m.group(1) == rule:
+                waiver = "waived" if m.group(2) else "missing-reason"
+        if waiver == "waived":
+            continue
+        if waiver == "missing-reason":
+            violations.append(
+                (path, i, rule, "waiver has no reason: " + line.strip()))
+            continue
+        violations.append((path, i, rule, line.strip()))
 
 
 def waived(rule, line, prev_line):
@@ -134,6 +186,7 @@ def main():
         rules = [("unordered-map-hot-path", UNORDERED_MAP_RE)]
         rules += [("record-copy-hot-path", r) for r in RECORD_COPY_RES]
         scan_file(path, rules, violations)
+        scan_virtual_per_record_loops(path, violations)
 
     snapshot_files = set()
     for pattern in SNAPSHOT_PATH_PATTERNS:
