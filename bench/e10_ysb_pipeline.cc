@@ -9,8 +9,12 @@
 // The second table ablates the channel batch size -- the design choice
 // that amortizes mailbox synchronization ("network buffers").
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "api/datastream.h"
 #include "bench/harness.h"
@@ -42,7 +46,12 @@ std::shared_ptr<EventLog> BuildLog(int partitions) {
   return log;
 }
 
-double RunYsb(const std::shared_ptr<EventLog>& log, size_t batch_size) {
+// `workers` sizes the scheduler's worker pool (0 = hardware concurrency);
+// when `report` is set, the job's scheduler.* gauges are copied into it
+// under `sched_prefix`.
+double RunYsb(const std::shared_ptr<EventLog>& log, size_t batch_size,
+              size_t workers = 0, bench::JsonReport* report = nullptr,
+              const std::string& sched_prefix = "") {
   // Static ad -> campaign dimension table (the YSB "join").
   auto table = std::make_shared<std::unordered_map<int64_t, int64_t>>();
   for (int ad = 0; ad < kAds; ++ad) {
@@ -66,11 +75,16 @@ double RunYsb(const std::shared_ptr<EventLog>& log, size_t batch_size) {
       .Sink(sink);
   JobOptions opts;
   opts.batch_size = batch_size;
+  opts.worker_threads = workers;
   auto job = env.CreateJob(opts);
   STREAMLINE_CHECK(job.ok());
   Stopwatch sw;
   STREAMLINE_CHECK_OK((*job)->Run());
-  return sw.ElapsedSeconds();
+  const double secs = sw.ElapsedSeconds();
+  if (report != nullptr) {
+    bench::AddSchedulerGauges(*report, sched_prefix, (*job)->metrics());
+  }
+  return secs;
 }
 
 void Run() {
@@ -105,6 +119,31 @@ void Run() {
                     Fmt("%.2fx", base / secs)});
       report.Add(Fmt("batch_%zu_events_per_sec", batch),
                  static_cast<double>(kEvents) / secs);
+    }
+    table.Print();
+  }
+  {
+    // Worker sweep: the full YSB job (4 log partitions, p=2 subtasks per
+    // operator) over scheduler pools of {1,2,4,hw} workers. Scheduler
+    // counters land in the JSON report per row.
+    std::printf("Worker sweep (scheduler pool size)\n\n");
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<size_t> sweep = {1, 2, 4};
+    if (std::find(sweep.begin(), sweep.end(), static_cast<size_t>(hw)) ==
+        sweep.end()) {
+      sweep.push_back(hw);
+    }
+    Table table({"workers", "throughput", "vs w=1"});
+    double base = 0;
+    for (size_t w : sweep) {
+      const double secs =
+          RunYsb(log, 256, w, &report, Fmt("ysb_w%zu_sched_", w));
+      if (w == 1) base = secs;
+      report.Add(Fmt("ysb_w%zu_events_per_sec", w),
+                 static_cast<double>(kEvents) / secs);
+      table.AddRow({Fmt("%zu%s", w, w == hw ? " (hw)" : ""),
+                    bench::Rate(static_cast<double>(kEvents), secs),
+                    Fmt("%.2fx", base / secs)});
     }
     table.Print();
   }

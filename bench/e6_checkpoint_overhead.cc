@@ -73,18 +73,20 @@ class RecoverySource : public SourceFunction {
   RecoverySource(uint64_t total, std::atomic<uint64_t>* emitted)
       : total_(total), emitted_(emitted) {}
 
-  Status Run(SourceContext* ctx) override {
-    while (pos_ < total_) {
+  Result<SourcePoll> Poll(SourceContext* ctx) override {
+    // One watermark interval per poll keeps the morsel bounded.
+    const uint64_t stop = std::min(total_, (pos_ / 1024 + 1) * 1024);
+    while (pos_ < stop) {
       Record r = MakeRecord(static_cast<Timestamp>(pos_),
                             Value(static_cast<int64_t>(pos_ % 256)),
                             Value(static_cast<double>(pos_ % 131)));
       const Timestamp ts = r.timestamp;
-      if (!ctx->Emit(std::move(r))) return Status::Ok();
+      if (!ctx->Emit(std::move(r))) return SourcePoll::kExhausted;
       ++pos_;
       emitted_->fetch_add(1, std::memory_order_relaxed);
       if (pos_ % 1024 == 0) ctx->EmitWatermark(ts);
     }
-    return Status::Ok();
+    return pos_ < total_ ? SourcePoll::kHasMore : SourcePoll::kExhausted;
   }
   Status SnapshotState(BinaryWriter* w) const override {
     w->WriteU64(pos_);

@@ -19,6 +19,8 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/datastream.h"
 #include "bench/harness.h"
@@ -50,8 +52,13 @@ struct RunResult {
   double max_probe = 0;
 };
 
+// `workers` sizes the scheduler's worker pool (0 = hardware concurrency);
+// when `report` is set, the job's scheduler.* gauges are copied into it
+// under `sched_prefix`.
 RunResult RunOne(int k, WindowBackend backend, uint64_t records,
-                 uint64_t campaigns) {
+                 uint64_t campaigns, size_t workers = 0,
+                 bench::JsonReport* report = nullptr,
+                 const std::string& sched_prefix = "") {
   AdStreamGenerator::Options opt;
   opt.num_campaigns = campaigns;
   opt.events_per_second = 10'000;
@@ -67,12 +74,17 @@ RunResult RunOne(int k, WindowBackend backend, uint64_t records,
       .Window(MakeWindows(k))
       .Aggregate(DynAggKind::kAvg, 1, backend, "ctr")  // CTR = avg(is_click)
       .Sink(sink);
-  auto job = env.CreateJob();
+  JobOptions options;
+  options.worker_threads = workers;
+  auto job = env.CreateJob(options);
   STREAMLINE_CHECK_OK(job.status());
   Stopwatch sw;
   STREAMLINE_CHECK_OK((*job)->Run());
   RunResult res;
   res.secs = sw.ElapsedSeconds();
+  if (report != nullptr) {
+    bench::AddSchedulerGauges(*report, sched_prefix, (*job)->metrics());
+  }
   for (int s = 0; s < 2; ++s) {
     const std::string prefix = "op.ctr." + std::to_string(s) + ".state.";
     MetricsRegistry* m = (*job)->metrics();
@@ -140,6 +152,35 @@ void Run(uint64_t records, int max_k) {
   }
 
   table.Print();
+
+  {
+    // Worker sweep: the shared-backend job (K = min(8, max_k) windows per
+    // key) over scheduler pools of {1,2,4,hw} workers. Scheduler counters
+    // land in the JSON report per row.
+    std::printf("Worker sweep (scheduler pool size, cutty-shared)\n\n");
+    const int k = std::min(8, max_k);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<size_t> sweep = {1, 2, 4};
+    if (std::find(sweep.begin(), sweep.end(), static_cast<size_t>(hw)) ==
+        sweep.end()) {
+      sweep.push_back(hw);
+    }
+    Table wtable({"workers", "windows/key", "throughput", "vs w=1"});
+    double base = 0;
+    for (size_t w : sweep) {
+      const RunResult r =
+          RunOne(k, WindowBackend::kShared, records, /*campaigns=*/64, w,
+                 &report, Fmt("shared_k%d_w%zu_sched_", k, w));
+      if (w == 1) base = r.secs;
+      report.Add(Fmt("shared_k%d_w%zu_rps", k, w),
+                 static_cast<double>(records) / r.secs);
+      wtable.AddRow({Fmt("%zu%s", w, w == hw ? " (hw)" : ""), Fmt("%d", k),
+                     bench::Rate(static_cast<double>(records), r.secs),
+                     Fmt("%.2fx", base / r.secs)});
+    }
+    wtable.Print();
+  }
+
   report.Write();
 }
 

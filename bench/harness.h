@@ -140,6 +140,22 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+/// Copies the `scheduler.*` gauges a finished scheduler-mode job exports
+/// (worker count, where morsels ran, steal/park/wake totals) into `report`
+/// under `prefix` -- e.g. prefix "keyed_w4_sched_" yields
+/// "keyed_w4_sched_morsels_stolen". Call after Job::Run() and before the
+/// job is destroyed.
+inline void AddSchedulerGauges(JsonReport& report, const std::string& prefix,
+                               MetricsRegistry* metrics) {
+  static constexpr const char* kGauges[] = {
+      "workers",  "morsels_local", "morsels_stolen", "morsels_injected",
+      "steals",   "parks",         "wakeups",        "notifies"};
+  for (const char* g : kGauges) {
+    report.Add(prefix + g,
+               metrics->GetGauge(std::string("scheduler.") + g)->value());
+  }
+}
+
 }  // namespace streamline::bench
 
 #endif  // STREAMLINE_BENCH_HARNESS_H_

@@ -110,6 +110,18 @@ class SpscRing {
   char pad_[kCacheLineSize - sizeof(std::atomic<uint64_t>) - sizeof(uint64_t)];
 };
 
+/// Readiness signal a channel fires after every successful push (and on
+/// close). Two implementations exist: Doorbell wakes a dedicated consumer
+/// thread parked on a condvar (thread-per-task mode), and the executor's
+/// task notifier marks the consuming task runnable on the work-stealing
+/// pool (scheduler mode). Wake() must be cheap, non-blocking, and safe
+/// from any thread.
+class Waker {
+ public:
+  virtual ~Waker() = default;
+  virtual void Wake() = 0;
+};
+
 /// Wakeup channel for a consumer that multiplexes several SPSC rings: the
 /// consumer parks here when every ring is empty, producers ring it after a
 /// push. The fast path for a producer is a single relaxed-ish atomic load
@@ -119,8 +131,10 @@ class SpscRing {
 /// Park uses a short timed wait as a backstop so a theoretically lost
 /// wakeup (the flag check racing with a push on another core) costs at
 /// most one timeout period instead of a hang.
-class Doorbell {
+class Doorbell : public Waker {
  public:
+  void Wake() override { Ring(); }
+
   /// Producer side: wake the consumer if it is (or is about to be) parked.
   void Ring() {
     if (parked_.load(std::memory_order_seq_cst)) {
@@ -161,9 +175,10 @@ template <typename T>
 class SpscChannel {
  public:
   /// `doorbell` (optional, not owned) is rung after every successful push;
-  /// a consumer multiplexing several channels parks on it.
+  /// a consumer multiplexing several channels parks on it. It also becomes
+  /// the initial waker; see set_waker.
   explicit SpscChannel(size_t capacity, Doorbell* doorbell = nullptr)
-      : ring_(capacity), doorbell_(doorbell) {}
+      : ring_(capacity), doorbell_(doorbell), waker_(doorbell) {}
 
   SpscChannel(const SpscChannel&) = delete;
   SpscChannel& operator=(const SpscChannel&) = delete;
@@ -174,7 +189,7 @@ class SpscChannel {
     for (int spin = 0; spin < kPushSpinBudget; ++spin) {
       if (closed_.load(std::memory_order_acquire)) return false;
       if (ring_.TryPush(std::move(item))) {
-        if (doorbell_ != nullptr) doorbell_->Ring();
+        if (waker_ != nullptr) waker_->Wake();
         return true;
       }
       std::this_thread::yield();
@@ -182,7 +197,7 @@ class SpscChannel {
     for (;;) {
       if (closed_.load(std::memory_order_acquire)) return false;
       if (ring_.TryPush(std::move(item))) {
-        if (doorbell_ != nullptr) doorbell_->Ring();
+        if (waker_ != nullptr) waker_->Wake();
         return true;
       }
       WaitNotFull();
@@ -193,7 +208,7 @@ class SpscChannel {
   bool TryPush(T&& item) {
     if (closed_.load(std::memory_order_acquire)) return false;
     if (!ring_.TryPush(std::move(item))) return false;
-    if (doorbell_ != nullptr) doorbell_->Ring();
+    if (waker_ != nullptr) waker_->Wake();
     return true;
   }
 
@@ -238,7 +253,7 @@ class SpscChannel {
       MutexLock lock(&mu_);
     }
     not_full_.NotifyAll();
-    if (doorbell_ != nullptr) doorbell_->Ring();
+    if (waker_ != nullptr) waker_->Wake();
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -250,11 +265,18 @@ class SpscChannel {
 
   Doorbell* doorbell() const { return doorbell_; }
 
- private:
-  // Spins before parking. Deliberately small: on a loaded host the other
-  // side of the channel needs the core more than we need the spin.
-  static constexpr int kPushSpinBudget = 64;
+  /// Replaces the push/close readiness signal (by default the doorbell
+  /// passed at construction). The scheduler wires a task notifier here so
+  /// a push marks the consuming task runnable instead of waking a parked
+  /// thread. Must be called before the producer starts pushing; the
+  /// blocking Pop's park still uses the doorbell, so consumers either
+  /// block on the doorbell or get scheduled via the waker, never both.
+  void set_waker(Waker* waker) { waker_ = waker; }
 
+  /// Producer-side timed wait for space (1 ms backstop, returns early when
+  /// the consumer pops or the channel closes). Public so a scheduler-mode
+  /// producer can interleave waiting with running other ready tasks
+  /// instead of blocking inside Push.
   void WaitNotFull() {
     MutexLock lock(&mu_);
     producer_waiting_.store(true, std::memory_order_seq_cst);
@@ -266,6 +288,11 @@ class SpscChannel {
     producer_waiting_.store(false, std::memory_order_seq_cst);
   }
 
+ private:
+  // Spins before parking. Deliberately small: on a loaded host the other
+  // side of the channel needs the core more than we need the spin.
+  static constexpr int kPushSpinBudget = 64;
+
   void NotifyNotFull() {
     if (producer_waiting_.load(std::memory_order_seq_cst)) {
       { MutexLock lock(&mu_); }
@@ -275,6 +302,7 @@ class SpscChannel {
 
   SpscRing<T> ring_;
   Doorbell* doorbell_;
+  Waker* waker_;
   std::atomic<bool> closed_{false};
 
   // Slow path only: producer backpressure parking. Like Doorbell, mu_ just

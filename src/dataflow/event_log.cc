@@ -69,63 +69,58 @@ LogSource::LogSource(std::shared_ptr<EventLog> log, int subtask,
     my_partitions_.push_back(p);
   }
   offsets_.assign(my_partitions_.size(), 0);
+  last_ts_.assign(my_partitions_.size(), kMinTimestamp);
 }
 
-Status LogSource::Run(SourceContext* ctx) {
-  if (my_partitions_.empty()) return Status::Ok();
-  std::vector<Timestamp> last_ts(my_partitions_.size(), kMinTimestamp);
-  uint64_t emitted = 0;
-  for (;;) {
-    if (ctx->IsCancelled()) return Status::Ok();
-    // Pick the owned partition with the smallest available head timestamp
-    // (best-effort cross-partition ordering).
-    int best = -1;
-    Timestamp best_ts = kMaxTimestamp;
-    bool all_exhausted = true;
-    for (size_t i = 0; i < my_partitions_.size(); ++i) {
-      const int p = my_partitions_[i];
-      if (offsets_[i] < log_->EndOffset(p)) {
-        all_exhausted = false;
-        auto head = log_->Read(p, offsets_[i]);
-        STREAMLINE_CHECK(head.ok());
-        if (head->timestamp < best_ts) {
-          best_ts = head->timestamp;
-          best = static_cast<int>(i);
-        }
-      } else if (!log_->closed()) {
-        all_exhausted = false;
+Result<SourcePoll> LogSource::Poll(SourceContext* ctx) {
+  if (my_partitions_.empty()) return SourcePoll::kExhausted;
+  // Pick the owned partition with the smallest available head timestamp
+  // (best-effort cross-partition ordering) and emit one record per poll.
+  int best = -1;
+  Timestamp best_ts = kMaxTimestamp;
+  bool all_exhausted = true;
+  for (size_t i = 0; i < my_partitions_.size(); ++i) {
+    const int p = my_partitions_[i];
+    if (offsets_[i] < log_->EndOffset(p)) {
+      all_exhausted = false;
+      auto head = log_->Read(p, offsets_[i]);
+      STREAMLINE_CHECK(head.ok());
+      if (head->timestamp < best_ts) {
+        best_ts = head->timestamp;
+        best = static_cast<int>(i);
       }
-    }
-    if (best == -1) {
-      if (all_exhausted && log_->closed()) return Status::Ok();
-      // Open log with no data available yet: wait for producers, but keep
-      // servicing checkpoint barriers while idle.
-      ctx->HandleIdle();
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-      continue;
-    }
-    auto record = log_->Read(my_partitions_[best], offsets_[best]);
-    STREAMLINE_CHECK(record.ok());
-    last_ts[best] = record->timestamp;
-    if (!ctx->Emit(std::move(*record))) return Status::Ok();
-    ++offsets_[best];
-    ++emitted;
-    if (watermark_every_ > 0 && emitted % watermark_every_ == 0) {
-      // Conservative per-partition watermark: future records of partition
-      // i have ts >= last_ts[i] (appends are ordered), so the subtask
-      // watermark is the minimum over its non-exhausted partitions.
-      Timestamp wm = kMaxTimestamp;
-      for (size_t i = 0; i < my_partitions_.size(); ++i) {
-        const bool exhausted =
-            log_->closed() &&
-            offsets_[i] >= log_->EndOffset(my_partitions_[i]);
-        if (!exhausted) wm = std::min(wm, last_ts[i]);
-      }
-      if (wm != kMaxTimestamp && wm != kMinTimestamp) {
-        ctx->EmitWatermark(wm);
-      }
+    } else if (!log_->closed()) {
+      all_exhausted = false;
     }
   }
+  if (best == -1) {
+    if (all_exhausted && log_->closed()) return SourcePoll::kExhausted;
+    // Open log with no data available yet: the runtime re-polls after a
+    // short delay (and keeps servicing checkpoint barriers while idle).
+    return SourcePoll::kIdle;
+  }
+  auto record = log_->Read(my_partitions_[best], offsets_[best]);
+  STREAMLINE_CHECK(record.ok());
+  last_ts_[best] = record->timestamp;
+  if (!ctx->Emit(std::move(*record))) return SourcePoll::kExhausted;
+  ++offsets_[best];
+  ++emitted_;
+  if (watermark_every_ > 0 && emitted_ % watermark_every_ == 0) {
+    // Conservative per-partition watermark: future records of partition
+    // i have ts >= last_ts_[i] (appends are ordered), so the subtask
+    // watermark is the minimum over its non-exhausted partitions.
+    Timestamp wm = kMaxTimestamp;
+    for (size_t i = 0; i < my_partitions_.size(); ++i) {
+      const bool exhausted =
+          log_->closed() &&
+          offsets_[i] >= log_->EndOffset(my_partitions_[i]);
+      if (!exhausted) wm = std::min(wm, last_ts_[i]);
+    }
+    if (wm != kMaxTimestamp && wm != kMinTimestamp) {
+      ctx->EmitWatermark(wm);
+    }
+  }
+  return SourcePoll::kHasMore;
 }
 
 Status LogSource::SnapshotState(BinaryWriter* w) const {

@@ -58,7 +58,7 @@ class LogSource : public SourceFunction {
   LogSource(std::shared_ptr<EventLog> log, int subtask, int parallelism,
             uint64_t watermark_every = 64);
 
-  Status Run(SourceContext* ctx) override;
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override;
@@ -73,6 +73,10 @@ class LogSource : public SourceFunction {
   uint64_t watermark_every_;
   std::vector<int> my_partitions_;
   std::vector<uint64_t> offsets_;  // parallel to my_partitions_
+  // Poll-local merge state (not checkpointed: watermark cadence restarts
+  // after a restore, which only delays the next watermark).
+  std::vector<Timestamp> last_ts_;  // parallel to my_partitions_
+  uint64_t emitted_ = 0;
 };
 
 }  // namespace streamline

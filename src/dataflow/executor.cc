@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -14,6 +18,8 @@
 
 namespace streamline {
 namespace internal {
+
+class Task;
 
 namespace {
 
@@ -39,6 +45,11 @@ struct OutputTarget {
   // Per-target record buffer ("network buffer"): amortizes channel
   // synchronization over batch_size records.
   std::vector<Record> buffer;
+  // Scheduler-mode backpressure: events that found the ring full wait
+  // here, in order, and are re-offered before anything newer (see
+  // PushEvent). Bounded by one morsel's output -- a task with pending
+  // overflow stops consuming input until the queue drains.
+  std::deque<StreamEvent> overflow;
 };
 
 struct OutputEdge {
@@ -65,12 +76,18 @@ constexpr size_t kDrainBudgetPerVisit = 1;
 
 }  // namespace
 
-/// One physical task: a chain of operators (possibly headed by a source)
-/// executed by a dedicated thread. Input arrives on one SPSC channel per
-/// upstream subtask; the thread multiplexes them with a round-robin poll
-/// loop (parking on the shared doorbell after an idle spin budget) and
-/// tracks watermarks and barrier alignment per channel.
-class Task {
+/// One physical task: a chain of operators (possibly headed by a source),
+/// with one SPSC input channel per upstream subtask, multiplexed
+/// round-robin with per-channel watermark and barrier-alignment tracking.
+/// Two execution modes drive it. The morsel scheduler (default) runs
+/// bounded Step() calls on a fixed work-stealing pool, so a logical task is
+/// just a schedulable unit and parallelism above the core count does not
+/// add OS threads. Thread-per-task mode runs the blocking Run() body on a
+/// dedicated thread. Both modes share all delivery, routing, and
+/// checkpoint logic -- and because the pool serializes Step() calls per
+/// task and channels stay FIFO, barrier positions and sink output are
+/// byte-identical between them.
+class Task : public Schedulable {
  public:
   Task(Job* job, std::vector<int> node_ids, int subtask, int parallelism)
       : job_(job), node_ids_(std::move(node_ids)), subtask_(subtask),
@@ -178,6 +195,48 @@ class Task {
     pending_barrier_.store(id, std::memory_order_release);
   }
 
+  /// Scheduler-mode wiring (main thread, before Start): pushes into any of
+  /// this task's input channels notify it on the pool instead of ringing
+  /// the doorbell, and output backpressure becomes help-out work.
+  void AttachScheduler(WorkStealingPool* pool) {
+    scheduler_mode_ = true;
+    notify_waker_.pool = pool;
+    notify_waker_.task = this;
+    for (auto& in : inputs) in->events.set_waker(&notify_waker_);
+  }
+
+  /// True once the task ran its final morsel (scheduler mode only).
+  bool done() const {
+    return phase_.load(std::memory_order_acquire) == kPhaseDone;
+  }
+
+  /// One-line diagnostic snapshot for stall dumps (racy reads; the task
+  /// may be running concurrently -- values are hints, not truth).
+  std::string DebugString() const {
+    std::string s = task_name;
+    s += " phase=" + std::to_string(phase_.load(std::memory_order_relaxed));
+    s += " sched=" + std::to_string(debug_sched_state());
+    s += " steps=" + std::to_string(debug_steps_.load(std::memory_order_relaxed));
+    s += " open=" + std::to_string(open_channels_);
+    s += aligning_ ? " aligning" : "";
+    s += finishing_ ? " finishing" : "";
+    size_t ovf = 0;
+    for (const auto& edge : outputs) {
+      for (const auto& t : edge.targets) ovf += t.overflow.size();
+    }
+    if (ovf != 0) s += " overflow=" + std::to_string(ovf);
+    const uint64_t pending = pending_barrier_.load(std::memory_order_relaxed);
+    if (pending != 0) s += " pending_barrier=" + std::to_string(pending);
+    for (size_t c = 0; c < inputs.size(); ++c) {
+      s += " ch" + std::to_string(c) + "[sz=" +
+           std::to_string(inputs[c]->events.size()) +
+           (channel_open_[c] ? "" : " eos") +
+           (inputs[c]->events.closed() ? " closed" : "") +
+           (channel_aligned_[c] ? " aligned" : "") + "]";
+    }
+    return s;
+  }
+
   // --- thread body ---------------------------------------------------------
 
   void Run() {
@@ -200,6 +259,58 @@ class Task {
       job_->ReportTaskFailure(task_name, task_status_);
       AbortAndDrain();
     }
+  }
+
+  // --- morsel body (scheduler mode) ---------------------------------------
+
+  /// One bounded morsel, the scheduler-mode unit of execution. The pool
+  /// serializes Step calls per task (run-once claiming with
+  /// acquire/release handover), so everything the thread body above
+  /// touches stays effectively single-threaded even though successive
+  /// morsels may run on different workers.
+  bool Step() override {
+    debug_steps_.fetch_add(1, std::memory_order_relaxed);
+    const uint8_t phase = phase_.load(std::memory_order_relaxed);
+    if (phase == kPhaseDone) return false;
+    // Backpressure gate: stashed output must reach its rings before this
+    // task consumes anything new (or finishes). Keep rescheduling until
+    // the consumer makes room; FIFO requeues guarantee the consumer (and,
+    // during barrier alignment, the peer producer whose barrier it waits
+    // for) gets its turn in between.
+    if (overflow_pending_ && !FlushOverflow()) {
+      // Sustained failure means the consumer is behind; on oversubscribed
+      // cores an unthrottled respin storm here takes the very CPU the
+      // consumer needs to make room. Keep a short hot burst for latency,
+      // then hand the core over.
+      if (++flush_retry_streak_ >= kFlushRetryYieldThreshold) {
+        flush_retry_streak_ = 0;
+        std::this_thread::yield();
+      }
+      return true;
+    }
+    flush_retry_streak_ = 0;
+    if (finishing_) {
+      MarkDone();
+      return false;
+    }
+    if (phase == kPhaseAborting) return StepAbort();
+    try {
+      const bool more = is_source ? StepSource() : StepOperator();
+      if (task_status_.ok()) return more;
+    } catch (const StatusError& e) {
+      Fail(e.status());
+    } catch (const std::exception& e) {
+      Fail(Status::Internal("uncaught exception in task '" + task_name +
+                            "': " + e.what()));
+    } catch (...) {
+      Fail(Status::Internal("uncaught non-standard exception in task '" +
+                            task_name + "'"));
+    }
+    // Morselized mirror of Run()'s failure epilogue: report once, then
+    // spread the abort-drain over subsequent morsels.
+    job_->ReportTaskFailure(task_name, task_status_);
+    BeginAbort();
+    return StepAbort();
   }
 
  private:
@@ -394,6 +505,103 @@ class Task {
     if (!task_status_.ok()) return;  // Run() takes the abort path
     if (task_wm_ < kMaxTimestamp) DeliverWatermark(kMaxTimestamp);
     FinishChain();
+  }
+
+  /// Source morsel: service any pending barrier, then a few polls. An
+  /// idle source goes quiet (the job's 1 ms source timer re-notifies it);
+  /// an exhausted or cancelled source runs RunSource()'s epilogue.
+  bool StepSource() {
+    MaybeHandleSourceBarrier();
+    if (!task_status_.ok()) return true;
+    if (job_->cancelled_.load(std::memory_order_relaxed)) {
+      return FinishSource();
+    }
+    SourceTaskContext ctx(this);
+    constexpr int kPollsPerMorsel = 4;
+    for (int i = 0; i < kPollsPerMorsel; ++i) {
+      Result<SourcePoll> polled = source->Poll(&ctx);
+      if (!polled.ok()) {
+        // Fail() keeps the first error, exactly like RunSource.
+        Fail(polled.status());
+        return true;
+      }
+      if (!task_status_.ok()) return true;
+      switch (*polled) {
+        case SourcePoll::kHasMore:
+          break;
+        case SourcePoll::kIdle:
+          // Same contract as the thread-mode idle loop (HandleIdle): flush
+          // staged output and service barriers before going quiet.
+          FlushSourceBatch();
+          FlushAllBuffers();
+          MaybeHandleSourceBarrier();
+          return !task_status_.ok() || overflow_pending_;
+        case SourcePoll::kExhausted:
+          return FinishSource();
+      }
+      if (job_->cancelled_.load(std::memory_order_relaxed)) {
+        return FinishSource();
+      }
+      // A downstream ring filled up: stop polling and reschedule; Step's
+      // preamble re-offers the overflow until the consumer makes room.
+      if (overflow_pending_) return true;
+    }
+    return true;
+  }
+
+  /// Exhaustion/cancellation epilogue, exactly RunSource()'s tail. Returns
+  /// false after marking the task done; true on failure (the Step wrapper
+  /// takes the abort path).
+  bool FinishSource() {
+    FlushSourceBatch();
+    if (!task_status_.ok()) return true;
+    MaybeHandleSourceBarrier();
+    DeliverWatermark(kMaxTimestamp);
+    FinishChain();
+    if (!task_status_.ok()) return true;
+    return FinishMorsel();
+  }
+
+  /// Completion epilogue shared by every finish path: the task is done as
+  /// soon as its stashed output (if any) has drained into the rings.
+  bool FinishMorsel() {
+    if (overflow_pending_) {
+      finishing_ = true;
+      return true;  // requeue; Step's preamble drains, then marks done
+    }
+    MarkDone();
+    return false;
+  }
+
+  /// Operator morsel: drain a bounded number of events round-robin across
+  /// the input channels, then either requeue (work left), go idle (every
+  /// producer's next push notifies us), or finish (all inputs closed).
+  bool StepOperator() {
+    constexpr size_t kPassesPerMorsel = 8;
+    for (size_t pass = 0; pass < kPassesPerMorsel && open_channels_ > 0 &&
+                          task_status_.ok() && !overflow_pending_;
+         ++pass) {
+      size_t drained = 0;
+      for (size_t c = 0; c < inputs.size(); ++c) {
+        drained += DrainChannel(c, kDrainBudgetPerVisit);
+      }
+      if (drained == 0) break;
+    }
+    if (!task_status_.ok()) return true;
+    if (open_channels_ == 0) {
+      if (task_wm_ < kMaxTimestamp) DeliverWatermark(kMaxTimestamp);
+      FinishChain();
+      if (!task_status_.ok()) return true;
+      return FinishMorsel();
+    }
+    // A push racing with this check is not lost: the producer's Notify
+    // lands as kRunningNotified and the pool requeues us.
+    return AnyInputReady() || overflow_pending_;
+  }
+
+  void MarkDone() {
+    phase_.store(kPhaseDone, std::memory_order_release);
+    job_->TaskFinished();
   }
 
   size_t DrainChannel(size_t c, size_t budget) {
@@ -682,23 +890,47 @@ class Task {
     return true;
   }
 
-  /// Crash-like teardown after a failure: drop buffered (uncommitted)
-  /// output, push end-of-stream so downstream tasks terminate, and drain
-  /// our own inputs -- discarding everything -- until every producer's EOS
-  /// arrived. The drain is what unblocks upstream tasks parked in Push()
-  /// on a full ring; without it a failed consumer would deadlock its
-  /// producers. Barriers drained here are deliberately not acked: a
-  /// checkpoint interrupted by the failure must stay incomplete.
-  void AbortAndDrain() {
+  /// Crash-like teardown after a failure, first half: drop buffered
+  /// (uncommitted) output and push end-of-stream so downstream tasks
+  /// terminate. The drain that follows (StepAbort morsels, or the blocking
+  /// loop in AbortAndDrain for thread-per-task mode) is what unblocks
+  /// upstream tasks backed up on a full ring; without it a failed consumer
+  /// would deadlock its producers.
+  void BeginAbort() {
     source_batch_.clear();  // uncommitted, dropped like buffered output
     for (OutputEdge& edge : outputs) {
       for (OutputTarget& target : edge.targets) {
         target.buffer.clear();
         StreamEvent eos = StreamEvent::EndOfStream();
-        target.channel->events.Push(std::move(eos));
+        PushEvent(target, std::move(eos));
       }
     }
     aligning_ = false;  // stop skipping aligned channels
+    phase_.store(kPhaseAborting, std::memory_order_relaxed);
+  }
+
+  /// Abort-drain morsel: discard whatever the inputs hold until every
+  /// producer's EOS arrived. Goes idle between pushes -- each producer
+  /// push notifies this task. Barriers drained here are deliberately not
+  /// acked: a checkpoint interrupted by the failure must stay incomplete.
+  bool StepAbort() {
+    StreamEvent ev;
+    size_t drained = 0;
+    for (size_t c = 0; c < inputs.size(); ++c) {
+      while (channel_open_[c] && inputs[c]->events.TryPop(&ev)) {
+        if (ev.kind == StreamEvent::Kind::kEndOfStream) {
+          channel_open_[c] = false;
+          --open_channels_;
+        }
+        ++drained;
+      }
+    }
+    if (open_channels_ == 0) return FinishMorsel();
+    return drained > 0;
+  }
+
+  void AbortAndDrain() {
+    BeginAbort();
     size_t idle_spins = 0;
     StreamEvent ev;
     while (open_channels_ > 0) {
@@ -875,6 +1107,55 @@ class Task {
     if (target.buffer.size() >= batch_size) FlushTarget(&target);
   }
 
+  /// Ships one event into a downstream channel. Thread-per-task mode
+  /// blocks inside Push (the producer owns a whole thread). A scheduler
+  /// task must never block a worker -- and must not run other tasks from
+  /// inside a push either: "helping" suspends this task mid-Step while it
+  /// still holds its run-once claim, and any helped task that then blocks
+  /// on a channel only this suspended task can drain deadlocks the whole
+  /// stack (suspended claims put cycles in the wait graph even though the
+  /// dataflow itself is acyclic). Instead a full ring stashes the event
+  /// in the per-target overflow queue and the task simply reschedules:
+  /// its morsel loop stops consuming input and re-offers the overflow
+  /// (oldest first, so per-target order holds) until the consumer makes
+  /// room. Backpressure becomes scheduling state instead of a blocked
+  /// thread, which is what makes workers < tasks deadlock-free.
+  void PushEvent(OutputTarget& target, StreamEvent&& event) {
+    InputChannel* ch = target.channel;
+    if (!scheduler_mode_) {
+      ch->events.Push(std::move(event));
+      return;
+    }
+    if (target.overflow.empty() && ch->events.TryPush(std::move(event))) {
+      return;
+    }
+    if (ch->events.closed()) return;  // dropped, like Push on a closed channel
+    target.overflow.push_back(std::move(event));
+    overflow_pending_ = true;
+  }
+
+  /// Re-offers stashed overflow events, oldest first. Returns true when
+  /// every target's overflow is empty (the task may consume input again).
+  bool FlushOverflow() {
+    bool all_empty = true;
+    for (OutputEdge& edge : outputs) {
+      for (OutputTarget& target : edge.targets) {
+        std::deque<StreamEvent>& q = target.overflow;
+        while (!q.empty()) {
+          if (target.channel->events.closed()) {
+            q.clear();  // dropped, like Push on a closed channel
+            break;
+          }
+          if (!target.channel->events.TryPush(std::move(q.front()))) break;
+          q.pop_front();
+        }
+        if (!q.empty()) all_empty = false;
+      }
+    }
+    overflow_pending_ = !all_empty;
+    return all_empty;
+  }
+
   void FlushTarget(OutputTarget* target) {
     if (target->buffer.empty()) return;
     FlushRouteMetrics();
@@ -887,7 +1168,7 @@ class Task {
     if (target->buffer.capacity() < batch_size) {
       target->buffer.reserve(batch_size);
     }
-    ch->events.Push(std::move(event));
+    PushEvent(*target, std::move(event));
   }
 
   void FlushAllBuffers() {
@@ -913,9 +1194,9 @@ class Task {
     FlushAllBuffers();
     FlushRouteMetrics();
     for (OutputEdge& edge : outputs) {
-      for (const OutputTarget& target : edge.targets) {
+      for (OutputTarget& target : edge.targets) {
         StreamEvent copy = event;
-        target.channel->events.Push(std::move(copy));
+        PushEvent(target, std::move(copy));
       }
     }
   }
@@ -940,6 +1221,40 @@ class Task {
   bool aligning_ = false;
   uint64_t barrier_id_ = 0;
   std::atomic<uint64_t> pending_barrier_{0};
+
+  // Scheduler-mode push notifications: marks this task runnable on the
+  // pool. Wake() is called by producers from arbitrary workers.
+  class NotifyWaker : public Waker {
+   public:
+    void Wake() override { pool->Notify(task); }
+    WorkStealingPool* pool = nullptr;
+    Schedulable* task = nullptr;
+  };
+
+  // Morsel-mode lifecycle: kPhaseRunning covers the normal body, a failure
+  // switches to kPhaseAborting (EOS sent, draining inputs), kPhaseDone
+  // tasks refuse further morsels. Atomic only because the idle-source
+  // timer reads done() from the timer thread; transitions happen on the
+  // task's (serialized) morsels.
+  static constexpr uint8_t kPhaseRunning = 0;
+  static constexpr uint8_t kPhaseAborting = 1;
+  static constexpr uint8_t kPhaseDone = 2;
+  std::atomic<uint8_t> phase_{kPhaseRunning};
+  // Total Step() invocations; stall-dump diagnostics only.
+  std::atomic<uint64_t> debug_steps_{0};
+  bool scheduler_mode_ = false;
+  // True while any OutputTarget::overflow is non-empty; the task's morsel
+  // loop stops consuming input until FlushOverflow drains everything
+  // (task-serialized, like all non-atomic task state).
+  bool overflow_pending_ = false;
+  // Consecutive morsels whose flush failed; past the threshold each failed
+  // respin yields the core to whoever should be draining (task-serialized).
+  static constexpr uint32_t kFlushRetryYieldThreshold = 16;
+  uint32_t flush_retry_streak_ = 0;
+  // The finish epilogue ran but overflow was still pending: the next
+  // morsel whose flush succeeds marks the task done.
+  bool finishing_ = false;
+  NotifyWaker notify_waker_;
 
   // Batch-at-a-time execution (see Init). source_batch_ accumulates source
   // emits; its capacity survives every flush (task thread only).
@@ -1079,8 +1394,9 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
       out.key_hash = e.key_hash;
       for (size_t t = 0; t < down_tasks.size(); ++t) {
         internal::Task* down = job->tasks_[down_tasks[t]].get();
-        out.targets.push_back(internal::OutputTarget{
-            down->inputs[channel_of[s][t]].get()});
+        internal::OutputTarget target;
+        target.channel = down->inputs[channel_of[s][t]].get();
+        out.targets.push_back(std::move(target));
       }
       up->outputs.push_back(std::move(out));
     }
@@ -1104,11 +1420,20 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
     job->coordinator_ = std::make_unique<CheckpointCoordinator>(
         job->snapshot_store_.get(), static_cast<int>(job->tasks_.size()),
         job->snapshot_store_->MaxCheckpointId() + 1);
+    const bool scheduled =
+        options.execution_mode == JobOptions::ExecutionMode::kScheduler;
+    Job* j = job.get();
     for (auto& task : job->tasks_) {
       if (task->is_source) {
         internal::Task* t = task.get();
         job->coordinator_->RegisterSourceTrigger(
-            [t](uint64_t id) { t->RequestBarrier(id); });
+            [t, j, scheduled](uint64_t id) {
+              t->RequestBarrier(id);
+              // Scheduler mode: an idle source won't poll on its own, so
+              // nudge it -- barrier latency becomes one morsel instead of
+              // waiting for the 1 ms re-poll timer.
+              if (scheduled && j->started_.load()) j->pool_->Notify(t);
+            });
       }
     }
   }
@@ -1120,6 +1445,23 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
           job->snapshot_store_.get(), options.restore_from_checkpoint));
     }
   }
+
+  // 7) The scheduler. In thread-per-task mode the pool is timer-only: no
+  // workers, but the checkpoint cadence still runs on its timer thread.
+  {
+    WorkStealingPool::Options popts;
+    if (options.execution_mode == JobOptions::ExecutionMode::kScheduler) {
+      popts.num_workers = options.worker_threads;  // 0 = hardware
+    } else {
+      popts.timer_only = true;
+    }
+    job->pool_ = std::make_unique<WorkStealingPool>(std::move(popts));
+    if (options.execution_mode == JobOptions::ExecutionMode::kScheduler) {
+      for (auto& task : job->tasks_) {
+        task->AttachScheduler(job->pool_.get());
+      }
+    }
+  }
   return job;
 }
 
@@ -1127,48 +1469,162 @@ Status Job::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("job already started");
   }
-  threads_.reserve(tasks_.size());
-  for (auto& task : tasks_) {
-    threads_.emplace_back([t = task.get()] { t->Run(); });
-  }
-  if (options_.checkpoint_interval_ms > 0) {
-    checkpoint_timer_ = std::thread([this] {
-      // All waits are chopped into short polls so a failing job (which
-      // sets cancelled_) releases the timer thread within milliseconds
-      // instead of a full interval or checkpoint timeout.
-      const auto poll = std::chrono::milliseconds(2);
-      const auto interval =
-          std::chrono::milliseconds(options_.checkpoint_interval_ms);
-      auto stop = [this] { return finished_.load() || cancelled_.load(); };
-      while (!stop()) {
-        for (auto slept = std::chrono::milliseconds(0);
-             slept < interval && !stop(); slept += poll) {
-          std::this_thread::sleep_for(
-              std::min<std::chrono::milliseconds>(poll, interval - slept));
-        }
-        if (stop()) break;
-        const uint64_t id = coordinator_->Trigger();
-        // Bounded wait: a checkpoint triggered after a bounded source
-        // finished can never complete; don't stall shutdown on it.
-        for (int i = 0; i < 1000 && !stop(); ++i) {
-          if (coordinator_->AwaitCompletion(id, 0.002)) break;
-        }
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.execution_mode == JobOptions::ExecutionMode::kScheduler) {
+    {
+      MutexLock lock(&done_mu_);
+      live_tasks_ = tasks_.size();
+    }
+    // Every task gets an initial morsel; operator tasks find their
+    // channels empty and go idle until a producer pushes.
+    for (auto& task : tasks_) {
+      pool_->Notify(task.get());
+    }
+    // Idle sources are re-polled on a timer: external input (logs, gates)
+    // can arrive without any channel push to notify them, pending
+    // checkpoint barriers must be serviced while no records flow, and
+    // cancellation must reach a quiet source.
+    source_poll_timer_id_ = pool_->ScheduleRepeating(1, [this] {
+      if (finished_.load()) return;
+      for (auto& task : tasks_) {
+        if (task->is_source && !task->done()) pool_->Notify(task.get());
       }
     });
+  } else {
+    threads_.reserve(tasks_.size());
+    for (auto& task : tasks_) {
+      // lint:allow(raw-thread): thread-per-task mode is, by definition,
+      // one dedicated thread per task
+      threads_.emplace_back([t = task.get()] { t->Run(); });
+    }
+  }
+  if (options_.checkpoint_interval_ms > 0) {
+    last_cp_time_ = start_time_;
+    checkpoint_timer_id_ = pool_->ScheduleRepeating(
+        options_.checkpoint_interval_ms, [this] { CheckpointTick(); });
   }
   return Status::Ok();
+}
+
+void Job::CheckpointTick() {
+  if (finished_.load() || cancelled_.load()) return;
+  if (coordinator_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (last_cp_id_ != 0 && !coordinator_->IsComplete(last_cp_id_)) {
+    // In-flight checkpoint: hold the cadence rather than overlap barriers
+    // (tasks CHECK against overlap). Bounded, though: a checkpoint that
+    // can never complete -- triggered as a bounded source finished -- must
+    // not stall the cadence forever. 2 s matches the bounded wait the old
+    // dedicated timer thread used.
+    if (now - last_cp_time_ < std::chrono::seconds(2)) return;
+  }
+  last_cp_id_ = coordinator_->Trigger();
+  last_cp_time_ = now;
+}
+
+void Job::TaskFinished() {
+  MutexLock lock(&done_mu_);
+  if (live_tasks_ > 0) --live_tasks_;
+  if (live_tasks_ == 0) done_cv_.NotifyAll();
 }
 
 Status Job::AwaitCompletion() {
   if (!started_.load()) {
     return Status::FailedPrecondition("job not started");
   }
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  if (options_.execution_mode == JobOptions::ExecutionMode::kScheduler) {
+    // Optional stall diagnostics: with STREAMLINE_STALL_DUMP_SECS=N set,
+    // a job whose live-task count stops moving for N seconds dumps every
+    // task's scheduling state to stderr (and keeps dumping every N
+    // seconds). Reads are racy -- this is a debugging aid, not a metric.
+    int64_t dump_secs = 0;
+    if (const char* env = std::getenv("STREAMLINE_STALL_DUMP_SECS")) {
+      dump_secs = std::atoll(env);
+    }
+    MutexLock lock(&done_mu_);
+    size_t last_seen = live_tasks_;
+    auto last_change = std::chrono::steady_clock::now();
+    while (live_tasks_ > 0) {
+      // Timed backstop, same philosophy as Doorbell: a (theoretical) lost
+      // wakeup costs one period, not a hang.
+      done_cv_.WaitFor(&done_mu_, std::chrono::milliseconds(10));
+      if (dump_secs <= 0) continue;
+      const auto now = std::chrono::steady_clock::now();
+      if (live_tasks_ != last_seen) {
+        last_seen = live_tasks_;
+        last_change = now;
+      } else if (now - last_change >= std::chrono::seconds(dump_secs)) {
+        last_change = now;
+        std::string dump = "=== streamline stall dump: live_tasks=" +
+                           std::to_string(live_tasks_) + "\n";
+        for (const auto& task : tasks_) {
+          char ptr[32];
+          std::snprintf(ptr, sizeof(ptr), "%p",
+                        static_cast<void*>(
+                            static_cast<Schedulable*>(task.get())));
+          dump += "  " + std::string(ptr) + " " + task->DebugString() + "\n";
+        }
+        dump += "  queues: " + pool_->DebugQueues() + "\n";
+        const SchedulerCounters& c = pool_->counters();
+        dump += "  pool: ready=" + std::to_string(pool_->ApproxReadyDepth()) +
+                " morsels=" + std::to_string(c.morsels_local.load()) +
+                " notifies=" + std::to_string(c.notifies.load()) +
+                " parks=" + std::to_string(c.parks.load()) +
+                " wakeups=" + std::to_string(c.wakeups.load()) + " busy_us=[";
+        for (size_t i = 0; i < pool_->num_workers(); ++i) {
+          if (i > 0) dump += " ";
+          dump += std::to_string(pool_->WorkerBusyMicros(i));
+        }
+        dump += "]\n";
+        std::fputs(dump.c_str(), stderr);
+      }
+    }
+  } else {
+    // lint:allow(raw-thread): joining thread-per-task mode's task threads
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
   }
   finished_.store(true);
-  if (checkpoint_timer_.joinable()) checkpoint_timer_.join();
+  if (checkpoint_timer_id_ != 0) {
+    pool_->CancelTimer(checkpoint_timer_id_);
+    checkpoint_timer_id_ = 0;
+  }
+  if (source_poll_timer_id_ != 0) {
+    pool_->CancelTimer(source_poll_timer_id_);
+    source_poll_timer_id_ = 0;
+  }
+  ExportSchedulerMetrics();
+  // Joins the workers and the timer thread; queued morsels of finished
+  // tasks (stale hints) are dropped.
+  pool_->Shutdown();
   return FirstFailure();
+}
+
+void Job::ExportSchedulerMetrics() {
+  if (pool_ == nullptr || pool_->num_workers() == 0) return;
+  const SchedulerCounters& c = pool_->counters();
+  auto set = [this](const std::string& name, double v) {
+    metrics_.GetGauge("scheduler." + name)->Set(v);
+  };
+  const auto rel = std::memory_order_relaxed;
+  set("workers", static_cast<double>(pool_->num_workers()));
+  set("morsels_local", static_cast<double>(c.morsels_local.load(rel)));
+  set("morsels_stolen", static_cast<double>(c.morsels_stolen.load(rel)));
+  set("morsels_injected", static_cast<double>(c.morsels_injected.load(rel)));
+  set("morsels_inline", static_cast<double>(c.morsels_inline.load(rel)));
+  set("steals", static_cast<double>(c.steals.load(rel)));
+  set("parks", static_cast<double>(c.parks.load(rel)));
+  set("wakeups", static_cast<double>(c.wakeups.load(rel)));
+  set("notifies", static_cast<double>(c.notifies.load(rel)));
+  set("ready_depth", static_cast<double>(pool_->ApproxReadyDepth()));
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start_time_);
+  set("wall_micros", static_cast<double>(wall.count()));
+  for (size_t i = 0; i < pool_->num_workers(); ++i) {
+    set("worker" + std::to_string(i) + ".busy_micros",
+        static_cast<double>(pool_->WorkerBusyMicros(i)));
+  }
 }
 
 Status Job::FirstFailure() const {

@@ -2,6 +2,7 @@
 #define STREAMLINE_DATAFLOW_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/thread_pool.h"
 #include "dataflow/graph.h"
 #include "dataflow/snapshot.h"
 
@@ -22,6 +24,21 @@ class Task;
 
 /// Execution knobs of a job.
 struct JobOptions {
+  /// How physical tasks get CPU time.
+  enum class ExecutionMode {
+    /// Morsel-driven scheduling (default): all tasks are multiplexed over
+    /// a fixed work-stealing worker pool sized to `worker_threads`, so
+    /// parallelism above the core count adds logical key-groups, not OS
+    /// threads.
+    kScheduler,
+    /// Legacy: one dedicated OS thread per physical task. Kept as the
+    /// equivalence baseline and for A/B benchmarking.
+    kThreadPerTask,
+  };
+  ExecutionMode execution_mode = ExecutionMode::kScheduler;
+  /// Worker threads of the scheduler pool; 0 = hardware_concurrency().
+  /// Ignored in thread-per-task mode.
+  size_t worker_threads = 0;
   /// Event capacity of each input channel. Every (upstream subtask,
   /// downstream subtask) pair gets its own single-producer/single-consumer
   /// ring of this many events (an event is usually a whole record batch);
@@ -97,6 +114,9 @@ class Job {
   std::string PlanDescription() const;
   /// Job-scoped metrics (task record counters etc.).
   MetricsRegistry* metrics() { return &metrics_; }
+  /// The worker pool executing this job (timer-only in thread-per-task
+  /// mode). Valid for the job's lifetime.
+  const WorkStealingPool* scheduler() const { return pool_.get(); }
 
   /// First task failure so far (Ok if none). Thread-safe.
   Status FirstFailure() const;
@@ -110,17 +130,43 @@ class Job {
   /// cancels the job so the pipeline drains.
   void ReportTaskFailure(const std::string& task_name, const Status& status);
 
+  /// Called by a task's final morsel (scheduler mode): decrements the live
+  /// count and wakes AwaitCompletion.
+  void TaskFinished();
+  /// Periodic checkpoint trigger (pool timer thread, both modes).
+  void CheckpointTick();
+  /// Copies scheduler counters/gauges into the job metrics registry.
+  void ExportSchedulerMetrics();
+
   JobOptions options_;
   std::shared_ptr<SnapshotStore> snapshot_store_;
   std::unique_ptr<CheckpointCoordinator> coordinator_;
   std::vector<std::unique_ptr<internal::Task>> tasks_;
+  // Legacy thread-per-task mode only: one dedicated thread per task is
+  // the point of the equivalence baseline.
+  // lint:allow(raw-thread): thread-per-task equivalence baseline
   std::vector<std::thread> threads_;
-  std::thread checkpoint_timer_;
+  // The scheduler (worker pool + timer facility). In thread-per-task mode
+  // the pool is timer-only: no workers, but the checkpoint cadence still
+  // runs on its timer thread. Declared after tasks_ so it is destroyed
+  // (workers joined) first.
+  std::unique_ptr<WorkStealingPool> pool_;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
   mutable Mutex failure_mu_;
   Status first_failure_ STREAMLINE_GUARDED_BY(failure_mu_);
+  // Scheduler-mode completion tracking: tasks finish on pool workers, so
+  // AwaitCompletion blocks on a condvar instead of joining threads.
+  mutable Mutex done_mu_;
+  CondVar done_cv_;
+  size_t live_tasks_ STREAMLINE_GUARDED_BY(done_mu_) = 0;
+  uint64_t checkpoint_timer_id_ = 0;
+  uint64_t source_poll_timer_id_ = 0;
+  // Checkpoint-tick state (timer thread only).
+  uint64_t last_cp_id_ = 0;
+  std::chrono::steady_clock::time_point last_cp_time_;
+  std::chrono::steady_clock::time_point start_time_;
   MetricsRegistry metrics_;
 };
 

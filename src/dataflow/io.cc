@@ -112,19 +112,31 @@ CsvFileSource::CsvFileSource(std::string path, Schema schema,
     : path_(std::move(path)), schema_(std::move(schema)),
       watermark_every_(watermark_every) {}
 
-Status CsvFileSource::Run(SourceContext* ctx) {
-  std::ifstream in(path_);
-  if (!in.is_open()) {
-    return Status::NotFound("cannot open CSV file '" + path_ + "'");
+Result<SourcePoll> CsvFileSource::Poll(SourceContext* ctx) {
+  if (!opened_) {
+    in_.open(path_);
+    if (!in_.is_open()) {
+      return Status::NotFound("cannot open CSV file '" + path_ + "'");
+    }
+    opened_ = true;
+    // Skip up to the restored offset.
+    std::string skip;
+    for (uint64_t i = 0; i < next_line_ && std::getline(in_, skip); ++i) {
+    }
+  }
+  // One watermark interval (or up to one batch) of lines per poll.
+  const size_t preferred = ctx->PreferredBatchSize();
+  size_t quota = preferred > 1 ? preferred : 64;
+  if (watermark_every_ > 0) {
+    quota = std::min<size_t>(
+        quota, watermark_every_ - next_line_ % watermark_every_);
   }
   std::string line;
-  uint64_t line_no = 0;
-  // Skip up to the restored offset.
-  while (line_no < next_line_ && std::getline(in, line)) ++line_no;
-  while (std::getline(in, line)) {
+  for (size_t i = 0; i < quota; ++i) {
+    if (!std::getline(in_, line)) return SourcePoll::kExhausted;
+    const uint64_t line_no = next_line_;
     if (line.empty()) {
-      ++line_no;
-      next_line_ = line_no;
+      next_line_ = line_no + 1;
       continue;
     }
     auto record = ParseCsvLine(line, schema_);
@@ -133,14 +145,13 @@ Status CsvFileSource::Run(SourceContext* ctx) {
                                      ": " + record.status().message());
     }
     const Timestamp ts = record->timestamp;
-    if (!ctx->Emit(std::move(*record))) return Status::Ok();
-    ++line_no;
-    next_line_ = line_no;
-    if (watermark_every_ > 0 && line_no % watermark_every_ == 0) {
+    if (!ctx->Emit(std::move(*record))) return SourcePoll::kExhausted;
+    next_line_ = line_no + 1;
+    if (watermark_every_ > 0 && next_line_ % watermark_every_ == 0) {
       ctx->EmitWatermark(ts);
     }
   }
-  return Status::Ok();
+  return SourcePoll::kHasMore;
 }
 
 Status CsvFileSource::SnapshotState(BinaryWriter* w) const {

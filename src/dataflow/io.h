@@ -29,7 +29,7 @@ class CsvFileSource : public SourceFunction {
   CsvFileSource(std::string path, Schema schema,
                 uint64_t watermark_every = 64);
 
-  Status Run(SourceContext* ctx) override;
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override { return "csv:" + path_; }
@@ -43,6 +43,11 @@ class CsvFileSource : public SourceFunction {
   Schema schema_;
   uint64_t watermark_every_;
   uint64_t next_line_ = 0;
+  // Poll-local read state: the stream opens lazily on the first poll
+  // (after any checkpoint restore has set next_line_) and lives across
+  // polls. The Poll contract serializes access, so no lock is needed.
+  std::ifstream in_;
+  bool opened_ = false;
 };
 
 /// Sink appending records as CSV lines; thread-safe, flushed on Close.

@@ -1,9 +1,11 @@
 #ifndef STREAMLINE_DATAFLOW_SOURCE_H_
 #define STREAMLINE_DATAFLOW_SOURCE_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -77,15 +79,56 @@ class SourceContext {
   virtual bool IsCancelled() const = 0;
 };
 
-/// A data source. Run() drives the whole life of the source subtask: it
-/// returns when the source is exhausted (bounded input -- the "data at
-/// rest" case) or when cancelled (unbounded input -- "data in motion").
-/// The engine makes no other distinction between batch and streaming.
+/// What one SourceFunction::Poll call accomplished.
+enum class SourcePoll {
+  /// Emitted data (or made progress); poll again immediately.
+  kHasMore,
+  /// Nothing available right now (empty queue/log/socket); re-poll after a
+  /// short delay. Only unbounded inputs waiting on external producers
+  /// return this.
+  kIdle,
+  /// Bounded input fully emitted (the "data at rest" case), or emission
+  /// was cut short by cancellation; the source subtask finishes.
+  kExhausted,
+};
+
+/// A data source, written as a step function: each Poll() emits a bounded
+/// amount of data -- at most about one batch -- and returns, keeping all
+/// read position in member state (which is also what the checkpoint hooks
+/// serialize). The engine drives Poll differently per execution mode: the
+/// morsel scheduler runs a few polls per morsel and re-schedules, while
+/// thread-per-task mode loops Poll on a dedicated thread via Run(). The
+/// engine makes no other distinction between batch and streaming; an
+/// unbounded source simply never returns kExhausted.
 class SourceFunction {
  public:
   virtual ~SourceFunction() = default;
 
-  virtual Status Run(SourceContext* ctx) = 0;
+  /// Emits at most about one batch. When an Emit/EmitSpan/EmitBatch call
+  /// returns false (cancellation), stop emitting and return kExhausted.
+  virtual Result<SourcePoll> Poll(SourceContext* ctx) = 0;
+
+  /// Drives Poll() to exhaustion or cancellation on the calling thread
+  /// (thread-per-task mode). Non-virtual: sources implement Poll only.
+  Status Run(SourceContext* ctx) {
+    for (;;) {
+      if (ctx->IsCancelled()) return Status::Ok();
+      Result<SourcePoll> polled = Poll(ctx);
+      if (!polled.ok()) return polled.status();
+      switch (*polled) {
+        case SourcePoll::kHasMore:
+          break;
+        case SourcePoll::kIdle:
+          // HandleIdle lets the runtime inject pending checkpoint barriers
+          // while no records flow; the sleep bounds the re-poll spin.
+          ctx->HandleIdle();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          break;
+        case SourcePoll::kExhausted:
+          return Status::Ok();
+      }
+    }
+  }
 
   /// Checkpoint hooks: serialize the read position so a restored job
   /// resumes exactly where the snapshot was taken.

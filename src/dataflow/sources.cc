@@ -2,46 +2,37 @@
 
 #include <algorithm>
 
-#include "common/random.h"
-
 namespace streamline {
 
-Status VectorSource::Run(SourceContext* ctx) {
+Result<SourcePoll> VectorSource::Poll(SourceContext* ctx) {
+  if (pos_ >= records_.size()) return SourcePoll::kExhausted;
   // Records are contiguous, so emit whole spans: one EmitSpan per
   // watermark interval instead of one Emit per record amortizes the
-  // engine's per-emission bookkeeping. Spans are capped so cancellation
-  // stays responsive when watermarks are disabled.
+  // engine's per-emission bookkeeping. Spans are capped so each poll stays
+  // a bounded morsel and cancellation stays responsive when watermarks are
+  // disabled.
   constexpr uint64_t kMaxSpan = 1024;
-  // Countdown instead of `pos_ % watermark_every_`: one division here
-  // restores the cadence after a checkpoint restore.
-  uint64_t until_wm =
+  const uint64_t until_wm =
       watermark_every_ > 0 ? watermark_every_ - pos_ % watermark_every_ : 0;
-  while (pos_ < records_.size()) {
-    const uint64_t remaining = records_.size() - pos_;
-    uint64_t span = std::min(remaining, kMaxSpan);
-    if (watermark_every_ > 0) span = std::min(span, until_wm);
-    // Read the cadence timestamp before the span is moved from: a
-    // moved-from record's scalar timestamp happens to survive, but don't
-    // rely on it.
-    const Timestamp last_ts = records_[pos_ + span - 1].timestamp;
-    // Emit first, advance pos_ after: a barrier snapshot taken inside
-    // EmitSpan (before any span record is pushed) must record these
-    // elements as NOT yet consumed, or a restored job would skip them.
-    // Moving out is safe: a restored source is a fresh instance built by
-    // the factory.
-    if (!ctx->EmitSpan(records_.data() + pos_, span)) {
-      return Status::Ok();  // cancelled
-    }
-    pos_ += span;
-    if (watermark_every_ > 0) {
-      until_wm -= span;
-      if (until_wm == 0) {
-        until_wm = watermark_every_;
-        ctx->EmitWatermark(last_ts);
-      }
-    }
+  const uint64_t remaining = records_.size() - pos_;
+  uint64_t span = std::min(remaining, kMaxSpan);
+  if (watermark_every_ > 0) span = std::min(span, until_wm);
+  // Read the cadence timestamp before the span is moved from: a
+  // moved-from record's scalar timestamp happens to survive, but don't
+  // rely on it.
+  const Timestamp last_ts = records_[pos_ + span - 1].timestamp;
+  // Emit first, advance pos_ after: a barrier snapshot taken inside
+  // EmitSpan (before any span record is pushed) must record these
+  // elements as NOT yet consumed, or a restored job would skip them.
+  // Moving out is safe: a restored source is a fresh instance built by
+  // the factory.
+  if (!ctx->EmitSpan(records_.data() + pos_, span)) {
+    return SourcePoll::kExhausted;  // cancelled
   }
-  return Status::Ok();
+  pos_ += span;
+  if (watermark_every_ > 0 && span == until_wm) ctx->EmitWatermark(last_ts);
+  return pos_ < records_.size() ? SourcePoll::kHasMore
+                                : SourcePoll::kExhausted;
 }
 
 Status VectorSource::SnapshotState(BinaryWriter* w) const {
@@ -69,65 +60,54 @@ SourceFactory VectorSource::Factory(std::vector<Record> records,
   };
 }
 
-Status GeneratorSource::Run(SourceContext* ctx) {
-  // Countdown instead of a per-record modulo (see VectorSource::Run).
-  uint64_t until_wm =
+Result<SourcePoll> GeneratorSource::Poll(SourceContext* ctx) {
+  // One division per poll restores the watermark cadence from seq_ alone,
+  // which is all the checkpoint records.
+  const uint64_t until_wm =
       watermark_every_ > 0 ? watermark_every_ - seq_ % watermark_every_ : 0;
   const size_t preferred = ctx->PreferredBatchSize();
   if (preferred <= 1) {
-    // Record-at-a-time engine: plain Emit per record.
-    for (;;) {
-      std::optional<Record> r = fn_(seq_);
-      if (!r.has_value()) return Status::Ok();
-      const Timestamp ts = r->timestamp;
-      // Emit first, increment after (see VectorSource::Run).
-      if (!ctx->Emit(std::move(*r))) return Status::Ok();
-      ++seq_;
-      if (watermark_every_ > 0 && --until_wm == 0) {
-        until_wm = watermark_every_;
-        ctx->EmitWatermark(ts);
-      }
-    }
+    // Record-at-a-time engine: one Emit per poll.
+    std::optional<Record> r = fn_(seq_);
+    if (!r.has_value()) return SourcePoll::kExhausted;
+    const Timestamp ts = r->timestamp;
+    // Emit first, increment after (see VectorSource::Poll).
+    if (!ctx->Emit(std::move(*r))) return SourcePoll::kExhausted;
+    ++seq_;
+    if (watermark_every_ > 0 && until_wm == 1) ctx->EmitWatermark(ts);
+    return SourcePoll::kHasMore;
   }
-  // Batch engine: stage one batch in a reused scratch buffer and hand it
+  // Batch engine: stage one batch in the reused scratch buffer and hand it
   // over whole -- the per-emission bookkeeping (virtual dispatch, barrier
   // and cancellation checks) is paid once per batch. seq_ advances only
   // after EmitBatch returns, so a barrier snapshot taken at the batch
   // boundary records the first unemitted sequence number and a restored
   // job regenerates exactly the unemitted suffix (fn_ is a pure function
   // of seq).
-  std::vector<Record> scratch;
-  for (;;) {
-    uint64_t span = preferred;
-    if (watermark_every_ > 0) span = std::min<uint64_t>(span, until_wm);
-    scratch.reserve(span);
-    bool exhausted = false;
-    for (uint64_t k = 0; k < span; ++k) {
-      std::optional<Record> r = fn_(seq_ + k);
-      if (!r.has_value()) {
-        exhausted = true;
-        break;
-      }
-      scratch.push_back(std::move(*r));
+  uint64_t span = preferred;
+  if (watermark_every_ > 0) span = std::min<uint64_t>(span, until_wm);
+  scratch_.reserve(span);
+  bool exhausted = false;
+  for (uint64_t k = 0; k < span; ++k) {
+    std::optional<Record> r = fn_(seq_ + k);
+    if (!r.has_value()) {
+      exhausted = true;
+      break;
     }
-    const uint64_t n = scratch.size();
-    if (n > 0) {
-      const Timestamp last_ts = scratch[n - 1].timestamp;
-      if (!ctx->EmitBatch(std::move(scratch))) return Status::Ok();
-      seq_ += n;
-      if (watermark_every_ > 0) {
-        until_wm -= n;
-        if (until_wm == 0) {
-          // The batch ended exactly at the cadence point, so the last
-          // record is the cadence record -- same watermark the per-record
-          // loop emits.
-          until_wm = watermark_every_;
-          ctx->EmitWatermark(last_ts);
-        }
-      }
-    }
-    if (exhausted) return Status::Ok();
+    scratch_.push_back(std::move(*r));
   }
+  const uint64_t n = scratch_.size();
+  if (n > 0) {
+    const Timestamp last_ts = scratch_[n - 1].timestamp;
+    if (!ctx->EmitBatch(std::move(scratch_))) return SourcePoll::kExhausted;
+    seq_ += n;
+    if (watermark_every_ > 0 && until_wm == n) {
+      // The batch ended exactly at the cadence point, so the last record
+      // is the cadence record -- same watermark the per-record path emits.
+      ctx->EmitWatermark(last_ts);
+    }
+  }
+  return exhausted ? SourcePoll::kExhausted : SourcePoll::kHasMore;
 }
 
 Status GeneratorSource::SnapshotState(BinaryWriter* w) const {
@@ -145,45 +125,37 @@ Status GeneratorSource::RestoreState(BinaryReader* r) {
 DisorderedSource::DisorderedSource(GenFn fn, size_t disorder_window,
                                    uint64_t watermark_every, uint64_t seed)
     : fn_(std::move(fn)), disorder_window_(std::max<size_t>(disorder_window, 1)),
-      watermark_every_(watermark_every), seed_(seed) {}
+      watermark_every_(watermark_every), rng_(seed) {}
 
-Status DisorderedSource::Run(SourceContext* ctx) {
-  Rng rng(seed_);
-  std::vector<Record> buffer;
-  uint64_t seq = 0;
-  uint64_t emitted = 0;
-  bool exhausted = false;
-
-  auto emit_one = [&](size_t idx) -> bool {
-    std::swap(buffer[idx], buffer.back());
-    Record r = std::move(buffer.back());
-    buffer.pop_back();
-    if (!ctx->Emit(std::move(r))) return false;
-    ++emitted;
-    if (watermark_every_ > 0 && emitted % watermark_every_ == 0 &&
-        !buffer.empty()) {
-      // Everything still buffered may yet be emitted: the safe watermark is
-      // the minimum buffered timestamp.
-      Timestamp wm = kMaxTimestamp;
-      for (const Record& b : buffer) wm = std::min(wm, b.timestamp);
-      ctx->EmitWatermark(wm);
+Result<SourcePoll> DisorderedSource::Poll(SourceContext* ctx) {
+  // Refill the shuffle buffer, then emit one uniformly chosen buffered
+  // record per poll. All shuffle state lives in members, so polls resume
+  // mid-shuffle no matter which thread drives them.
+  while (!exhausted_ && buffer_.size() < disorder_window_) {
+    std::optional<Record> r = fn_(seq_);
+    if (!r.has_value()) {
+      exhausted_ = true;
+      break;
     }
-    return true;
-  };
-
-  for (;;) {
-    while (!exhausted && buffer.size() < disorder_window_) {
-      std::optional<Record> r = fn_(seq);
-      if (!r.has_value()) {
-        exhausted = true;
-        break;
-      }
-      ++seq;
-      buffer.push_back(std::move(*r));
-    }
-    if (buffer.empty()) return Status::Ok();
-    if (!emit_one(rng.NextBelow(buffer.size()))) return Status::Ok();
+    ++seq_;
+    buffer_.push_back(std::move(*r));
   }
+  if (buffer_.empty()) return SourcePoll::kExhausted;
+  const size_t idx = rng_.NextBelow(buffer_.size());
+  std::swap(buffer_[idx], buffer_.back());
+  Record r = std::move(buffer_.back());
+  buffer_.pop_back();
+  if (!ctx->Emit(std::move(r))) return SourcePoll::kExhausted;
+  ++emitted_;
+  if (watermark_every_ > 0 && emitted_ % watermark_every_ == 0 &&
+      !buffer_.empty()) {
+    // Everything still buffered may yet be emitted: the safe watermark is
+    // the minimum buffered timestamp.
+    Timestamp wm = kMaxTimestamp;
+    for (const Record& b : buffer_) wm = std::min(wm, b.timestamp);
+    ctx->EmitWatermark(wm);
+  }
+  return SourcePoll::kHasMore;
 }
 
 Status DisorderedSource::SnapshotState(BinaryWriter* w) const {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "dataflow/source.h"
 
 namespace streamline {
@@ -22,7 +23,7 @@ class VectorSource : public SourceFunction {
                         uint64_t watermark_every = 64)
       : records_(std::move(records)), watermark_every_(watermark_every) {}
 
-  Status Run(SourceContext* ctx) override;
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override { return "vector-source"; }
@@ -50,7 +51,7 @@ class GeneratorSource : public SourceFunction {
       : name_(std::move(name)), fn_(std::move(fn)),
         watermark_every_(watermark_every) {}
 
-  Status Run(SourceContext* ctx) override;
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
   std::string Name() const override { return name_; }
@@ -66,6 +67,9 @@ class GeneratorSource : public SourceFunction {
   GenFn fn_;
   uint64_t watermark_every_;
   uint64_t seq_ = 0;
+  // Reused batch staging buffer (EmitBatch drains it in place, capacity
+  // preserved), so the batch path allocates once per source, not per poll.
+  std::vector<Record> scratch_;
 };
 
 /// Test/workload tool: wraps an in-order generator and emits its records
@@ -80,7 +84,7 @@ class DisorderedSource : public SourceFunction {
   DisorderedSource(GenFn fn, size_t disorder_window,
                    uint64_t watermark_every = 64, uint64_t seed = 17);
 
-  Status Run(SourceContext* ctx) override;
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
   Status SnapshotState(BinaryWriter* w) const override;
   std::string Name() const override { return "disordered-source"; }
 
@@ -88,7 +92,11 @@ class DisorderedSource : public SourceFunction {
   GenFn fn_;
   size_t disorder_window_;
   uint64_t watermark_every_;
-  uint64_t seed_;
+  Rng rng_;
+  std::vector<Record> buffer_;
+  uint64_t seq_ = 0;
+  uint64_t emitted_ = 0;
+  bool exhausted_ = false;
 };
 
 }  // namespace streamline

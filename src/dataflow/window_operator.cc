@@ -97,16 +97,25 @@ void WindowAggOperator::ProcessRecord(int, Record&& record, Collector* out) {
     return;
   }
   pending_.emplace_back(std::move(record), seq_++);
+  std::push_heap(pending_.begin(), pending_.end(), PendingAfter);
 }
 
 void WindowAggOperator::ProcessBatch(int, std::vector<Record>&& batch,
                                      Collector*) {
   // Windowing buffers until the watermark anyway, so the batch entry point
-  // is just a bulk append into the reorder buffer.
-  pending_.reserve(pending_.size() + batch.size());
+  // is just a bulk append into the reorder heap. Grow geometrically: an
+  // exact reserve(size + batch) here would reallocate -- and move the whole
+  // buffer -- on every batch once the buffer outgrows its capacity, which
+  // turns a stalled watermark (records buffering, none applying) into
+  // O(n^2) dispatch cost.
+  const size_t needed = pending_.size() + batch.size();
+  if (needed > pending_.capacity()) {
+    pending_.reserve(std::max(needed, pending_.capacity() * 2));
+  }
   for (Record& record : batch) {
     if (record.timestamp < current_wm_) continue;  // late: dropped
     pending_.emplace_back(std::move(record), seq_++);
+    std::push_heap(pending_.begin(), pending_.end(), PendingAfter);
   }
   batch.clear();
 }
@@ -179,19 +188,19 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
     if (wm <= current_wm_) return;
   }
   current_wm_ = std::max(current_wm_, wm);
-  // Apply all buffered records with ts < wm in (ts, arrival) order; they can
-  // no longer be preceded by anything.
-  std::stable_sort(pending_.begin(), pending_.end(),
-                   [](const auto& a, const auto& b) {
-                     if (a.first.timestamp != b.first.timestamp) {
-                       return a.first.timestamp < b.first.timestamp;
-                     }
-                     return a.second < b.second;
-                   });
-  const auto in_bound = [&](size_t i) {
-    return i < pending_.size() &&
-           (wm == kMaxTimestamp || pending_[i].first.timestamp < wm);
-  };
+  // Pop exactly the records this watermark covers, in (ts, arrival) order;
+  // they can no longer be preceded by anything. Records still ahead of the
+  // watermark never move -- the common stall (one slow input channel
+  // holding the min-watermark back while fast channels keep buffering) is
+  // O(1) per watermark no matter how large the buffer grows.
+  apply_scratch_.clear();
+  while (!pending_.empty() &&
+         (wm == kMaxTimestamp || pending_.front().first.timestamp < wm)) {
+    std::pop_heap(pending_.begin(), pending_.end(), PendingAfter);
+    apply_scratch_.push_back(std::move(pending_.back()));
+    pending_.pop_back();
+  }
+  const auto in_bound = [&](size_t i) { return i < apply_scratch_.size(); };
   const auto resolve_key = [&](const Record& record, Value* key,
                                uint64_t* hash) {
     if (spec_.key) {
@@ -214,7 +223,7 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
       spec_.backend == WindowBackend::kShared && !spec_.payload;
   size_t applied = 0;
   while (in_bound(applied)) {
-    const Record& record = pending_[applied].first;
+    const Record& record = apply_scratch_[applied].first;
     Value key;
     uint64_t hash;
     resolve_key(record, &key, &hash);
@@ -229,7 +238,7 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
     size_t j = applied + 1;
     while (in_bound(j)) {
       if (spec_.key) {
-        const Record& next = pending_[j].first;
+        const Record& next = apply_scratch_[j].first;
         Value next_key;
         uint64_t next_hash;
         resolve_key(next, &next_key, &next_hash);
@@ -246,7 +255,7 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
       run_ts_.reserve(n);
       run_in_.reserve(n);
       for (size_t i = applied; i < j; ++i) {
-        const Record& r = pending_[i].first;
+        const Record& r = apply_scratch_[i].first;
         run_ts_.push_back(r.timestamp);
         run_in_.push_back(DynAggAdapter::Input{r.field(spec_.value_field),
                                                r.timestamp});
@@ -255,7 +264,7 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
     }
     applied = j;
   }
-  pending_.erase(pending_.begin(), pending_.begin() + applied);
+  apply_scratch_.clear();
   // Advance every key's window clock: sessions and periodic windows fire on
   // time progress even for keys with no new records.
   for (auto& [key, ks] : keys_) {
@@ -281,6 +290,8 @@ void WindowAggOperator::OnEndOfInput(Collector* out) {
 Status WindowAggOperator::SnapshotState(BinaryWriter* w) const {
   w->WriteI64(current_wm_);
   w->WriteU64(seq_);
+  // Written in heap-array order (deterministic for a given input history);
+  // Restore rebuilds the heap property, which holds for any array order.
   w->WriteU64(pending_.size());
   for (const auto& [record, seq] : pending_) {
     w->WriteRecord(record);
@@ -322,6 +333,7 @@ Status WindowAggOperator::RestoreState(BinaryReader* r) {
     if (!s.ok()) return s.status();
     pending_.emplace_back(std::move(*rec), *s);
   }
+  std::make_heap(pending_.begin(), pending_.end(), PendingAfter);
   auto nk = r->ReadU64();
   if (!nk.ok()) return nk.status();
   keys_.clear();

@@ -197,8 +197,27 @@ class WindowAggOperator : public Operator {
   WindowAggSpec spec_;
   DynAggAdapter adapter_;
 
-  // Reorder buffer: records not yet covered by the watermark.
-  std::vector<std::pair<Record, uint64_t>> pending_;
+  using PendingEntry = std::pair<Record, uint64_t>;
+  /// Min-heap order on (timestamp, arrival seq) -- `a` sorts after `b`.
+  static bool PendingAfter(const PendingEntry& a, const PendingEntry& b) {
+    if (a.first.timestamp != b.first.timestamp) {
+      return a.first.timestamp > b.first.timestamp;
+    }
+    return a.second > b.second;
+  }
+
+  // Reorder buffer: records not yet covered by the watermark, kept as a
+  // binary min-heap on (ts, seq). A watermark pops exactly the records it
+  // covers, in apply order; nothing ever costs O(buffer) per watermark.
+  // That bound matters: one slow input channel holds the min-watermark
+  // back while fast channels keep buffering, so the buffer can reach
+  // millions of records -- per-watermark sorting (or merging, or erasing a
+  // prefix) of the whole buffer turns that stall into quadratic dispatch
+  // cost and starves the scheduler.
+  std::vector<PendingEntry> pending_;
+  // Covered records popped off the heap, in (ts, seq) order; capacity
+  // persists across watermarks.
+  std::vector<PendingEntry> apply_scratch_;
   // Scratch for contiguous same-key runs handed to the aggregator's batch
   // entry point (shared backend only); capacity persists across watermarks.
   std::vector<Timestamp> run_ts_;

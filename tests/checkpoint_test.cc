@@ -76,22 +76,21 @@ class GatedSource : public SourceFunction {
               std::function<Record(uint64_t)> make)
       : gate_(gate), total_(total), make_(std::move(make)) {}
 
-  Status Run(SourceContext* ctx) override {
-    while (pos_ < total_) {
-      {
-        std::unique_lock<std::mutex> lock(gate_->mu);
-        gate_->cv.wait(lock, [&] {
-          return gate_->abort || gate_->allowed > pos_;
-        });
-        if (gate_->abort) return Status::Ok();
-      }
-      Record r = make_(pos_);
-      const Timestamp ts = r.timestamp;
-      if (!ctx->Emit(std::move(r))) return Status::Ok();
-      ++pos_;
-      ctx->EmitWatermark(ts);
+  Result<SourcePoll> Poll(SourceContext* ctx) override {
+    if (pos_ >= total_) return SourcePoll::kExhausted;
+    {
+      std::lock_guard<std::mutex> lock(gate_->mu);
+      if (gate_->abort) return SourcePoll::kExhausted;
+      // Not allowed yet: report idle so the runtime re-polls (and keeps
+      // servicing checkpoint barriers) instead of blocking a worker.
+      if (gate_->allowed <= pos_) return SourcePoll::kIdle;
     }
-    return Status::Ok();
+    Record r = make_(pos_);
+    const Timestamp ts = r.timestamp;
+    if (!ctx->Emit(std::move(r))) return SourcePoll::kExhausted;
+    ++pos_;
+    ctx->EmitWatermark(ts);
+    return SourcePoll::kHasMore;
   }
 
   Status SnapshotState(BinaryWriter* w) const override {

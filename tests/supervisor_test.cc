@@ -30,20 +30,19 @@ class ChaosSource : public SourceFunction {
  public:
   explicit ChaosSource(uint64_t total) : total_(total) {}
 
-  Status Run(SourceContext* ctx) override {
-    while (pos_ < total_) {
-      Record r = MakeRecord(static_cast<Timestamp>(pos_),
-                            Value(static_cast<int64_t>(pos_ % kKeys)),
-                            Value(static_cast<int64_t>(pos_)));
-      const Timestamp ts = r.timestamp;
-      if (!ctx->Emit(std::move(r))) return Status::Ok();
-      ++pos_;
-      ctx->EmitWatermark(ts);
-      if (pos_ % 100 == 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
+  Result<SourcePoll> Poll(SourceContext* ctx) override {
+    if (pos_ >= total_) return SourcePoll::kExhausted;
+    Record r = MakeRecord(static_cast<Timestamp>(pos_),
+                          Value(static_cast<int64_t>(pos_ % kKeys)),
+                          Value(static_cast<int64_t>(pos_)));
+    const Timestamp ts = r.timestamp;
+    if (!ctx->Emit(std::move(r))) return SourcePoll::kExhausted;
+    ++pos_;
+    ctx->EmitWatermark(ts);
+    if (pos_ % 100 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    return Status::Ok();
+    return pos_ < total_ ? SourcePoll::kHasMore : SourcePoll::kExhausted;
   }
 
   Status SnapshotState(BinaryWriter* w) const override {

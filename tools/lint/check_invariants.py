@@ -24,6 +24,14 @@ performance or correctness story depends on:
       Snapshot/restore paths must be deterministic: no wall-clock reads, no
       ambient randomness. Monotonic steady_clock timeouts are fine.
 
+  raw-thread
+      Every OS thread in the engine is accounted for: workers and the
+      timer belong to WorkStealingPool (src/common/thread_pool.cc), and
+      thread-per-task mode's dedicated threads carry an explicit waiver.
+      Constructing std::thread anywhere else reintroduces unaccounted
+      thread-per-X execution, which is exactly what the morsel scheduler
+      exists to prevent.
+
   virtual-per-record-loop
       The data plane executes batch-at-a-time: one ProcessBatch virtual
       call per operator hop per batch. A loop in a hot-path file that
@@ -49,6 +57,11 @@ SRC = REPO / "src"
 
 # The sanctioned home of raw std::mutex primitives.
 MUTEX_HOME = SRC / "common" / "mutex.h"
+
+# The sanctioned home of raw std::thread: the work-stealing pool's workers
+# and its timer thread.
+THREAD_HOME = {SRC / "common" / "thread_pool.cc",
+               SRC / "common" / "thread_pool.h"}
 
 # Files on the per-record data path. Per-record lookups and copies here are
 # what the paper's single-engine throughput claims rest on.
@@ -87,6 +100,9 @@ NONDETERMINISM_RE = re.compile(
     r"\blocaltime\b|\bgmtime\b"
 )
 WAIVER_RE = re.compile(r"lint:allow\(([\w-]+)\)(:\s*\S)?")
+# std::thread construction or membership; deliberately does not match
+# std::this_thread:: utilities (yield/sleep_for are fine anywhere).
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")
 
 # Per-record dispatch inside a loop body. Detected in two parts because the
 # loop header and the dispatch usually sit on different lines. Only loops
@@ -174,9 +190,12 @@ def main():
     for path in sorted(SRC.rglob("*")):
         if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
             continue
-        if path == MUTEX_HOME:
-            continue
-        scan_file(path, [("raw-mutex", RAW_MUTEX_RE)], violations)
+        rules = []
+        if path != MUTEX_HOME:
+            rules.append(("raw-mutex", RAW_MUTEX_RE))
+        if path not in THREAD_HOME:
+            rules.append(("raw-thread", RAW_THREAD_RE))
+        scan_file(path, rules, violations)
 
     for path in HOT_PATH_FILES:
         if not path.is_file():
