@@ -6,11 +6,16 @@
 // gracefully as the interval shrinks.
 
 #include <atomic>
+#include <condition_variable>
+#include <filesystem>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "api/datastream.h"
 #include "bench/harness.h"
 #include "common/fault_injection.h"
+#include "dataflow/snapshot.h"
 #include "dataflow/supervisor.h"
 
 namespace streamline {
@@ -147,6 +152,179 @@ RecoveryResult RunRecovery(int64_t checkpoint_interval_ms, bool inject) {
   return out;
 }
 
+// --- Incremental vs full checkpoints (state size x mutation rate) -------
+
+/// Source gated on an external allowance so checkpoints land at exact
+/// stream positions: epoch 1 populates `keys` distinct keys, epoch 2
+/// mutates `mutations` of them.
+class GatedKeyedSource : public SourceFunction {
+ public:
+  GatedKeyedSource(std::atomic<uint64_t>* allowed, uint64_t keys,
+                   uint64_t total)
+      : allowed_(allowed), keys_(keys), total_(total) {}
+
+  Result<SourcePoll> Poll(SourceContext* ctx) override {
+    if (pos_ >= total_) return SourcePoll::kExhausted;
+    if (allowed_->load(std::memory_order_acquire) <= pos_) {
+      return SourcePoll::kIdle;
+    }
+    const int64_t key = pos_ < keys_
+                            ? static_cast<int64_t>(pos_)
+                            : static_cast<int64_t>(((pos_ - keys_) * 7) %
+                                                   keys_);
+    Record r = MakeRecord(static_cast<Timestamp>(pos_), Value(key),
+                          Value(static_cast<int64_t>(pos_)));
+    const Timestamp ts = r.timestamp;
+    if (!ctx->Emit(std::move(r))) return SourcePoll::kExhausted;
+    ++pos_;
+    ctx->EmitWatermark(ts);
+    return SourcePoll::kHasMore;
+  }
+  Status SnapshotState(BinaryWriter* w) const override {
+    w->WriteU64(pos_);
+    return Status::Ok();
+  }
+  Status RestoreState(BinaryReader* r) override {
+    auto pos = r->ReadU64();
+    if (!pos.ok()) return pos.status();
+    pos_ = *pos;
+    return Status::Ok();
+  }
+  std::string Name() const override { return "gated_keyed"; }
+
+ private:
+  std::atomic<uint64_t>* allowed_;
+  uint64_t keys_;
+  uint64_t total_;
+  uint64_t pos_ = 0;
+};
+
+struct SweepResult {
+  uint64_t cp_bytes = 0;        // bytes the mutation-epoch checkpoint cost
+  double barrier_stall_s = 0;   // trigger -> complete for that checkpoint
+  double recovery_s = 0;        // restoring a job from that checkpoint
+};
+
+std::shared_ptr<CollectSink> BuildSweepJob(
+    Environment* env, std::shared_ptr<std::atomic<uint64_t>> allowed,
+    uint64_t keys, uint64_t total) {
+  return env
+      ->FromSource("events",
+                   [allowed, keys,
+                    total](int, int) -> std::unique_ptr<SourceFunction> {
+                     return std::make_unique<GatedKeyedSource>(allowed.get(),
+                                                               keys, total);
+                   },
+                   1)
+      .KeyBy(0)
+      .Reduce([](const Record& acc, const Record& in) {
+        Record out = acc;
+        out.fields[1] = Value(acc.field(1).AsInt64() + in.field(1).AsInt64());
+        return out;
+      })
+      .Collect();
+}
+
+SweepResult RunSweep(uint64_t keys, uint64_t mutations, bool incremental) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "slss_bench_e6_inc").string();
+  fs::remove_all(dir);
+  const uint64_t total = keys + mutations + 8;  // tail keeps the source live
+
+  auto allowed = std::make_shared<std::atomic<uint64_t>>(0);
+  Environment env;
+  auto sink = BuildSweepJob(&env, allowed, keys, total);
+  JobOptions opts;
+  std::shared_ptr<IncrementalSnapshotStore> inc_store;
+  if (incremental) {
+    inc_store = std::make_shared<IncrementalSnapshotStore>(dir);
+    opts.snapshot_store = inc_store;
+    opts.incremental_checkpoints = true;
+    opts.changelog_compaction_bytes = 1u << 30;  // keep the epoch a delta
+  } else {
+    opts.snapshot_store = std::make_shared<FileSnapshotStore>(dir);
+  }
+  auto job = Job::Create(*env.graph(), opts);
+  STREAMLINE_CHECK(job.ok());
+  STREAMLINE_CHECK_OK((*job)->Start());
+
+  auto wait_sink = [&](uint64_t n) {
+    while (sink->size() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  allowed->store(keys, std::memory_order_release);
+  wait_sink(keys);
+  const uint64_t cp_base = (*job)->TriggerCheckpoint();
+  allowed->store(keys + mutations, std::memory_order_release);
+  STREAMLINE_CHECK((*job)->AwaitCheckpoint(cp_base, 60.0));
+  wait_sink(keys + mutations);
+
+  Stopwatch stall;
+  const uint64_t cp = (*job)->TriggerCheckpoint();
+  allowed->store(total, std::memory_order_release);
+  STREAMLINE_CHECK((*job)->AwaitCheckpoint(cp, 60.0));
+  SweepResult out;
+  out.barrier_stall_s = stall.ElapsedSeconds();
+  STREAMLINE_CHECK_OK((*job)->AwaitCompletion());
+  out.cp_bytes = incremental ? inc_store->BytesWrittenFor(cp)
+                             : opts.snapshot_store->TotalBytes(cp);
+
+  // Recovery: rebuild the job from that checkpoint (full restore vs base +
+  // changelog replay happens inside Job::Create).
+  {
+    auto allowed2 = std::make_shared<std::atomic<uint64_t>>(total);
+    Environment env2;
+    BuildSweepJob(&env2, allowed2, keys, total);
+    JobOptions ropts = opts;
+    ropts.restore_from_checkpoint = cp;
+    Stopwatch rec;
+    auto restored = Job::Create(*env2.graph(), ropts);
+    STREAMLINE_CHECK(restored.ok());
+    out.recovery_s = rec.ElapsedSeconds();
+    STREAMLINE_CHECK_OK((*restored)->Run());
+  }
+  fs::remove_all(dir);
+  return out;
+}
+
+void RunIncrementalSweep(bench::JsonReport* report) {
+  std::printf(
+      "Incremental vs full checkpoints: keyed-reduce state, second "
+      "checkpoint taken after mutating a fraction of the keys.\n\n");
+  Table table({"keys", "mutated", "full bytes", "incr bytes", "reduction",
+               "stall full", "stall incr", "recover full", "recover incr"});
+  for (uint64_t keys : {10'000u, 100'000u}) {
+    for (double rate : {0.01, 0.10, 0.50}) {
+      const uint64_t mutations = static_cast<uint64_t>(keys * rate);
+      const SweepResult full = RunSweep(keys, mutations, false);
+      const SweepResult inc = RunSweep(keys, mutations, true);
+      const double reduction =
+          static_cast<double>(full.cp_bytes) /
+          static_cast<double>(std::max<uint64_t>(inc.cp_bytes, 1));
+      table.AddRow({bench::Count(static_cast<double>(keys)),
+                    Fmt("%.0f%%", rate * 100.0), bench::Bytes(full.cp_bytes),
+                    bench::Bytes(inc.cp_bytes), Fmt("%.1fx", reduction),
+                    Fmt("%.1f ms", full.barrier_stall_s * 1e3),
+                    Fmt("%.1f ms", inc.barrier_stall_s * 1e3),
+                    Fmt("%.1f ms", full.recovery_s * 1e3),
+                    Fmt("%.1f ms", inc.recovery_s * 1e3)});
+      const std::string tag =
+          Fmt("%lluk_%.0fpct", static_cast<unsigned long long>(keys / 1000),
+              rate * 100.0);
+      report->Add("inc_full_bytes_" + tag, full.cp_bytes);
+      report->Add("inc_delta_bytes_" + tag, inc.cp_bytes);
+      report->Add("inc_reduction_x_" + tag, reduction);
+      report->Add("inc_stall_full_ms_" + tag, full.barrier_stall_s * 1e3);
+      report->Add("inc_stall_incr_ms_" + tag, inc.barrier_stall_s * 1e3);
+      report->Add("inc_recovery_full_ms_" + tag, full.recovery_s * 1e3);
+      report->Add("inc_recovery_incr_ms_" + tag, inc.recovery_s * 1e3);
+    }
+  }
+  table.Print();
+}
+
 void Run() {
   bench::Header(
       "E6: asynchronous barrier snapshotting overhead (keyed window job)",
@@ -194,6 +372,8 @@ void Run() {
   report.Add("recovery_overhead_seconds", faulted.seconds - clean.seconds);
   report.Add("recovery_restarts", static_cast<uint64_t>(faulted.restarts));
   report.Add("recovery_records_replayed", replayed);
+
+  RunIncrementalSweep(&report);
   report.Write();
 }
 

@@ -91,6 +91,57 @@ Status FaultInjector::OnHit(std::string_view site) {
   return Status::Ok();
 }
 
+FaultInjector::SpanFault FaultInjector::OnSpan(std::string_view site,
+                                               size_t count) {
+  MutexLock lock(&mu_);
+  SpanFault out;
+  uint64_t* site_count = nullptr;
+  for (auto& [s, n] : site_hits_) {
+    if (s == site) {
+      site_count = &n;
+      break;
+    }
+  }
+  if (site_count == nullptr) {
+    site_hits_.emplace_back(std::string(site), 0);
+    site_count = &site_hits_.back().second;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    ++*site_count;
+    for (RuleState& rs : rules_) {
+      if (rs.rule.at_checkpoint != 0) continue;  // checkpoint-path rule
+      if (!SiteMatches(rs.rule.site, site)) continue;
+      ++rs.hits;
+      if (rs.rule.max_fires != 0 && rs.fires >= rs.rule.max_fires) continue;
+      std::string why;
+      if (rs.rule.at_hit != 0 && rs.hits >= rs.rule.at_hit) {
+        why = "hit " + std::to_string(rs.hits);
+      } else if (rs.rule.probability > 0 &&
+                 rng_.NextBool(rs.rule.probability)) {
+        why = "probability " + std::to_string(rs.rule.probability) +
+              " at hit " + std::to_string(rs.hits);
+      } else {
+        continue;
+      }
+      // Deferred Fire(): same accounting, but the throw (and the failure
+      // itself) happens at the call site, after the passed prefix.
+      ++rs.fires;
+      ++fires_;
+      out.passed = i;
+      out.fired = true;
+      out.kind = rs.rule.kind;
+      out.message =
+          "injected fault at '" + std::string(site) + "' (" + why + ")";
+      if (rs.rule.kind == FaultKind::kStatus) {
+        out.status = Status::Internal(out.message);
+      }
+      return out;
+    }
+  }
+  out.passed = count;
+  return out;
+}
+
 Status FaultInjector::OnCheckpoint(std::string_view site,
                                    uint64_t checkpoint_id) {
   MutexLock lock(&mu_);

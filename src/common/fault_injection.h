@@ -72,6 +72,29 @@ class FaultInjector {
   /// when a kThrow rule fires.
   Status OnHit(std::string_view site);
 
+  /// Outcome of probing a span of `count` record hits at once (the batch
+  /// path's equivalent of `count` OnHit calls). `passed` records precede
+  /// the fault; when `fired`, the caller must process exactly that prefix
+  /// and then apply the fault itself -- fail with `status` for kStatus
+  /// rules, throw std::runtime_error(`message`) for kThrow rules -- so
+  /// batch delivery reproduces the per-record path's semantics exactly.
+  struct SpanFault {
+    size_t passed = 0;
+    bool fired = false;
+    FaultKind kind = FaultKind::kStatus;
+    Status status;
+    std::string message;
+  };
+
+  /// Probes `count` consecutive record hits at `site` under one lock,
+  /// with identical hit accounting and rule evaluation (including
+  /// probability draws) to `count` OnHit calls. Unlike OnHit it never
+  /// throws: a kThrow fault is returned for the caller to raise after the
+  /// passed prefix was processed. Hits after a fired fault are not
+  /// counted, matching the per-record path where delivery stops at the
+  /// fault.
+  SpanFault OnSpan(std::string_view site, size_t count);
+
   /// Checkpoint-path hook: called when the site is about to snapshot state
   /// for `checkpoint_id`. Same firing semantics as OnHit.
   Status OnCheckpoint(std::string_view site, uint64_t checkpoint_id);

@@ -1,0 +1,279 @@
+#include "common/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/serde.h"
+
+namespace streamline {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+Status PathError(const char* op, const std::string& path, int err) {
+  return Status::Internal(std::string(op) + " '" + path +
+                          "' failed: " + std::strerror(err));
+}
+
+void PutU32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xFF);
+  dst[1] = static_cast<char>((v >> 8) & 0xFF);
+  dst[2] = static_cast<char>((v >> 16) & 0xFF);
+  dst[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* src) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(src[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(src[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(src[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(src[3])) << 24;
+}
+
+/// write(2) loop tolerating short writes and EINTR. Returns bytes written
+/// before the first hard error (errno preserved), which may be < n --
+/// exactly the torn-tail shape ENOSPC leaves behind.
+size_t WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w == 0) errno = EIO;
+    break;
+  }
+  return off;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no wal segment '" + path + "'");
+    return PathError("open", path, errno);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r > 0) {
+      out.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) {
+      const int err = errno;
+      ::close(fd);
+      return PathError("read", path, err);
+    }
+    break;
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Decodes frames from `blob`; stops at the first partial/corrupt frame.
+WalReadResult DecodeFrames(const std::string& blob) {
+  WalReadResult out;
+  size_t off = 0;
+  while (blob.size() - off >= kFrameHeader) {
+    const uint32_t len = GetU32(blob.data() + off);
+    const uint32_t crc = GetU32(blob.data() + off + 4);
+    if (blob.size() - off - kFrameHeader < len) break;  // partial payload
+    const std::string_view payload(blob.data() + off + kFrameHeader, len);
+    if (Crc32(payload) != crc) break;  // torn or corrupt frame
+    out.records.emplace_back(payload);
+    off += kFrameHeader + len;
+  }
+  out.valid_bytes = off;
+  out.torn = off != blob.size();
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string path,
+                                                   FaultInjector* injector) {
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::Internal("cannot create wal dir for '" + path +
+                            "': " + ec.message());
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return PathError("open", path, errno);
+  // Truncate any torn tail left by a crash mid-append, then position at
+  // the end of the intact prefix.
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return PathError("stat", path, err);
+  }
+  uint64_t end = static_cast<uint64_t>(st.st_size);
+  if (end > 0) {
+    auto blob = ReadWholeFile(path);
+    if (!blob.ok()) {
+      ::close(fd);
+      return blob.status();
+    }
+    const WalReadResult scan = DecodeFrames(*blob);
+    if (scan.torn) {
+      if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return PathError("truncate", path, err);
+      }
+      end = scan.valid_bytes;
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(end), SEEK_SET) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return PathError("seek", path, err);
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(path), fd, injector));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);  // no sync: abandoned segments are torn by design
+  fd_ = -1;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal segment '" + path_ + "' is closed");
+  }
+  if (injector_ != nullptr) {
+    STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("wal:append"));
+  }
+  std::string frame;
+  frame.resize(kFrameHeader);
+  PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 4, Crc32(payload));
+  frame.append(payload);
+  // "wal:append_torn" models a crash mid-write: half the frame reaches the
+  // file, then the append fails -- exactly what Open()'s truncation and
+  // the tolerant reader must absorb.
+  size_t want = frame.size();
+  Status torn = Status::Ok();
+  if (injector_ != nullptr) {
+    torn = injector_->OnHit("wal:append_torn");
+    if (!torn.ok()) want = frame.size() / 2;
+  }
+  const size_t wrote = WriteAll(fd_, frame.data(), want);
+  if (wrote != frame.size()) {
+    if (!torn.ok()) return torn;
+    const int err = errno;
+    // A short write leaves a torn tail; surface it like ENOSPC does.
+    return Status::Internal(
+        "short write on wal segment '" + path_ + "': " +
+        std::to_string(wrote) + " of " + std::to_string(frame.size()) +
+        " bytes (" + std::strerror(err) + ")");
+  }
+  ++records_;
+  bytes_ += frame.size();
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal segment '" + path_ + "' is closed");
+  }
+  if (injector_ != nullptr) {
+    STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("wal:sync"));
+  }
+  if (::fsync(fd_) != 0) return PathError("fsync", path_, errno);
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::Ok();
+  const Status st = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  auto blob = ReadWholeFile(path);
+  if (!blob.ok()) return blob.status();
+  return DecodeFrames(*blob);
+}
+
+Result<std::vector<std::string>> ReadSealedWal(const std::string& path) {
+  auto blob = ReadWholeFile(path);
+  if (!blob.ok()) return blob.status();
+  WalReadResult scan = DecodeFrames(*blob);
+  if (scan.torn) {
+    return Status::Internal(
+        "corrupt sealed wal segment '" + path + "': torn frame at byte " +
+        std::to_string(scan.valid_bytes) + " of " +
+        std::to_string(blob->size()));
+  }
+  return std::move(scan.records);
+}
+
+Status WriteFileDurable(const std::string& dir, const std::string& file,
+                        std::string_view bytes) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + dir + "': " + ec.message());
+  }
+  const std::string tmp = (fs::path(dir) / (".tmp." + file)).string();
+  const std::string final_path = (fs::path(dir) / file).string();
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return PathError("open", tmp, errno);
+  const size_t wrote = WriteAll(fd, bytes.data(), bytes.size());
+  if (wrote != bytes.size()) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("short write on '" + tmp + "': " +
+                            std::to_string(wrote) + " of " +
+                            std::to_string(bytes.size()) + " bytes (" +
+                            std::strerror(err) + ")");
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return PathError("fsync", tmp, err);
+  }
+  ::close(fd);
+  // Same-directory rename: atomic on POSIX, so a reader sees either the
+  // whole file or none of it.
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("rename '" + tmp + "' -> '" + final_path +
+                            "' failed: " + std::strerror(err));
+  }
+  // Persist the rename itself. Directory fsync failing is reported: a
+  // manifest publish that may vanish after a crash is not a publish.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    const int rc = ::fsync(dfd);
+    const int err = errno;
+    ::close(dfd);
+    if (rc != 0) return PathError("fsync dir", dir, err);
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamline

@@ -1,0 +1,102 @@
+#ifndef STREAMLINE_COMMON_WAL_H_
+#define STREAMLINE_COMMON_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamline {
+
+class FaultInjector;
+
+/// Append-only write-ahead changelog segments for durable keyed state.
+///
+/// A segment is a flat file of length+CRC framed records:
+///
+///   [u32 payload_len][u32 crc32(payload)][payload]   (little-endian)
+///
+/// Appends go straight to the file descriptor; Sync() (fsync) is the
+/// durability point -- the checkpoint barrier calls it once per segment
+/// instead of once per record, so changelog cost is O(bytes appended), not
+/// O(fsyncs). A crash mid-append leaves a torn tail: a partial frame, or a
+/// frame whose CRC does not match. Open() truncates that tail away before
+/// appending (the records before it are intact by construction), and the
+/// tolerant reader stops at it; only *sealed* segments -- referenced by a
+/// published checkpoint manifest, which is only written after Sync
+/// succeeded -- are read strictly, where any damage is corruption.
+class WalWriter {
+ public:
+  /// Opens (creating if missing) the segment at `path` for appending. An
+  /// existing file has its torn tail truncated first. `injector` (may be
+  /// null) is consulted at the "wal:append" / "wal:append_torn" sites on
+  /// every Append and at "wal:sync" on every Sync, so chaos tests can kill
+  /// the writer at any point of the protocol.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      std::string path, FaultInjector* injector = nullptr);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record. Not yet durable -- call Sync(). Short
+  /// writes and I/O errors (ENOSPC included) come back as an error Status
+  /// naming the segment path.
+  Status Append(std::string_view payload);
+
+  /// fsync: everything appended so far survives a crash.
+  Status Sync();
+
+  /// Sync + close; idempotent. The destructor closes without syncing (an
+  /// abandoned segment is torn by design).
+  Status Close();
+
+  uint64_t records_appended() const { return records_; }
+  uint64_t bytes_appended() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, FaultInjector* injector)
+      : path_(std::move(path)), fd_(fd), injector_(injector) {}
+
+  std::string path_;
+  int fd_ = -1;
+  FaultInjector* injector_ = nullptr;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Result of a tolerant segment scan.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// Bytes covered by whole, CRC-valid frames (the truncation point).
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes past `valid_bytes` were ignored.
+  bool torn = false;
+};
+
+/// Tolerant scan: decodes frames until end-of-file or the first torn tail
+/// (partial frame or CRC mismatch); everything before it is returned.
+/// A missing file is an error; an empty file is zero records.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// Strict read for sealed segments (referenced by a published manifest,
+/// so they were fsync'd in full): any framing or CRC damage is corruption,
+/// reported as an error naming the path.
+Result<std::vector<std::string>> ReadSealedWal(const std::string& path);
+
+/// Durable atomic small-file publish: writes `bytes` to a temp name in
+/// `dir` (created if missing), fsyncs, renames into place, and fsyncs the
+/// directory -- so after Ok the file survives a crash and readers never
+/// observe a partial write. This is the sanctioned write path for
+/// checkpoint metadata (manifests, snapshot entries, COMPLETE markers);
+/// the unsynced-write lint forbids raw buffered writes in durability code.
+Status WriteFileDurable(const std::string& dir, const std::string& file,
+                        std::string_view bytes);
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_WAL_H_

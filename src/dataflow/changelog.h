@@ -1,0 +1,90 @@
+#ifndef STREAMLINE_DATAFLOW_CHANGELOG_H_
+#define STREAMLINE_DATAFLOW_CHANGELOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "common/value.h"
+
+namespace streamline {
+
+/// Changelog record tags -- the first byte of every delta record an
+/// operator's SnapshotDelta writes. kDeltaMeta carries operator-wide
+/// non-keyed state (watermark, sequence counters, reorder buffer);
+/// kDeltaUpsert is followed by the key, a present flag, and (when present)
+/// the key's full serialized state; kDeltaErase is followed by the key. A
+/// non-present upsert is a *phantom*: the key was inserted and erased
+/// again within the epoch -- replay re-performs the insert with default
+/// state (the value never survives, only the structural operation matters
+/// for entry order) and a later erase record removes it.
+inline constexpr uint8_t kDeltaMetaTag = 0;
+inline constexpr uint8_t kDeltaUpsertTag = 1;
+inline constexpr uint8_t kDeltaEraseTag = 2;
+
+/// Ordered, coalescing record of the keys a keyed operator touched since
+/// the last checkpoint barrier. SnapshotDelta walks the events in
+/// occurrence order and serializes each key's *final* state, so the
+/// changelog holds keys and hashes only -- O(keys touched), not O(records
+/// processed).
+///
+/// Ordering is load-bearing: FlatHashMap serializes its dense entries in
+/// insertion order, and Erase is a swap-remove that moves the last entry
+/// into the hole. Recovery replays the events in order, re-performing the
+/// same structural operation sequence on the restored map, which makes the
+/// recovered entry order -- and therefore the next full snapshot's bytes --
+/// identical to the live run's. The only coalescing that preserves this is
+/// upsert-after-upsert of the same key (an in-place value update has no
+/// structural effect, and the final value is serialized at the barrier
+/// anyway); every other transition appends a new event.
+class KeyedChangelog {
+ public:
+  enum class Op : uint8_t { kUpsert = 1, kErase = 2 };
+
+  struct Event {
+    Value key;
+    uint64_t hash = 0;
+    Op op = Op::kUpsert;
+  };
+
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+
+  /// The key was inserted or its value mutated.
+  void Upsert(const Value& key, uint64_t hash) {
+    if (!enabled_) return;
+    auto [entry, inserted] = latest_.TryEmplace(hash, key, size_t{0});
+    if (!inserted && events_[entry->second].op == Op::kUpsert) return;
+    entry->second = events_.size();
+    events_.push_back(Event{key, hash, Op::kUpsert});
+  }
+
+  /// The key was erased (swap-remove). Never coalesces: the erase is a
+  /// structural operation whose position in the sequence matters.
+  void Erase(const Value& key, uint64_t hash) {
+    if (!enabled_) return;
+    auto [entry, inserted] = latest_.TryEmplace(hash, key, size_t{0});
+    entry->second = events_.size();
+    events_.push_back(Event{key, hash, Op::kErase});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Forgets everything; called after the delta was sealed (or a full base
+  /// snapshot captured the state wholesale).
+  void Clear() {
+    events_.clear();
+    latest_.clear();
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  /// key -> index of its latest event in events_ (coalescing lookup).
+  FlatHashMap<Value, size_t> latest_;
+};
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_DATAFLOW_CHANGELOG_H_

@@ -23,6 +23,18 @@ class Task;
 
 namespace {
 
+/// ChangelogSink writing each delta record as one CRC-framed WAL frame.
+class WalChangelogSink : public ChangelogSink {
+ public:
+  explicit WalChangelogSink(WalWriter* wal) : wal_(wal) {}
+  Status Append(std::string_view record) override {
+    return wal_->Append(record);
+  }
+
+ private:
+  WalWriter* wal_;
+};
+
 /// One data-plane edge instance: a lock-free SPSC event ring from one
 /// upstream subtask into one downstream subtask, plus the reverse-direction
 /// recycle ring that returns drained batch buffers to the producer. Both
@@ -114,6 +126,9 @@ class Task : public Schedulable {
   // "source:<name>" / "op:<name>". Null injector = no faults.
   FaultInjector* injector = nullptr;
   std::vector<std::string> sites;
+  // Incremental checkpoints: non-null when barriers write changelog deltas
+  // into an IncrementalSnapshotStore instead of full per-element snapshots.
+  IncrementalSnapshotStore* inc_store = nullptr;
 
   int subtask() const { return subtask_; }
   int parallelism() const { return parallelism_; }
@@ -133,10 +148,11 @@ class Task : public Schedulable {
           (is_source ? 1 : 0) + i + 1, downstream);
     }
     // Batch-at-a-time execution: whole channel events flow through
-    // ProcessBatch chains. Disabled when a fault injector is configured
-    // (per-record fault-hit accounting requires per-record delivery) and
-    // at batch_size 1, which IS the per-record path.
-    batch_path_ = injector == nullptr && batch_size > 1;
+    // ProcessBatch chains. Disabled only at batch_size 1, which IS the
+    // per-record path. Fault injection works on both paths: batch hops
+    // probe a whole span of record hits at once (FaultInjector::OnSpan)
+    // with accounting identical to the per-record probes.
+    batch_path_ = batch_size > 1;
     if (batch_path_ && is_source) source_batch_.reserve(batch_size);
     OperatorContext ctx;
     ctx.subtask_index = subtask_;
@@ -182,13 +198,42 @@ class Task : public Schedulable {
       ++idx;
     }
     for (auto& op : ops) {
-      auto bytes = store->Get(checkpoint_id, StateKey(idx));
-      if (!bytes.ok()) return bytes.status();
-      BinaryReader r(*bytes);
-      STREAMLINE_RETURN_IF_ERROR(op->RestoreState(&r));
+      STREAMLINE_RETURN_IF_ERROR(
+          RestoreElement(store, checkpoint_id, idx, op.get()));
       ++idx;
     }
+    // This checkpoint becomes the parent of the next delta chain; if it
+    // was a full snapshot (no manifest), the next barrier writes a base.
+    chain_parent_cp_ = checkpoint_id;
     return Status::Ok();
+  }
+
+  /// Restores one operator element: base + changelog replay when the
+  /// checkpoint has an incremental manifest for this key, full entry bytes
+  /// otherwise. Replay re-performs the recorded structural operation
+  /// sequence, so the recovered state is byte-identical to the full-
+  /// snapshot path.
+  Status RestoreElement(SnapshotStore* store, uint64_t checkpoint_id,
+                        size_t idx, Operator* op) {
+    const std::string key = StateKey(idx);
+    if (inc_store != nullptr && inc_store->HasIncremental(checkpoint_id, key)) {
+      auto snap = inc_store->GetIncremental(checkpoint_id, key);
+      if (!snap.ok()) return snap.status();
+      BinaryReader base(snap->base);
+      STREAMLINE_RETURN_IF_ERROR(op->RestoreState(&base));
+      for (const std::vector<std::string>& segment : snap->deltas) {
+        for (const std::string& record : segment) {
+          BinaryReader r(record);
+          STREAMLINE_RETURN_IF_ERROR(op->ApplyDelta(&r));
+        }
+      }
+      op->ResetDelta();  // replay must never record changelog events
+      return Status::Ok();
+    }
+    auto bytes = store->Get(checkpoint_id, key);
+    if (!bytes.ok()) return bytes.status();
+    BinaryReader r(*bytes);
+    return op->RestoreState(&r);
   }
 
   void RequestBarrier(uint64_t id) {
@@ -343,18 +388,28 @@ class Task : public Schedulable {
       }
     }
     /// Batch hop: the whole batch moves to the next chain element in one
-    /// virtual call. Only reached on the batch path (no fault injector;
-    /// per-record fault-hit accounting stays on the per-record path).
+    /// virtual call. Fault sites fire here too: one span probe covers the
+    /// batch with per-record hit accounting, the prefix before a fired
+    /// fault is processed, and the rest is dropped -- the per-record
+    /// path's semantics at batch granularity.
     void EmitBatch(std::vector<Record>&& batch) override {
-      if (next_ != nullptr) {
-        if (!task_->InjectFault(next_element_)) {
-          batch.clear();
+      if (next_ == nullptr) {
+        downstream_->EmitBatch(std::move(batch));
+        return;
+      }
+      if (task_->injector != nullptr) {
+        FaultInjector::SpanFault fault =
+            task_->injector->OnSpan(task_->sites[next_element_], batch.size());
+        if (fault.fired) {
+          batch.resize(fault.passed);
+          if (!batch.empty()) {
+            next_->ProcessBatch(0, std::move(batch), downstream_);
+          }
+          task_->RaiseSpanFault(std::move(fault));
           return;
         }
-        next_->ProcessBatch(0, std::move(batch), downstream_);
-      } else {
-        downstream_->EmitBatch(std::move(batch));
       }
+      next_->ProcessBatch(0, std::move(batch), downstream_);
     }
 
    private:
@@ -378,7 +433,12 @@ class Task : public Schedulable {
           task_->job_->cancelled_.load(std::memory_order_relaxed)) {
         return false;
       }
-      if (!task_->InjectFault(0)) return false;
+      if (!task_->InjectFault(0)) {
+        // Prefix parity with the per-record path, which had already
+        // delivered the staged records: flush them before the task fails.
+        task_->FlushSourceBatch();
+        return false;
+      }
       task_->BufferSourceRecord(std::move(record));
       // A chained operator or sink may have failed while processing this
       // record (recorded via Fail); stop emitting then.
@@ -402,6 +462,18 @@ class Task : public Schedulable {
           task_->job_->cancelled_.load(std::memory_order_relaxed)) {
         return false;
       }
+      if (task_->injector != nullptr) {
+        FaultInjector::SpanFault fault =
+            task_->injector->OnSpan(task_->sites[0], n);
+        if (fault.fired) {
+          // Per-record parity: records before the fault still travel the
+          // full chain (the per-record path had already delivered them).
+          task_->BufferSourceSpan(records, fault.passed);
+          task_->FlushSourceBatch();
+          task_->RaiseSpanFault(std::move(fault));  // kThrow leaves here
+          return false;
+        }
+      }
       task_->BufferSourceSpan(records, n);
       return task_->task_status_.ok();
     }
@@ -422,6 +494,18 @@ class Task : public Schedulable {
           task_->job_->cancelled_.load(std::memory_order_relaxed)) {
         batch.clear();
         return false;
+      }
+      if (task_->injector != nullptr) {
+        FaultInjector::SpanFault fault =
+            task_->injector->OnSpan(task_->sites[0], batch.size());
+        if (fault.fired) {
+          // Same prefix parity as EmitSpan.
+          task_->BufferSourceSpan(batch.data(), fault.passed);
+          batch.clear();
+          task_->FlushSourceBatch();
+          task_->RaiseSpanFault(std::move(fault));
+          return false;
+        }
       }
       if (batch.size() > task_->batch_size) {
         // Oversized batch: re-chunk through the staging buffer so the
@@ -701,13 +785,26 @@ class Task : public Schedulable {
   }
 
   /// Batch-path twin of DeliverRecord: hands the whole batch to the chain
-  /// head in one call. Only reached with batch_path_ set (no fault
-  /// injector -- per-record fault-hit counting needs the per-record path).
+  /// head in one call. The head element's fault site fires via a span
+  /// probe with per-record hit accounting (see ChainCollector::EmitBatch).
   void DeliverBatch(int ordinal, std::vector<Record>&& batch) {
     if (batch.empty()) return;
     if (ops.empty()) {
       RouteBatch(std::move(batch));
       return;
+    }
+    if (injector != nullptr) {
+      FaultInjector::SpanFault fault =
+          injector->OnSpan(sites[is_source ? 1 : 0], batch.size());
+      if (fault.fired) {
+        batch.resize(fault.passed);
+        if (!batch.empty()) {
+          ops[0]->ProcessBatch(ordinal, std::move(batch),
+                               collectors_[0].get());
+        }
+        RaiseSpanFault(std::move(fault));
+        return;
+      }
     }
     ops[0]->ProcessBatch(ordinal, std::move(batch), collectors_[0].get());
   }
@@ -844,18 +941,16 @@ class Task : public Schedulable {
       if (st.ok()) {
         BinaryWriter w;
         st = source->SnapshotState(&w);
-        if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
+        // A failed write (ENOSPC, short write) fails the checkpoint -- and
+        // the task -- with the failing path in the message.
+        if (st.ok()) st = store->Put(checkpoint_id, StateKey(idx), w.Release());
       }
       ++idx;
     }
     for (auto& op : ops) {
       if (!st.ok()) break;
       st = CheckpointFault(idx, checkpoint_id);
-      if (st.ok()) {
-        BinaryWriter w;
-        st = op->SnapshotState(&w);
-        if (st.ok()) store->Put(checkpoint_id, StateKey(idx), w.Release());
-      }
+      if (st.ok()) st = SnapshotElement(store, checkpoint_id, idx, op.get());
       ++idx;
     }
     if (!st.ok()) {
@@ -865,9 +960,42 @@ class Task : public Schedulable {
                                  " failed: " + st.message()));
       return;
     }
+    // Every element persisted: this checkpoint heads the delta chain the
+    // next barrier extends. Only advanced on success -- a failed or
+    // crashed barrier leaves the chain parented at the last durable one.
+    chain_parent_cp_ = checkpoint_id;
     if (job_->coordinator_ != nullptr) {
       job_->coordinator_->AckTask(checkpoint_id);
     }
+  }
+
+  /// Persists one operator element at a barrier. Incremental mode writes
+  /// the changelog delta into a sealed WAL segment (or a compacted base
+  /// when the chain outgrew the threshold); everything else -- and every
+  /// operator without delta support -- takes the full SnapshotState path.
+  Status SnapshotElement(SnapshotStore* store, uint64_t checkpoint_id,
+                         size_t idx, Operator* op) {
+    if (inc_store != nullptr && op->SupportsIncrementalState()) {
+      const std::string key = StateKey(idx);
+      if (inc_store->NeedsBase(key, chain_parent_cp_)) {
+        BinaryWriter w;
+        STREAMLINE_RETURN_IF_ERROR(op->SnapshotState(&w));
+        STREAMLINE_RETURN_IF_ERROR(
+            inc_store->PutBase(checkpoint_id, key, w.Release()));
+        // The base captured everything; pending delta events are stale.
+        op->ResetDelta();
+        return Status::Ok();
+      }
+      auto wal = inc_store->OpenDeltaSegment(checkpoint_id, key);
+      if (!wal.ok()) return wal.status();
+      WalChangelogSink sink(wal->get());
+      STREAMLINE_RETURN_IF_ERROR(op->SnapshotDelta(&sink));
+      return inc_store->SealDeltas(checkpoint_id, key, chain_parent_cp_,
+                                   std::move(*wal));
+    }
+    BinaryWriter w;
+    STREAMLINE_RETURN_IF_ERROR(op->SnapshotState(&w));
+    return store->Put(checkpoint_id, StateKey(idx), w.Release());
   }
 
   /// Records the first failure; later ones lose (user code downstream of a
@@ -888,6 +1016,16 @@ class Task : public Schedulable {
       return false;
     }
     return true;
+  }
+
+  /// Applies a span fault after its passed prefix was processed, exactly
+  /// where the per-record path would have: kThrow leaves by exception
+  /// (like OnHit), kStatus fails the task (like InjectFault).
+  void RaiseSpanFault(FaultInjector::SpanFault&& fault) {
+    if (fault.kind == FaultInjector::FaultKind::kThrow) {
+      throw std::runtime_error(fault.message);
+    }
+    Fail(std::move(fault.status));
   }
 
   /// Crash-like teardown after a failure, first half: drop buffered
@@ -1220,6 +1358,10 @@ class Task : public Schedulable {
   Status task_status_;
   bool aligning_ = false;
   uint64_t barrier_id_ = 0;
+  // Checkpoint the current delta chain is parented on: the restore point
+  // at startup, then the last checkpoint this task fully persisted.
+  // Incremental mode only; untouched (0) otherwise.
+  uint64_t chain_parent_cp_ = 0;
   std::atomic<uint64_t> pending_barrier_{0};
 
   // Scheduler-mode push notifications: marks this task runnable on the
@@ -1411,10 +1553,27 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
   const bool wants_checkpoints = options.snapshot_store != nullptr ||
                                  options.checkpoint_interval_ms > 0 ||
                                  options.restore_from_checkpoint != 0;
+  if (options.incremental_checkpoints && !wants_checkpoints) {
+    return Status::InvalidArgument(
+        "incremental_checkpoints requires a snapshot store "
+        "(set JobOptions::snapshot_store to an IncrementalSnapshotStore)");
+  }
   if (wants_checkpoints) {
     job->snapshot_store_ = options.snapshot_store
                                ? options.snapshot_store
                                : std::make_shared<SnapshotStore>();
+    if (options.incremental_checkpoints) {
+      auto* inc =
+          dynamic_cast<IncrementalSnapshotStore*>(job->snapshot_store_.get());
+      if (inc == nullptr) {
+        return Status::InvalidArgument(
+            "incremental_checkpoints requires JobOptions::snapshot_store to "
+            "be an IncrementalSnapshotStore");
+      }
+      inc->SetCompactionThreshold(options.changelog_compaction_bytes);
+      inc->SetFaultInjector(options.fault_injector.get());
+      for (auto& task : job->tasks_) task->inc_store = inc;
+    }
     // Checkpoint ids continue after anything already in the store, so a
     // restarted job never collides with its predecessor's checkpoints.
     job->coordinator_ = std::make_unique<CheckpointCoordinator>(
@@ -1443,6 +1602,15 @@ Result<std::unique_ptr<Job>> Job::Create(const LogicalGraph& graph,
     for (auto& task : job->tasks_) {
       STREAMLINE_RETURN_IF_ERROR(task->RestoreFrom(
           job->snapshot_store_.get(), options.restore_from_checkpoint));
+    }
+  }
+  // Changelogs switch on only after restore: replaying a snapshot must
+  // never record delta events of its own.
+  if (options.incremental_checkpoints) {
+    for (auto& task : job->tasks_) {
+      for (auto& op : task->ops) {
+        if (op->SupportsIncrementalState()) op->EnableIncrementalState();
+      }
     }
   }
 

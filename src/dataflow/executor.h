@@ -66,6 +66,16 @@ struct JobOptions {
   /// Restore all task state from this checkpoint id before starting
   /// (requires the same graph shape and parallelism). 0 = fresh start.
   uint64_t restore_from_checkpoint = 0;
+  /// Changelog-based incremental checkpoints: keyed operators append
+  /// per-key deltas to a write-ahead changelog between barriers and a
+  /// barrier seals the segment instead of re-serializing the full state.
+  /// Requires `snapshot_store` to be an IncrementalSnapshotStore; operators
+  /// that do not support deltas keep taking full snapshots.
+  bool incremental_checkpoints = false;
+  /// Once a key group's changelog chain (deltas since its last base)
+  /// exceeds this many bytes, the next barrier writes a compacted full
+  /// base instead of another delta.
+  size_t changelog_compaction_bytes = 4u << 20;
   /// Deterministic fault injection for chaos testing. Sites are
   /// "source:<node name>" and "op:<node name>"; a fired fault behaves
   /// exactly like user code failing at that point. Shared across restarts

@@ -50,6 +50,16 @@ class VectorCollector : public Collector {
   std::vector<Record>* out_;
 };
 
+/// Receives the framed changelog records an operator's SnapshotDelta
+/// emits; the runtime binds it to the task's write-ahead log segment for
+/// the current checkpoint. One Append = one self-contained delta record,
+/// replayed later by one ApplyDelta call.
+class ChangelogSink {
+ public:
+  virtual ~ChangelogSink() = default;
+  [[nodiscard]] virtual Status Append(std::string_view record) = 0;
+};
+
 /// Runtime information handed to an operator at Open time.
 struct OperatorContext {
   int subtask_index = 0;
@@ -125,6 +135,44 @@ class Operator {
   /// Called right after SnapshotState for checkpoint `id` (barriers
   /// aligned); lets sinks record exactly-once output offsets.
   virtual void OnBarrier(uint64_t id) { (void)id; }
+
+  // -- Incremental (changelog-based) checkpoints ---------------------------
+  //
+  // Keyed operators can checkpoint O(delta) instead of O(state): between
+  // barriers they record which keys mutated, SnapshotDelta serializes only
+  // those keys as framed changelog records, and recovery replays the
+  // records (in order) on top of a full base snapshot via ApplyDelta. The
+  // contract that makes recovery *byte-identical* to a full-snapshot
+  // restore: delta records must reproduce the exact structural operation
+  // sequence (inserts and erases) the live run performed on the keyed map,
+  // so the restored map's entry order -- which SnapshotState serializes --
+  // matches the live map's.
+
+  /// True when the operator implements the delta hooks below.
+  virtual bool SupportsIncrementalState() const { return false; }
+
+  /// Turns on changelog recording. Called once, after any RestoreState,
+  /// before the first record; without it the delta hooks stay inert.
+  virtual void EnableIncrementalState() {}
+
+  /// Serializes the state mutated since the last barrier as one or more
+  /// changelog records into `sink`, then clears the recorded delta. Only
+  /// called with recording enabled, at an aligned barrier.
+  virtual Status SnapshotDelta(ChangelogSink* sink) {
+    (void)sink;
+    return Status::Unimplemented("operator has no incremental state");
+  }
+
+  /// Replays one changelog record (one former SnapshotDelta Append) into
+  /// live state. Called during recovery after RestoreState of the base.
+  virtual Status ApplyDelta(BinaryReader* r) {
+    (void)r;
+    return Status::Unimplemented("operator has no incremental state");
+  }
+
+  /// Drops the recorded delta without serializing it -- used right after a
+  /// full base snapshot, which already captured everything.
+  virtual void ResetDelta() {}
 
   virtual Status Close() { return Status::Ok(); }
 

@@ -48,6 +48,7 @@ void KeyedReduceOperator::ProcessRecord(int, Record&& record,
   const Value key = key_(record);
   const uint64_t hash =
       record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+  changelog_.Upsert(key, hash);
   auto [entry, inserted] = state_.TryEmplace(hash, key, std::move(record));
   if (!inserted) {
     Record reduced = reduce_(entry->second, record);
@@ -80,6 +81,7 @@ void KeyedReduceOperator::ProcessBatch(int, std::vector<Record>&& batch,
     const Value key = key_(record);
     const uint64_t hash =
         record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    changelog_.Upsert(key, hash);
     std::pair<Value, Record>* entry = nullptr;
     size_t slot = hash & mask;
     for (;;) {
@@ -144,6 +146,51 @@ Status KeyedReduceOperator::RestoreState(BinaryReader* r) {
   return Status::Ok();
 }
 
+Status KeyedReduceOperator::SnapshotDelta(ChangelogSink* sink) {
+  for (const KeyedChangelog::Event& ev : changelog_.events()) {
+    BinaryWriter w;
+    if (ev.op == KeyedChangelog::Op::kErase) {
+      w.WriteU8(kDeltaEraseTag);
+      w.WriteValue(ev.key);
+    } else {
+      w.WriteU8(kDeltaUpsertTag);
+      w.WriteValue(ev.key);
+      const Record* rec = state_.Find(ev.hash, ev.key);
+      w.WriteU8(rec != nullptr ? 1 : 0);
+      if (rec != nullptr) w.WriteRecord(*rec);
+    }
+    STREAMLINE_RETURN_IF_ERROR(sink->Append(w.Release()));
+  }
+  changelog_.Clear();
+  return Status::Ok();
+}
+
+Status KeyedReduceOperator::ApplyDelta(BinaryReader* r) {
+  auto tag = r->ReadU8();
+  if (!tag.ok()) return tag.status();
+  auto key = r->ReadValue();
+  if (!key.ok()) return key.status();
+  const uint64_t hash = KeyHashOf(*key);
+  if (*tag == kDeltaEraseTag) {
+    state_.Erase(hash, *key);
+    return Status::Ok();
+  }
+  if (*tag != kDeltaUpsertTag) {
+    return Status::Internal("bad changelog tag " + std::to_string(*tag) +
+                            " in '" + name_ + "'");
+  }
+  auto present = r->ReadU8();
+  if (!present.ok()) return present.status();
+  auto [entry, inserted] = state_.TryEmplace(hash, *key);
+  (void)inserted;
+  if (*present != 0) {
+    auto rec = r->ReadRecord();
+    if (!rec.ok()) return rec.status();
+    entry->second = std::move(*rec);
+  }
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------------------------
 // IntervalJoinOperator
 
@@ -180,6 +227,7 @@ void IntervalJoinOperator::ProcessRecord(int input, Record&& record,
     const Value key = left_key_(record);
     const uint64_t hash =
         record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    changelog_.Upsert(key, hash);
     KeyBuffers& buf = state_.TryEmplace(hash, key).first->second;
     // Match against buffered right records: r.ts - l.ts in [lower, upper].
     for (const Record& r : buf.right) {
@@ -191,6 +239,7 @@ void IntervalJoinOperator::ProcessRecord(int input, Record&& record,
     const Value key = right_key_(record);
     const uint64_t hash =
         record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    changelog_.Upsert(key, hash);
     KeyBuffers& buf = state_.TryEmplace(hash, key).first->second;
     for (const Record& l : buf.left) {
       const Duration d = record.timestamp - l.timestamp;
@@ -206,6 +255,7 @@ void IntervalJoinOperator::ProcessWatermark(Timestamp wm, Collector*) {
   // r.ts - lower >= wm. Evict the rest.
   for (auto it = state_.begin(); it != state_.end();) {
     KeyBuffers& buf = it->second;
+    const size_t before = buf.left.size() + buf.right.size();
     while (!buf.left.empty() &&
            (wm != kMaxTimestamp && buf.left.front().timestamp + upper_ < wm)) {
       buf.left.pop_front();
@@ -216,8 +266,17 @@ void IntervalJoinOperator::ProcessWatermark(Timestamp wm, Collector*) {
       buf.right.pop_front();
     }
     if (wm == kMaxTimestamp || (buf.left.empty() && buf.right.empty())) {
+      // Changelog events mirror the structural op sequence: the erase is
+      // recorded at the position it happens, in iteration order.
+      if (changelog_.enabled()) {
+        changelog_.Erase(it->first, KeyHashOf(it->first));
+      }
       it = state_.Erase(it);
     } else {
+      if (changelog_.enabled() &&
+          buf.left.size() + buf.right.size() != before) {
+        changelog_.Upsert(it->first, KeyHashOf(it->first));
+      }
       ++it;
     }
   }
@@ -260,6 +319,68 @@ Status IntervalJoinOperator::RestoreState(BinaryReader* r) {
       buf.right.push_back(std::move(*rec));
     }
     state_.TryEmplace(KeyHashOf(*key), *key, std::move(buf));
+  }
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::SnapshotDelta(ChangelogSink* sink) {
+  for (const KeyedChangelog::Event& ev : changelog_.events()) {
+    BinaryWriter w;
+    if (ev.op == KeyedChangelog::Op::kErase) {
+      w.WriteU8(kDeltaEraseTag);
+      w.WriteValue(ev.key);
+    } else {
+      w.WriteU8(kDeltaUpsertTag);
+      w.WriteValue(ev.key);
+      const KeyBuffers* buf = state_.Find(ev.hash, ev.key);
+      w.WriteU8(buf != nullptr ? 1 : 0);
+      if (buf != nullptr) {
+        w.WriteU64(buf->left.size());
+        for (const Record& rec : buf->left) w.WriteRecord(rec);
+        w.WriteU64(buf->right.size());
+        for (const Record& rec : buf->right) w.WriteRecord(rec);
+      }
+    }
+    STREAMLINE_RETURN_IF_ERROR(sink->Append(w.Release()));
+  }
+  changelog_.Clear();
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::ApplyDelta(BinaryReader* r) {
+  auto tag = r->ReadU8();
+  if (!tag.ok()) return tag.status();
+  auto key = r->ReadValue();
+  if (!key.ok()) return key.status();
+  const uint64_t hash = KeyHashOf(*key);
+  if (*tag == kDeltaEraseTag) {
+    state_.Erase(hash, *key);
+    return Status::Ok();
+  }
+  if (*tag != kDeltaUpsertTag) {
+    return Status::Internal("bad changelog tag " + std::to_string(*tag) +
+                            " in '" + name_ + "'");
+  }
+  auto present = r->ReadU8();
+  if (!present.ok()) return present.status();
+  KeyBuffers& buf = state_.TryEmplace(hash, *key).first->second;
+  buf.left.clear();
+  buf.right.clear();
+  if (*present != 0) {
+    auto nl = r->ReadU64();
+    if (!nl.ok()) return nl.status();
+    for (uint64_t k = 0; k < *nl; ++k) {
+      auto rec = r->ReadRecord();
+      if (!rec.ok()) return rec.status();
+      buf.left.push_back(std::move(*rec));
+    }
+    auto nr = r->ReadU64();
+    if (!nr.ok()) return nr.status();
+    for (uint64_t k = 0; k < *nr; ++k) {
+      auto rec = r->ReadRecord();
+      if (!rec.ok()) return rec.status();
+      buf.right.push_back(std::move(*rec));
+    }
   }
   return Status::Ok();
 }

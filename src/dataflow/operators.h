@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/flat_hash_map.h"
+#include "dataflow/changelog.h"
 #include "dataflow/operator.h"
 #include "dataflow/sink.h"
 
@@ -113,6 +114,11 @@ class KeyedReduceOperator : public Operator {
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
+  bool SupportsIncrementalState() const override { return true; }
+  void EnableIncrementalState() override { changelog_.Enable(); }
+  Status SnapshotDelta(ChangelogSink* sink) override;
+  Status ApplyDelta(BinaryReader* r) override;
+  void ResetDelta() override { changelog_.Clear(); }
   std::string Name() const override { return name_; }
 
   size_t num_keys() const { return state_.size(); }
@@ -122,6 +128,7 @@ class KeyedReduceOperator : public Operator {
   KeySelector key_;
   ReduceFn reduce_;
   FlatHashMap<Value, Record> state_;
+  KeyedChangelog changelog_;
 
   // Per-batch key cache: open-addressed {key_hash -> dense entry index}
   // scratch table, generation-stamped so clearing between batches is O(1).
@@ -175,6 +182,11 @@ class IntervalJoinOperator : public Operator {
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
+  bool SupportsIncrementalState() const override { return true; }
+  void EnableIncrementalState() override { changelog_.Enable(); }
+  Status SnapshotDelta(ChangelogSink* sink) override;
+  Status ApplyDelta(BinaryReader* r) override;
+  void ResetDelta() override { changelog_.Clear(); }
   std::string Name() const override { return name_; }
 
   size_t buffered() const;
@@ -193,6 +205,7 @@ class IntervalJoinOperator : public Operator {
   Duration lower_;
   Duration upper_;
   FlatHashMap<Value, KeyBuffers> state_;
+  KeyedChangelog changelog_;
   Gauge* load_gauge_ = nullptr;
   Gauge* probe_gauge_ = nullptr;
   Gauge* keys_gauge_ = nullptr;

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <set>
+#include <tuple>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/serde.h"
 
@@ -17,11 +21,12 @@ namespace fs = std::filesystem;
 // ---------------------------------------------------------------------------
 // SnapshotStore (in-memory)
 
-void SnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
-                        std::string bytes) {
+Status SnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
+                          std::string bytes) {
   MutexLock lock(&mu_);
   data_[checkpoint_id][key] = std::move(bytes);
   max_id_ = std::max(max_id_, checkpoint_id);
+  return Status::Ok();
 }
 
 Result<std::string> SnapshotStore::Get(uint64_t checkpoint_id,
@@ -162,6 +167,68 @@ Result<uint64_t> ParseCheckpointDirName(const std::string& name) {
   return static_cast<uint64_t>(id);
 }
 
+/// Parses the numeric suffix of a wal file name ("base<id>" / "seg<id>").
+Result<uint64_t> ParseWalFileName(const std::string& name,
+                                  const char* prefix) {
+  const size_t plen = std::strlen(prefix);
+  if (name.rfind(prefix, 0) != 0 || name.size() <= plen) {
+    return Status::InvalidArgument("not a wal file");
+  }
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(name.c_str() + plen, &end, 10);
+  if (end == name.c_str() + plen || *end != '\0' || id == 0) {
+    return Status::InvalidArgument("not a wal file");
+  }
+  return static_cast<uint64_t>(id);
+}
+
+/// Frames entry bytes with [magic][crc][len] -- the integrity envelope of
+/// every durable file the store writes (entries, bases, manifests).
+std::string WrapEntry(const std::string& bytes) {
+  BinaryWriter header;
+  header.WriteU64(kEntryMagic);
+  header.WriteU64(Crc32(bytes));
+  header.WriteU64(bytes.size());
+  std::string blob = header.Release();
+  blob += bytes;
+  return blob;
+}
+
+/// Verifies the envelope and returns the payload; `path` names the file in
+/// corruption reports.
+Result<std::string> UnwrapEntry(const std::string& blob,
+                                const std::string& path) {
+  BinaryReader r(blob);
+  auto magic = r.ReadU64();
+  auto crc = r.ReadU64();
+  auto size = r.ReadU64();
+  if (!magic.ok() || !crc.ok() || !size.ok() || *magic != kEntryMagic) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': bad header");
+  }
+  if (r.remaining() != *size) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': truncated payload (" +
+                            std::to_string(r.remaining()) + " of " +
+                            std::to_string(*size) + " bytes)");
+  }
+  std::string payload = blob.substr(blob.size() - r.remaining());
+  if (Crc32(payload) != static_cast<uint32_t>(*crc)) {
+    return Status::Internal("corrupt snapshot entry '" + path +
+                            "': CRC mismatch");
+  }
+  return payload;
+}
+
+Result<std::string> ReadEntryFile(const std::string& path,
+                                  const std::string& missing_msg) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound(missing_msg);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return UnwrapEntry(blob, path);
+}
+
 }  // namespace
 
 FileSnapshotStore::FileSnapshotStore(std::string root_dir)
@@ -183,86 +250,28 @@ std::string FileSnapshotStore::EntryPath(uint64_t id,
   return (fs::path(CheckpointDir(id)) / SanitizeKey(key)).string();
 }
 
-Status FileSnapshotStore::WriteFileAtomic(const std::string& dir,
-                                          const std::string& file,
-                                          const std::string& bytes) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create '" + dir + "': " + ec.message());
-  }
-  const std::string tmp = (fs::path(dir) / (".tmp." + file)).string();
-  const std::string final_path = (fs::path(dir) / file).string();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::Internal("cannot open '" + tmp + "' for writing");
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out.good()) {
-      return Status::Internal("write error on '" + tmp + "'");
-    }
-  }
-  // Same-directory rename: atomic on POSIX, so a reader sees either the
-  // whole entry or none of it.
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    return Status::Internal("rename '" + tmp + "' -> '" + final_path +
-                            "' failed: " + ec.message());
-  }
-  return Status::Ok();
+void FileSnapshotStore::NoteCheckpointId(uint64_t id) {
+  MutexLock lock(&mu_);
+  max_id_ = std::max(max_id_, id);
 }
 
-void FileSnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
-                            std::string bytes) {
-  BinaryWriter header;
-  header.WriteU64(kEntryMagic);
-  header.WriteU64(Crc32(bytes));
-  header.WriteU64(bytes.size());
-  std::string blob = header.Release();
-  blob += bytes;
-  const Status st =
-      WriteFileAtomic(CheckpointDir(checkpoint_id), SanitizeKey(key), blob);
-  if (!st.ok()) {
-    LOG_ERROR << "snapshot put(" << checkpoint_id << ", '" << key
-              << "') failed: " << st.ToString();
-    return;
-  }
-  MutexLock lock(&mu_);
-  max_id_ = std::max(max_id_, checkpoint_id);
+Status FileSnapshotStore::Put(uint64_t checkpoint_id, const std::string& key,
+                              std::string bytes) {
+  // WriteFileDurable (fsync + atomic rename) is the sanctioned write path;
+  // a failure -- ENOSPC, short write -- surfaces with the failing path and
+  // fails the task's checkpoint instead of being logged and forgotten.
+  STREAMLINE_RETURN_IF_ERROR(WriteFileDurable(CheckpointDir(checkpoint_id),
+                                              SanitizeKey(key),
+                                              WrapEntry(bytes)));
+  NoteCheckpointId(checkpoint_id);
+  return Status::Ok();
 }
 
 Result<std::string> FileSnapshotStore::Get(uint64_t checkpoint_id,
                                            const std::string& key) const {
-  const std::string path = EntryPath(checkpoint_id, key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::NotFound("checkpoint " + std::to_string(checkpoint_id) +
-                            " has no state for '" + key + "'");
-  }
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  BinaryReader r(blob);
-  auto magic = r.ReadU64();
-  auto crc = r.ReadU64();
-  auto size = r.ReadU64();
-  if (!magic.ok() || !crc.ok() || !size.ok() || *magic != kEntryMagic) {
-    return Status::Internal("corrupt snapshot entry '" + path +
-                            "': bad header");
-  }
-  if (r.remaining() != *size) {
-    return Status::Internal("corrupt snapshot entry '" + path +
-                            "': truncated payload (" +
-                            std::to_string(r.remaining()) + " of " +
-                            std::to_string(*size) + " bytes)");
-  }
-  std::string payload = blob.substr(blob.size() - r.remaining());
-  if (Crc32(payload) != static_cast<uint32_t>(*crc)) {
-    return Status::Internal("corrupt snapshot entry '" + path +
-                            "': CRC mismatch");
-  }
-  return payload;
+  return ReadEntryFile(EntryPath(checkpoint_id, key),
+                       "checkpoint " + std::to_string(checkpoint_id) +
+                           " has no state for '" + key + "'");
 }
 
 bool FileSnapshotStore::Has(uint64_t checkpoint_id,
@@ -327,8 +336,8 @@ size_t FileSnapshotStore::TotalBytes(uint64_t checkpoint_id) const {
 }
 
 void FileSnapshotStore::MarkComplete(uint64_t checkpoint_id) {
-  const Status st = WriteFileAtomic(CheckpointDir(checkpoint_id),
-                                    kCompleteMarker, "1");
+  const Status st =
+      WriteFileDurable(CheckpointDir(checkpoint_id), kCompleteMarker, "1");
   if (!st.ok()) {
     LOG_ERROR << "cannot mark checkpoint " << checkpoint_id
               << " complete: " << st.ToString();
@@ -365,6 +374,280 @@ uint64_t FileSnapshotStore::MaxCheckpointId() const {
 void FileSnapshotStore::Drop(uint64_t checkpoint_id) {
   std::error_code ec;
   fs::remove_all(CheckpointDir(checkpoint_id), ec);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalSnapshotStore
+
+namespace {
+constexpr char kManifestSuffix[] = ".manifest";
+}  // namespace
+
+IncrementalSnapshotStore::IncrementalSnapshotStore(std::string root_dir)
+    : FileSnapshotStore(std::move(root_dir)) {}
+
+void IncrementalSnapshotStore::SetFaultInjector(FaultInjector* injector) {
+  MutexLock lock(&inc_mu_);
+  injector_ = injector;
+}
+
+void IncrementalSnapshotStore::SetCompactionThreshold(size_t bytes) {
+  MutexLock lock(&inc_mu_);
+  compaction_threshold_ = std::max<size_t>(bytes, 1);
+}
+
+size_t IncrementalSnapshotStore::compaction_threshold() const {
+  MutexLock lock(&inc_mu_);
+  return compaction_threshold_;
+}
+
+void IncrementalSnapshotStore::CountBytes(uint64_t checkpoint_id,
+                                          size_t bytes) {
+  MutexLock lock(&inc_mu_);
+  bytes_written_[checkpoint_id] += bytes;
+  // Accounting is for live benchmarks/tests; cap the map so a long-running
+  // job does not grow it unboundedly.
+  while (bytes_written_.size() > 64) bytes_written_.erase(bytes_written_.begin());
+}
+
+size_t IncrementalSnapshotStore::BytesWrittenFor(uint64_t checkpoint_id) const {
+  MutexLock lock(&inc_mu_);
+  auto it = bytes_written_.find(checkpoint_id);
+  return it == bytes_written_.end() ? 0 : it->second;
+}
+
+std::string IncrementalSnapshotStore::GroupDir(const std::string& key) const {
+  return (fs::path(root_dir()) / "wal" / SanitizeKey(key)).string();
+}
+
+std::string IncrementalSnapshotStore::BasePath(const std::string& key,
+                                               uint64_t id) const {
+  return (fs::path(GroupDir(key)) / ("base" + std::to_string(id))).string();
+}
+
+std::string IncrementalSnapshotStore::SegmentPath(const std::string& key,
+                                                  uint64_t id) const {
+  return (fs::path(GroupDir(key)) / ("seg" + std::to_string(id))).string();
+}
+
+std::string IncrementalSnapshotStore::ManifestPath(
+    uint64_t id, const std::string& key) const {
+  return (fs::path(CheckpointDir(id)) / (SanitizeKey(key) + kManifestSuffix))
+      .string();
+}
+
+Result<IncrementalSnapshotStore::Manifest>
+IncrementalSnapshotStore::ReadManifest(uint64_t id,
+                                       const std::string& key) const {
+  const std::string path = ManifestPath(id, key);
+  auto payload = ReadEntryFile(
+      path, "checkpoint " + std::to_string(id) + " has no manifest for '" +
+                key + "'");
+  if (!payload.ok()) return payload.status();
+  BinaryReader r(*payload);
+  Manifest m;
+  auto base = r.ReadU64();
+  auto n = r.ReadU64();
+  if (!base.ok() || !n.ok()) {
+    return Status::Internal("corrupt manifest '" + path + "'");
+  }
+  m.base = *base;
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto seg = r.ReadU64();
+    auto bytes = r.ReadU64();
+    if (!seg.ok() || !bytes.ok()) {
+      return Status::Internal("corrupt manifest '" + path + "'");
+    }
+    m.deltas.emplace_back(*seg, *bytes);
+  }
+  return m;
+}
+
+Status IncrementalSnapshotStore::PublishManifest(uint64_t id,
+                                                 const std::string& key,
+                                                 const Manifest& m) {
+  {
+    MutexLock lock(&inc_mu_);
+    if (injector_ != nullptr) {
+      STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("manifest:publish"));
+    }
+  }
+  BinaryWriter w;
+  w.WriteU64(m.base);
+  w.WriteU64(m.deltas.size());
+  for (const auto& [seg, bytes] : m.deltas) {
+    w.WriteU64(seg);
+    w.WriteU64(bytes);
+  }
+  const std::string blob = WrapEntry(w.Release());
+  STREAMLINE_RETURN_IF_ERROR(WriteFileDurable(
+      CheckpointDir(id), SanitizeKey(key) + kManifestSuffix, blob));
+  CountBytes(id, blob.size());
+  NoteCheckpointId(id);
+  return Status::Ok();
+}
+
+bool IncrementalSnapshotStore::NeedsBase(const std::string& key,
+                                         uint64_t parent_checkpoint) const {
+  if (parent_checkpoint == 0) return true;
+  auto m = ReadManifest(parent_checkpoint, key);
+  if (!m.ok()) return true;  // chain broken (pruned or never incremental)
+  size_t delta_bytes = 0;
+  for (const auto& [seg, bytes] : m->deltas) delta_bytes += bytes;
+  return delta_bytes >= compaction_threshold();
+}
+
+Status IncrementalSnapshotStore::PutBase(uint64_t checkpoint_id,
+                                         const std::string& key,
+                                         std::string bytes) {
+  {
+    MutexLock lock(&inc_mu_);
+    if (injector_ != nullptr) {
+      STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("wal:compact"));
+    }
+  }
+  const std::string blob = WrapEntry(bytes);
+  STREAMLINE_RETURN_IF_ERROR(WriteFileDurable(
+      GroupDir(key), "base" + std::to_string(checkpoint_id), blob));
+  CountBytes(checkpoint_id, blob.size());
+  Manifest m;
+  m.base = checkpoint_id;
+  return PublishManifest(checkpoint_id, key, m);
+}
+
+Result<std::unique_ptr<WalWriter>> IncrementalSnapshotStore::OpenDeltaSegment(
+    uint64_t checkpoint_id, const std::string& key) {
+  const std::string path = SegmentPath(key, checkpoint_id);
+  // A crashed incarnation that never published chk<id> may have left a
+  // stale segment under a now-reused id; the new barrier owns the name.
+  std::error_code ec;
+  fs::remove(path, ec);
+  FaultInjector* injector;
+  {
+    MutexLock lock(&inc_mu_);
+    injector = injector_;
+  }
+  return WalWriter::Open(path, injector);
+}
+
+Status IncrementalSnapshotStore::SealDeltas(uint64_t checkpoint_id,
+                                            const std::string& key,
+                                            uint64_t parent_checkpoint,
+                                            std::unique_ptr<WalWriter> segment) {
+  if (parent_checkpoint == 0) {
+    return Status::FailedPrecondition(
+        "delta seal for '" + key +
+        "' without a parent chain (a base was required)");
+  }
+  auto parent = ReadManifest(parent_checkpoint, key);
+  if (!parent.ok()) {
+    return Status(parent.status().code(),
+                  "cannot chain checkpoint " + std::to_string(checkpoint_id) +
+                      " for '" + key + "': " + parent.status().message());
+  }
+  Manifest m = std::move(*parent);
+  if (segment != nullptr && segment->records_appended() > 0) {
+    {
+      MutexLock lock(&inc_mu_);
+      if (injector_ != nullptr) {
+        STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("wal:seal"));
+      }
+    }
+    const uint64_t bytes = segment->bytes_appended();
+    STREAMLINE_RETURN_IF_ERROR(segment->Close());
+    CountBytes(checkpoint_id, bytes);
+    m.deltas.emplace_back(checkpoint_id, bytes);
+  } else if (segment != nullptr) {
+    // Nothing changed since the last barrier: drop the empty segment and
+    // republish the parent's manifest verbatim under the new checkpoint.
+    const std::string path = segment->path();
+    segment.reset();
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  return PublishManifest(checkpoint_id, key, m);
+}
+
+bool IncrementalSnapshotStore::HasIncremental(uint64_t checkpoint_id,
+                                              const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(ManifestPath(checkpoint_id, key), ec);
+}
+
+Result<IncrementalSnapshotStore::IncrementalSnapshot>
+IncrementalSnapshotStore::GetIncremental(uint64_t checkpoint_id,
+                                         const std::string& key) const {
+  auto m = ReadManifest(checkpoint_id, key);
+  if (!m.ok()) return m.status();
+  IncrementalSnapshot out;
+  const std::string base_path = BasePath(key, m->base);
+  auto base = ReadEntryFile(base_path, "missing base '" + base_path + "'");
+  if (!base.ok()) return base.status();
+  out.base = std::move(*base);
+  out.deltas.reserve(m->deltas.size());
+  for (const auto& [seg, bytes] : m->deltas) {
+    auto records = ReadSealedWal(SegmentPath(key, seg));
+    if (!records.ok()) return records.status();
+    out.deltas.push_back(std::move(*records));
+  }
+  return out;
+}
+
+Status IncrementalSnapshotStore::Put(uint64_t checkpoint_id,
+                                     const std::string& key,
+                                     std::string bytes) {
+  const size_t n = bytes.size();
+  STREAMLINE_RETURN_IF_ERROR(
+      FileSnapshotStore::Put(checkpoint_id, key, std::move(bytes)));
+  CountBytes(checkpoint_id, n);
+  return Status::Ok();
+}
+
+void IncrementalSnapshotStore::Drop(uint64_t checkpoint_id) {
+  FileSnapshotStore::Drop(checkpoint_id);
+  // Manifest-aware wal GC: a wal file survives as long as any live
+  // checkpoint's manifest references it, or it may belong to a barrier
+  // still in flight (id >= the oldest surviving checkpoint).
+  uint64_t min_live = 0;
+  std::set<std::string> referenced;  // absolute paths
+  std::error_code ec;
+  for (const auto& dir : fs::directory_iterator(root_dir(), ec)) {
+    auto id = ParseCheckpointDirName(dir.path().filename().string());
+    if (!id.ok()) continue;
+    if (min_live == 0 || *id < min_live) min_live = *id;
+    std::error_code ec2;
+    for (const auto& e : fs::directory_iterator(dir.path(), ec2)) {
+      const std::string name = e.path().filename().string();
+      if (name.size() <= std::strlen(kManifestSuffix) ||
+          name.rfind(kManifestSuffix) !=
+              name.size() - std::strlen(kManifestSuffix)) {
+        continue;
+      }
+      const std::string key =
+          name.substr(0, name.size() - std::strlen(kManifestSuffix));
+      auto m = ReadManifest(*id, key);
+      if (!m.ok()) continue;
+      referenced.insert(BasePath(key, m->base));
+      for (const auto& [seg, bytes] : m->deltas) {
+        referenced.insert(SegmentPath(key, seg));
+      }
+    }
+  }
+  if (min_live == 0) return;  // no live checkpoints: nothing provably dead
+  const fs::path wal_root = fs::path(root_dir()) / "wal";
+  std::error_code ec3;
+  for (const auto& group : fs::directory_iterator(wal_root, ec3)) {
+    std::error_code ec4;
+    for (const auto& e : fs::directory_iterator(group.path(), ec4)) {
+      const std::string name = e.path().filename().string();
+      auto id = ParseWalFileName(name, name.rfind("base", 0) == 0 ? "base"
+                                                                  : "seg");
+      if (!id.ok() || *id >= min_live) continue;
+      if (referenced.count(e.path().string()) > 0) continue;
+      std::error_code ec5;
+      fs::remove(e.path(), ec5);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

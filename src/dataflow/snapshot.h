@@ -4,16 +4,21 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "common/wal.h"
 
 namespace streamline {
+
+class FaultInjector;
 
 /// Snapshot storage, keyed by (checkpoint id, state key); state keys are
 /// "node<id>/<subtask>" strings assigned by the executor. The base class is
@@ -31,8 +36,11 @@ class SnapshotStore {
  public:
   virtual ~SnapshotStore() = default;
 
-  virtual void Put(uint64_t checkpoint_id, const std::string& key,
-                   std::string bytes);
+  /// Stores one state entry. A failed write (ENOSPC, short write) comes
+  /// back as an error Status naming the failing path; the executor turns
+  /// it into a task failure so the checkpoint never completes.
+  virtual Status Put(uint64_t checkpoint_id, const std::string& key,
+                     std::string bytes);
   virtual Result<std::string> Get(uint64_t checkpoint_id,
                                   const std::string& key) const;
   virtual bool Has(uint64_t checkpoint_id, const std::string& key) const;
@@ -95,8 +103,8 @@ class FileSnapshotStore : public SnapshotStore {
   /// disk (recovery across process restarts).
   explicit FileSnapshotStore(std::string root_dir);
 
-  void Put(uint64_t checkpoint_id, const std::string& key,
-           std::string bytes) override;
+  Status Put(uint64_t checkpoint_id, const std::string& key,
+             std::string bytes) override;
   Result<std::string> Get(uint64_t checkpoint_id,
                           const std::string& key) const override;
   bool Has(uint64_t checkpoint_id, const std::string& key) const override;
@@ -112,16 +120,116 @@ class FileSnapshotStore : public SnapshotStore {
 
   const std::string& root_dir() const { return root_; }
 
- private:
+ protected:
   std::string CheckpointDir(uint64_t id) const;
   std::string EntryPath(uint64_t id, const std::string& key) const;
   std::vector<uint64_t> ScanIdsLocked() const STREAMLINE_REQUIRES(mu_);
   std::vector<uint64_t> ScanCompletedLocked() const STREAMLINE_REQUIRES(mu_);
-  Status WriteFileAtomic(const std::string& dir, const std::string& file,
-                         const std::string& bytes) const;
+  void NoteCheckpointId(uint64_t id);
 
+ private:
   std::string root_;
   uint64_t max_id_ STREAMLINE_GUARDED_BY(mu_) = 0;
+};
+
+/// Log-structured durable backend: checkpoints are *incremental*. Keyed
+/// operators append upsert/erase changelog records to a per-key-group WAL
+/// segment at each barrier; the store seals the segment and publishes a
+/// per-group *manifest* (`chk<id>/<group>.manifest`) tying the checkpoint
+/// to {base, delta segments...}. A periodic compacted base (written when
+/// the chain's delta bytes cross the compaction threshold) bounds recovery
+/// replay. Layout under the root:
+///
+///   chk<id>/<entry>            full entries + COMPLETE (inherited)
+///   chk<id>/<group>.manifest   base + delta-segment list for one group
+///   wal/<group>/base<id>       compacted full snapshot (entry-framed)
+///   wal/<group>/seg<id>        sealed changelog segment of checkpoint <id>
+///
+/// Pruning is manifest-aware: dropping a checkpoint removes its directory
+/// (manifests included), then deletes only those wal files no *live*
+/// manifest references and whose id precedes every surviving checkpoint --
+/// so a base or segment a live manifest needs is never dropped, no matter
+/// how old.
+class IncrementalSnapshotStore : public FileSnapshotStore {
+ public:
+  explicit IncrementalSnapshotStore(std::string root_dir);
+
+  /// Chaos hook: "wal:compact" fires before a base write, "wal:seal"
+  /// before sealing a segment, "manifest:publish" before a manifest write
+  /// (WalWriter adds "wal:append"/"wal:append_torn"/"wal:sync" per
+  /// operation). Call before the job runs.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// Delta bytes a group's chain may accumulate before the next barrier
+  /// writes a compacted base instead of another delta.
+  void SetCompactionThreshold(size_t bytes);
+  size_t compaction_threshold() const;
+
+  /// True when `key` must write a full base at this barrier: no live chain
+  /// at `parent_checkpoint` (0, or its manifest is gone), or the chain's
+  /// accumulated delta bytes crossed the compaction threshold.
+  bool NeedsBase(const std::string& key, uint64_t parent_checkpoint) const;
+
+  /// Publishes a compacted base for `key` plus a manifest referencing only
+  /// it. The entry bytes are framed and CRC-verified like full entries.
+  Status PutBase(uint64_t checkpoint_id, const std::string& key,
+                 std::string bytes);
+
+  /// Opens the changelog segment for `key` at this barrier (truncating any
+  /// stale leftover of a crashed incarnation that reused the id).
+  Result<std::unique_ptr<WalWriter>> OpenDeltaSegment(uint64_t checkpoint_id,
+                                                      const std::string& key);
+
+  /// Seals `segment` (fsync + close) and publishes the chk<checkpoint_id>
+  /// manifest: the parent chain's manifest plus the new segment. An empty
+  /// segment is deleted and the parent manifest republished verbatim, so
+  /// an untouched group costs one small manifest and zero state bytes.
+  Status SealDeltas(uint64_t checkpoint_id, const std::string& key,
+                    uint64_t parent_checkpoint,
+                    std::unique_ptr<WalWriter> segment);
+
+  struct IncrementalSnapshot {
+    /// Base full-snapshot bytes (operator SnapshotState payload).
+    std::string base;
+    /// Sealed changelog records per segment, chain order; replay each
+    /// record with ApplyDelta after restoring the base.
+    std::vector<std::vector<std::string>> deltas;
+  };
+
+  /// True when checkpoint `id` has a manifest for `key`.
+  bool HasIncremental(uint64_t checkpoint_id, const std::string& key) const;
+  Result<IncrementalSnapshot> GetIncremental(uint64_t checkpoint_id,
+                                             const std::string& key) const;
+
+  /// Bytes this store wrote on behalf of checkpoint `id` (entries, bases,
+  /// segments, manifests); in-memory accounting for benchmarks and tests.
+  size_t BytesWrittenFor(uint64_t checkpoint_id) const;
+
+  Status Put(uint64_t checkpoint_id, const std::string& key,
+             std::string bytes) override;
+  /// Drops the checkpoint directory, then garbage-collects wal files that
+  /// no surviving manifest references.
+  void Drop(uint64_t checkpoint_id) override;
+
+ private:
+  struct Manifest {
+    uint64_t base = 0;  // checkpoint id of wal/<group>/base<id>
+    std::vector<std::pair<uint64_t, uint64_t>> deltas;  // (id, bytes)
+  };
+
+  std::string GroupDir(const std::string& key) const;
+  std::string BasePath(const std::string& key, uint64_t id) const;
+  std::string SegmentPath(const std::string& key, uint64_t id) const;
+  std::string ManifestPath(uint64_t id, const std::string& key) const;
+  Result<Manifest> ReadManifest(uint64_t id, const std::string& key) const;
+  Status PublishManifest(uint64_t id, const std::string& key,
+                         const Manifest& m);
+  void CountBytes(uint64_t checkpoint_id, size_t bytes);
+
+  mutable Mutex inc_mu_;
+  FaultInjector* injector_ STREAMLINE_GUARDED_BY(inc_mu_) = nullptr;
+  size_t compaction_threshold_ STREAMLINE_GUARDED_BY(inc_mu_) = 4u << 20;
+  std::map<uint64_t, size_t> bytes_written_ STREAMLINE_GUARDED_BY(inc_mu_);
 };
 
 /// Drives asynchronous barrier snapshotting (the checkpoint protocol of the

@@ -35,6 +35,7 @@ void TemporalJoinOperator::ProcessRecord(int input, Record&& record,
     const Value key = spec_.table_key(record);
     const uint64_t hash =
         record.has_key_hash() ? record.key_hash : KeyHashOf(key);
+    changelog_.Upsert(key, hash);
     table_.TryEmplace(hash, key).first->second = std::move(record);
     return;
   }
@@ -77,6 +78,42 @@ Status TemporalJoinOperator::RestoreState(BinaryReader* r) {
     auto row = r->ReadRecord();
     if (!row.ok()) return row.status();
     table_.TryEmplace(KeyHashOf(*key), *key, std::move(*row));
+  }
+  return Status::Ok();
+}
+
+Status TemporalJoinOperator::SnapshotDelta(ChangelogSink* sink) {
+  // The dimension table only ever upserts, so every event carries a row.
+  for (const KeyedChangelog::Event& ev : changelog_.events()) {
+    BinaryWriter w;
+    w.WriteU8(kDeltaUpsertTag);
+    w.WriteValue(ev.key);
+    const Record* row = table_.Find(ev.hash, ev.key);
+    w.WriteU8(row != nullptr ? 1 : 0);
+    if (row != nullptr) w.WriteRecord(*row);
+    STREAMLINE_RETURN_IF_ERROR(sink->Append(w.Release()));
+  }
+  changelog_.Clear();
+  return Status::Ok();
+}
+
+Status TemporalJoinOperator::ApplyDelta(BinaryReader* r) {
+  auto tag = r->ReadU8();
+  if (!tag.ok()) return tag.status();
+  if (*tag != kDeltaUpsertTag) {
+    return Status::Internal("bad changelog tag " + std::to_string(*tag) +
+                            " in '" + name_ + "'");
+  }
+  auto key = r->ReadValue();
+  if (!key.ok()) return key.status();
+  auto present = r->ReadU8();
+  if (!present.ok()) return present.status();
+  auto [entry, inserted] = table_.TryEmplace(KeyHashOf(*key), *key);
+  (void)inserted;
+  if (*present != 0) {
+    auto row = r->ReadRecord();
+    if (!row.ok()) return row.status();
+    entry->second = std::move(*row);
   }
   return Status::Ok();
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/flat_hash_map.h"
+#include "dataflow/changelog.h"
 #include "dataflow/operator.h"
 
 namespace streamline {
@@ -37,6 +38,11 @@ class TemporalJoinOperator : public Operator {
   void ProcessWatermark(Timestamp wm, Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
+  bool SupportsIncrementalState() const override { return true; }
+  void EnableIncrementalState() override { changelog_.Enable(); }
+  Status SnapshotDelta(ChangelogSink* sink) override;
+  Status ApplyDelta(BinaryReader* r) override;
+  void ResetDelta() override { changelog_.Clear(); }
   std::string Name() const override { return name_; }
 
   size_t table_size() const { return table_.size(); }
@@ -45,6 +51,7 @@ class TemporalJoinOperator : public Operator {
   std::string name_;
   Spec spec_;
   FlatHashMap<Value, Record> table_;
+  KeyedChangelog changelog_;
   Gauge* load_gauge_ = nullptr;
   Gauge* probe_gauge_ = nullptr;
   Gauge* keys_gauge_ = nullptr;

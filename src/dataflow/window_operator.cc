@@ -228,6 +228,7 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
     uint64_t hash;
     resolve_key(record, &key, &hash);
     KeyState* ks = GetOrCreateKey(key, hash);
+    changelog_.Upsert(key, hash);
     if (!can_batch) {
       ApplyElement(key, ks, record);
       ++applied;
@@ -266,9 +267,19 @@ void WindowAggOperator::ProcessWatermark(Timestamp wm, Collector* out) {
   }
   apply_scratch_.clear();
   // Advance every key's window clock: sessions and periodic windows fire on
-  // time progress even for keys with no new records.
+  // time progress even for keys with no new records. When the changelog is
+  // on, a fingerprint comparison catches keys the watermark mutated (fired
+  // windows, evicted slices) so the next delta re-serializes them.
   for (auto& [key, ks] : keys_) {
+    if (!changelog_.enabled()) {
+      AdvanceKeyWatermark(key, &ks, wm);
+      continue;
+    }
+    const std::array<uint64_t, 3> before = KeyFingerprint(ks);
     AdvanceKeyWatermark(key, &ks, wm);
+    if (KeyFingerprint(ks) != before) {
+      changelog_.Upsert(key, KeyHashOf(key));
+    }
   }
   UpdateStateGauges();
   current_out_ = nullptr;
@@ -287,6 +298,66 @@ void WindowAggOperator::OnEndOfInput(Collector* out) {
   (void)out;
 }
 
+void WindowAggOperator::SnapshotKeyState(const KeyState& ks,
+                                         BinaryWriter* w) const {
+  if (spec_.backend == WindowBackend::kShared) {
+    ks.shared->Snapshot(w, SerializeDynPartial);
+    return;
+  }
+  w->WriteU64(ks.eager.size());
+  for (const EagerQueryState& qs : ks.eager) {
+    qs.wf->SnapshotState(w);
+    w->WriteU64(qs.open.size());
+    for (const auto& [window, partial] : qs.open) {
+      w->WriteI64(window.start);
+      w->WriteI64(window.end);
+      DynAggregate::SerializePartial(partial, w);
+    }
+  }
+}
+
+Status WindowAggOperator::RestoreKeyState(KeyState* ks, BinaryReader* r) {
+  if (spec_.backend == WindowBackend::kShared) {
+    return ks->shared->Restore(r, DeserializeDynPartial);
+  }
+  auto nq = r->ReadU64();
+  if (!nq.ok()) return nq.status();
+  if (*nq != ks->eager.size()) {
+    return Status::FailedPrecondition("eager query count mismatch");
+  }
+  for (EagerQueryState& qs : ks->eager) {
+    // A delta may re-restore a key that already has open windows; the
+    // snapshot is a full replacement, not an append.
+    qs.open.clear();
+    STREAMLINE_RETURN_IF_ERROR(qs.wf->RestoreState(r));
+    auto nw = r->ReadU64();
+    if (!nw.ok()) return nw.status();
+    for (uint64_t k = 0; k < *nw; ++k) {
+      auto start = r->ReadI64();
+      if (!start.ok()) return start.status();
+      auto end = r->ReadI64();
+      if (!end.ok()) return end.status();
+      auto p = DynAggregate::DeserializePartial(r);
+      if (!p.ok()) return p.status();
+      // Snapshots write `open` in sorted order; appending preserves it.
+      qs.open.emplace_back(Window{*start, *end}, *p);
+    }
+  }
+  return Status::Ok();
+}
+
+std::array<uint64_t, 3> WindowAggOperator::KeyFingerprint(
+    const KeyState& ks) const {
+  if (spec_.backend == WindowBackend::kShared) {
+    const AggStats& s = ks.shared->stats();
+    return {s.fires, s.slices_created,
+            static_cast<uint64_t>(ks.shared->stored_slices())};
+  }
+  uint64_t open = 0;
+  for (const EagerQueryState& qs : ks.eager) open += qs.open.size();
+  return {open, 0, 0};
+}
+
 Status WindowAggOperator::SnapshotState(BinaryWriter* w) const {
   w->WriteI64(current_wm_);
   w->WriteU64(seq_);
@@ -300,20 +371,7 @@ Status WindowAggOperator::SnapshotState(BinaryWriter* w) const {
   w->WriteU64(keys_.size());
   for (const auto& [key, ks] : keys_) {
     w->WriteValue(key);
-    if (spec_.backend == WindowBackend::kShared) {
-      ks.shared->Snapshot(w, SerializeDynPartial);
-    } else {
-      w->WriteU64(ks.eager.size());
-      for (const EagerQueryState& qs : ks.eager) {
-        qs.wf->SnapshotState(w);
-        w->WriteU64(qs.open.size());
-        for (const auto& [window, partial] : qs.open) {
-          w->WriteI64(window.start);
-          w->WriteI64(window.end);
-          DynAggregate::SerializePartial(partial, w);
-        }
-      }
-    }
+    SnapshotKeyState(ks, w);
   }
   return Status::Ok();
 }
@@ -342,34 +400,86 @@ Status WindowAggOperator::RestoreState(BinaryReader* r) {
     auto key = r->ReadValue();
     if (!key.ok()) return key.status();
     KeyState* ks = GetOrCreateKey(*key, KeyHashOf(*key));
-    if (spec_.backend == WindowBackend::kShared) {
-      STREAMLINE_RETURN_IF_ERROR(
-          ks->shared->Restore(r, DeserializeDynPartial));
-    } else {
-      auto nq = r->ReadU64();
-      if (!nq.ok()) return nq.status();
-      if (*nq != ks->eager.size()) {
-        return Status::FailedPrecondition("eager query count mismatch");
-      }
-      for (EagerQueryState& qs : ks->eager) {
-        STREAMLINE_RETURN_IF_ERROR(qs.wf->RestoreState(r));
-        auto nw = r->ReadU64();
-        if (!nw.ok()) return nw.status();
-        for (uint64_t k = 0; k < *nw; ++k) {
-          auto start = r->ReadI64();
-          if (!start.ok()) return start.status();
-          auto end = r->ReadI64();
-          if (!end.ok()) return end.status();
-          auto p = DynAggregate::DeserializePartial(r);
-          if (!p.ok()) return p.status();
-          // Snapshots write `open` in sorted order; appending preserves it.
-          qs.open.emplace_back(Window{*start, *end}, *p);
-        }
-      }
-    }
+    STREAMLINE_RETURN_IF_ERROR(RestoreKeyState(ks, r));
   }
   current_wm_ = *wm;
   seq_ = *seq;
+  return Status::Ok();
+}
+
+Status WindowAggOperator::SnapshotDelta(ChangelogSink* sink) {
+  // Meta record first: the operator-wide clock (watermark, arrival
+  // sequence) and the reorder buffer. The buffer holds only records the
+  // watermark has not yet covered, so this stays small in steady state;
+  // replay replaces it wholesale.
+  {
+    BinaryWriter w;
+    w.WriteU8(kDeltaMetaTag);
+    w.WriteI64(current_wm_);
+    w.WriteU64(seq_);
+    w.WriteU64(pending_.size());
+    for (const auto& [record, seq] : pending_) {
+      w.WriteRecord(record);
+      w.WriteU64(seq);
+    }
+    STREAMLINE_RETURN_IF_ERROR(sink->Append(w.Release()));
+  }
+  for (const KeyedChangelog::Event& ev : changelog_.events()) {
+    BinaryWriter w;
+    if (ev.op == KeyedChangelog::Op::kErase) {
+      w.WriteU8(kDeltaEraseTag);
+      w.WriteValue(ev.key);
+    } else {
+      w.WriteU8(kDeltaUpsertTag);
+      w.WriteValue(ev.key);
+      const KeyState* ks = keys_.Find(ev.hash, ev.key);
+      w.WriteU8(ks != nullptr ? 1 : 0);
+      if (ks != nullptr) SnapshotKeyState(*ks, &w);
+    }
+    STREAMLINE_RETURN_IF_ERROR(sink->Append(w.Release()));
+  }
+  changelog_.Clear();
+  return Status::Ok();
+}
+
+Status WindowAggOperator::ApplyDelta(BinaryReader* r) {
+  auto tag = r->ReadU8();
+  if (!tag.ok()) return tag.status();
+  if (*tag == kDeltaMetaTag) {
+    auto wm = r->ReadI64();
+    if (!wm.ok()) return wm.status();
+    auto seq = r->ReadU64();
+    if (!seq.ok()) return seq.status();
+    auto np = r->ReadU64();
+    if (!np.ok()) return np.status();
+    pending_.clear();
+    for (uint64_t i = 0; i < *np; ++i) {
+      auto rec = r->ReadRecord();
+      if (!rec.ok()) return rec.status();
+      auto s = r->ReadU64();
+      if (!s.ok()) return s.status();
+      pending_.emplace_back(std::move(*rec), *s);
+    }
+    std::make_heap(pending_.begin(), pending_.end(), PendingAfter);
+    current_wm_ = *wm;
+    seq_ = *seq;
+    return Status::Ok();
+  }
+  auto key = r->ReadValue();
+  if (!key.ok()) return key.status();
+  const uint64_t hash = KeyHashOf(*key);
+  if (*tag == kDeltaEraseTag) {
+    keys_.Erase(hash, *key);
+    return Status::Ok();
+  }
+  if (*tag != kDeltaUpsertTag) {
+    return Status::Internal("bad changelog tag " + std::to_string(*tag) +
+                            " in '" + name_ + "'");
+  }
+  auto present = r->ReadU8();
+  if (!present.ok()) return present.status();
+  KeyState* ks = GetOrCreateKey(*key, hash);
+  if (*present != 0) STREAMLINE_RETURN_IF_ERROR(RestoreKeyState(ks, r));
   return Status::Ok();
 }
 

@@ -2,6 +2,7 @@
 #define STREAMLINE_DATAFLOW_WINDOW_OPERATOR_H_
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -11,6 +12,7 @@
 
 #include "agg/slicing_aggregator.h"
 #include "common/flat_hash_map.h"
+#include "dataflow/changelog.h"
 #include "dataflow/operator.h"
 #include "window/dyn_aggregate.h"
 #include "window/window_fn.h"
@@ -159,6 +161,11 @@ class WindowAggOperator : public Operator {
   void OnEndOfInput(Collector* out) override;
   Status SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
+  bool SupportsIncrementalState() const override { return true; }
+  void EnableIncrementalState() override { changelog_.Enable(); }
+  Status SnapshotDelta(ChangelogSink* sink) override;
+  Status ApplyDelta(BinaryReader* r) override;
+  void ResetDelta() override { changelog_.Clear(); }
   std::string Name() const override { return name_; }
 
   /// Aggregation work counters summed over all keys (shared backend only).
@@ -188,6 +195,16 @@ class WindowAggOperator : public Operator {
   KeyState* GetOrCreateKey(const Value& key, uint64_t hash);
   void ApplyElement(const Value& key, KeyState* ks, const Record& record);
   void AdvanceKeyWatermark(const Value& key, KeyState* ks, Timestamp wm);
+  void SnapshotKeyState(const KeyState& ks, BinaryWriter* w) const;
+  Status RestoreKeyState(KeyState* ks, BinaryReader* r);
+  /// Cheap serialized-state fingerprint used to detect keys mutated by a
+  /// watermark advance (window fires, slice eviction) without walking the
+  /// aggregation state. Shared backend: any firing bumps stats().fires, any
+  /// slice churn moves slices_created or the store size, and every other
+  /// OnWatermark-reachable mutation is gated on one of those. Eager
+  /// backend: EagerFire only erases, so the total open-window count
+  /// strictly decreases whenever anything fired.
+  std::array<uint64_t, 3> KeyFingerprint(const KeyState& ks) const;
   void EmitResult(const Value& key, size_t query, const Window& w,
                   const Value& result);
   void EagerFire(const Value& key, KeyState* ks, Timestamp wm);
@@ -226,6 +243,7 @@ class WindowAggOperator : public Operator {
   Timestamp current_wm_ = kMinTimestamp;
 
   FlatHashMap<Value, KeyState> keys_;
+  KeyedChangelog changelog_;
   // Hash of the synthetic key used when spec_.key is null (global windows);
   // computed on first use (KeyHashOf never returns 0).
   uint64_t global_key_hash_ = 0;

@@ -14,7 +14,7 @@ namespace {
 
 TEST(SnapshotStoreTest, PutGet) {
   SnapshotStore store;
-  store.Put(1, "node0/0", "abc");
+  ASSERT_TRUE(store.Put(1, "node0/0", "abc").ok());
   ASSERT_TRUE(store.Get(1, "node0/0").ok());
   EXPECT_EQ(store.Get(1, "node0/0").value(), "abc");
   EXPECT_FALSE(store.Get(1, "node9/0").ok());

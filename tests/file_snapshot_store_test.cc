@@ -28,9 +28,9 @@ class FileSnapshotStoreTest : public ::testing::Test {
 
 TEST_F(FileSnapshotStoreTest, RoundTrip) {
   FileSnapshotStore store(root_);
-  store.Put(1, "node0/0", "hello");
-  store.Put(1, "node1/0", std::string("\x00\x01\x02", 3));  // binary-safe
-  store.Put(2, "node0/0", "world");
+  ASSERT_TRUE(store.Put(1, "node0/0", "hello").ok());
+  ASSERT_TRUE(store.Put(1, "node1/0", std::string("\x00\x01\x02", 3)).ok());  // binary-safe
+  ASSERT_TRUE(store.Put(2, "node0/0", "world").ok());
 
   auto a = store.Get(1, "node0/0");
   ASSERT_TRUE(a.ok()) << a.status().ToString();
@@ -52,8 +52,8 @@ TEST_F(FileSnapshotStoreTest, RoundTrip) {
 
 TEST_F(FileSnapshotStoreTest, OverwriteReplacesEntry) {
   FileSnapshotStore store(root_);
-  store.Put(1, "k", "v1");
-  store.Put(1, "k", "v2");
+  ASSERT_TRUE(store.Put(1, "k", "v1").ok());
+  ASSERT_TRUE(store.Put(1, "k", "v2").ok());
   auto v = store.Get(1, "k");
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "v2");
@@ -66,7 +66,7 @@ TEST_F(FileSnapshotStoreTest, NoTempFilesLeftBehind) {
   // see one.
   FileSnapshotStore store(root_);
   for (int i = 0; i < 16; ++i) {
-    store.Put(1, "k" + std::to_string(i), std::string(1024, 'x'));
+    ASSERT_TRUE(store.Put(1, "k" + std::to_string(i), std::string(1024, 'x')).ok());
   }
   int tmp_files = 0;
   for (const auto& e : fs::recursive_directory_iterator(root_)) {
@@ -79,8 +79,8 @@ TEST_F(FileSnapshotStoreTest, NoTempFilesLeftBehind) {
 TEST_F(FileSnapshotStoreTest, CompletionSurvivesReopen) {
   {
     FileSnapshotStore store(root_);
-    store.Put(1, "k", "a");
-    store.Put(2, "k", "b");
+    ASSERT_TRUE(store.Put(1, "k", "a").ok());
+    ASSERT_TRUE(store.Put(2, "k", "b").ok());
     store.MarkComplete(1);
     // Checkpoint 2 never completed (simulates a crash mid-checkpoint).
   }
@@ -96,7 +96,7 @@ TEST_F(FileSnapshotStoreTest, CompletionSurvivesReopen) {
 
 TEST_F(FileSnapshotStoreTest, CorruptionDetectedOnGet) {
   FileSnapshotStore store(root_);
-  store.Put(1, "node0/0", "precious state bytes");
+  ASSERT_TRUE(store.Put(1, "node0/0", "precious state bytes").ok());
   store.MarkComplete(1);
 
   // Flip a payload byte on disk, as a bad disk would.
@@ -115,7 +115,7 @@ TEST_F(FileSnapshotStoreTest, CorruptionDetectedOnGet) {
 
 TEST_F(FileSnapshotStoreTest, TruncationDetectedOnGet) {
   FileSnapshotStore store(root_);
-  store.Put(1, "k", std::string(256, 'z'));
+  ASSERT_TRUE(store.Put(1, "k", std::string(256, 'z')).ok());
   const fs::path entry = fs::path(root_) / "chk1" / "k";
   fs::resize_file(entry, fs::file_size(entry) / 2);
   const auto v = store.Get(1, "k");
@@ -140,9 +140,9 @@ TEST_F(FileSnapshotStoreTest, CorruptRestoreFallsBackToPreviousCheckpoint) {
   // The supervisor-facing contract: when the newest complete checkpoint is
   // corrupt, Get fails and the previous complete checkpoint still loads.
   FileSnapshotStore store(root_);
-  store.Put(1, "k", "old");
+  ASSERT_TRUE(store.Put(1, "k", "old").ok());
   store.MarkComplete(1);
-  store.Put(2, "k", "new");
+  ASSERT_TRUE(store.Put(2, "k", "new").ok());
   store.MarkComplete(2);
 
   const fs::path entry = fs::path(root_) / "chk2" / "k";
@@ -161,7 +161,7 @@ TEST_F(FileSnapshotStoreTest, PruningKeepsLastNCompleted) {
   FileSnapshotStore store(root_);
   store.RetainLast(2);
   for (uint64_t id = 1; id <= 5; ++id) {
-    store.Put(id, "k", "v" + std::to_string(id));
+    ASSERT_TRUE(store.Put(id, "k", "v" + std::to_string(id)).ok());
     store.MarkComplete(id);
   }
   EXPECT_EQ(store.CompletedCheckpoints(), (std::vector<uint64_t>{4, 5}));
@@ -176,10 +176,10 @@ TEST_F(FileSnapshotStoreTest, PruningKeepsLastNCompleted) {
 TEST_F(FileSnapshotStoreTest, PruningDropsAbandonedIncompleteCheckpoints) {
   FileSnapshotStore store(root_);
   store.RetainLast(1);
-  store.Put(1, "k", "a");
+  ASSERT_TRUE(store.Put(1, "k", "a").ok());
   store.MarkComplete(1);
-  store.Put(2, "k", "b");  // incomplete (crashed mid-checkpoint)
-  store.Put(3, "k", "c");
+  ASSERT_TRUE(store.Put(2, "k", "b").ok());  // incomplete (crashed mid-checkpoint)
+  ASSERT_TRUE(store.Put(3, "k", "c").ok());
   store.MarkComplete(3);
   // Completing 3 prunes everything below it, including abandoned 2.
   EXPECT_FALSE(fs::exists(fs::path(root_) / "chk1"));
@@ -191,7 +191,7 @@ TEST_F(FileSnapshotStoreTest, InMemoryStorePrunesIdentically) {
   SnapshotStore store;
   store.RetainLast(2);
   for (uint64_t id = 1; id <= 5; ++id) {
-    store.Put(id, "k", "v");
+    ASSERT_TRUE(store.Put(id, "k", "v").ok());
     store.MarkComplete(id);
   }
   EXPECT_EQ(store.CompletedCheckpoints(), (std::vector<uint64_t>{4, 5}));
@@ -203,7 +203,7 @@ TEST_F(FileSnapshotStoreTest, InMemoryStorePrunesIdentically) {
 
 TEST_F(FileSnapshotStoreTest, DropRemovesCheckpointDir) {
   FileSnapshotStore store(root_);
-  store.Put(7, "k", "v");
+  ASSERT_TRUE(store.Put(7, "k", "v").ok());
   ASSERT_TRUE(fs::exists(fs::path(root_) / "chk7"));
   store.Drop(7);
   EXPECT_FALSE(fs::exists(fs::path(root_) / "chk7"));
@@ -212,7 +212,7 @@ TEST_F(FileSnapshotStoreTest, DropRemovesCheckpointDir) {
 
 TEST_F(FileSnapshotStoreTest, SlashInKeySanitized) {
   FileSnapshotStore store(root_);
-  store.Put(1, "node3/12", "v");
+  ASSERT_TRUE(store.Put(1, "node3/12", "v").ok());
   auto v = store.Get(1, "node3/12");
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "v");

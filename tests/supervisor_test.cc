@@ -260,7 +260,7 @@ TEST(SupervisorTest, FallsBackWhenRestoreCandidateIsBroken) {
   injector->AddRule(FaultInjector::FailAtHit("op:agg", 500));
 
   auto store = std::make_shared<SnapshotStore>();
-  store->Put(99, "bogus", "not task state");
+  ASSERT_TRUE(store->Put(99, "bogus", "not task state").ok());
   store->MarkComplete(99);
 
   Environment env;

@@ -1,0 +1,215 @@
+// Write-ahead changelog segment tests: frame roundtrips, torn-tail
+// truncation on reopen, CRC corruption detection, the tolerant vs sealed
+// readers, the wal:* fault-injection sites, and WriteFileDurable.
+
+#include "common/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+
+namespace streamline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("slss_wal_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ + "/seg";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string AppendedFile() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, RoundTrip) {
+  auto w = WalWriter::Open(path_);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  const std::vector<std::string> records = {
+      "hello", std::string("\x00\x01\xff", 3), "", std::string(5000, 'x')};
+  for (const auto& r : records) ASSERT_TRUE((*w)->Append(r).ok());
+  EXPECT_EQ((*w)->records_appended(), records.size());
+  ASSERT_TRUE((*w)->Close().ok());
+
+  auto tolerant = ReadWal(path_);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_EQ(tolerant->records, records);
+  EXPECT_FALSE(tolerant->torn);
+
+  auto sealed = ReadSealedWal(path_);
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  EXPECT_EQ(*sealed, records);
+}
+
+TEST_F(WalTest, EmptySegmentIsZeroRecords) {
+  auto w = WalWriter::Open(path_);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  auto r = ReadWal(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->records.empty());
+  EXPECT_FALSE(r->torn);
+}
+
+TEST_F(WalTest, MissingSegmentIsError) {
+  EXPECT_FALSE(ReadWal(path_).ok());
+  EXPECT_FALSE(ReadSealedWal(path_).ok());
+}
+
+TEST_F(WalTest, TornTailIgnoredByTolerantReadAndTruncatedOnReopen) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append("one").ok());
+    ASSERT_TRUE((*w)->Append("two").ok());
+    ASSERT_TRUE((*w)->Close().ok());
+  }
+  const auto intact_size = fs::file_size(path_);
+  {
+    // Simulate a crash mid-append: a partial frame at the tail.
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write("\x0b\x00\x00\x00\xde\xad", 6);
+  }
+
+  auto tolerant = ReadWal(path_);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant->records, (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(tolerant->torn);
+  EXPECT_EQ(tolerant->valid_bytes, intact_size);
+
+  // The sealed reader treats any damage as corruption.
+  EXPECT_FALSE(ReadSealedWal(path_).ok());
+
+  // Reopening truncates the torn tail; appends continue cleanly after it.
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append("three").ok());
+    ASSERT_TRUE((*w)->Close().ok());
+  }
+  auto healed = ReadWal(path_);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->records, (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_FALSE(healed->torn);
+}
+
+TEST_F(WalTest, CrcMismatchStopsTolerantReadAndFailsSealedRead) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append("aaaa").ok());
+    ASSERT_TRUE((*w)->Append("bbbb").ok());
+    ASSERT_TRUE((*w)->Close().ok());
+  }
+  // Flip one payload byte of the second frame: [8B header]["aaaa"][8B]["b...
+  std::string bytes = AppendedFile();
+  bytes[8 + 4 + 8] ^= 0x01;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto tolerant = ReadWal(path_);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant->records, (std::vector<std::string>{"aaaa"}));
+  EXPECT_TRUE(tolerant->torn);
+
+  auto sealed = ReadSealedWal(path_);
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_NE(sealed.status().message().find(path_), std::string::npos)
+      << sealed.status().ToString();
+}
+
+TEST_F(WalTest, AppendFaultSurfacesErrorNamingNothingDurable) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::FailAtHit("wal:append", 2));
+  auto w = WalWriter::Open(path_, &injector);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("ok").ok());
+  const Status st = (*w)->Append("boom");
+  ASSERT_FALSE(st.ok());
+  // A clean (pre-write) append fault leaves the first record intact.
+  (*w).reset();  // destructor: close without sync, tail stays as-is
+  auto r = ReadWal(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records, (std::vector<std::string>{"ok"}));
+}
+
+TEST_F(WalTest, TornAppendFaultLeavesRecoverableTail) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::FailAtHit("wal:append_torn", 2));
+  auto w = WalWriter::Open(path_, &injector);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("first").ok());
+  ASSERT_FALSE((*w)->Append("second-never-lands").ok());
+  (*w).reset();
+  // The torn frame is on disk but the tolerant reader stops before it,
+  // and reopening truncates it -- exactly the crash-mid-append story.
+  auto r = ReadWal(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records, (std::vector<std::string>{"first"}));
+  EXPECT_TRUE(r->torn);
+  auto reopened = WalWriter::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->Close().ok());
+  EXPECT_EQ(fs::file_size(path_), r->valid_bytes);
+}
+
+TEST_F(WalTest, SyncFaultSurfacesError) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::FailAtHit("wal:sync", 1));
+  auto w = WalWriter::Open(path_, &injector);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("payload").ok());
+  EXPECT_FALSE((*w)->Sync().ok());
+  // The rule fired once; the retry path succeeds.
+  EXPECT_TRUE((*w)->Sync().ok());
+  EXPECT_TRUE((*w)->Close().ok());
+}
+
+TEST_F(WalTest, WriteFileDurablePublishesAtomically) {
+  const std::string sub = dir_ + "/meta/deeper";
+  ASSERT_TRUE(WriteFileDurable(sub, "manifest", "v1").ok());
+  {
+    std::ifstream in(sub + "/manifest", std::ios::binary);
+    std::string got(std::istreambuf_iterator<char>(in), {});
+    EXPECT_EQ(got, "v1");
+  }
+  // Overwrite via rename: readers only ever see old or new, never partial.
+  ASSERT_TRUE(WriteFileDurable(sub, "manifest", "v2-longer").ok());
+  {
+    std::ifstream in(sub + "/manifest", std::ios::binary);
+    std::string got(std::istreambuf_iterator<char>(in), {});
+    EXPECT_EQ(got, "v2-longer");
+  }
+  // No temp files left behind.
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(sub)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace
+}  // namespace streamline

@@ -32,6 +32,14 @@ performance or correctness story depends on:
       thread-per-X execution, which is exactly what the morsel scheduler
       exists to prevent.
 
+  unsynced-write
+      Durability-path files (the WAL and the snapshot stores) must write
+      through WalWriter or WriteFileDurable -- fd-based paths that fsync
+      before a manifest may reference the bytes. A raw std::ofstream /
+      fopen / fwrite there can lose acknowledged checkpoint data on a
+      crash: the page cache acks the write long before the disk does.
+      Reads (ifstream) are fine; only writes are durability-sensitive.
+
   virtual-per-record-loop
       The data plane executes batch-at-a-time: one ProcessBatch virtual
       call per operator hop per batch. A loop in a hot-path file that
@@ -82,6 +90,17 @@ HOT_PATH_FILES = [
 # checkpoint reproducibility.
 SNAPSHOT_PATH_PATTERNS = ["*snapshot*", "event_log.*"]
 
+# Files whose writes must be durable before they are acknowledged: the WAL
+# itself and the snapshot stores. Writes here go through WalWriter or
+# WriteFileDurable (fd + fsync + rename); raw buffered writes are how
+# acknowledged checkpoints get lost in a crash.
+DURABILITY_PATH_FILES = [
+    SRC / "common" / "wal.h",
+    SRC / "common" / "wal.cc",
+    SRC / "dataflow" / "snapshot.h",
+    SRC / "dataflow" / "snapshot.cc",
+]
+
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
     r"unique_lock|scoped_lock|condition_variable\w*)\b"
@@ -103,6 +122,11 @@ WAIVER_RE = re.compile(r"lint:allow\(([\w-]+)\)(:\s*\S)?")
 # std::thread construction or membership; deliberately does not match
 # std::this_thread:: utilities (yield/sleep_for are fine anywhere).
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")
+# Unsynced write primitives in durability code. ifstream (reads) is fine;
+# ofstream, C stdio writes, and fstream opened for writing are not.
+UNSYNCED_WRITE_RE = re.compile(
+    r"\b(std::)?ofstream\b|\bstd::fstream\b|"
+    r"\bfopen\s*\(|\bfwrite\s*\(|\bfputs\s*\(|\bfprintf\s*\(")
 
 # Per-record dispatch inside a loop body. Detected in two parts because the
 # loop header and the dispatch usually sit on different lines. Only loops
@@ -206,6 +230,13 @@ def main():
         rules += [("record-copy-hot-path", r) for r in RECORD_COPY_RES]
         scan_file(path, rules, violations)
         scan_virtual_per_record_loops(path, violations)
+
+    for path in DURABILITY_PATH_FILES:
+        if not path.is_file():
+            print(f"error: durability-path file {path} missing (update the "
+                  "list)", file=sys.stderr)
+            return 2
+        scan_file(path, [("unsynced-write", UNSYNCED_WRITE_RE)], violations)
 
     snapshot_files = set()
     for pattern in SNAPSHOT_PATH_PATTERNS:
