@@ -5,7 +5,20 @@
 // with randomized ranges/slides share one aggregator; Cutty does one
 // partial update per record regardless of N, per-query techniques degrade
 // roughly linearly in N.
+//
+// Second tier: the standing-query data plane. Queries attach to and detach
+// from a *hot* shared aggregator (the mechanism behind QueryRegistry):
+// per-attach latency and steady/churn throughput at 100 / 1k / 10k
+// resident queries, against the eager per-query baseline at the same
+// query count.
+//
+// Results: human tables on stdout + machine-readable BENCH_E2.json.
+// Usage: e2_cutty_multi_query [records [max_registry_queries [seed]]]
+// (seed also via STREAMLINE_BENCH_SEED; argv wins).
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "agg/techniques.h"
@@ -19,7 +32,9 @@ namespace {
 using bench::Fmt;
 using bench::Table;
 
-constexpr uint64_t kBaseRecords = 1'000'000;
+uint64_t g_base_records = 1'000'000;
+uint64_t g_max_registry_queries = 10'000;
+uint64_t g_seed = 99;
 
 std::vector<std::pair<Duration, Duration>> MakeQuerySet(size_t n,
                                                         uint64_t seed) {
@@ -37,6 +52,17 @@ std::vector<std::pair<Duration, Duration>> MakeQuerySet(size_t n,
   return out;
 }
 
+/// Mean open windows per record over the query set: each (range, slide)
+/// query keeps range/slide windows open at any instant. This is the
+/// per-record combine factor the eager/naive baselines pay.
+double MeanOverlap(const std::vector<std::pair<Duration, Duration>>& qs) {
+  double sum = 0;
+  for (auto [range, slide] : qs) {
+    sum += static_cast<double>(range) / static_cast<double>(slide);
+  }
+  return qs.empty() ? 0 : sum / static_cast<double>(qs.size());
+}
+
 struct RunResult {
   double seconds = 0;
   uint64_t records = 0;
@@ -46,15 +72,19 @@ struct RunResult {
 RunResult RunOne(AggTechnique technique, size_t num_queries) {
   auto agg = MakeAggregator<SumAgg<double>>(technique);
   uint64_t fired = 0;
-  for (auto [range, slide] : MakeQuerySet(num_queries, 99)) {
+  const auto queries = MakeQuerySet(num_queries, g_seed);
+  for (auto [range, slide] : queries) {
     agg->AddQuery(std::make_unique<SlidingWindowFn>(range, slide),
                   [&fired](size_t, const Window&, const double&) { ++fired; });
   }
-  // Mean overlap of the query set is ~11 windows per query.
-  uint64_t n = kBaseRecords;
+  uint64_t n = g_base_records;
   if (technique == AggTechnique::kEager || technique == AggTechnique::kNaive) {
-    n = std::min<uint64_t>(n, 300'000'000 / (11 * num_queries));
-    n = std::max<uint64_t>(n, 250'000);  // past the largest range (200 s)
+    // Cap total combine work using the set's measured overlap, but stay
+    // past the largest range (200 s) so the baseline is in steady state.
+    const double overlap = std::max(1.0, MeanOverlap(queries));
+    n = std::min<uint64_t>(
+        n, static_cast<uint64_t>(300'000'000 / (overlap * num_queries)));
+    n = std::max<uint64_t>(n, 250'000);
   }
   Rng rng(5);
   RunResult out;
@@ -68,47 +98,50 @@ RunResult RunOne(AggTechnique technique, size_t num_queries) {
   return out;
 }
 
-void Run() {
-  bench::Header(
-      "E2: N concurrent sliding-window SUM queries, shared aggregation",
-      "Cutty is suitable for multi-query aggregation sharing: per-record "
-      "cost stays ~constant in the number of queries");
-
+void RunTechniqueSweep(bench::JsonReport* report) {
   const size_t query_counts[] = {1, 4, 16, 64, 256};
   const AggTechnique techniques[] = {
       AggTechnique::kCutty, AggTechnique::kPairs, AggTechnique::kPanes,
       AggTechnique::kEager, AggTechnique::kNaive,
   };
 
+  std::printf("Query set: mean overlap %.1f windows/record (seed %llu)\n\n",
+              MeanOverlap(MakeQuerySet(256, g_seed)),
+              static_cast<unsigned long long>(g_seed));
   Table table({"queries", "technique", "throughput", "aggs/record",
                "slices", "peak stored"});
   for (size_t q : query_counts) {
     for (AggTechnique t : techniques) {
       const RunResult r = RunOne(t, q);
+      const double rps = static_cast<double>(r.records) / r.seconds;
       table.AddRow({Fmt("%zu", q), std::string(AggTechniqueToString(t)),
                     bench::Rate(static_cast<double>(r.records), r.seconds),
                     Fmt("%.2f", r.stats.OpsPerRecord()),
                     bench::Count(static_cast<double>(r.stats.slices_created)),
                     bench::Count(static_cast<double>(r.stats.peak_stored))});
+      report->Add(Fmt("%s_q%zu_rps",
+                      std::string(AggTechniqueToString(t)).c_str(), q),
+                  rps);
     }
   }
   table.Print();
+}
 
-  // Ablation: the shared slicer's boundary fast-path (skip polling
-  // periodic window functions between their published boundaries).
+void RunFastPathAblation() {
   std::printf("Ablation: slicer boundary fast-path (cutty, shared store)\n\n");
+  const size_t query_counts[] = {1, 4, 16, 64, 256};
   Table ablation({"queries", "fast-path", "throughput"});
   for (size_t q : query_counts) {
     for (bool disable : {false, true}) {
       SlicingAggregator<SumAgg<double>>::Options opt;
       opt.disable_wakeup_fastpath = disable;
       SlicingAggregator<SumAgg<double>> agg(SumAgg<double>(), opt);
-      for (auto [range, slide] : MakeQuerySet(q, 99)) {
+      for (auto [range, slide] : MakeQuerySet(q, g_seed)) {
         agg.AddQuery(std::make_unique<SlidingWindowFn>(range, slide),
                      nullptr);
       }
-      const uint64_t n = disable && q >= 64 ? kBaseRecords / 8
-                                            : kBaseRecords;
+      const uint64_t n = disable && q >= 64 ? g_base_records / 8
+                                            : g_base_records;
       Rng rng(5);
       Stopwatch sw;
       for (uint64_t i = 0; i < n; ++i) {
@@ -122,10 +155,170 @@ void Run() {
   ablation.Print();
 }
 
+// ---------------------------------------------------------------------------
+// Standing-query tier: attach/detach on a hot aggregator.
+
+struct RegistryTierResult {
+  double attach_total_s = 0;
+  double attach_max_s = 0;
+  double steady_rps = 0;
+  double churn_rps = 0;
+  uint64_t fired = 0;
+};
+
+RegistryTierResult RunRegistryTier(size_t num_queries) {
+  SlicingAggregator<SumAgg<double>> agg((SumAgg<double>()));
+  uint64_t fired = 0;
+  const auto queries = MakeQuerySet(num_queries, g_seed);
+  Rng rng(5);
+  Timestamp ts = 0;
+
+  // Warm the aggregator with one resident query so every attach below is
+  // a splice into live slice state, not a first-query fast path.
+  (void)agg.AddQuery(std::make_unique<SlidingWindowFn>(10'000, 1'000),
+                     [&fired](size_t, const Window&, const double&) {
+                       ++fired;
+                     });
+  for (uint64_t i = 0; i < 50'000; ++i) {
+    agg.OnElement(ts++, rng.NextDouble());
+  }
+
+  RegistryTierResult out;
+  // Attach latency: splice each query in mid-stream, records flowing
+  // between attaches (16 records apart, like a live job's watermark
+  // cadence).
+  std::vector<size_t> slots;
+  slots.reserve(queries.size());
+  for (auto [range, slide] : queries) {
+    Stopwatch attach_sw;
+    slots.push_back(agg.AttachQuery(
+        std::make_unique<SlidingWindowFn>(range, slide),
+        [&fired](size_t, const Window&, const double&) { ++fired; }));
+    const double s = attach_sw.ElapsedSeconds();
+    out.attach_total_s += s;
+    out.attach_max_s = std::max(out.attach_max_s, s);
+    for (int i = 0; i < 16; ++i) agg.OnElement(ts++, rng.NextDouble());
+  }
+
+  // Steady throughput with all queries resident.
+  const uint64_t steady_n = num_queries >= 10'000 ? g_base_records / 4
+                                                  : g_base_records;
+  {
+    Stopwatch sw;
+    for (uint64_t i = 0; i < steady_n; ++i) {
+      agg.OnElement(ts++, rng.NextDouble());
+    }
+    out.steady_rps = static_cast<double>(steady_n) / sw.ElapsedSeconds();
+  }
+
+  // Churn: detach the oldest standing query and attach a fresh one every
+  // 10k records; the clock includes the attach/detach work.
+  {
+    const uint64_t churn_n = steady_n / 2;
+    size_t next = 0;
+    Rng shape_rng(g_seed + 1);
+    Stopwatch sw;
+    for (uint64_t i = 0; i < churn_n; ++i) {
+      if (i % 10'000 == 0 && !slots.empty()) {
+        (void)agg.DetachQuery(slots[next % slots.size()]);
+        const Duration slide = static_cast<Duration>(
+            1000 * (1 + shape_rng.NextBelow(10)));
+        const Duration range = slide * static_cast<Duration>(
+            2 + shape_rng.NextBelow(19));
+        slots[next % slots.size()] = agg.AttachQuery(
+            std::make_unique<SlidingWindowFn>(range, slide),
+            [&fired](size_t, const Window&, const double&) { ++fired; });
+        ++next;
+      }
+      agg.OnElement(ts++, rng.NextDouble());
+    }
+    out.churn_rps = static_cast<double>(churn_n) / sw.ElapsedSeconds();
+  }
+  out.fired = fired;
+  return out;
+}
+
+/// Eager baseline at the same query count, capped total work. The cap cuts
+/// the run short of full window build-up, which *overstates* the baseline
+/// rate -- conservative for the sharing speedup reported against it.
+double RunEagerBaseline(size_t num_queries) {
+  auto agg = MakeAggregator<SumAgg<double>>(AggTechnique::kEager);
+  uint64_t fired = 0;
+  const auto queries = MakeQuerySet(num_queries, g_seed);
+  for (auto [range, slide] : queries) {
+    agg->AddQuery(std::make_unique<SlidingWindowFn>(range, slide),
+                  [&fired](size_t, const Window&, const double&) { ++fired; });
+  }
+  const double overlap = std::max(1.0, MeanOverlap(queries));
+  const uint64_t n = std::max<uint64_t>(
+      1'000, static_cast<uint64_t>(
+                 200'000'000 / (overlap * static_cast<double>(num_queries))));
+  Rng rng(5);
+  Stopwatch sw;
+  for (uint64_t i = 0; i < n; ++i) {
+    agg->OnElement(static_cast<Timestamp>(i), rng.NextDouble());
+  }
+  return static_cast<double>(n) / sw.ElapsedSeconds();
+}
+
+void RunRegistrySweep(bench::JsonReport* report) {
+  std::printf(
+      "Standing queries: attach/detach on a hot shared aggregator\n\n");
+  Table table({"queries", "attach mean", "attach max", "steady",
+               "churn", "eager baseline", "speedup"});
+  for (size_t q : {size_t{100}, size_t{1'000}, size_t{10'000}}) {
+    if (q > g_max_registry_queries) continue;
+    const RegistryTierResult r = RunRegistryTier(q);
+    const double eager_rps = RunEagerBaseline(q);
+    const double attach_mean_us =
+        r.attach_total_s / static_cast<double>(q) * 1e6;
+    const double speedup = r.steady_rps / eager_rps;
+    table.AddRow({Fmt("%zu", q), Fmt("%.1f us", attach_mean_us),
+                  Fmt("%.0f us", r.attach_max_s * 1e6),
+                  bench::Rate(r.steady_rps, 1.0),
+                  bench::Rate(r.churn_rps, 1.0),
+                  bench::Rate(eager_rps, 1.0), Fmt("%.1fx", speedup)});
+    report->Add(Fmt("registry_q%zu_attach_mean_us", q), attach_mean_us);
+    report->Add(Fmt("registry_q%zu_attach_max_us", q), r.attach_max_s * 1e6);
+    report->Add(Fmt("registry_q%zu_steady_rps", q), r.steady_rps);
+    report->Add(Fmt("registry_q%zu_churn_rps", q), r.churn_rps);
+    report->Add(Fmt("registry_q%zu_eager_rps", q), eager_rps);
+    report->Add(Fmt("registry_q%zu_speedup_vs_eager", q), speedup);
+  }
+  table.Print();
+}
+
+void Run() {
+  bench::Header(
+      "E2: N concurrent sliding-window SUM queries, shared aggregation",
+      "Cutty is suitable for multi-query aggregation sharing: per-record "
+      "cost stays ~constant in the number of queries");
+
+  bench::JsonReport report("BENCH_E2.json");
+  report.AddString("bench", "e2_cutty_multi_query");
+  report.Add("seed", g_seed);
+  report.Add("base_records", g_base_records);
+
+  RunTechniqueSweep(&report);
+  RunFastPathAblation();
+  RunRegistrySweep(&report);
+  report.Write();
+}
+
 }  // namespace
 }  // namespace streamline
 
-int main() {
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("STREAMLINE_BENCH_SEED")) {
+    streamline::g_seed = std::strtoull(env, nullptr, 10);
+  }
+  if (argc > 1) {
+    streamline::g_base_records = std::strtoull(argv[1], nullptr, 10);
+  }
+  if (argc > 2) {
+    streamline::g_max_registry_queries = std::strtoull(argv[2], nullptr, 10);
+  }
+  if (argc > 3) streamline::g_seed = std::strtoull(argv[3], nullptr, 10);
   streamline::Run();
   return 0;
 }

@@ -51,6 +51,13 @@ class LinearStore {
     return base_ + static_cast<size_t>(it - starts_.begin());
   }
 
+  /// True iff a retained slice starts exactly at `t` -- i.e. the stream was
+  /// provably cut at `t` and everything from `t` on is still stored
+  /// (eviction is prefix-only). Backfill probes at query attach.
+  bool HasCutAt(Timestamp t) const {
+    return std::binary_search(starts_.begin(), starts_.end(), t);
+  }
+
   Partial RangeCombine(size_t i, size_t j) {
     STREAMLINE_DCHECK(i >= BeginIndex() && j <= EndIndex() && i <= j);
     Partial acc = agg_.Identity();
@@ -143,6 +150,11 @@ class FlatFatStore {
   size_t LowerBound(Timestamp t) const {
     auto it = std::lower_bound(starts_.begin(), starts_.end(), t);
     return base_ + static_cast<size_t>(it - starts_.begin());
+  }
+
+  /// See LinearStore::HasCutAt.
+  bool HasCutAt(Timestamp t) const {
+    return std::binary_search(starts_.begin(), starts_.end(), t);
   }
 
   Partial RangeCombine(size_t i, size_t j) {
@@ -296,6 +308,11 @@ class PrefixStore {
   size_t LowerBound(Timestamp t) const {
     auto it = std::lower_bound(starts_.begin(), starts_.end(), t);
     return base_ + static_cast<size_t>(it - starts_.begin());
+  }
+
+  /// See LinearStore::HasCutAt.
+  bool HasCutAt(Timestamp t) const {
+    return std::binary_search(starts_.begin(), starts_.end(), t);
   }
 
   Partial RangeCombine(size_t i, size_t j) {

@@ -279,6 +279,7 @@ DataStream WindowedStream::Aggregate(DynAggKind kind, size_t value_field,
   spec.windows = windows_;
   spec.backend = backend;
   spec.allowed_lateness = allowed_lateness_;
+  spec.registry = registry_;
   NodeTraits traits;
   traits.requires_watermarks = true;
   traits.keyed_state = keyed;

@@ -201,6 +201,16 @@ class WindowedStream {
     return out;
   }
 
+  /// Points the aggregate at a standing-query registry: queries attached
+  /// through it splice into the running operator at watermark boundaries
+  /// (no restart), tagged in output field 3 with their registry id. Shared
+  /// (Cutty) backend only. Returns a modified copy.
+  WindowedStream WithRegistry(std::shared_ptr<QueryRegistry> registry) const {
+    WindowedStream out = *this;
+    out.registry_ = std::move(registry);
+    return out;
+  }
+
   /// Aggregates `value_field` with `kind` per window. Output records:
   /// [key, window_start, window_end, query_index, result].
   DataStream Aggregate(DynAggKind kind, size_t value_field,
@@ -225,6 +235,7 @@ class WindowedStream {
   int key_field_ = -1;
   KeyHashFn key_hash_;
   Duration allowed_lateness_ = 0;
+  std::shared_ptr<QueryRegistry> registry_;
 };
 
 }  // namespace streamline

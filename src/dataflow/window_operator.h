@@ -14,6 +14,7 @@
 #include "common/flat_hash_map.h"
 #include "dataflow/changelog.h"
 #include "dataflow/operator.h"
+#include "dataflow/query_registry.h"
 #include "window/dyn_aggregate.h"
 #include "window/window_fn.h"
 
@@ -137,6 +138,11 @@ struct WindowAggSpec {
   /// window results firing `allowed_lateness` later (the operator holds
   /// its internal event-time clock back by this amount).
   Duration allowed_lateness = 0;
+  /// Standing-query registry this operator serves (kShared backend only).
+  /// Subtasks drain the registry's attach/detach command log at watermark
+  /// boundaries, so queries come and go while the job runs; dynamic-query
+  /// results carry the registry query id in output field 3.
+  std::shared_ptr<QueryRegistry> registry;
 };
 
 /// Keyed event-time windowed aggregation operator.
@@ -152,6 +158,7 @@ struct WindowAggSpec {
 class WindowAggOperator : public Operator {
  public:
   WindowAggOperator(std::string name, WindowAggSpec spec);
+  ~WindowAggOperator() override;
 
   Status Open(const OperatorContext& ctx) override;
   void ProcessRecord(int input, Record&& record, Collector* out) override;
@@ -185,11 +192,38 @@ class WindowAggOperator : public Operator {
     std::vector<std::pair<Window, DynPartial>> open;
   };
 
+  /// One registry-attached query, as applied by this subtask. The table is
+  /// a pure function of the command-log prefix [1, applied_seq_] (plus the
+  /// watermark at each application), so it is identical across subtasks and
+  /// across checkpoint restore/replay. Entries are append-only -- a detach
+  /// flips `active` but keeps the entry, because per-key slot indices and
+  /// snapshot layouts are derived from entry positions.
+  struct DynQuery {
+    uint64_t id = 0;
+    QueryDescriptor desc;
+    QueryPlacement placement = QueryPlacement::kShared;
+    bool active = true;
+    /// Operator watermark when the attach was applied; standalone queries
+    /// only serve windows beginning at or after it (earlier windows would
+    /// be missing the records applied before the attach).
+    Timestamp attach_wm = kMinTimestamp;
+  };
+
+  /// Per-key open-window partials of one standalone dynamic query
+  /// (positionally aligned with the standalone entries of dyn_queries_,
+  /// holes included).
+  struct StandaloneState {
+    std::vector<std::pair<Window, DynPartial>> open;  // sorted by Window <
+  };
+
   struct KeyState {
     // kShared backend.
     std::unique_ptr<SharedAgg> shared;
     // kEager backend.
     std::vector<EagerQueryState> eager;
+    // Registry-attached standalone queries (kShared backend only).
+    std::vector<StandaloneState> standalone;
+    uint64_t standalone_fires = 0;
   };
 
   KeyState* GetOrCreateKey(const Value& key, uint64_t hash);
@@ -204,11 +238,39 @@ class WindowAggOperator : public Operator {
   /// OnWatermark-reachable mutation is gated on one of those. Eager
   /// backend: EagerFire only erases, so the total open-window count
   /// strictly decreases whenever anything fired.
-  std::array<uint64_t, 3> KeyFingerprint(const KeyState& ks) const;
+  std::array<uint64_t, 4> KeyFingerprint(const KeyState& ks) const;
   void EmitResult(const Value& key, size_t query, const Window& w,
                   const Value& result);
   void EagerFire(const Value& key, KeyState* ks, Timestamp wm);
   void UpdateStateGauges();
+
+  // -- standing-query registry integration --------------------------------
+  /// Polls the registry command log and applies new attach/detach commands
+  /// to every key; called at the end of each watermark (a deterministic
+  /// point of the event-time order). Acks the applied prefix.
+  void DrainRegistryCommands();
+  /// Structural application of one dyn-table entry to live keys. Shared by
+  /// the live drain and by checkpoint-delta replay (which reconciles the
+  /// key layout before re-restoring the keys the epoch touched).
+  void ApplyDynAttach(const DynQuery& dq, uint64_t* slices_freed);
+  void ApplyDynDetach(size_t index, uint64_t* slices_freed);
+  /// Slicer slot of dyn entry `index` (spec windows first, then one slot
+  /// per shared dyn entry in table order, detached holes included).
+  size_t SharedSlotOfDyn(size_t index) const;
+  /// Position of dyn entry `index` among standalone entries.
+  size_t StandaloneIndexOfDyn(size_t index) const;
+  /// Registers the dyn-table queries on a freshly created key (slot layout
+  /// must match the table for snapshots to line up).
+  void InitDynStateForKey(const Value& key, KeyState* ks);
+  void FoldStandalone(const Value& key, KeyState* ks, const Record& record);
+  void FireStandalone(const Value& key, KeyState* ks, Timestamp wm);
+  uint64_t TotalStoredSlices() const;
+  void WriteDynTable(BinaryWriter* w) const;
+  Status ReadDynTable(BinaryReader* r, std::vector<DynQuery>* table,
+                      uint64_t* applied_seq) const;
+  /// Replaces the dyn table with `table`, structurally retrofitting live
+  /// keys (new entries attached, newly inactive entries detached).
+  void ReconcileDynTable(std::vector<DynQuery> table, uint64_t applied_seq);
 
   std::string name_;
   WindowAggSpec spec_;
@@ -241,6 +303,17 @@ class WindowAggOperator : public Operator {
   std::vector<DynAggAdapter::Input> run_in_;
   uint64_t seq_ = 0;
   Timestamp current_wm_ = kMinTimestamp;
+
+  // Standing-query state (empty without a registry). active_standalone_
+  // gates the per-record standalone fold -- and disables run batching,
+  // which bypasses ApplyElement.
+  std::vector<DynQuery> dyn_queries_;
+  uint64_t applied_seq_ = 0;
+  size_t active_standalone_ = 0;
+  int subtask_index_ = 0;
+  // The job MetricsRegistry handed to the registry in Open; unbound in the
+  // destructor so a registry outliving this job never writes into it.
+  MetricsRegistry* bound_metrics_ = nullptr;
 
   FlatHashMap<Value, KeyState> keys_;
   KeyedChangelog changelog_;

@@ -119,6 +119,36 @@ Timestamp SlidingWindowFn::NextWakeup() const {
   return std::min(next_begin_, next_end_);
 }
 
+Timestamp SlidingWindowFn::NextWatermarkWakeup() const {
+  // Watermarks only complete windows (begins are element-declared), and
+  // before the first element there is nothing to complete.
+  if (!saw_element_) return kMaxTimestamp;
+  return next_end_;
+}
+
+Timestamp SlidingWindowFn::NextGridPointAfter(Timestamp t) const {
+  return AlignAbove(t, origin_, slide_);
+}
+
+void SlidingWindowFn::AttachAt(Timestamp ts) {
+  STREAMLINE_CHECK(!saw_element_) << "AttachAt on an already-running window";
+  // Behave as if the stream up to `ts` was observed but owes us nothing:
+  // the first declared begin (and hence the first slice cut and the first
+  // fired window) lies strictly after the attach point, so no out-of-order
+  // cut is ever appended to the shared slice store.
+  saw_element_ = true;
+  last_seen_ = ts;
+  next_begin_ = AlignAbove(ts, origin_, slide_);
+  next_end_ = next_begin_ + range_;
+}
+
+void SlidingWindowFn::BackfillTo(Timestamp earliest_begin) {
+  STREAMLINE_CHECK(saw_element_);
+  STREAMLINE_DCHECK((earliest_begin - origin_) % slide_ == 0);
+  const Timestamp first_end = earliest_begin + range_;
+  if (first_end < next_end_) next_end_ = first_end;
+}
+
 std::unique_ptr<WindowFunction> SlidingWindowFn::Clone() const {
   return std::make_unique<SlidingWindowFn>(range_, slide_, origin_);
 }

@@ -96,7 +96,27 @@ class WindowFunction {
   /// slicer's per-record cost independent of the number of registered
   /// periodic queries. Data-driven windows (sessions, count, punctuation)
   /// keep the default kMinTimestamp ("always call me").
+  ///
+  /// Contract for functions that publish a real wakeup (periodic windows):
+  /// OldestNeededBegin() must be non-decreasing over the function's
+  /// lifetime. The slicer's eviction planner keeps a lazy lower-bound heap
+  /// over periodic queries and relies on that monotonicity; always-poll
+  /// (kMinTimestamp) functions are re-scanned eagerly and may move freely.
   virtual Timestamp NextWakeup() const { return kMinTimestamp; }
+
+  /// Watermark twin of NextWakeup: the earliest watermark at which this
+  /// function could emit an event from OnWatermark. Watermarks below it may
+  /// skip OnWatermark. Periodic functions return their next window end
+  /// (begins are declared by elements, never by watermarks); data-driven
+  /// windows keep the default kMinTimestamp.
+  virtual Timestamp NextWatermarkWakeup() const { return kMinTimestamp; }
+
+  /// Fast-forwards a freshly constructed function to a mid-stream attach
+  /// point: the stream has already progressed to `ts` and this function is
+  /// only responsible for windows that begin strictly after `ts`. Default:
+  /// no-op -- data-driven windows initialize lazily from their first
+  /// element, which is exactly from-scratch behavior.
+  virtual void AttachAt(Timestamp ts) { (void)ts; }
 
   /// Deep copy with reset state (used to instantiate per-key windowing).
   virtual std::unique_ptr<WindowFunction> Clone() const = 0;
@@ -122,6 +142,8 @@ class SlidingWindowFn : public WindowFunction {
   void OnWatermark(Timestamp wm, WindowEvents* out) override;
   Timestamp OldestNeededBegin() const override;
   Timestamp NextWakeup() const override;
+  Timestamp NextWatermarkWakeup() const override;
+  void AttachAt(Timestamp ts) override;
   std::unique_ptr<WindowFunction> Clone() const override;
   void SnapshotState(BinaryWriter* w) const override;
   Status RestoreState(BinaryReader* r) override;
@@ -130,6 +152,16 @@ class SlidingWindowFn : public WindowFunction {
   Duration range() const { return range_; }
   Duration slide() const { return slide_; }
   Timestamp origin() const { return origin_; }
+
+  /// Smallest begin-grid point strictly greater than `t`.
+  Timestamp NextGridPointAfter(Timestamp t) const;
+
+  /// After AttachAt: lowers the first window to fire to
+  /// [earliest_begin, earliest_begin + range). The caller (the slicing
+  /// aggregator's backfill pass) guarantees `earliest_begin` is a grid
+  /// point <= the attach timestamp whose slices are fully intact in the
+  /// shared store, so the pre-attach windows produce correct results.
+  void BackfillTo(Timestamp earliest_begin);
 
  private:
   void DeclareBeginsUpTo(Timestamp ts, WindowEvents* out);

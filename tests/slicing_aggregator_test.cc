@@ -197,7 +197,121 @@ TEST(SlicingAggregatorTest, QueriesAfterElementsRejected) {
   agg.AddQuery(std::make_unique<TumblingWindowFn>(10), nullptr);
   agg.OnElement(0, 1.0);
   EXPECT_DEATH(agg.AddQuery(std::make_unique<TumblingWindowFn>(5), nullptr),
-               "queries must be registered");
+               "AttachQuery");
+}
+
+TEST(SlicingAggregatorTest, AttachedLateQueryMatchesFromStart) {
+  // Reference: the query runs from the start of the stream.
+  SlicingAggregator<SumAgg<double>> ref;
+  std::map<Timestamp, std::pair<Window, double>> ref_by_start;
+  ref.AddQuery(std::make_unique<SlidingWindowFn>(20, 5),
+               [&](size_t, const Window& w, const double& v) {
+                 ref_by_start[w.start] = {w, v};
+               });
+  // Live job: a tumbling-10 query keeps the shared store cut at multiples
+  // of 10; the sliding query attaches only after t = 60.
+  SlicingAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<TumblingWindowFn>(10), nullptr);
+  std::vector<std::pair<Window, double>> late;
+  constexpr Timestamp kAttach = 60;
+  for (Timestamp t = 0; t < 200; ++t) {
+    const double v = static_cast<double>(t % 7);  // integer-valued: exact FP
+    ref.OnElement(t, v);
+    agg.OnElement(t, v);
+    if (t == kAttach) {
+      agg.AttachQuery(std::make_unique<SlidingWindowFn>(20, 5),
+                      [&](size_t, const Window& w, const double& x) {
+                        late.emplace_back(w, x);
+                      });
+      // Grid point 60 is an intact cut (open slice start), so the attach
+      // backfills one pre-attach window begin.
+      EXPECT_TRUE(agg.last_attach_backfilled());
+    }
+  }
+  ref.OnWatermark(kMaxTimestamp);
+  agg.OnWatermark(kMaxTimestamp);
+  // Every window the late query fires (including backfilled ones) must be
+  // byte-identical to the from-start run; windows past the first full
+  // window boundary must all be present.
+  ASSERT_FALSE(late.empty());
+  EXPECT_EQ(late.front().first.start, kAttach);  // backfilled window
+  for (const auto& [w, v] : late) {
+    auto it = ref_by_start.find(w.start);
+    ASSERT_NE(it, ref_by_start.end()) << w.ToString();
+    EXPECT_EQ(it->second.first, w);
+    EXPECT_EQ(it->second.second, v) << w.ToString();  // exact, not NEAR
+  }
+  size_t expected = 0;
+  for (const auto& [start, wv] : ref_by_start) {
+    if (start >= kAttach) ++expected;
+  }
+  EXPECT_EQ(late.size(), expected);
+}
+
+TEST(SlicingAggregatorTest, AttachWithoutIntactCutsStartsFresh) {
+  SlicingAggregator<SumAgg<double>> agg;
+  agg.AddQuery(std::make_unique<TumblingWindowFn>(100), nullptr);
+  std::vector<std::pair<Window, double>> out;
+  for (Timestamp t = 0; t < 150; ++t) agg.OnElement(t, 1.0);
+  // Slide-7 begin grid shares no cut point with the tumbling-100 slices, so
+  // no backfill: the first window starts strictly after the attach point.
+  agg.AttachQuery(std::make_unique<SlidingWindowFn>(30, 7),
+                  [&](size_t, const Window& w, const double& v) {
+                    out.emplace_back(w, v);
+                  });
+  EXPECT_FALSE(agg.last_attach_backfilled());
+  for (Timestamp t = 150; t < 250; ++t) agg.OnElement(t, 1.0);
+  agg.OnWatermark(kMaxTimestamp);
+  ASSERT_FALSE(out.empty());
+  for (const auto& [w, v] : out) {
+    EXPECT_GT(w.start, 149);
+    // All-ones input: a window's sum is the number of fed elements in it.
+    const Timestamp hi = std::min<Timestamp>(w.end, 250);
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(hi - w.start));
+  }
+}
+
+TEST(SlicingAggregatorTest, DetachFreesSlices) {
+  SlicingAggregator<SumAgg<double>> agg;
+  const size_t long_q =
+      agg.AddQuery(std::make_unique<SlidingWindowFn>(200, 10), nullptr);
+  std::vector<std::pair<Window, double>> out;
+  agg.AddQuery(std::make_unique<TumblingWindowFn>(10),
+               [&](size_t, const Window& w, const double& v) {
+                 out.emplace_back(w, v);
+               });
+  for (Timestamp t = 0; t < 1000; ++t) agg.OnElement(t, 1.0);
+  // The 200/10 sliding query pins ~20 slices; the tumbling query alone
+  // needs at most its open window.
+  const size_t before = agg.stored_slices();
+  EXPECT_GE(before, 15u);
+  const size_t freed = agg.DetachQuery(long_q);
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(agg.stored_slices(), before - freed);
+  EXPECT_LE(agg.stored_slices(), 2u);
+  EXPECT_EQ(agg.active_queries(), 1u);
+  EXPECT_EQ(agg.num_slots(), 2u);
+  // The remaining query keeps producing correct results.
+  out.clear();
+  for (Timestamp t = 1000; t < 1100; ++t) agg.OnElement(t, 1.0);
+  agg.OnWatermark(kMaxTimestamp);
+  // [990,1000) fires on the t=1000 element, then [1000,1010)..[1090,1100).
+  ASSERT_EQ(out.size(), 11u);
+  for (const auto& [w, v] : out) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(SlicingAggregatorTest, AttachBeforeFirstElementIsFromStart) {
+  SlicingAggregator<SumAgg<double>> agg;
+  std::vector<std::pair<Window, double>> out;
+  agg.AttachQuery(std::make_unique<TumblingWindowFn>(10),
+                  [&](size_t, const Window& w, const double& v) {
+                    out.emplace_back(w, v);
+                  });
+  for (Timestamp t = 0; t < 30; ++t) agg.OnElement(t, 1.0);
+  agg.OnWatermark(kMaxTimestamp);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, (Window{0, 10}));
+  for (const auto& [w, v] : out) EXPECT_DOUBLE_EQ(v, 10.0);
 }
 
 TEST(PairsAggregatorTest, AddsEndBoundaries) {
