@@ -20,9 +20,23 @@ namespace {
 
 constexpr size_t kFrameHeader = 8;  // u32 len + u32 crc
 
+/// Thread-safe strerror: WAL writes race with recovery scans, and
+/// std::strerror's static buffer is not MT-safe on older glibc.
+std::string ErrnoString(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return strerror_r(err, buf, sizeof(buf));  // GNU variant returns char*
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
 Status PathError(const char* op, const std::string& path, int err) {
   return Status::Internal(std::string(op) + " '" + path +
-                          "' failed: " + std::strerror(err));
+                          "' failed: " + ErrnoString(err));
 }
 
 void PutU32(char* dst, uint32_t v) {
@@ -182,7 +196,7 @@ Status WalWriter::Append(std::string_view payload) {
     return Status::Internal(
         "short write on wal segment '" + path_ + "': " +
         std::to_string(wrote) + " of " + std::to_string(frame.size()) +
-        " bytes (" + std::strerror(err) + ")");
+        " bytes (" + ErrnoString(err) + ")");
   }
   ++records_;
   bytes_ += frame.size();
@@ -247,7 +261,7 @@ Status WriteFileDurable(const std::string& dir, const std::string& file,
     return Status::Internal("short write on '" + tmp + "': " +
                             std::to_string(wrote) + " of " +
                             std::to_string(bytes.size()) + " bytes (" +
-                            std::strerror(err) + ")");
+                            ErrnoString(err) + ")");
   }
   if (::fsync(fd) != 0) {
     const int err = errno;
@@ -262,7 +276,7 @@ Status WriteFileDurable(const std::string& dir, const std::string& file,
     const int err = errno;
     ::unlink(tmp.c_str());
     return Status::Internal("rename '" + tmp + "' -> '" + final_path +
-                            "' failed: " + std::strerror(err));
+                            "' failed: " + ErrnoString(err));
   }
   // Persist the rename itself. Directory fsync failing is reported: a
   // manifest publish that may vanish after a crash is not a publish.

@@ -31,8 +31,6 @@ class Collector {
   /// buffer batch after batch (the data plane's zero-allocation steady
   /// state depends on this). Equivalent to moving each record into Emit().
   virtual void EmitBatch(std::vector<Record>&& batch) {
-    // lint:allow(virtual-per-record-loop): default fallback; batch-aware
-    // collectors override
     for (Record& record : batch) Emit(std::move(record));
     batch.clear();
   }

@@ -1,0 +1,486 @@
+// Clang libTooling frontend for streamline-analyzer (see clang_frontend.h).
+//
+// The extraction mirrors parse.cc fact-for-fact so the checks cannot tell
+// the frontends apart: qualified function names are Class::Method without
+// namespace qualifiers, wrapper templates (unique_ptr, vector, ...) unwrap
+// to their first argument, lock scopes follow compound statements, and copy
+// diagnostics use the same description strings. Where the AST knows more
+// than the token shapes do (implicit copy constructors, desugared typedefs,
+// overridden-method sets), this frontend uses the precise answer.
+
+#include "clang_frontend.h"
+
+#include <filesystem>
+#include <memory>
+#include <set>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/JSONCompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace streamline::analyzer {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Wrapper templates that unwrap to their first template argument, matching
+/// the structural frontend's Wrappers set.
+bool IsWrapperTemplate(llvm::StringRef name) {
+  return name == "unique_ptr" || name == "shared_ptr" || name == "vector" ||
+         name == "deque" || name == "optional" || name == "atomic" ||
+         name == "span" || name == "array" || name == "Result";
+}
+
+/// Unqualified record name of a type, with cv/ref/ptr stripped and wrapper
+/// templates unwrapped ("std::vector<std::unique_ptr<Operator>>" ->
+/// "Operator"). Empty for non-class types.
+std::string UnwrapTypeIn(clang::ASTContext& ctx, clang::QualType qt) {
+  for (int depth = 0; depth < 8; ++depth) {
+    qt = qt.getNonReferenceType().getDesugaredType(ctx).getUnqualifiedType();
+    if (qt->isPointerType()) {
+      qt = qt->getPointeeType();
+      continue;
+    }
+    const auto* spec = qt->getAs<clang::TemplateSpecializationType>();
+    const clang::CXXRecordDecl* rd = qt->getAsCXXRecordDecl();
+    if (rd != nullptr && IsWrapperTemplate(rd->getName())) {
+      const auto* tsd =
+          llvm::dyn_cast<clang::ClassTemplateSpecializationDecl>(rd);
+      if (tsd != nullptr && tsd->getTemplateArgs().size() > 0 &&
+          tsd->getTemplateArgs()[0].getKind() ==
+              clang::TemplateArgument::Type) {
+        qt = tsd->getTemplateArgs()[0].getAsType();
+        continue;
+      }
+    } else if (spec != nullptr && spec->getNumArgs() > 0 &&
+               spec->getArg(0).getKind() == clang::TemplateArgument::Type) {
+      // Dependent / not-yet-instantiated wrapper spelling.
+      clang::TemplateDecl* td = spec->getTemplateName().getAsTemplateDecl();
+      if (td != nullptr && IsWrapperTemplate(td->getName())) {
+        qt = spec->getArg(0).getAsType();
+        continue;
+      }
+    }
+    if (rd != nullptr) return rd->getNameAsString();
+    return {};
+  }
+  return {};
+}
+
+/// Outermost-first member chain of an expression: `a[i]->b.Foo` yields
+/// {"a", "b"} (the trailing member name is the callee, not the chain).
+/// Returns false when the root is not a simple variable or implicit this.
+bool ReceiverChainOf(const clang::Expr* e, std::vector<std::string>* chain) {
+  chain->clear();
+  std::vector<std::string> rev;
+  const clang::Expr* cur = e;
+  while (cur != nullptr) {
+    cur = cur->IgnoreParenImpCasts();
+    if (const auto* me = llvm::dyn_cast<clang::MemberExpr>(cur)) {
+      rev.push_back(me->getMemberDecl()->getNameAsString());
+      cur = me->getBase();
+      continue;
+    }
+    if (const auto* ase = llvm::dyn_cast<clang::ArraySubscriptExpr>(cur)) {
+      cur = ase->getBase();
+      continue;
+    }
+    if (const auto* uo = llvm::dyn_cast<clang::UnaryOperator>(cur)) {
+      if (uo->getOpcode() == clang::UO_Deref ||
+          uo->getOpcode() == clang::UO_AddrOf) {
+        cur = uo->getSubExpr();
+        continue;
+      }
+      return false;
+    }
+    if (const auto* oc = llvm::dyn_cast<clang::CXXOperatorCallExpr>(cur)) {
+      // smart_ptr::operator-> / operator* / operator[]
+      if (oc->getNumArgs() >= 1) {
+        cur = oc->getArg(0);
+        continue;
+      }
+      return false;
+    }
+    if (const auto* dre = llvm::dyn_cast<clang::DeclRefExpr>(cur)) {
+      rev.push_back(dre->getDecl()->getNameAsString());
+      break;
+    }
+    if (llvm::isa<clang::CXXThisExpr>(cur)) break;  // implicit/explicit this
+    return false;
+  }
+  chain->assign(rev.rbegin(), rev.rend());
+  return true;
+}
+
+/// Head identifier of a plain lvalue argument ("record" for `record.key`),
+/// empty for temporaries, moves, and computed values.
+std::string LvalueHead(const clang::Expr* e, bool* conditional) {
+  *conditional = false;
+  e = e->IgnoreParenImpCasts();
+  if (const auto* cond = llvm::dyn_cast<clang::ConditionalOperator>(e)) {
+    // The broadcast idiom `last ? std::move(r) : r`: either branch being a
+    // plain lvalue makes this a conditional copy.
+    bool sub = false;
+    std::string head = LvalueHead(cond->getTrueExpr(), &sub);
+    if (head.empty()) head = LvalueHead(cond->getFalseExpr(), &sub);
+    *conditional = !head.empty();
+    return head;
+  }
+  if (const auto* ce = llvm::dyn_cast<clang::CallExpr>(e)) {
+    (void)ce;  // std::move(...) and any other call: not a copy source
+    return {};
+  }
+  if (const auto* ctor = llvm::dyn_cast<clang::CXXConstructExpr>(e)) {
+    // Implicit copy construction materializing the argument.
+    if (ctor->getNumArgs() == 1 && ctor->getConstructor()->isCopyConstructor()) {
+      bool sub = false;
+      return LvalueHead(ctor->getArg(0), &sub);
+    }
+    return {};
+  }
+  std::vector<std::string> chain;
+  if (!ReceiverChainOf(e, &chain) || chain.empty()) return {};
+  return chain.front();
+}
+
+SourceLoc LocOf(const clang::SourceManager& sm, clang::SourceLocation loc,
+                const std::string& cwd) {
+  const clang::PresumedLoc p = sm.getPresumedLoc(sm.getSpellingLoc(loc));
+  SourceLoc out;
+  if (p.isInvalid()) return out;
+  out.file = p.getFilename();
+  out.line = static_cast<int>(p.getLine());
+  // Repo-relative paths keep diagnostics and waiver anchors identical to
+  // the structural frontend's output.
+  if (!cwd.empty() && out.file.rfind(cwd + "/", 0) == 0) {
+    out.file = out.file.substr(cwd.size() + 1);
+  }
+  return out;
+}
+
+/// Statement walker for one function body: lock scopes, calls with held
+/// locks, local types, range-for element origins, Record copy inits.
+class BodyWalker {
+ public:
+  BodyWalker(clang::ASTContext& ctx, const std::string& cwd, FunctionInfo* fn)
+      : ctx_(ctx), sm_(ctx.getSourceManager()), cwd_(cwd), fn_(fn) {}
+
+  void Walk(const clang::Stmt* s) { WalkStmt(s); }
+
+ private:
+  void WalkStmt(const clang::Stmt* s) {
+    if (s == nullptr) return;
+    if (const auto* cs = llvm::dyn_cast<clang::CompoundStmt>(s)) {
+      const size_t mark = active_.size();
+      for (const clang::Stmt* child : cs->body()) WalkStmt(child);
+      active_.resize(mark);  // RAII locks release at scope exit
+      return;
+    }
+    if (const auto* ds = llvm::dyn_cast<clang::DeclStmt>(s)) {
+      for (const clang::Decl* d : ds->decls()) {
+        if (const auto* vd = llvm::dyn_cast<clang::VarDecl>(d)) HandleVar(vd);
+      }
+      return;
+    }
+    if (const auto* rf = llvm::dyn_cast<clang::CXXForRangeStmt>(s)) {
+      const clang::VarDecl* var = rf->getLoopVariable();
+      std::vector<std::string> chain;
+      if (var != nullptr && rf->getRangeInit() != nullptr &&
+          ReceiverChainOf(rf->getRangeInit(), &chain) && !chain.empty()) {
+        fn_->local_elem_of[var->getNameAsString()] = chain;
+      }
+      WalkStmt(rf->getRangeInit());
+      const size_t mark = active_.size();
+      WalkStmt(rf->getBody());
+      active_.resize(mark);
+      return;
+    }
+    if (const auto* call = llvm::dyn_cast<clang::CallExpr>(s)) {
+      HandleCall(call);
+      // Fall through to children: nested calls in arguments still count.
+    }
+    for (const clang::Stmt* child : s->children()) WalkStmt(child);
+  }
+
+  void HandleVar(const clang::VarDecl* vd) {
+    const std::string name = vd->getNameAsString();
+    const std::string type = UnwrapTypeIn(ctx_, vd->getType());
+    if (!type.empty()) fn_->local_types[name] = type;
+    const clang::Expr* init = vd->getInit();
+    if (type == "MutexLock" && init != nullptr) {
+      // `MutexLock l(&mu_);` -- the guarded mutex is the ctor argument.
+      const clang::Expr* arg = init->IgnoreParenImpCasts();
+      if (const auto* ctor = llvm::dyn_cast<clang::CXXConstructExpr>(arg)) {
+        if (ctor->getNumArgs() >= 1) arg = ctor->getArg(0);
+      }
+      LockAcquire acq;
+      acq.loc = LocOf(sm_, vd->getLocation(), cwd_);
+      ReceiverChainOf(arg, &acq.chain);
+      acq.held_idx.assign(active_.begin(), active_.end());
+      fn_->locks.push_back(std::move(acq));
+      active_.push_back(static_cast<int>(fn_->locks.size()) - 1);
+      return;
+    }
+    if ((type == "Record" || type == "Value") && init != nullptr) {
+      const clang::Expr* e = init->IgnoreParenImpCasts();
+      if (const auto* ctor = llvm::dyn_cast<clang::CXXConstructExpr>(e)) {
+        if (ctor->getNumArgs() == 1 &&
+            ctor->getConstructor()->isCopyConstructor()) {
+          bool conditional = false;
+          const std::string head =
+              LvalueHead(ctor->getArg(0), &conditional);
+          if (!head.empty()) {
+            fn_->copies.push_back(
+                {type + " copy-initialized from lvalue '" + head + "'",
+                 LocOf(sm_, vd->getLocation(), cwd_)});
+          }
+        }
+      }
+    }
+    if (init != nullptr) WalkStmt(init);
+  }
+
+  void HandleCall(const clang::CallExpr* call) {
+    CallSite cs;
+    cs.loc = LocOf(sm_, call->getExprLoc(), cwd_);
+    cs.held_idx.assign(active_.begin(), active_.end());
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) {
+      cs.indirect = true;  // function pointer / std::function
+      cs.name = "<indirect>";
+      fn_->calls.push_back(std::move(cs));
+      return;
+    }
+    cs.name = callee->getNameAsString();
+    if (const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(callee)) {
+      // The AST already resolved the static target; record it as an
+      // explicit qualifier so the resolver takes the precise edge (virtual
+      // dispatch still fans out to overrides via the class hierarchy).
+      cs.qualifier = method->getParent()->getNameAsString();
+    } else if (const auto* ns = llvm::dyn_cast<clang::NamespaceDecl>(
+                   callee->getDeclContext())) {
+      cs.qualifier = ns->getNameAsString();
+      // std::this_thread::sleep_for needs its full spelling for the
+      // intrinsic matcher.
+      if (const auto* outer = llvm::dyn_cast<clang::NamespaceDecl>(
+              ns->getDeclContext())) {
+        cs.qualifier = outer->getNameAsString() + "::" + cs.qualifier;
+      }
+    }
+    const auto* mc = llvm::dyn_cast<clang::CXXMemberCallExpr>(call);
+    if (mc != nullptr) {
+      ReceiverChainOf(mc->getImplicitObjectArgument(), &cs.receiver_chain);
+    }
+    // "now" on system_clock is spelled via the qualifier in the matcher.
+    if (const auto* rd =
+            llvm::dyn_cast_or_null<clang::CXXRecordDecl>(
+                callee->getDeclContext())) {
+      if (rd->getName() == "system_clock") cs.qualifier = "system_clock";
+    }
+    for (const clang::Expr* arg : call->arguments()) {
+      CallSite::Arg a;
+      a.lvalue_head = LvalueHead(arg, &a.conditional);
+      cs.args.push_back(std::move(a));
+    }
+    // Explicit Lock()/Unlock() pairs on a Mutex receiver.
+    const std::string recv_type =
+        (mc == nullptr || cs.receiver_chain.empty())
+            ? std::string()
+            : UnwrapTypeIn(ctx_,
+                           mc->getImplicitObjectArgument()->getType());
+    if (recv_type == "Mutex" && cs.name == "Lock") {
+      LockAcquire acq;
+      acq.loc = cs.loc;
+      acq.chain = cs.receiver_chain;
+      acq.held_idx.assign(active_.begin(), active_.end());
+      fn_->locks.push_back(std::move(acq));
+      active_.push_back(static_cast<int>(fn_->locks.size()) - 1);
+    } else if (recv_type == "Mutex" && cs.name == "Unlock") {
+      if (!active_.empty()) active_.pop_back();
+    }
+    fn_->calls.push_back(std::move(cs));
+  }
+
+  clang::ASTContext& ctx_;
+  const clang::SourceManager& sm_;
+  const std::string cwd_;
+  FunctionInfo* fn_;
+  std::vector<int> active_;  // indices into fn_->locks currently held
+};
+
+class Collector : public clang::RecursiveASTVisitor<Collector> {
+ public:
+  Collector(clang::ASTContext& ctx, const std::string& cwd, Program* prog)
+      : ctx_(ctx), sm_(ctx.getSourceManager()), cwd_(cwd), prog_(prog) {}
+
+  bool shouldVisitTemplateInstantiations() const { return false; }
+
+  bool VisitCXXRecordDecl(clang::CXXRecordDecl* rd) {
+    if (!rd->isCompleteDefinition() || rd->getName().empty()) return true;
+    ClassInfo& info = prog_->classes[rd->getNameAsString()];
+    info.name = rd->getNameAsString();
+    info.loc = LocOf(sm_, rd->getLocation(), cwd_);
+    for (const clang::CXXBaseSpecifier& base : rd->bases()) {
+      if (const clang::CXXRecordDecl* bd = base.getType()->getAsCXXRecordDecl()) {
+        info.bases.push_back(bd->getNameAsString());
+      }
+    }
+    for (const clang::FieldDecl* field : rd->fields()) {
+      const std::string t = UnwrapTypeIn(ctx_, field->getType());
+      if (!t.empty()) info.member_types[field->getNameAsString()] = t;
+    }
+    for (const clang::CXXMethodDecl* m : rd->methods()) {
+      if (!m->getDeclName().isIdentifier()) continue;
+      info.method_names.insert(m->getNameAsString());
+    }
+    for (const clang::Decl* d : rd->decls()) {
+      if (const auto* alias = llvm::dyn_cast<clang::TypeAliasDecl>(d)) {
+        const std::string t =
+            UnwrapTypeIn(ctx_, alias->getUnderlyingType());
+        if (!t.empty()) info.aliases[alias->getNameAsString()] = t;
+      }
+    }
+    return true;
+  }
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fd) {
+    if (!fd->doesThisDeclarationHaveABody() ||
+        !fd->getDeclName().isIdentifier()) {
+      return true;
+    }
+    std::string cls;
+    bool is_override = false;
+    if (const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(fd)) {
+      cls = method->getParent()->getNameAsString();
+      is_override = method->size_overridden_methods() > 0;
+    }
+    const std::string qn =
+        cls.empty() ? fd->getNameAsString()
+                    : cls + "::" + fd->getNameAsString();
+    FunctionInfo& fn = prog_->functions[qn];
+    const SourceLoc loc = LocOf(sm_, fd->getLocation(), cwd_);
+    if (!fn.qualified_name.empty() && fn.loc == loc && !fn.calls.empty()) {
+      return true;  // same definition re-parsed in another TU
+    }
+    fn.qualified_name = qn;
+    fn.class_name = cls;
+    fn.bare_name = fd->getNameAsString();
+    fn.loc = loc;
+    fn.is_override = fn.is_override || is_override;
+    for (const clang::ParmVarDecl* p : fd->parameters()) {
+      FunctionInfo::Param param;
+      param.type = UnwrapTypeIn(ctx_, p->getType());
+      const clang::QualType t = p->getType();
+      param.by_value = !t->isReferenceType() && !t->isPointerType();
+      fn.params.push_back(param);
+      if (!param.type.empty()) {
+        fn.local_types[p->getNameAsString()] = param.type;
+      }
+    }
+    BodyWalker walker(ctx_, cwd_, &fn);
+    walker.Walk(fd->getBody());
+    return true;
+  }
+
+ private:
+  clang::ASTContext& ctx_;
+  const clang::SourceManager& sm_;
+  const std::string cwd_;
+  Program* prog_;
+};
+
+class CollectConsumer : public clang::ASTConsumer {
+ public:
+  CollectConsumer(const std::string& cwd, Program* prog)
+      : cwd_(cwd), prog_(prog) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    Collector collector(ctx, cwd_, prog_);
+    collector.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  const std::string cwd_;
+  Program* prog_;
+};
+
+class CollectAction : public clang::ASTFrontendAction {
+ public:
+  CollectAction(const std::string& cwd, Program* prog)
+      : cwd_(cwd), prog_(prog) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<CollectConsumer>(cwd_, prog_);
+  }
+
+ private:
+  const std::string cwd_;
+  Program* prog_;
+};
+
+class CollectActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  CollectActionFactory(const std::string& cwd, Program* prog)
+      : cwd_(cwd), prog_(prog) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<CollectAction>(cwd_, prog_);
+  }
+
+ private:
+  const std::string cwd_;
+  Program* prog_;
+};
+
+}  // namespace
+
+bool ParseWithClang(const std::string& compdb,
+                    const std::vector<std::string>& src_dirs, Program* prog,
+                    std::string* error) {
+  std::string load_error;
+  std::unique_ptr<clang::tooling::JSONCompilationDatabase> db =
+      clang::tooling::JSONCompilationDatabase::loadFromFile(
+          compdb, load_error,
+          clang::tooling::JSONCommandLineSyntax::AutoDetect);
+  if (db == nullptr) {
+    *error = "cannot load " + compdb + ": " + load_error;
+    return false;
+  }
+  const std::string cwd = fs::current_path().generic_string();
+  std::vector<std::string> tus;
+  for (const std::string& f : db->getAllFiles()) {
+    std::error_code ec;
+    const std::string canon = fs::weakly_canonical(f, ec).generic_string();
+    if (ec) continue;
+    for (const std::string& dir : src_dirs) {
+      const std::string d =
+          fs::weakly_canonical(dir, ec).generic_string() + "/";
+      if (!ec && canon.rfind(d, 0) == 0) {
+        tus.push_back(f);
+        break;
+      }
+    }
+  }
+  if (tus.empty()) {
+    *error = "no translation units under the given --src dirs in " + compdb;
+    return false;
+  }
+  clang::tooling::ClangTool tool(*db, tus);
+  CollectActionFactory factory(cwd, prog);
+  if (tool.run(&factory) != 0) {
+    *error = "clang tooling reported errors (see stderr)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace streamline::analyzer

@@ -1,0 +1,29 @@
+#ifndef STREAMLINE_TOOLS_ANALYZER_CLANG_FRONTEND_H_
+#define STREAMLINE_TOOLS_ANALYZER_CLANG_FRONTEND_H_
+
+// Optional Clang libTooling frontend, compiled only when the build is
+// configured with -DSTREAMLINE_ANALYZER_WITH_CLANG=ON (requires the
+// LLVM/Clang development packages). It populates the same Program model as
+// the structural frontend in parse.cc, but from real ASTs: overload
+// resolution, template desugaring, and implicit copy constructions are
+// exact instead of token-shape approximations.
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace streamline::analyzer {
+
+/// Parses every translation unit listed in `compdb` (a
+/// compile_commands.json) that lives under one of `src_dirs`, merging the
+/// extracted facts into `prog`. Waiver comments are NOT collected here --
+/// the caller keeps using CollectWaivers, so waiver semantics are identical
+/// across frontends. Returns false and fills `error` on tooling failure.
+bool ParseWithClang(const std::string& compdb,
+                    const std::vector<std::string>& src_dirs, Program* prog,
+                    std::string* error);
+
+}  // namespace streamline::analyzer
+
+#endif  // STREAMLINE_TOOLS_ANALYZER_CLANG_FRONTEND_H_

@@ -1,0 +1,160 @@
+#include "lex.h"
+
+#include <cctype>
+
+namespace streamline::analyzer {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& content) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? content[i + k] : '\0';
+  };
+  auto advance_over = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: only when '#' starts the line (modulo
+    // whitespace). Consume through any backslash continuations.
+    if (c == '#') {
+      bool at_line_start = true;
+      for (size_t k = i; k-- > 0;) {
+        if (content[k] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(content[k]))) {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        while (i < n) {
+          if (content[i] == '\\' && peek(1) == '\n') {
+            advance_over(2);
+            continue;
+          }
+          if (content[i] == '\n') break;  // newline handled by main loop
+          ++i;
+        }
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+    // Comments (recorded for waiver scanning).
+    if (c == '/' && peek(1) == '/') {
+      const int start_line = line;
+      size_t j = i;
+      while (j < n && content[j] != '\n') ++j;
+      out.comments.push_back({start_line, content.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      int end_line = line;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) {
+        if (content[j] == '\n') ++end_line;
+        ++j;
+      }
+      const size_t stop = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back({start_line, content.substr(i, stop - i)});
+      advance_over(stop - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, j);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      out.tokens.push_back({TokKind::kString, "<raw-string>", line});
+      advance_over(end - i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') break;  // unterminated; don't run away
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar,
+           content.substr(i, j + 1 - i), start_line});
+      advance_over(j + 1 - i > n - i ? n - i : j + 1 - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the parser relies on. Everything else is
+    // emitted one character at a time ('<' and '>' stay single so template
+    // argument scanning can balance them).
+    static const char* kTwoChar[] = {"::", "->", "&&", "||", "==", "!=",
+                                     "<=", ">=", "+=", "-=", "*=", "/=",
+                                     "|=", "&=", "^=", "++", "--"};
+    bool matched = false;
+    for (const char* tc : kTwoChar) {
+      if (c == tc[0] && peek(1) == tc[1]) {
+        out.tokens.push_back({TokKind::kPunct, tc, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace streamline::analyzer

@@ -1,0 +1,37 @@
+#ifndef STREAMLINE_TOOLS_ANALYZER_LEX_H_
+#define STREAMLINE_TOOLS_ANALYZER_LEX_H_
+
+#include <string>
+#include <vector>
+
+namespace streamline::analyzer {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;  // line the comment starts on
+  std::string text;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes C++ source: skips (but records) comments, collapses string /
+/// char / raw-string literals into single tokens, drops preprocessor
+/// directives (including continuation lines), and merges multi-character
+/// punctuation that matters structurally (::, ->, &&, ||, ==). '<' and '>'
+/// stay single-character so template arguments can be brace-balanced.
+LexedFile Lex(const std::string& path, const std::string& content);
+
+}  // namespace streamline::analyzer
+
+#endif  // STREAMLINE_TOOLS_ANALYZER_LEX_H_

@@ -1,0 +1,33 @@
+#include "model.h"
+
+namespace streamline::analyzer {
+
+void Program::BuildHierarchy() {
+  subclasses.clear();
+  // Direct edges base -> derived, then transitive closure.
+  std::map<std::string, std::set<std::string>> direct;
+  for (const auto& [name, cls] : classes) {
+    for (const auto& base : cls.bases) direct[base].insert(name);
+  }
+  for (const auto& [base, _] : direct) {
+    std::set<std::string>& out = subclasses[base];
+    std::vector<std::string> work(direct[base].begin(), direct[base].end());
+    while (!work.empty()) {
+      std::string c = work.back();
+      work.pop_back();
+      if (!out.insert(c).second) continue;
+      auto it = direct.find(c);
+      if (it == direct.end()) continue;
+      for (const auto& d : it->second) work.push_back(d);
+    }
+  }
+}
+
+bool Program::DerivesFrom(const std::string& cls,
+                          const std::string& base) const {
+  if (cls == base) return true;
+  auto it = subclasses.find(base);
+  return it != subclasses.end() && it->second.count(cls) > 0;
+}
+
+}  // namespace streamline::analyzer

@@ -1,0 +1,27 @@
+#ifndef STREAMLINE_TOOLS_ANALYZER_PARSE_H_
+#define STREAMLINE_TOOLS_ANALYZER_PARSE_H_
+
+#include <string>
+
+#include "lex.h"
+#include "model.h"
+
+namespace streamline::analyzer {
+
+/// Structural C++ frontend: reduces one lexed file to the program model.
+/// It is not a full C++ parser -- it tracks namespace/class/function scopes
+/// by brace structure and extracts the declaration and statement shapes the
+/// checks need (function definitions with qualified names, class bases and
+/// member types, call expressions with receiver chains, RAII/explicit lock
+/// acquisitions with scopes, local variable types, Record copy inits).
+/// Facts it cannot classify are dropped conservatively on the side that
+/// keeps the call graph over-approximate (unknown receivers fall back to
+/// name-based resolution in the resolver, not to silence).
+void ParseFile(const LexedFile& file, Program* prog);
+
+/// Scans a file's comments for `analyzer:allow(<check>): <reason>` waivers.
+void CollectWaivers(const LexedFile& file, Program* prog);
+
+}  // namespace streamline::analyzer
+
+#endif  // STREAMLINE_TOOLS_ANALYZER_PARSE_H_

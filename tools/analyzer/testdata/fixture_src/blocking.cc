@@ -1,0 +1,42 @@
+#include "engine.h"
+
+// block-in-morsel cases.
+
+/// FIRING: Step reaches CondVar::Wait through a helper in another TU.
+class BlockingTask : public Schedulable {
+ public:
+  bool Step() override {
+    queue_.BlockingPop();
+    return true;
+  }
+
+ private:
+  ChannelHelper queue_;
+};
+
+/// WAIVED: Step sleeps, but the site carries a reasoned waiver.
+class ParkingTask : public Schedulable {
+ public:
+  bool Step() override {
+    NapBriefly();
+    return true;
+  }
+
+ private:
+  void NapBriefly() {
+    // analyzer:allow(block-in-morsel): fixture models a sanctioned park site
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};
+
+/// CLEAN: Step only does nonblocking work.
+class PollingTask : public Schedulable {
+ public:
+  bool Step() override {
+    queue_.FastPop();
+    return true;
+  }
+
+ private:
+  ChannelHelper queue_;
+};

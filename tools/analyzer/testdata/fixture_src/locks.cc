@@ -1,0 +1,61 @@
+#include "engine.h"
+
+// lock-order-cycle cases.
+
+/// FIRING: a_ -> b_ intra-function, b_ -> a_ through a callee.
+class InvertedPair {
+ public:
+  void TakeAThenB() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);
+  }
+  void TakeBThenA() {
+    MutexLock b(&b_);
+    GrabA();
+  }
+
+ private:
+  void GrabA() { MutexLock a(&a_); }
+
+  Mutex a_;
+  Mutex b_;
+};
+
+/// WAIVED: same inversion shape, reasoned waiver on a witness line.
+class WaivedPair {
+ public:
+  void TakeCThenD() {
+    MutexLock c(&c_);
+    // analyzer:allow(lock-order-cycle): fixture models a vetted inversion
+    MutexLock d(&d_);
+  }
+  void TakeDThenC() {
+    MutexLock d(&d_);
+    GrabC();
+  }
+
+ private:
+  void GrabC() { MutexLock c(&c_); }
+
+  Mutex c_;
+  Mutex d_;
+};
+
+/// CLEAN: both paths acquire e_ before f_.
+class OrderedPair {
+ public:
+  void First() {
+    MutexLock e(&e_);
+    MutexLock f(&f_);
+  }
+  void Second() {
+    MutexLock e(&e_);
+    GrabF();
+  }
+
+ private:
+  void GrabF() { MutexLock f(&f_); }
+
+  Mutex e_;
+  Mutex f_;
+};

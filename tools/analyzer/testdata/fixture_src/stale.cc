@@ -1,0 +1,21 @@
+#include "engine.h"
+
+// stale-waiver cases.
+
+/// STALE: nothing here acquires a lock, so this waiver matches no
+/// diagnostic and is itself reported.
+// analyzer:allow(lock-order-cycle): left behind after a refactor
+int UnrelatedHelper() { return 3; }
+
+/// MISSING REASON: the waiver matches a real copy diagnostic, but a
+/// reasonless waiver suppresses nothing -- both the copy and the
+/// missing-reason error are reported.
+class StaleOperator : public Operator {
+ public:
+  void ProcessRecord(Record& r) override {
+    // analyzer:allow(record-copy-in-hot-path)
+    Record dup = r;
+    dup.key_hash = 0;
+  }
+  void ProcessBatch(std::vector<Record>& batch) override { batch.clear(); }
+};

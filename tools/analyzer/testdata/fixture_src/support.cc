@@ -1,0 +1,13 @@
+#include "engine.h"
+
+// Out-of-line ChannelHelper bodies: the blocking one is only reachable via
+// the call in blocking.cc, so the diagnostic's path spans three files.
+
+void ChannelHelper::BlockingPop() {
+  MutexLock hold(&mu_);
+  cv_.Wait(&mu_);
+}
+
+void ChannelHelper::FastPop() {
+  MutexLock hold(&mu_);
+}

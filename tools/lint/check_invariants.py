@@ -51,7 +51,14 @@ performance or correctness story depends on:
 
 Waivers: append `lint:allow(<rule>): <reason>` in a comment on the
 offending line or the line directly above it. Waivers without a reason are
-themselves an error.
+themselves an error, and so are stale waivers -- an allow comment that no
+longer suppresses anything means the code it excused is gone, so the
+comment must go too (or the rule regressed and the waiver is hiding it).
+
+Usage: check_invariants.py [--list-waivers]
+
+  --list-waivers   print every lint:allow comment in the tree (file, line,
+                   rule, reason) and exit 0 without running the lints.
 
 Exit status: 0 clean, 1 violations, 2 usage/environment error.
 """
@@ -141,26 +148,60 @@ PER_RECORD_DISPATCH_RE = re.compile(
 LOOP_WINDOW = 5
 
 
-def scan_virtual_per_record_loops(path, violations):
-    """Flags per-record dispatch calls within LOOP_WINDOW lines of a loop
-    header. The waiver may sit on the call line or anywhere in the window
-    above it (typically the comment right above the loop header)."""
+class WaiverRegistry:
+    """Every lint:allow comment in the tree, with usage tracking: a waiver
+    that suppresses nothing by the end of the run is stale and reported."""
+
+    def __init__(self):
+        # (path, lineno, rule) -> {"has_reason": bool, "used": bool}
+        self.entries = {}
+
+    def collect(self, path, lines):
+        for i, line in enumerate(lines, 1):
+            for m in WAIVER_RE.finditer(line):
+                self.entries[(path, i, m.group(1))] = {
+                    "has_reason": bool(m.group(2)), "used": False}
+
+    def mark_used(self, path, lineno, rule):
+        entry = self.entries.get((path, lineno, rule))
+        if entry is not None:
+            entry["used"] = True
+
+    def stale(self):
+        """Yields (path, lineno, rule) of never-used waivers; missing-reason
+        waivers are reported at their violation site instead."""
+        for (path, lineno, rule), entry in sorted(
+                self.entries.items(), key=lambda kv: (str(kv[0][0]),) + kv[0][1:]):
+            if not entry["used"] and entry["has_reason"]:
+                yield path, lineno, rule
+
+
+def read_lines(path):
     try:
-        lines = path.read_text(encoding="utf-8").splitlines()
+        return path.read_text(encoding="utf-8").splitlines()
     except OSError as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def scan_virtual_per_record_loops(path, violations, registry):
+    """Flags per-record dispatch calls within LOOP_WINDOW lines of a loop
+    header. The waiver may sit on the call line or anywhere in the window
+    above it (typically the comment right above the loop header)."""
+    lines = read_lines(path)
     rule = "virtual-per-record-loop"
     for i, line in enumerate(lines, 1):
         if not PER_RECORD_DISPATCH_RE.search(line):
             continue
-        window = lines[max(0, i - 1 - LOOP_WINDOW):i]
-        if not any(LOOP_HEADER_RE.search(w) for w in window):
+        start = max(0, i - 1 - LOOP_WINDOW)
+        window = list(enumerate(lines[start:i], start + 1))
+        if not any(LOOP_HEADER_RE.search(w) for _, w in window):
             continue
         waiver = None
-        for text in window + [line]:
+        for lineno, text in window + [(i, line)]:
             m = WAIVER_RE.search(text)
             if m and m.group(1) == rule:
+                registry.mark_used(path, lineno, rule)
                 waiver = "waived" if m.group(2) else "missing-reason"
         if waiver == "waived":
             continue
@@ -171,29 +212,26 @@ def scan_virtual_per_record_loops(path, violations):
         violations.append((path, i, rule, line.strip()))
 
 
-def waived(rule, line, prev_line):
-    for text in (line, prev_line):
+def waived(rule, path, i, line, prev_line, registry):
+    for lineno, text in ((i, line), (i - 1, prev_line)):
         m = WAIVER_RE.search(text)
         if m and m.group(1) == rule:
+            registry.mark_used(path, lineno, rule)
             if not m.group(2):
                 return "missing-reason"
             return "waived"
     return None
 
 
-def scan_file(path, rules, violations):
+def scan_file(path, rules, violations, registry):
     """rules: list of (rule_name, regex). Appends (path, lineno, rule, line)."""
-    try:
-        lines = path.read_text(encoding="utf-8").splitlines()
-    except OSError as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+    lines = read_lines(path)
     prev = ""
     for i, line in enumerate(lines, 1):
         for rule, regex in rules:
             if not regex.search(line):
                 continue
-            w = waived(rule, line, prev)
+            w = waived(rule, path, i, line, prev, registry)
             if w == "waived":
                 continue
             if w == "missing-reason":
@@ -205,21 +243,42 @@ def scan_file(path, rules, violations):
 
 
 def main():
+    list_waivers = False
+    for arg in sys.argv[1:]:
+        if arg == "--list-waivers":
+            list_waivers = True
+        else:
+            print(f"error: unknown argument '{arg}'", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
     if not SRC.is_dir():
         print(f"error: {SRC} not found", file=sys.stderr)
         return 2
 
+    registry = WaiverRegistry()
+    source_files = [p for p in sorted(SRC.rglob("*"))
+                    if p.suffix in (".h", ".cc", ".cpp", ".hpp")]
+    for path in source_files:
+        registry.collect(path, read_lines(path))
+
+    if list_waivers:
+        for (path, lineno, rule), entry in sorted(
+                registry.entries.items(),
+                key=lambda kv: (str(kv[0][0]),) + kv[0][1:]):
+            rel = path.relative_to(REPO)
+            suffix = "" if entry["has_reason"] else "  [MISSING REASON]"
+            print(f"{rel}:{lineno}: allow({rule}){suffix}")
+        return 0
+
     violations = []
 
-    for path in sorted(SRC.rglob("*")):
-        if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
-            continue
+    for path in source_files:
         rules = []
         if path != MUTEX_HOME:
             rules.append(("raw-mutex", RAW_MUTEX_RE))
         if path not in THREAD_HOME:
             rules.append(("raw-thread", RAW_THREAD_RE))
-        scan_file(path, rules, violations)
+        scan_file(path, rules, violations, registry)
 
     for path in HOT_PATH_FILES:
         if not path.is_file():
@@ -228,15 +287,16 @@ def main():
             return 2
         rules = [("unordered-map-hot-path", UNORDERED_MAP_RE)]
         rules += [("record-copy-hot-path", r) for r in RECORD_COPY_RES]
-        scan_file(path, rules, violations)
-        scan_virtual_per_record_loops(path, violations)
+        scan_file(path, rules, violations, registry)
+        scan_virtual_per_record_loops(path, violations, registry)
 
     for path in DURABILITY_PATH_FILES:
         if not path.is_file():
             print(f"error: durability-path file {path} missing (update the "
                   "list)", file=sys.stderr)
             return 2
-        scan_file(path, [("unsynced-write", UNSYNCED_WRITE_RE)], violations)
+        scan_file(path, [("unsynced-write", UNSYNCED_WRITE_RE)], violations,
+                  registry)
 
     snapshot_files = set()
     for pattern in SNAPSHOT_PATH_PATTERNS:
@@ -245,7 +305,12 @@ def main():
         if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
             continue
         scan_file(path, [("snapshot-nondeterminism", NONDETERMINISM_RE)],
-                  violations)
+                  violations, registry)
+
+    for path, lineno, rule in registry.stale():
+        violations.append(
+            (path, lineno, "stale-waiver",
+             f"allow({rule}) no longer suppresses anything; remove it"))
 
     if violations:
         for path, lineno, rule, line in violations:
