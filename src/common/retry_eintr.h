@@ -1,0 +1,69 @@
+#ifndef STREAMLINE_COMMON_RETRY_EINTR_H_
+#define STREAMLINE_COMMON_RETRY_EINTR_H_
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace streamline {
+
+/// Retries a syscall-shaped callable (returns a signed count, sets errno)
+/// until it stops failing with EINTR. Signal interruptions are a fact of
+/// life on the durability and network paths -- a profiler tick or a timer
+/// mid-write must not surface as an IO error -- so every raw ::read /
+/// ::write / ::fsync / ::accept4 in the engine goes through here instead of
+/// hand-rolling the loop per call site.
+///
+/// Returns whatever the callable finally returned (>= 0 on success, < 0
+/// with errno set on a hard error). EAGAIN/EWOULDBLOCK are *not* retried:
+/// on a non-blocking fd they are flow control, not interruption, and the
+/// caller's event loop owns that decision.
+template <typename Fn>
+auto RetryEintr(Fn&& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto rc = fn();
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+/// write(2) loop tolerating short writes and EINTR. Returns bytes written
+/// before the first hard error (errno preserved), which may be < n --
+/// exactly the torn-tail shape ENOSPC leaves behind. Used by the WAL,
+/// durable snapshot publishing, and blocking network test clients.
+inline size_t WriteAllFd(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w =
+        RetryEintr([&] { return ::write(fd, data + off, n - off); });
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w == 0) errno = EIO;
+    break;
+  }
+  return off;
+}
+
+/// Thread-safe strerror: IO error paths race across threads (WAL appends
+/// vs recovery scans, net event loop vs morsel workers), and
+/// std::strerror's static buffer is not MT-safe on older glibc.
+inline std::string ErrnoString(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return strerror_r(err, buf, sizeof(buf));  // GNU variant returns char*
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
+}  // namespace streamline
+
+#endif  // STREAMLINE_COMMON_RETRY_EINTR_H_

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/retry_eintr.h"
 #include "common/serde.h"
 
 namespace streamline {
@@ -19,20 +20,6 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr size_t kFrameHeader = 8;  // u32 len + u32 crc
-
-/// Thread-safe strerror: WAL writes race with recovery scans, and
-/// std::strerror's static buffer is not MT-safe on older glibc.
-std::string ErrnoString(int err) {
-  char buf[128];
-#if defined(__GLIBC__) && defined(_GNU_SOURCE)
-  return strerror_r(err, buf, sizeof(buf));  // GNU variant returns char*
-#else
-  if (strerror_r(err, buf, sizeof(buf)) != 0) {
-    return "errno " + std::to_string(err);
-  }
-  return buf;
-#endif
-}
 
 Status PathError(const char* op, const std::string& path, int err) {
   return Status::Internal(std::string(op) + " '" + path +
@@ -53,26 +40,9 @@ uint32_t GetU32(const char* src) {
          static_cast<uint32_t>(static_cast<unsigned char>(src[3])) << 24;
 }
 
-/// write(2) loop tolerating short writes and EINTR. Returns bytes written
-/// before the first hard error (errno preserved), which may be < n --
-/// exactly the torn-tail shape ENOSPC leaves behind.
-size_t WriteAll(int fd, const char* data, size_t n) {
-  size_t off = 0;
-  while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
-    if (w > 0) {
-      off += static_cast<size_t>(w);
-      continue;
-    }
-    if (w < 0 && errno == EINTR) continue;
-    if (w == 0) errno = EIO;
-    break;
-  }
-  return off;
-}
-
 Result<std::string> ReadWholeFile(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = RetryEintr(
+      [&] { return ::open(path.c_str(), O_RDONLY | O_CLOEXEC); });
   if (fd < 0) {
     if (errno == ENOENT) return Status::NotFound("no wal segment '" + path + "'");
     return PathError("open", path, errno);
@@ -80,12 +50,11 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   std::string out;
   char buf[1 << 16];
   for (;;) {
-    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    const ssize_t r = RetryEintr([&] { return ::read(fd, buf, sizeof(buf)); });
     if (r > 0) {
       out.append(buf, static_cast<size_t>(r));
       continue;
     }
-    if (r < 0 && errno == EINTR) continue;
     if (r < 0) {
       const int err = errno;
       ::close(fd);
@@ -125,8 +94,8 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string path,
     return Status::Internal("cannot create wal dir for '" + path +
                             "': " + ec.message());
   }
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  const int fd = RetryEintr(
+      [&] { return ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644); });
   if (fd < 0) return PathError("open", path, errno);
   // Truncate any torn tail left by a crash mid-append, then position at
   // the end of the intact prefix.
@@ -188,7 +157,7 @@ Status WalWriter::Append(std::string_view payload) {
     torn = injector_->OnHit("wal:append_torn");
     if (!torn.ok()) want = frame.size() / 2;
   }
-  const size_t wrote = WriteAll(fd_, frame.data(), want);
+  const size_t wrote = WriteAllFd(fd_, frame.data(), want);
   if (wrote != frame.size()) {
     if (!torn.ok()) return torn;
     const int err = errno;
@@ -210,7 +179,9 @@ Status WalWriter::Sync() {
   if (injector_ != nullptr) {
     STREAMLINE_RETURN_IF_ERROR(injector_->OnHit("wal:sync"));
   }
-  if (::fsync(fd_) != 0) return PathError("fsync", path_, errno);
+  if (RetryEintr([&] { return ::fsync(fd_); }) != 0) {
+    return PathError("fsync", path_, errno);
+  }
   return Status::Ok();
 }
 
@@ -250,10 +221,11 @@ Status WriteFileDurable(const std::string& dir, const std::string& file,
   }
   const std::string tmp = (fs::path(dir) / (".tmp." + file)).string();
   const std::string final_path = (fs::path(dir) / file).string();
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = RetryEintr([&] {
+    return ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  });
   if (fd < 0) return PathError("open", tmp, errno);
-  const size_t wrote = WriteAll(fd, bytes.data(), bytes.size());
+  const size_t wrote = WriteAllFd(fd, bytes.data(), bytes.size());
   if (wrote != bytes.size()) {
     const int err = errno;
     ::close(fd);
@@ -263,7 +235,7 @@ Status WriteFileDurable(const std::string& dir, const std::string& file,
                             std::to_string(bytes.size()) + " bytes (" +
                             ErrnoString(err) + ")");
   }
-  if (::fsync(fd) != 0) {
+  if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
     const int err = errno;
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -280,9 +252,10 @@ Status WriteFileDurable(const std::string& dir, const std::string& file,
   }
   // Persist the rename itself. Directory fsync failing is reported: a
   // manifest publish that may vanish after a crash is not a publish.
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  const int dfd = RetryEintr(
+      [&] { return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC); });
   if (dfd >= 0) {
-    const int rc = ::fsync(dfd);
+    const int rc = RetryEintr([&] { return ::fsync(dfd); });
     const int err = errno;
     ::close(dfd);
     if (rc != 0) return PathError("fsync dir", dir, err);

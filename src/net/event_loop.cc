@@ -1,0 +1,179 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/retry_eintr.h"
+
+namespace streamline {
+namespace net {
+
+namespace {
+
+Status EpollError(const char* op, int err) {
+  return Status::Internal(std::string(op) + " failed: " + ErrnoString(err));
+}
+
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  if (!epoll_.valid()) return EpollError("epoll_create1", errno);
+  if (!wake_.valid()) return EpollError("eventfd", errno);
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("event loop already started");
+  }
+  // The wake eventfd is drained level-style on every loop pass, so
+  // edge-triggered registration never loses a post.
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = wake_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) != 0) {
+    return EpollError("epoll_ctl(wake)", errno);
+  }
+  // lint:allow(raw-thread): dedicated net thread; socket readiness blocking must never enter the work-stealing pool
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  if (!started_.load()) return;
+  if (!stop_.exchange(true)) {
+    const uint64_t one = 1;
+    (void)WriteAllFd(wake_.get(), reinterpret_cast<const char*>(&one),
+                     sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler handler) {
+  {
+    MutexLock lock(&mu_);
+    handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    const int err = errno;
+    MutexLock lock(&mu_);
+    handlers_.erase(fd);
+    return EpollError("epoll_ctl(add)", err);
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return EpollError("epoll_ctl(mod)", errno);
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  MutexLock lock(&mu_);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    MutexLock lock(&mu_);
+    posts_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  (void)WriteAllFd(wake_.get(), reinterpret_cast<const char*>(&one),
+                   sizeof(one));
+}
+
+Status EventLoop::AddTimer(int64_t period_ms, std::function<void()> fn) {
+  Fd tfd(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC));
+  if (!tfd.valid()) return EpollError("timerfd_create", errno);
+  itimerspec spec;
+  std::memset(&spec, 0, sizeof(spec));
+  spec.it_interval.tv_sec = period_ms / 1000;
+  spec.it_interval.tv_nsec = (period_ms % 1000) * 1000000;
+  spec.it_value = spec.it_interval;
+  if (::timerfd_settime(tfd.get(), 0, &spec, nullptr) != 0) {
+    return EpollError("timerfd_settime", errno);
+  }
+  const int raw = tfd.get();
+  STREAMLINE_RETURN_IF_ERROR(
+      Add(raw, EPOLLIN, [raw, cb = std::move(fn)](uint32_t) {
+        uint64_t expirations = 0;
+        // Drain the expiration count (edge-triggered): missed periods
+        // coalesce into one callback, which is what a backstop timer wants.
+        while (RetryEintr([&] {
+                 return ::read(raw, &expirations, sizeof(expirations));
+               }) == static_cast<ssize_t>(sizeof(expirations))) {
+        }
+        cb();
+      }));
+  timers_.push_back(std::move(tfd));
+  return Status::Ok();
+}
+
+void EventLoop::DrainPosts() {
+  std::vector<std::function<void()>> batch;
+  {
+    MutexLock lock(&mu_);
+    batch.swap(posts_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  loop_thread_id_.store(std::this_thread::get_id());
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = RetryEintr(
+        [&] { return ::epoll_wait(epoll_.get(), events, kMaxEvents, -1); });
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) break;  // epoll set gone: shutting down
+    bool woke = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.get()) {
+        uint64_t counter = 0;
+        while (RetryEintr([&] {
+                 return ::read(wake_.get(), &counter, sizeof(counter));
+               }) == static_cast<ssize_t>(sizeof(counter))) {
+        }
+        woke = true;
+        continue;
+      }
+      std::shared_ptr<FdHandler> handler;
+      {
+        MutexLock lock(&mu_);
+        auto it = handlers_.find(fd);
+        if (it != handlers_.end()) handler = it->second;
+      }
+      if (handler != nullptr) (*handler)(events[i].events);
+    }
+    if (woke || n > 0) DrainPosts();
+  }
+  // Final drain so a Post racing with Stop still runs (e.g. fd cleanup).
+  DrainPosts();
+  loop_thread_id_.store(std::thread::id());
+}
+
+}  // namespace net
+}  // namespace streamline

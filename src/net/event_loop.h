@@ -1,0 +1,107 @@
+#ifndef STREAMLINE_NET_EVENT_LOOP_H_
+#define STREAMLINE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/socket.h"
+
+namespace streamline {
+namespace net {
+
+/// Edge-triggered epoll event loop on one dedicated net thread -- the
+/// engine's only sanctioned home for blocking waits on sockets. Morsel
+/// workers never touch an fd: the loop thread does all socket IO and hands
+/// parsed batches across SPSC rings, so a slow or stalled peer can block
+/// at most this thread, never a morsel.
+///
+/// Wakeups are file descriptors like everything else: cross-thread Post()
+/// rings an eventfd, AddTimer arms a timerfd -- both just more entries in
+/// the same epoll set.
+///
+/// Threading contract: fd handlers and posted functions run on the loop
+/// thread, one at a time (they need no locking against each other).
+/// Add/Mod/Remove/Post are safe from any thread. Handlers are registered
+/// edge-triggered: a readable handler must drain its fd to EAGAIN before
+/// returning or the edge is lost.
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Starts the loop thread. Call once.
+  Status Start();
+
+  /// Stops the loop thread and joins it. Idempotent. Registered fds are
+  /// closed by their owners, not the loop.
+  void Stop();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT; EPOLLET is added
+  /// internally). The handler is invoked on the loop thread with the ready
+  /// event mask.
+  Status Add(int fd, uint32_t events, FdHandler handler);
+
+  /// Changes the interest set of a registered fd. `events == 0` keeps the
+  /// fd registered but silent (the ingest path's pause).
+  Status Mod(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Must be called from the loop thread (or with the
+  /// loop stopped): a handler may otherwise be mid-flight on its way to
+  /// this fd.
+  void Remove(int fd);
+
+  /// Runs `fn` on the loop thread soon. Safe from any thread; the wakeup
+  /// is an eventfd write (one syscall, no locks held across it).
+  void Post(std::function<void()> fn);
+
+  /// Arms a periodic timerfd firing every `period_ms`; `fn` runs on the
+  /// loop thread. Timers live until Stop.
+  Status AddTimer(int64_t period_ms, std::function<void()> fn);
+
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_id_.load();
+  }
+
+  /// Loop iterations so far (observability; approximate).
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+  void DrainPosts();
+
+  Fd epoll_;
+  Fd wake_;  // eventfd
+  std::vector<Fd> timers_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<uint64_t> wakeups_{0};
+
+  mutable Mutex mu_;
+  std::map<int, std::shared_ptr<FdHandler>> handlers_ STREAMLINE_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> posts_ STREAMLINE_GUARDED_BY(mu_);
+
+  // The one net thread. Dedicated IO threads are the design here -- socket
+  // waits must live outside the morsel pool by construction.
+  // lint:allow(raw-thread): the event loop owns its dedicated net thread; socket blocking must never enter the work-stealing pool
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace streamline
+
+#endif  // STREAMLINE_NET_EVENT_LOOP_H_

@@ -1,0 +1,88 @@
+#ifndef STREAMLINE_NET_FRAME_H_
+#define STREAMLINE_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+
+namespace streamline {
+namespace net {
+
+/// Wire format: a stream of length-prefixed frames, each
+///
+///   [u32 len][u32 crc32][payload: len bytes]
+///
+/// (little-endian, same frame shape as the WAL on disk). The payload's
+/// first byte is a message type; the rest is BinaryWriter-encoded via the
+/// engine's serde layer, so a record crosses the wire in exactly its
+/// checkpoint encoding.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Payload message types.
+inline constexpr uint8_t kMsgData = 1;           // [u64 count][count records]
+inline constexpr uint8_t kMsgSubscribe = 2;      // [string topic]
+inline constexpr uint8_t kMsgSnapshotBegin = 3;  // empty body
+inline constexpr uint8_t kMsgSnapshotEnd = 4;    // empty body
+
+/// Frames larger than this are rejected by the decoder: an oversized
+/// length prefix is either corruption or an attack, and buffering it would
+/// be an unbounded allocation driven by untrusted bytes.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Appends one `[len][crc][payload]` frame to `out`.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Encodes `n` records as one framed kMsgData message.
+std::string EncodeDataBatch(const Record* records, size_t n);
+
+/// Encodes a framed kMsgSubscribe message.
+std::string EncodeSubscribe(const std::string& topic);
+
+/// Encodes a framed empty-bodied control message (kMsgSnapshotBegin/End).
+std::string EncodeControl(uint8_t msg_type);
+
+/// Decodes a kMsgData payload (including its leading type byte), appending
+/// the records to `*out` (which keeps its existing elements and capacity,
+/// so ingest can recycle batch vectors). Fails closed: any truncation or
+/// type mismatch returns an error without touching bytes past the payload.
+Status DecodeDataBatch(std::string_view payload, std::vector<Record>* out);
+
+/// Incremental frame decoder over an untrusted byte stream. Feed raw bytes
+/// with Append; pull complete payloads with Next. The decoder fails closed:
+/// a CRC mismatch or oversized length poisons it (every later Next returns
+/// the same error -- resynchronizing inside a corrupt TCP stream is not
+/// possible), and it never reads past the bytes it was handed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Feeds `n` raw bytes from the stream.
+  void Append(const char* data, size_t n);
+
+  /// On success: true and `*payload` views the next complete frame's
+  /// payload (valid until the next Append/Next call); false when more
+  /// bytes are needed. Error on corruption (CRC mismatch, oversized len).
+  Result<bool> Next(std::string_view* payload);
+
+  /// Bytes buffered but not yet returned (bounded by max_frame_bytes +
+  /// one read chunk -- the flow-control number a server cares about).
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+  bool poisoned() const { return !error_.ok(); }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status error_;
+};
+
+}  // namespace net
+}  // namespace streamline
+
+#endif  // STREAMLINE_NET_FRAME_H_

@@ -1,0 +1,126 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/retry_eintr.h"
+
+namespace streamline {
+namespace net {
+
+namespace {
+
+Status SockError(const char* op, int err) {
+  return Status::Internal(std::string(op) + " failed: " + ErrnoString(err));
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) {
+    // No EINTR retry on close: POSIX leaves the fd state unspecified after
+    // an interrupted close, and Linux always releases it.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = RetryEintr([&] { return ::fcntl(fd, F_GETFL, 0); });
+  if (flags < 0) return SockError("fcntl(F_GETFL)", errno);
+  if (RetryEintr([&] { return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK); }) <
+      0) {
+    return SockError("fcntl(F_SETFL)", errno);
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return SockError("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::Ok();
+}
+
+Result<Fd> TcpListen(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return SockError("socket", errno);
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return SockError("setsockopt(SO_REUSEADDR)", errno);
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return SockError("bind", errno);
+  }
+  if (::listen(fd.get(), backlog) != 0) return SockError("listen", errno);
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return SockError("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> TcpConnect(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return SockError("socket", errno);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc = RetryEintr([&] {
+    return ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  });
+  if (rc != 0) return SockError("connect", errno);
+  SetNoDelay(fd.get()).IgnoreError("nodelay is a latency hint, not required");
+  return fd;
+}
+
+Result<Fd> AcceptNonBlocking(int listener_fd) {
+  const int fd = RetryEintr([&] {
+    return ::accept4(listener_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  });
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    return SockError("accept4", errno);
+  }
+  return Fd(fd);
+}
+
+Status SendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  const size_t wrote = WriteAllFd(fd, p, n);
+  if (wrote != n) return SockError("send", errno);
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t n) {
+  const ssize_t r = RetryEintr([&] { return ::recv(fd, buf, n, 0); });
+  if (r < 0) return SockError("recv", errno);
+  return static_cast<size_t>(r);
+}
+
+}  // namespace net
+}  // namespace streamline

@@ -1,0 +1,86 @@
+#ifndef STREAMLINE_NET_SOCKET_H_
+#define STREAMLINE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+namespace streamline {
+namespace net {
+
+/// RAII file descriptor. Move-only; closes on destruction. The network
+/// edge deals exclusively in non-blocking close-on-exec descriptors owned
+/// through this wrapper, so an error path can never leak an fd.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset(other.fd_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle (TCP_NODELAY) -- subscription deltas are latency-bound.
+Status SetNoDelay(int fd);
+
+/// Creates a non-blocking loopback listener on 127.0.0.1:`port` (0 picks an
+/// ephemeral port; read it back with LocalPort). SO_REUSEADDR is set so
+/// test/bench restarts do not trip over TIME_WAIT.
+Result<Fd> TcpListen(uint16_t port, int backlog = 128);
+
+/// The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to 127.0.0.1:`port`. The returned socket stays in
+/// blocking mode (test/bench clients want simple sequential IO); callers
+/// feeding an EventLoop must SetNonBlocking it first.
+Result<Fd> TcpConnect(uint16_t port);
+
+/// Accepts one pending connection from a non-blocking listener, already
+/// non-blocking + close-on-exec (accept4). Returns an invalid Fd (not an
+/// error) when the accept queue is empty.
+Result<Fd> AcceptNonBlocking(int listener_fd);
+
+/// Blocking send loop for test/bench clients: writes all `n` bytes,
+/// retrying EINTR and short sends. Sanctioned blocking IO -- this lives in
+/// src/net/ and is never reachable from a morsel.
+Status SendAll(int fd, const void* data, size_t n);
+
+/// Blocking recv for test/bench clients: returns bytes read (0 = orderly
+/// peer shutdown), retrying EINTR.
+Result<size_t> RecvSome(int fd, void* buf, size_t n);
+
+}  // namespace net
+}  // namespace streamline
+
+#endif  // STREAMLINE_NET_SOCKET_H_

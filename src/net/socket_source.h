@@ -1,0 +1,162 @@
+#ifndef STREAMLINE_NET_SOCKET_SOURCE_H_
+#define STREAMLINE_NET_SOCKET_SOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/record.h"
+#include "common/spsc_ring.h"
+#include "common/status.h"
+#include "dataflow/source.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace streamline {
+namespace net {
+
+struct IngestOptions {
+  /// TCP port to listen on (loopback). 0 picks an ephemeral port.
+  uint16_t listen_port = 0;
+  /// Batches buffered between the net thread and the source subtask. This
+  /// ring *is* the backpressure boundary: when it fills, the net thread
+  /// stops reading the socket and the kernel's TCP window closes.
+  size_t ring_capacity = 64;
+  /// Decoder's frame size limit (fail-closed bound on untrusted input).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// When true (the default, right for tests/bench), the ingest reports
+  /// exhaustion once at least one producer connected and all producers
+  /// have disconnected cleanly. False keeps the source unbounded: it idles
+  /// waiting for the next producer until the job is cancelled.
+  bool exhaust_on_disconnect = true;
+};
+
+/// The network half of socket ingestion: owns the listener, accepts
+/// loopback producers, and decodes `[len][crc][payload]` data frames on
+/// the event-loop thread into recycled record batches pushed over an SPSC
+/// ring. The consumer side is exactly one SocketSource subtask.
+///
+/// Backpressure chain (the tentpole invariant): downstream ring full ->
+/// the connection's pending batch is parked and its EPOLLIN interest
+/// dropped -> the kernel receive buffer fills -> the peer's TCP window
+/// closes -> the producer blocks in send(). The consumer reopens the
+/// window by popping: a doorbell Post re-arms EPOLLIN, and a timerfd
+/// backstop re-checks paused connections in case the post raced a refill.
+class SocketIngest {
+ public:
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    uint64_t frames = 0;
+    uint64_t pauses = 0;  // ring-full events (TCP window closures)
+  };
+
+  /// Creates the listener and registers it with `loop` (which must not be
+  /// started yet, or Create must run on the loop thread).
+  static Result<std::unique_ptr<SocketIngest>> Create(EventLoop* loop,
+                                                      IngestOptions options);
+  ~SocketIngest();
+
+  SocketIngest(const SocketIngest&) = delete;
+  SocketIngest& operator=(const SocketIngest&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Consumer side (single consumer). Pops one decoded batch; false when
+  /// none is ready. Popping signals the net thread to resume any paused
+  /// connections.
+  bool PopBatch(std::vector<Record>* out);
+
+  /// Returns an emptied batch vector to the net thread for reuse, so
+  /// steady-state ingest allocates nothing per batch.
+  void RecycleBatch(std::vector<Record>&& batch);
+
+  /// True once the bounded-ingest termination condition holds (see
+  /// IngestOptions::exhaust_on_disconnect) and the ring is drained.
+  bool Finished() const;
+
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameDecoder decoder;
+    std::vector<Record> staging;  // decoded, not yet pushed
+    bool paused = false;
+    bool peer_closed = false;
+    explicit Conn(Fd f, size_t max_frame)
+        : fd(std::move(f)), decoder(max_frame) {}
+  };
+
+  SocketIngest(EventLoop* loop, IngestOptions options, Fd listener,
+               uint16_t port);
+
+  // All On*/Resume run on the loop thread.
+  void OnAccept();
+  void OnReadable(int fd);
+  /// Drains decoder + socket for one connection until EAGAIN or pause.
+  void DrainConn(Conn* conn);
+  /// Pushes staged records; false (and pauses the conn) when the ring is
+  /// full. Loop thread only.
+  bool FlushStaging(Conn* conn);
+  void ResumePaused();
+  void CloseConn(int fd);
+
+  EventLoop* loop_;
+  const IngestOptions options_;
+  Fd listener_;
+  uint16_t port_ = 0;
+
+  // Loop-thread-only state (no lock: single-threaded by construction).
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<std::vector<Record>> spare_batches_;
+
+  // Net thread -> source subtask.
+  SpscRing<std::vector<Record>> ring_;
+  // Source subtask -> net thread (vector recycling).
+  SpscRing<std::vector<Record>> recycle_;
+
+  std::atomic<bool> any_paused_{false};
+  std::atomic<bool> resume_posted_{false};
+  std::atomic<uint64_t> open_conns_{0};
+  std::atomic<bool> saw_conn_{false};
+  std::atomic<uint64_t> stat_connections_{0};
+  std::atomic<uint64_t> stat_records_{0};
+  std::atomic<uint64_t> stat_bytes_{0};
+  std::atomic<uint64_t> stat_frames_{0};
+  std::atomic<uint64_t> stat_pauses_{0};
+};
+
+/// SourceFunction over a SocketIngest: Poll pops decoded batches and
+/// EmitBatch-es them into the job, emitting a max-seen-timestamp watermark
+/// every `watermark_every` records. Non-blocking by construction -- Poll
+/// never touches a socket, only the SPSC ring -- so it is safe to drive
+/// from a morsel.
+class SocketSource : public SourceFunction {
+ public:
+  explicit SocketSource(std::shared_ptr<SocketIngest> ingest,
+                        uint64_t watermark_every = 4096)
+      : ingest_(std::move(ingest)), watermark_every_(watermark_every) {}
+
+  Result<SourcePoll> Poll(SourceContext* ctx) override;
+  std::string Name() const override { return "socket_source"; }
+
+ private:
+  std::shared_ptr<SocketIngest> ingest_;
+  const uint64_t watermark_every_;
+  uint64_t emitted_ = 0;
+  uint64_t last_watermark_at_ = 0;
+  Timestamp max_ts_ = kMinTimestamp;
+  std::vector<Record> scratch_;
+};
+
+}  // namespace net
+}  // namespace streamline
+
+#endif  // STREAMLINE_NET_SOCKET_SOURCE_H_

@@ -1,0 +1,363 @@
+#include "net/subscription_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/retry_eintr.h"
+#include "common/serde.h"
+
+namespace streamline {
+namespace net {
+
+namespace {
+
+/// iovec batch per writev: gathers up to this many queued frames into one
+/// syscall.
+constexpr int kMaxIov = 64;
+
+constexpr size_t kSubscribeReadChunk = 4096;
+
+}  // namespace
+
+Result<std::unique_ptr<SubscriptionServer>> SubscriptionServer::Create(
+    EventLoop* loop, Options options) {
+  auto listener = TcpListen(options.listen_port);
+  if (!listener.ok()) return listener.status();
+  auto port = LocalPort(listener->get());
+  if (!port.ok()) return port.status();
+  std::unique_ptr<SubscriptionServer> server(new SubscriptionServer(
+      loop, options, std::move(*listener), *port));
+  SubscriptionServer* raw = server.get();
+  STREAMLINE_RETURN_IF_ERROR(loop->Add(raw->listener_.get(), EPOLLIN,
+                                       [raw](uint32_t) { raw->OnAccept(); }));
+  return server;
+}
+
+SubscriptionServer::SubscriptionServer(EventLoop* loop, Options options,
+                                       Fd listener, uint16_t port)
+    : loop_(loop),
+      options_(options),
+      listener_(std::move(listener)),
+      port_(port),
+      snapshot_begin_frame_(std::make_shared<const std::string>(
+          EncodeControl(kMsgSnapshotBegin))),
+      snapshot_end_frame_(std::make_shared<const std::string>(
+          EncodeControl(kMsgSnapshotEnd))) {}
+
+SubscriptionServer::~SubscriptionServer() {
+  // Contract: the EventLoop is stopped before the server is destroyed
+  // (handlers capture `this`). Fds close themselves via RAII.
+}
+
+Status SubscriptionServer::RegisterTopic(const std::string& name,
+                                         int key_field) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = topics_.emplace(name, Topic{});
+  if (!inserted) {
+    return Status::AlreadyExists("topic '" + name + "' already registered");
+  }
+  it->second.key_field = key_field;
+  return Status::Ok();
+}
+
+std::string SubscriptionServer::KeyOf(const Record& r, int key_field) {
+  if (key_field < 0 || static_cast<size_t>(key_field) >= r.num_fields()) {
+    return std::string();
+  }
+  BinaryWriter w;
+  w.WriteValue(r.field(static_cast<size_t>(key_field)));
+  return w.Release();
+}
+
+void SubscriptionServer::Publish(const std::string& topic,
+                                 const Record& record) {
+  // Encode once outside the lock: the frame bytes are immutable and shared
+  // by every subscriber queue and the retained state -- fan-out cost per
+  // subscriber is a queue append, not an encode.
+  auto frame =
+      std::make_shared<const std::string>(EncodeDataBatch(&record, 1));
+  bool want_flush = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return;  // no such topic: drop on the floor
+    Topic& t = it->second;
+    const std::string key = KeyOf(record, t.key_field);
+    if (t.key_field >= 0) t.retained[key] = frame;
+    for (int fd : t.subscriber_fds) {
+      auto cit = clients_.find(fd);
+      if (cit == clients_.end()) continue;
+      EnqueueLocked(cit->second.get(), frame, key);
+      want_flush = true;
+    }
+  }
+  if (want_flush &&
+      !flush_posted_.exchange(true, std::memory_order_acq_rel)) {
+    loop_->Post([this] {
+      flush_posted_.store(false, std::memory_order_release);
+      FlushAll();
+    });
+  }
+}
+
+void SubscriptionServer::EnqueueLocked(
+    Client* c, std::shared_ptr<const std::string> frame,
+    const std::string& key) {
+  if (c->doomed) return;
+  const size_t bytes = frame->size();
+  // Slow-client policy, first resort: past the coalesce threshold, a keyed
+  // update replaces the still-queued frame for the same key in place, so a
+  // fixed key set bounds the queue no matter how far behind the client is.
+  if (!key.empty() && c->queued_bytes >= options_.coalesce_threshold_bytes) {
+    auto pit = c->pending_by_key.find(key);
+    if (pit != c->pending_by_key.end()) {
+      auto qit = pit->second;
+      const bool front_in_flight =
+          qit == c->queue.begin() && c->front_offset > 0;
+      if (!front_in_flight) {
+        c->queued_bytes -= qit->frame->size();
+        c->queued_bytes += bytes;
+        qit->frame = std::move(frame);
+        ++stats_.coalesced_updates;
+        stats_.max_queued_bytes =
+            std::max<uint64_t>(stats_.max_queued_bytes, c->queued_bytes);
+        return;
+      }
+    }
+  }
+  // Last resort: past the high-water mark the client is cut loose. One
+  // stalled subscriber must never grow memory unboundedly or stall the
+  // job, and by this point coalescing already failed to contain it.
+  if (c->queued_bytes + bytes > options_.send_buffer_limit_bytes) {
+    if (!c->doomed) {
+      c->doomed = true;
+      ++stats_.slow_disconnects;
+    }
+    return;
+  }
+  c->queue.push_back(Entry{std::move(frame), key});
+  if (!key.empty()) {
+    auto qit = std::prev(c->queue.end());
+    c->pending_by_key[key] = qit;
+  }
+  c->queued_bytes += bytes;
+  stats_.max_queued_bytes =
+      std::max<uint64_t>(stats_.max_queued_bytes, c->queued_bytes);
+}
+
+void SubscriptionServer::OnAccept() {
+  for (;;) {
+    auto accepted = AcceptNonBlocking(listener_.get());
+    if (!accepted.ok()) return;
+    if (!accepted->valid()) return;
+    SetNoDelay(accepted->get())
+        .IgnoreError("nodelay is a latency hint, not required");
+    const int fd = accepted->get();
+    {
+      MutexLock lock(&mu_);
+      clients_.emplace(fd, std::make_unique<Client>(
+                               std::move(*accepted), options_.max_frame_bytes));
+      ++stats_.clients_connected;
+      ++stats_.clients_now;
+    }
+    if (!loop_
+             ->Add(fd, EPOLLIN,
+                   [this, fd](uint32_t events) {
+                     if ((events & EPOLLOUT) != 0) OnClientWritable(fd);
+                     if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+                       OnClientReadable(fd);
+                     }
+                   })
+             .ok()) {
+      MutexLock lock(&mu_);
+      CloseClientLocked(fd);
+      continue;
+    }
+    OnClientReadable(fd);  // bytes may already be waiting (edge-triggered)
+  }
+}
+
+void SubscriptionServer::OnClientReadable(int fd) {
+  MutexLock lock(&mu_);
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client* c = it->second.get();
+  for (;;) {
+    char buf[kSubscribeReadChunk];
+    const ssize_t r = RetryEintr(
+        [&] { return ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT); });
+    if (r > 0) {
+      c->decoder.Append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Orderly shutdown or hard error: either way the client is gone.
+    CloseClientLocked(fd);
+    return;
+  }
+  for (;;) {
+    std::string_view payload;
+    auto next = c->decoder.Next(&payload);
+    if (!next.ok()) {
+      CloseClientLocked(fd);  // corrupt inbound stream: fail closed
+      return;
+    }
+    if (!*next) break;
+    if (payload.empty() || payload[0] != kMsgSubscribe || !c->topic.empty()) {
+      CloseClientLocked(fd);  // protocol violation
+      return;
+    }
+    BinaryReader r(payload.substr(1));
+    auto topic = r.ReadString();
+    if (!topic.ok() || !r.AtEnd()) {
+      CloseClientLocked(fd);
+      return;
+    }
+    auto tit = topics_.find(*topic);
+    if (tit == topics_.end()) {
+      CloseClientLocked(fd);  // unknown topic
+      return;
+    }
+    // Attach: snapshot-then-deltas, atomically ordered against Publish
+    // (same mutex). Everything the topic retains goes out first, bracketed
+    // by control frames; every Publish after this enqueue is a delta.
+    c->topic = *topic;
+    Topic& t = tit->second;
+    t.subscriber_fds.push_back(fd);
+    if (t.key_field >= 0) {
+      EnqueueLocked(c, snapshot_begin_frame_, std::string());
+      for (const auto& [key, frame] : t.retained) {
+        EnqueueLocked(c, frame, key);
+      }
+      EnqueueLocked(c, snapshot_end_frame_, std::string());
+      ++stats_.snapshots_served;
+    }
+    if (!FlushClientLocked(fd, c)) return;
+  }
+}
+
+void SubscriptionServer::OnClientWritable(int fd) {
+  MutexLock lock(&mu_);
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  (void)FlushClientLocked(fd, it->second.get());
+}
+
+bool SubscriptionServer::FlushClientLocked(int fd, Client* c) {
+  if (options_.fault_injector != nullptr) {
+    const Status drop = options_.fault_injector->OnHit("net:conn_drop");
+    if (!drop.ok()) {
+      ++stats_.dropped_connections;
+      CloseClientLocked(fd);
+      return false;
+    }
+  }
+  if (c->doomed) {
+    CloseClientLocked(fd);
+    return false;
+  }
+  while (!c->queue.empty()) {
+    iovec iov[kMaxIov];
+    int cnt = 0;
+    size_t offset = c->front_offset;
+    for (auto qit = c->queue.begin();
+         qit != c->queue.end() && cnt < kMaxIov; ++qit) {
+      const std::string& bytes = *qit->frame;
+      iov[cnt].iov_base = const_cast<char*>(bytes.data() + offset);
+      iov[cnt].iov_len = bytes.size() - offset;
+      offset = 0;
+      ++cnt;
+    }
+    ssize_t w = RetryEintr([&] { return ::writev(fd, iov, cnt); });
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c->epollout_armed) {
+          c->epollout_armed = true;
+          loop_->Mod(fd, EPOLLIN | EPOLLOUT)
+              .IgnoreError("EPOLLOUT arming races close; flush retries");
+        }
+        return true;
+      }
+      CloseClientLocked(fd);
+      return false;
+    }
+    stats_.bytes_sent += static_cast<uint64_t>(w);
+    while (w > 0) {
+      Entry& front = c->queue.front();
+      const size_t remaining = front.frame->size() - c->front_offset;
+      if (static_cast<size_t>(w) >= remaining) {
+        w -= static_cast<ssize_t>(remaining);
+        c->queued_bytes -= front.frame->size();
+        c->front_offset = 0;
+        ++stats_.frames_sent;
+        if (!front.key.empty()) {
+          auto pit = c->pending_by_key.find(front.key);
+          if (pit != c->pending_by_key.end() &&
+              pit->second == c->queue.begin()) {
+            c->pending_by_key.erase(pit);
+          }
+        }
+        c->queue.pop_front();
+      } else {
+        c->front_offset += static_cast<size_t>(w);
+        w = 0;
+      }
+    }
+  }
+  if (c->epollout_armed) {
+    c->epollout_armed = false;
+    loop_->Mod(fd, EPOLLIN)
+        .IgnoreError("EPOLLOUT disarming races close; flush retries");
+  }
+  return true;
+}
+
+void SubscriptionServer::FlushAll() {
+  MutexLock lock(&mu_);
+  std::vector<int> fds;
+  fds.reserve(clients_.size());
+  for (auto& [fd, c] : clients_) {
+    if (!c->queue.empty() || c->doomed) fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    auto it = clients_.find(fd);
+    if (it == clients_.end()) continue;
+    (void)FlushClientLocked(fd, it->second.get());
+  }
+}
+
+void SubscriptionServer::CloseClientLocked(int fd) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client* c = it->second.get();
+  if (!c->topic.empty()) {
+    auto tit = topics_.find(c->topic);
+    if (tit != topics_.end()) {
+      auto& subs = tit->second.subscriber_fds;
+      subs.erase(std::remove(subs.begin(), subs.end(), fd), subs.end());
+    }
+  }
+  loop_->Remove(fd);
+  clients_.erase(it);  // RAII close
+  --stats_.clients_now;
+}
+
+size_t SubscriptionServer::TotalQueuedBytes() const {
+  MutexLock lock(&mu_);
+  size_t total = 0;
+  for (const auto& [fd, c] : clients_) total += c->queued_bytes;
+  return total;
+}
+
+SubscriptionServer::Stats SubscriptionServer::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace streamline

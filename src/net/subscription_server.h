@@ -1,0 +1,168 @@
+#ifndef STREAMLINE_NET_SUBSCRIPTION_SERVER_H_
+#define STREAMLINE_NET_SUBSCRIPTION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/mutex.h"
+#include "common/record.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace streamline {
+namespace net {
+
+/// Result egress: clients connect over loopback TCP, send one kMsgSubscribe
+/// frame naming a topic, and from then on receive framed data records.
+///
+/// Keyed topics (key_field >= 0) follow the Shared Arrangements serving
+/// pattern: the server retains the latest record per key, a new subscriber
+/// gets a consistent snapshot (kMsgSnapshotBegin, one frame per live key,
+/// kMsgSnapshotEnd) followed by every later delta -- attach and Publish
+/// serialize on one mutex, so snapshot-then-deltas is exactly-once
+/// consistent: the client's materialized state is byte-identical to a
+/// from-start subscriber's.
+///
+/// Flow control is per client and never blocks the job: Publish encodes a
+/// frame once (shared bytes across all subscribers) and appends it to each
+/// subscriber's bounded send queue. A slow client crossing the coalesce
+/// threshold gets keyed updates coalesced in place (latest frame per key
+/// wins -- the queue stops growing for a fixed key set); one crossing the
+/// high-water mark is disconnected. The job thread only ever pays an
+/// enqueue; all socket IO happens on the event-loop thread via
+/// scatter/gather writev straight out of the queued frames.
+class SubscriptionServer {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback). 0 picks an ephemeral port.
+    uint16_t listen_port = 0;
+    /// High-water mark: a client whose queued bytes would exceed this is
+    /// disconnected (slow-client policy, last resort).
+    size_t send_buffer_limit_bytes = 4u << 20;
+    /// Above this many queued bytes, keyed updates coalesce in place
+    /// instead of appending (slow-client policy, first resort).
+    size_t coalesce_threshold_bytes = 256u << 10;
+    /// Decoder limit for inbound (subscribe) frames.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Chaos hook: site "net:conn_drop" is consulted on every client
+    /// flush; a firing rule drops that connection.
+    FaultInjector* fault_injector = nullptr;
+  };
+
+  struct Stats {
+    uint64_t clients_connected = 0;  // lifetime accepts
+    uint64_t clients_now = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_sent = 0;
+    uint64_t coalesced_updates = 0;
+    uint64_t slow_disconnects = 0;
+    uint64_t dropped_connections = 0;  // fault-injected drops
+    uint64_t snapshots_served = 0;
+    uint64_t max_queued_bytes = 0;  // high-water across all clients
+  };
+
+  /// Creates the listener and registers it with `loop` (not yet started,
+  /// or call on the loop thread).
+  static Result<std::unique_ptr<SubscriptionServer>> Create(EventLoop* loop,
+                                                            Options options);
+  /// Contract: stop the EventLoop before destroying the server.
+  ~SubscriptionServer();
+
+  SubscriptionServer(const SubscriptionServer&) = delete;
+  SubscriptionServer& operator=(const SubscriptionServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Declares a topic. `key_field >= 0` makes it keyed: last-value state
+  /// is retained per distinct value of that record field, enabling
+  /// snapshot-then-deltas attach and slow-client coalescing. `key_field <
+  /// 0` is a plain append stream (no snapshot, no coalescing).
+  Status RegisterTopic(const std::string& name, int key_field);
+
+  /// Publishes one record to a topic's subscribers. Thread-safe, never
+  /// blocks on the network: cost is one encode plus one queue append per
+  /// subscriber. Unknown topics are ignored (drop-on-floor, like a pubsub
+  /// with no consumers).
+  void Publish(const std::string& topic, const Record& record);
+
+  /// Sum of queued bytes across clients (the bounded-memory number the
+  /// chaos test asserts on).
+  size_t TotalQueuedBytes() const;
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> frame;
+    std::string key;  // empty: control or unkeyed (never coalesced)
+  };
+
+  struct Client {
+    Fd fd;
+    FrameDecoder decoder;
+    std::string topic;  // empty until subscribed
+    std::list<Entry> queue;
+    std::map<std::string, std::list<Entry>::iterator> pending_by_key;
+    size_t queued_bytes = 0;
+    size_t front_offset = 0;  // bytes of the front frame already sent
+    bool epollout_armed = false;
+    bool doomed = false;  // crossed high-water: close on loop thread
+    explicit Client(Fd f, size_t max_frame)
+        : fd(std::move(f)), decoder(max_frame) {}
+  };
+
+  struct Topic {
+    int key_field = -1;
+    // Latest frame per serialized key, in key order so snapshots are
+    // deterministic.
+    std::map<std::string, std::shared_ptr<const std::string>> retained;
+    std::vector<int> subscriber_fds;
+  };
+
+  SubscriptionServer(EventLoop* loop, Options options, Fd listener,
+                     uint16_t port);
+
+  void OnAccept();
+  void OnClientReadable(int fd);
+  void OnClientWritable(int fd);
+  /// Appends a frame to a client's queue, applying the slow-client policy.
+  void EnqueueLocked(Client* c, std::shared_ptr<const std::string> frame,
+                     const std::string& key) STREAMLINE_REQUIRES(mu_);
+  /// writev as much of the queue as the socket accepts; arms EPOLLOUT on
+  /// EAGAIN. Returns false when the client was closed.
+  bool FlushClientLocked(int fd, Client* c) STREAMLINE_REQUIRES(mu_);
+  void FlushAll();
+  void CloseClientLocked(int fd) STREAMLINE_REQUIRES(mu_);
+  /// Serializes the record's key field (empty for unkeyed topics).
+  static std::string KeyOf(const Record& r, int key_field);
+
+  EventLoop* loop_;
+  const Options options_;
+  Fd listener_;
+  uint16_t port_ = 0;
+
+  std::shared_ptr<const std::string> snapshot_begin_frame_;
+  std::shared_ptr<const std::string> snapshot_end_frame_;
+
+  std::atomic<bool> flush_posted_{false};
+
+  mutable Mutex mu_;
+  std::map<std::string, Topic> topics_ STREAMLINE_GUARDED_BY(mu_);
+  std::map<int, std::unique_ptr<Client>> clients_ STREAMLINE_GUARDED_BY(mu_);
+  Stats stats_ STREAMLINE_GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace streamline
+
+#endif  // STREAMLINE_NET_SUBSCRIPTION_SERVER_H_

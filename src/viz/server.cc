@@ -1,8 +1,11 @@
 #include "viz/server.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/record.h"
+#include "common/value.h"
 
 namespace streamline {
 
@@ -14,6 +17,7 @@ void VizServer::OnElement(Timestamp t, double v) {
   MutexLock lock(&mu_);
   ++ingested_;
   latest_ = std::max(latest_, t);
+  earliest_ = std::min(earliest_, t);
   // Remember the open column's points before/after to account incremental
   // pushes: we push on column completion below via OnWatermark; element
   // ingestion alone only updates the pyramid.
@@ -44,11 +48,57 @@ void VizServer::OnWatermark(Timestamp wm) {
     client.stats.bytes += PointBytes(pts);
     if (cols > 0) ++client.stats.updates;
   }
+  // Real egress: columns completed by this watermark go out over sockets.
+  PublishCompletedLocked((wm / base_column_width_) * base_column_width_);
 }
 
 void VizServer::Flush() {
   MutexLock lock(&mu_);
   pyramid_.Flush();
+  if (latest_ != kMinTimestamp) {
+    // Flush completed the open column too; publish through its end.
+    PublishCompletedLocked(
+        (latest_ / base_column_width_ + 1) * base_column_width_);
+  }
+}
+
+Status VizServer::BindNetwork(net::SubscriptionServer* server,
+                              std::string topic) {
+  MutexLock lock(&mu_);
+  STREAMLINE_RETURN_IF_ERROR(server->RegisterTopic(topic, /*key_field=*/0));
+  net_server_ = server;
+  net_topic_ = std::move(topic);
+  return Status::Ok();
+}
+
+void VizServer::PublishCompletedLocked(Timestamp completed_end) {
+  if (net_server_ == nullptr || earliest_ == kMaxTimestamp) return;
+  if (net_published_end_ == kMinTimestamp) {
+    // Start at the first column that can hold data; anything earlier is
+    // empty by construction.
+    net_published_end_ = (earliest_ / base_column_width_) * base_column_width_;
+  }
+  if (completed_end <= net_published_end_) return;
+  const auto cols = static_cast<int64_t>(
+      (completed_end - net_published_end_) / base_column_width_);
+  const auto columns =
+      pyramid_.Query(net_published_end_, completed_end,
+                     static_cast<int>(std::min<int64_t>(cols, 1 << 20)));
+  for (const PixelColumn& col : columns) {
+    if (col.count == 0) continue;
+    // Query() indexes columns relative to the queried range; the wire key
+    // must be the global base-column index or incremental publishes would
+    // collide (and snapshot state would retain the wrong columns).
+    const int64_t global_index =
+        col.t_start >= 0 ? col.t_start / base_column_width_
+                         : (col.t_start - base_column_width_ + 1) /
+                               base_column_width_;
+    net_server_->Publish(
+        net_topic_,
+        MakeRecord(col.t_start, Value(global_index), Value(col.min.v),
+                   Value(col.max.v), Value(col.first.v), Value(col.last.v)));
+  }
+  net_published_end_ = completed_end;
 }
 
 int VizServer::Connect(Viewport viewport) {

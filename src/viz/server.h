@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "net/subscription_server.h"
 #include "viz/pyramid.h"
 
 namespace streamline {
@@ -54,6 +55,14 @@ class VizServer {
   int Connect(Viewport viewport);
   void Disconnect(int client);
 
+  /// Binds the server to a real network egress: every completed base-level
+  /// M4 column is published to `topic` on `server` as a record
+  /// [column_index, min, max, first, last] keyed by column index, so
+  /// remote followers receive the pixel stream over actual sockets
+  /// (snapshot-then-deltas for late attach, per-client flow control).
+  /// Registers `topic` keyed on field 0. Call before ingestion starts.
+  Status BindNetwork(net::SubscriptionServer* server, std::string topic);
+
   /// Client interactions: each answers with a full refresh from the
   /// pyramid (counted against the client's transfer budget) and returns
   /// the points the client now renders.
@@ -88,6 +97,10 @@ class VizServer {
 
   std::vector<SeriesPoint> FullRefreshLocked(Client* c)
       STREAMLINE_REQUIRES(mu_);
+  /// Publishes base columns completed in [net_published_end_,
+  /// completed_end) to the bound network topic.
+  void PublishCompletedLocked(Timestamp completed_end)
+      STREAMLINE_REQUIRES(mu_);
   static uint64_t PointBytes(size_t n) { return n * 16; }
 
   mutable Mutex mu_;
@@ -97,6 +110,12 @@ class VizServer {
   int next_client_ STREAMLINE_GUARDED_BY(mu_) = 0;
   uint64_t ingested_ STREAMLINE_GUARDED_BY(mu_) = 0;
   Timestamp latest_ STREAMLINE_GUARDED_BY(mu_) = kMinTimestamp;
+
+  // Real-socket egress (null until BindNetwork).
+  net::SubscriptionServer* net_server_ STREAMLINE_GUARDED_BY(mu_) = nullptr;
+  std::string net_topic_ STREAMLINE_GUARDED_BY(mu_);
+  Timestamp earliest_ STREAMLINE_GUARDED_BY(mu_) = kMaxTimestamp;
+  Timestamp net_published_end_ STREAMLINE_GUARDED_BY(mu_) = kMinTimestamp;
 };
 
 }  // namespace streamline

@@ -1,0 +1,320 @@
+// Slow-client and fault chaos for the subscription egress: a stalled
+// subscriber is contained by in-place coalescing (bounded memory, job
+// liveness), a runaway subscriber with unbounded keys is disconnected at
+// the high-water mark, and injected connection drops ("net:conn_drop")
+// never hurt the server or the surviving clients.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/record.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/subscription_server.h"
+
+namespace streamline {
+namespace net {
+namespace {
+
+struct LoopStopper {
+  EventLoop* loop;
+  ~LoopStopper() { loop->Stop(); }
+};
+
+void SetRecvTimeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+}
+
+Result<std::string> ReadFrame(int fd, FrameDecoder* dec) {
+  for (;;) {
+    std::string_view payload;
+    auto has = dec->Next(&payload);
+    if (!has.ok()) return has.status();
+    if (*has) return std::string(payload);
+    char buf[4096];
+    auto r = RecvSome(fd, buf, sizeof(buf));
+    if (!r.ok()) return r.status();
+    if (*r == 0) return Status::Internal("peer closed");
+    dec->Append(buf, *r);
+  }
+}
+
+bool AwaitCondition(const std::function<bool()>& cond,
+                    std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+/// Subscribes `fd` to `topic` (the caller awaits snapshots_served).
+Status Subscribe(int fd, const std::string& topic) {
+  const std::string sub = EncodeSubscribe(topic);
+  return SendAll(fd, sub.data(), sub.size());
+}
+
+/// Reads and materializes last-record-per-key until the sentinel key or an
+/// error (a dropped connection reads as EOF).
+struct ReaderResult {
+  std::map<int64_t, Record> state;
+  bool saw_sentinel = false;
+  std::string error;
+};
+
+ReaderResult ConsumeUntilSentinel(int fd, int64_t sentinel_key) {
+  ReaderResult result;
+  FrameDecoder dec;
+  for (;;) {
+    auto frame = ReadFrame(fd, &dec);
+    if (!frame.ok()) {
+      result.error = frame.status().ToString();
+      return result;
+    }
+    const uint8_t type = static_cast<uint8_t>((*frame)[0]);
+    if (type == kMsgSnapshotBegin || type == kMsgSnapshotEnd) continue;
+    std::vector<Record> decoded;
+    if (!DecodeDataBatch(*frame, &decoded).ok() || decoded.size() != 1) {
+      result.error = "bad data frame";
+      return result;
+    }
+    const int64_t key = decoded[0].field(0).AsInt64();
+    result.state[key] = decoded[0];
+    if (key == sentinel_key) {
+      result.saw_sentinel = true;
+      return result;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A stalled subscriber on a fixed key set: coalescing bounds its queue, it
+// stays connected, and a concurrent healthy subscriber is unaffected.
+
+TEST(NetChaosTest, StalledSubscriberIsCoalescedNotDisconnected) {
+  EventLoop loop;
+  SubscriptionServer::Options options;
+  options.coalesce_threshold_bytes = 4096;
+  options.send_buffer_limit_bytes = 1u << 20;
+  auto created = SubscriptionServer::Create(&loop, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  ASSERT_TRUE(server->RegisterTopic("r", /*key_field=*/0).ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  constexpr int64_t kKeys = 16;
+  constexpr int64_t kSentinel = -1;
+
+  // One subscriber that never reads a byte, one that reads everything.
+  auto stalled = TcpConnect(server->port());
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_TRUE(Subscribe(stalled->get(), "r").ok());
+  auto healthy = TcpConnect(server->port());
+  ASSERT_TRUE(healthy.ok());
+  SetRecvTimeout(healthy->get(), 30);
+  ASSERT_TRUE(Subscribe(healthy->get(), "r").ok());
+  ASSERT_TRUE(
+      AwaitCondition([&] { return server->stats().snapshots_served == 2; }));
+
+  ReaderResult healthy_result;
+  std::thread reader([&] {
+    healthy_result = ConsumeUntilSentinel(healthy->get(), kSentinel);
+  });
+
+  // Publish until coalescing has demonstrably kicked in on the stalled
+  // client (the kernel's socket buffers must fill first, so the volume is
+  // adaptive with a hard cap). Publishing never blocks: this loop IS the
+  // job-liveness assertion.
+  int64_t published = 0;
+  std::map<int64_t, double> last_value;
+  for (; published < 500000; ++published) {
+    const double v = static_cast<double>(published);
+    server->Publish("r", MakeRecord(published, Value(published % kKeys),
+                                    Value(v)));
+    last_value[published % kKeys] = v;
+    if (published % 1000 == 0) {
+      // Bounded memory, sampled while the stalled queue is at its worst.
+      ASSERT_LE(server->TotalQueuedBytes(),
+                2 * options.send_buffer_limit_bytes);
+      if (server->stats().coalesced_updates > 1000) break;
+    }
+  }
+  ASSERT_GT(server->stats().coalesced_updates, 1000u)
+      << "coalescing never engaged after " << published << " publishes";
+  server->Publish("r", MakeRecord(published, Value(kSentinel), Value(0.0)));
+
+  reader.join();
+  ASSERT_TRUE(healthy_result.error.empty()) << healthy_result.error;
+  ASSERT_TRUE(healthy_result.saw_sentinel);
+  // The healthy client's materialized state is exact: one record per key,
+  // carrying the last published value (coalescing, if any, preserves it).
+  ASSERT_EQ(healthy_result.state.size(), static_cast<size_t>(kKeys) + 1);
+  for (const auto& [key, v] : last_value) {
+    auto it = healthy_result.state.find(key);
+    ASSERT_NE(it, healthy_result.state.end());
+    EXPECT_EQ(it->second.field(1).AsDouble(), v) << "key " << key;
+  }
+
+  const auto stats = server->stats();
+  // Coalescing contained the stalled client below the high-water mark:
+  // still connected, nobody was cut.
+  EXPECT_EQ(stats.slow_disconnects, 0u);
+  EXPECT_EQ(stats.clients_now, 2u);
+  EXPECT_LE(stats.max_queued_bytes, options.send_buffer_limit_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// A stalled subscriber on an unbounded key set: coalescing cannot bound
+// it, so the high-water mark cuts it loose -- memory stays bounded and the
+// publisher never blocks.
+
+TEST(NetChaosTest, RunawaySubscriberIsDisconnectedAtHighWaterMark) {
+  EventLoop loop;
+  SubscriptionServer::Options options;
+  options.coalesce_threshold_bytes = 4096;
+  options.send_buffer_limit_bytes = 64u << 10;
+  auto created = SubscriptionServer::Create(&loop, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  ASSERT_TRUE(server->RegisterTopic("r", /*key_field=*/0).ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  auto stalled = TcpConnect(server->port());
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_TRUE(Subscribe(stalled->get(), "r").ok());
+  ASSERT_TRUE(
+      AwaitCondition([&] { return server->stats().snapshots_served == 1; }));
+
+  // Every record is a fresh key: nothing to coalesce, the queue can only
+  // grow -- exactly the client the high-water mark exists for.
+  int64_t published = 0;
+  for (; published < 500000; ++published) {
+    server->Publish("r", MakeRecord(published, Value(published),
+                                    Value(static_cast<double>(published))));
+    if (published % 1000 == 0) {
+      ASSERT_LE(server->TotalQueuedBytes(),
+                2 * options.send_buffer_limit_bytes);
+      if (server->stats().slow_disconnects > 0) break;
+    }
+  }
+  ASSERT_TRUE(AwaitCondition(
+      [&] { return server->stats().clients_now == 0; }))
+      << "doomed client never closed after " << published << " publishes";
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.slow_disconnects, 1u);
+  EXPECT_EQ(stats.clients_now, 0u);
+  // The enqueue-side bound held the whole time: queued bytes never passed
+  // the high-water mark, even while the client stonewalled.
+  EXPECT_LE(stats.max_queued_bytes, options.send_buffer_limit_bytes);
+  EXPECT_EQ(server->TotalQueuedBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector drops connections mid-stream: the server survives with
+// coherent stats and every surviving client still materializes the exact
+// final state.
+
+TEST(NetChaosTest, InjectedConnectionDropsLeaveServerAndSurvivorsIntact) {
+  FaultInjector injector(/*seed=*/1234);
+  injector.AddRule(FaultInjector::FailWithProbability(
+      "net:conn_drop", 0.3, FaultInjector::FaultKind::kStatus,
+      /*max_fires=*/5));
+
+  EventLoop loop;
+  SubscriptionServer::Options options;
+  options.fault_injector = &injector;
+  auto created = SubscriptionServer::Create(&loop, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  ASSERT_TRUE(server->RegisterTopic("r", /*key_field=*/0).ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  constexpr int kClients = 20;
+  constexpr int64_t kKeys = 8;
+  constexpr int kRecords = 5000;
+  constexpr int64_t kSentinel = -1;
+
+  std::vector<Fd> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto conn = TcpConnect(server->port());
+    ASSERT_TRUE(conn.ok());
+    SetRecvTimeout(conn->get(), 30);
+    ASSERT_TRUE(Subscribe(conn->get(), "r").ok());
+    clients.push_back(std::move(*conn));
+  }
+  ASSERT_TRUE(AwaitCondition(
+      [&] { return server->stats().snapshots_served == kClients; }));
+
+  std::vector<ReaderResult> results(kClients);
+  std::vector<std::thread> readers;
+  readers.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    readers.emplace_back([&, i] {
+      results[i] = ConsumeUntilSentinel(clients[i].get(), kSentinel);
+    });
+  }
+
+  std::map<int64_t, double> last_value;
+  for (int i = 0; i < kRecords; ++i) {
+    const double v = static_cast<double>(i);
+    server->Publish("r", MakeRecord(i, Value(int64_t{i % kKeys}), Value(v)));
+    last_value[i % kKeys] = v;
+    // Pacing spreads the publishes over many flush passes, giving the
+    // probability rule plenty of distinct chances to fire.
+    if (i % 200 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server->Publish("r", MakeRecord(kRecords, Value(kSentinel), Value(0.0)));
+  for (auto& t : readers) t.join();
+
+  const auto stats = server->stats();
+  // The injector did strike (p=0.3 across hundreds of flush calls), and
+  // every strike is accounted.
+  ASSERT_GE(stats.dropped_connections, 1u);
+  ASSERT_LE(stats.dropped_connections, 5u);
+  EXPECT_EQ(stats.dropped_connections, injector.fires());
+  EXPECT_EQ(stats.clients_connected, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.clients_now, static_cast<uint64_t>(kClients) -
+                                   stats.dropped_connections -
+                                   stats.slow_disconnects);
+
+  // Everyone not dropped reached the sentinel with the exact final state.
+  size_t survivors = 0;
+  for (int i = 0; i < kClients; ++i) {
+    if (!results[i].saw_sentinel) continue;
+    ++survivors;
+    ASSERT_EQ(results[i].state.size(), static_cast<size_t>(kKeys) + 1);
+    for (const auto& [key, v] : last_value) {
+      auto it = results[i].state.find(key);
+      ASSERT_NE(it, results[i].state.end()) << "client " << i << " key " << key;
+      EXPECT_EQ(it->second.field(1).AsDouble(), v)
+          << "client " << i << " key " << key;
+    }
+  }
+  EXPECT_GE(survivors, static_cast<size_t>(kClients) -
+                           stats.dropped_connections -
+                           stats.slow_disconnects);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace streamline

@@ -1,0 +1,453 @@
+// Loopback network end-to-end: socket ingest feeding a real job through
+// Environment::FromSource, the backpressure chain (ring full -> reads
+// paused -> TCP window closes -> doorbell resume), 100-subscriber fan-out
+// with identical delivery, snapshot-then-deltas late attach (byte-identical
+// to a from-start subscriber), and the VizServer M4 pixel stream over
+// actual sockets.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/datastream.h"
+#include "common/record.h"
+#include "common/serde.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/socket_source.h"
+#include "net/subscription_server.h"
+#include "viz/server.h"
+
+namespace streamline {
+namespace net {
+namespace {
+
+/// Stops the loop on scope exit, so a failed ASSERT mid-test cannot
+/// destroy loop-registered objects under a still-running net thread.
+struct LoopStopper {
+  EventLoop* loop;
+  ~LoopStopper() { loop->Stop(); }
+};
+
+/// Bounds a blocking client read so a protocol bug fails the test instead
+/// of hanging it.
+void SetRecvTimeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+}
+
+/// Blocking-reads until one complete frame payload is available; copies it
+/// out (the decoder view dies on the next Append).
+Result<std::string> ReadFrame(int fd, FrameDecoder* dec) {
+  for (;;) {
+    std::string_view payload;
+    auto has = dec->Next(&payload);
+    if (!has.ok()) return has.status();
+    if (*has) return std::string(payload);
+    char buf[4096];
+    auto r = RecvSome(fd, buf, sizeof(buf));
+    if (!r.ok()) return r.status();
+    if (*r == 0) return Status::Internal("peer closed mid-stream");
+    dec->Append(buf, *r);
+  }
+}
+
+std::vector<Record> MakeTestRecords(uint64_t total) {
+  std::vector<Record> records;
+  records.reserve(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    records.push_back(MakeRecord(static_cast<Timestamp>(i),
+                                 Value(static_cast<int64_t>(i % 5)),
+                                 Value(static_cast<double>(i % 7))));
+  }
+  return records;
+}
+
+/// Producer half of the ingest tests: connects and streams `records` in
+/// frames of `batch` records over a blocking socket.
+void ProduceRecords(uint16_t port, const std::vector<Record>& records,
+                    size_t batch, std::atomic<bool>* failed) {
+  auto conn = TcpConnect(port);
+  if (!conn.ok()) {
+    failed->store(true);
+    return;
+  }
+  for (size_t off = 0; off < records.size(); off += batch) {
+    const size_t n = std::min(batch, records.size() - off);
+    const std::string wire = EncodeDataBatch(records.data() + off, n);
+    if (!SendAll(conn->get(), wire.data(), wire.size()).ok()) {
+      failed->store(true);
+      return;
+    }
+  }
+  // Fd closes on scope exit: the orderly shutdown is the end-of-stream.
+}
+
+bool AwaitCondition(const std::function<bool()>& cond,
+                    std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest: wire bytes in, exactly the sent records out of a real job.
+
+TEST(NetE2ETest, SocketIngestFeedsJobWithExactRecords) {
+  EventLoop loop;
+  auto created = SocketIngest::Create(&loop, IngestOptions{});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::shared_ptr<SocketIngest> ingest = std::move(*created);
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  const std::vector<Record> sent = MakeTestRecords(20000);
+  std::atomic<bool> produce_failed{false};
+  std::thread producer(
+      [&] { ProduceRecords(ingest->port(), sent, 64, &produce_failed); });
+
+  Environment env;
+  auto sink = env.FromSource("socket",
+                             [ingest](int, int)
+                                 -> std::unique_ptr<SourceFunction> {
+                               return std::make_unique<SocketSource>(
+                                   ingest, /*watermark_every=*/512);
+                             },
+                             1)
+                  .Collect("collect");
+  auto job = env.CreateJob();
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  producer.join();
+  ASSERT_FALSE(produce_failed.load());
+  ASSERT_TRUE((*job)->AwaitCompletion().ok());
+
+  const auto got = sink->records();
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ASSERT_EQ(got[i], sent[i]) << "record " << i << " diverged on the wire";
+  }
+  const auto stats = ingest->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.records, sent.size());
+  EXPECT_EQ(stats.frames, (sent.size() + 63) / 64);
+  EXPECT_GT(stats.bytes, sent.size() * 17);  // >= serialized record floor
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: a slow consumer pauses socket reads (TCP window closes)
+// and the doorbell resume loses nothing.
+
+TEST(NetE2ETest, SlowConsumerPausesReadsAndLosesNothing) {
+  EventLoop loop;
+  IngestOptions options;
+  options.ring_capacity = 2;  // tiny ring: force the pause path constantly
+  auto created = SocketIngest::Create(&loop, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::shared_ptr<SocketIngest> ingest = std::move(*created);
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  const std::vector<Record> sent = MakeTestRecords(65536);
+  std::atomic<bool> produce_failed{false};
+  std::thread producer(
+      [&] { ProduceRecords(ingest->port(), sent, 256, &produce_failed); });
+
+  // Deliberately slow consumer directly on the ring API.
+  std::vector<Record> got;
+  std::vector<Record> batch;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!ingest->Finished()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "ingest never finished: got " << got.size() << " records";
+    if (ingest->PopBatch(&batch)) {
+      got.insert(got.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+      ingest->RecycleBatch(std::move(batch));
+      batch = std::vector<Record>();
+      if (got.size() % 4096 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  producer.join();
+  ASSERT_FALSE(produce_failed.load());
+
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ASSERT_EQ(got[i], sent[i]) << "record " << i << " diverged";
+  }
+  // The tentpole invariant made visible: the ring filled, reads paused,
+  // and the stream still arrived intact after doorbell resumes.
+  EXPECT_GT(ingest->stats().pauses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out: 100 subscribers all receive the identical delta stream.
+
+TEST(NetE2ETest, HundredSubscribersReceiveIdenticalStream) {
+  EventLoop loop;
+  auto created = SubscriptionServer::Create(&loop, SubscriptionServer::Options{});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  ASSERT_TRUE(server->RegisterTopic("results", /*key_field=*/0).ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  constexpr int kClients = 100;
+  constexpr int kRecords = 200;
+  std::vector<Fd> clients;
+  const std::string sub = EncodeSubscribe("results");
+  for (int i = 0; i < kClients; ++i) {
+    auto conn = TcpConnect(server->port());
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    SetRecvTimeout(conn->get(), 30);
+    ASSERT_TRUE(SendAll(conn->get(), sub.data(), sub.size()).ok());
+    clients.push_back(std::move(*conn));
+  }
+  // Attach completion = snapshot served; only then is delivery of every
+  // later Publish guaranteed for all of them.
+  ASSERT_TRUE(AwaitCondition([&] {
+    return server->stats().snapshots_served == kClients;
+  }));
+
+  std::vector<Record> published;
+  for (int i = 0; i < kRecords; ++i) {
+    published.push_back(MakeRecord(i, Value(static_cast<int64_t>(i % 8)),
+                                   Value(static_cast<double>(i))));
+    server->Publish("results", published.back());
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    FrameDecoder dec;
+    // Empty snapshot bracket first (attached before any publish)...
+    auto begin = ReadFrame(clients[c].get(), &dec);
+    ASSERT_TRUE(begin.ok()) << "client " << c << ": " << begin.status().ToString();
+    ASSERT_EQ(static_cast<uint8_t>((*begin)[0]), kMsgSnapshotBegin);
+    auto end = ReadFrame(clients[c].get(), &dec);
+    ASSERT_TRUE(end.ok());
+    ASSERT_EQ(static_cast<uint8_t>((*end)[0]), kMsgSnapshotEnd);
+    // ...then every delta, in publish order, byte-for-byte.
+    for (int i = 0; i < kRecords; ++i) {
+      auto frame = ReadFrame(clients[c].get(), &dec);
+      ASSERT_TRUE(frame.ok()) << "client " << c << " delta " << i;
+      std::vector<Record> decoded;
+      ASSERT_TRUE(DecodeDataBatch(*frame, &decoded).ok());
+      ASSERT_EQ(decoded.size(), 1u);
+      ASSERT_EQ(decoded[0], published[i])
+          << "client " << c << " diverged at delta " << i;
+    }
+  }
+
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.clients_connected, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.clients_now, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.frames_sent,
+            static_cast<uint64_t>(kClients) * (kRecords + 2));
+  EXPECT_EQ(stats.slow_disconnects, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Late attach: snapshot-then-deltas is exactly-once consistent -- the
+// materialized state is byte-identical to a from-start subscriber's.
+
+struct SubscriberResult {
+  std::map<int64_t, std::string> state;  // key -> last frame payload bytes
+  size_t data_frames = 0;
+  size_t snapshot_frames = 0;
+  bool saw_snapshot_bracket = false;
+  std::string error;
+};
+
+/// Reads frames, materializing last-frame-per-key until the sentinel key
+/// `stop_key` arrives.
+SubscriberResult ConsumeUntilSentinel(int fd, int64_t stop_key) {
+  SubscriberResult result;
+  FrameDecoder dec;
+  bool in_snapshot = false;
+  for (;;) {
+    auto frame = ReadFrame(fd, &dec);
+    if (!frame.ok()) {
+      result.error = frame.status().ToString();
+      return result;
+    }
+    const uint8_t type = static_cast<uint8_t>((*frame)[0]);
+    if (type == kMsgSnapshotBegin) {
+      in_snapshot = true;
+      continue;
+    }
+    if (type == kMsgSnapshotEnd) {
+      in_snapshot = false;
+      result.saw_snapshot_bracket = true;
+      continue;
+    }
+    std::vector<Record> decoded;
+    auto st = DecodeDataBatch(*frame, &decoded);
+    if (!st.ok() || decoded.size() != 1) {
+      result.error = "bad data frame: " + st.ToString();
+      return result;
+    }
+    ++result.data_frames;
+    if (in_snapshot) ++result.snapshot_frames;
+    const int64_t key = decoded[0].field(0).AsInt64();
+    result.state[key] = std::move(*frame);
+    if (key == stop_key) return result;
+  }
+}
+
+TEST(NetE2ETest, LateAttachSnapshotThenDeltasIsByteIdentical) {
+  EventLoop loop;
+  auto created = SubscriptionServer::Create(&loop, SubscriptionServer::Options{});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  ASSERT_TRUE(server->RegisterTopic("state", /*key_field=*/0).ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  constexpr int64_t kKeys = 16;
+  constexpr int kUpdates = 4000;
+  constexpr int64_t kSentinel = -1;
+  const std::string sub = EncodeSubscribe("state");
+
+  auto from_start = TcpConnect(server->port());
+  ASSERT_TRUE(from_start.ok());
+  SetRecvTimeout(from_start->get(), 30);
+  ASSERT_TRUE(SendAll(from_start->get(), sub.data(), sub.size()).ok());
+  ASSERT_TRUE(
+      AwaitCondition([&] { return server->stats().snapshots_served == 1; }));
+
+  SubscriberResult a_result, b_result;
+  std::thread reader_a([&] {
+    a_result = ConsumeUntilSentinel(from_start->get(), kSentinel);
+  });
+
+  // First half of the stream with only A attached.
+  for (int i = 0; i < kUpdates / 2; ++i) {
+    server->Publish("state", MakeRecord(i, Value(int64_t{i % kKeys}),
+                                        Value(static_cast<double>(i))));
+  }
+  // Late attach mid-stream: B must get A's exact state for the first half
+  // as a snapshot, then identical deltas for the second half.
+  auto late = TcpConnect(server->port());
+  ASSERT_TRUE(late.ok());
+  SetRecvTimeout(late->get(), 30);
+  ASSERT_TRUE(SendAll(late->get(), sub.data(), sub.size()).ok());
+  ASSERT_TRUE(
+      AwaitCondition([&] { return server->stats().snapshots_served == 2; }));
+  std::thread reader_b(
+      [&] { b_result = ConsumeUntilSentinel(late->get(), kSentinel); });
+
+  for (int i = kUpdates / 2; i < kUpdates; ++i) {
+    server->Publish("state", MakeRecord(i, Value(int64_t{i % kKeys}),
+                                        Value(static_cast<double>(i))));
+  }
+  server->Publish("state", MakeRecord(kUpdates, Value(kSentinel),
+                                      Value(0.0)));
+  reader_a.join();
+  reader_b.join();
+  ASSERT_TRUE(a_result.error.empty()) << a_result.error;
+  ASSERT_TRUE(b_result.error.empty()) << b_result.error;
+
+  // B attached late: it saw a non-empty snapshot and fewer total frames.
+  EXPECT_TRUE(b_result.saw_snapshot_bracket);
+  EXPECT_EQ(b_result.snapshot_frames, static_cast<size_t>(kKeys));
+  EXPECT_LT(b_result.data_frames, a_result.data_frames);
+  EXPECT_EQ(a_result.data_frames, static_cast<size_t>(kUpdates) + 1);
+
+  // Exactly-once consistency: the two materialized states agree byte for
+  // byte, key by key.
+  ASSERT_EQ(a_result.state.size(), static_cast<size_t>(kKeys) + 1);
+  ASSERT_EQ(b_result.state.size(), a_result.state.size());
+  for (const auto& [key, bytes] : a_result.state) {
+    auto it = b_result.state.find(key);
+    ASSERT_NE(it, b_result.state.end()) << "key " << key << " missing from B";
+    EXPECT_EQ(it->second, bytes) << "key " << key << " state diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Viz egress: completed M4 base columns arrive over a real socket and
+// match the pyramid exactly.
+
+TEST(NetE2ETest, VizServerStreamsPixelColumnsOverSockets) {
+  EventLoop loop;
+  auto created = SubscriptionServer::Create(&loop, SubscriptionServer::Options{});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto server = std::move(*created);
+  VizServer viz(/*base_column_width=*/100, /*levels=*/3);
+  ASSERT_TRUE(viz.BindNetwork(server.get(), "pixels").ok());
+  ASSERT_TRUE(loop.Start().ok());
+  LoopStopper stopper{&loop};
+
+  auto conn = TcpConnect(server->port());
+  ASSERT_TRUE(conn.ok());
+  SetRecvTimeout(conn->get(), 30);
+  const std::string sub = EncodeSubscribe("pixels");
+  ASSERT_TRUE(SendAll(conn->get(), sub.data(), sub.size()).ok());
+  ASSERT_TRUE(
+      AwaitCondition([&] { return server->stats().snapshots_served == 1; }));
+
+  constexpr Timestamp kTotal = 10000;
+  for (Timestamp t = 0; t < kTotal; ++t) {
+    viz.OnElement(t, std::sin(static_cast<double>(t) * 0.01) * 100.0);
+    if ((t + 1) % 500 == 0) viz.OnWatermark(t);
+  }
+  viz.Flush();
+
+  // 100 base columns, each published exactly once on completion.
+  constexpr int kCols = 100;
+  FrameDecoder dec;
+  std::map<int64_t, Record> received;
+  auto begin = ReadFrame(conn->get(), &dec);
+  ASSERT_TRUE(begin.ok());
+  ASSERT_EQ(static_cast<uint8_t>((*begin)[0]), kMsgSnapshotBegin);
+  auto end = ReadFrame(conn->get(), &dec);
+  ASSERT_TRUE(end.ok());
+  ASSERT_EQ(static_cast<uint8_t>((*end)[0]), kMsgSnapshotEnd);
+  for (int i = 0; i < kCols; ++i) {
+    auto frame = ReadFrame(conn->get(), &dec);
+    ASSERT_TRUE(frame.ok()) << "column frame " << i;
+    std::vector<Record> decoded;
+    ASSERT_TRUE(DecodeDataBatch(*frame, &decoded).ok());
+    ASSERT_EQ(decoded.size(), 1u);
+    const auto [it, inserted] =
+        received.emplace(decoded[0].field(0).AsInt64(), decoded[0]);
+    ASSERT_TRUE(inserted) << "column " << it->first << " published twice";
+  }
+
+  // The wire columns must equal what the pyramid itself reports.
+  const auto columns = viz.pyramid().Query(0, kTotal, kCols);
+  ASSERT_EQ(columns.size(), static_cast<size_t>(kCols));
+  for (const PixelColumn& col : columns) {
+    auto it = received.find(col.index);
+    ASSERT_NE(it, received.end()) << "column " << col.index << " never arrived";
+    const Record& r = it->second;
+    EXPECT_EQ(r.timestamp, col.t_start);
+    EXPECT_EQ(r.field(1).AsDouble(), col.min.v);
+    EXPECT_EQ(r.field(2).AsDouble(), col.max.v);
+    EXPECT_EQ(r.field(3).AsDouble(), col.first.v);
+    EXPECT_EQ(r.field(4).AsDouble(), col.last.v);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace streamline

@@ -1,0 +1,290 @@
+// Wire protocol: serde round-trip property over random records, and the
+// fail-closed decoder contract against torn/garbage frames -- CRC
+// mismatch, oversized length prefix, mid-frame truncation. The decoder
+// must never over-read, never return a partial frame, and stay poisoned
+// once the stream is provably corrupt.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "net/frame.h"
+
+namespace streamline {
+namespace net {
+namespace {
+
+/// Random record with 0..6 fields of mixed types (including strings with
+/// embedded NULs and null values), random timestamp sign included.
+Record RandomRecord(Rng* rng) {
+  Record r;
+  r.timestamp = static_cast<Timestamp>(rng->NextU64());
+  const size_t fields = rng->NextBelow(7);
+  r.fields.reserve(fields);
+  for (size_t i = 0; i < fields; ++i) {
+    switch (rng->NextBelow(5)) {
+      case 0:
+        r.fields.push_back(Value(static_cast<int64_t>(rng->NextU64())));
+        break;
+      case 1:
+        r.fields.push_back(Value(rng->NextDouble(-1e9, 1e9)));
+        break;
+      case 2:
+        r.fields.push_back(Value(rng->NextBool(0.5)));
+        break;
+      case 3: {
+        std::string s;
+        const size_t n = rng->NextBelow(24);
+        for (size_t j = 0; j < n; ++j) {
+          s.push_back(static_cast<char>(rng->NextBelow(256)));  // incl. '\0'
+        }
+        r.fields.push_back(Value(std::move(s)));
+        break;
+      }
+      default:
+        r.fields.push_back(Value());  // null
+        break;
+    }
+  }
+  return r;
+}
+
+/// Feeds `stream` into `dec` in random chunks, draining every complete
+/// payload into `decoded` via DecodeDataBatch. Returns the first error.
+Status FeedChunked(FrameDecoder* dec, std::string_view stream, Rng* rng,
+                   std::vector<Record>* decoded, size_t* frames) {
+  size_t off = 0;
+  while (off < stream.size()) {
+    const size_t chunk =
+        std::min<size_t>(1 + rng->NextBelow(13), stream.size() - off);
+    dec->Append(stream.data() + off, chunk);
+    off += chunk;
+    while (true) {
+      std::string_view payload;
+      auto has = dec->Next(&payload);
+      if (!has.ok()) return has.status();
+      if (!*has) break;
+      ++*frames;
+      STREAMLINE_RETURN_IF_ERROR(DecodeDataBatch(payload, decoded));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: random records, random batch sizes, random chunking.
+
+TEST(WireProtocolTest, RandomBatchesRoundTripThroughChunkedDecoder) {
+  Rng rng(2024);
+  std::vector<Record> sent;
+  std::string stream;
+  size_t frames_encoded = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    std::vector<Record> records;
+    const size_t n = rng.NextBelow(17);  // incl. empty batches
+    for (size_t i = 0; i < n; ++i) records.push_back(RandomRecord(&rng));
+    stream += EncodeDataBatch(records.data(), records.size());
+    ++frames_encoded;
+    for (auto& r : records) sent.push_back(std::move(r));
+  }
+
+  FrameDecoder dec;
+  std::vector<Record> got;
+  size_t frames = 0;
+  ASSERT_TRUE(FeedChunked(&dec, stream, &rng, &got, &frames).ok());
+  EXPECT_EQ(frames, frames_encoded);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i], sent[i]) << "record " << i << " diverged";
+  }
+}
+
+TEST(WireProtocolTest, SubscribeFrameRoundTrips) {
+  const std::string framed = EncodeSubscribe("pixels/m4");
+  FrameDecoder dec;
+  dec.Append(framed.data(), framed.size());
+  std::string_view payload;
+  auto has = dec.Next(&payload);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  BinaryReader r(payload);
+  auto type = r.ReadU8();
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, kMsgSubscribe);
+  auto topic = r.ReadString();
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ(*topic, "pixels/m4");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireProtocolTest, ControlFramesAreEmptyBodied) {
+  for (uint8_t type : {kMsgSnapshotBegin, kMsgSnapshotEnd}) {
+    const std::string framed = EncodeControl(type);
+    FrameDecoder dec;
+    dec.Append(framed.data(), framed.size());
+    std::string_view payload;
+    auto has = dec.Next(&payload);
+    ASSERT_TRUE(has.ok());
+    ASSERT_TRUE(*has);
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(static_cast<uint8_t>(payload[0]), type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed decoding: corruption poisons, truncation waits.
+
+TEST(WireProtocolTest, CrcMismatchPoisonsDecoderPermanently) {
+  Rng rng(7);
+  std::vector<Record> records = {RandomRecord(&rng), RandomRecord(&rng)};
+  std::string stream = EncodeDataBatch(records.data(), records.size());
+  // Flip one payload byte; the header (and its CRC field) stay intact.
+  stream[kFrameHeaderBytes + (stream.size() - kFrameHeaderBytes) / 2] ^= 0x40;
+
+  FrameDecoder dec;
+  dec.Append(stream.data(), stream.size());
+  std::string_view payload;
+  auto has = dec.Next(&payload);
+  ASSERT_FALSE(has.ok());
+  EXPECT_TRUE(dec.poisoned());
+  // Sticky: a later good frame cannot resurrect the stream.
+  const std::string good = EncodeDataBatch(records.data(), 1);
+  dec.Append(good.data(), good.size());
+  EXPECT_FALSE(dec.Next(&payload).ok());
+}
+
+TEST(WireProtocolTest, OversizedLengthPrefixFailsWithoutAllocating) {
+  // Header advertising a 1 GiB frame against a 4 KiB limit: rejected from
+  // the 8 header bytes alone -- no buffering of attacker-sized lengths.
+  char header[kFrameHeaderBytes];
+  const uint32_t huge = 1u << 30;
+  std::memcpy(header, &huge, 4);
+  std::memset(header + 4, 0, 4);
+  FrameDecoder dec(/*max_frame_bytes=*/4096);
+  dec.Append(header, sizeof(header));
+  std::string_view payload;
+  auto has = dec.Next(&payload);
+  ASSERT_FALSE(has.ok());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(WireProtocolTest, TruncatedFrameNeverYieldsAndNeverOverReads) {
+  Rng rng(11);
+  std::vector<Record> records = {RandomRecord(&rng)};
+  const std::string stream = EncodeDataBatch(records.data(), records.size());
+  // Byte at a time: exactly one frame appears, exactly when the last byte
+  // lands. A mid-frame disconnect at any prefix leaves the decoder clean
+  // (no error, no partial frame) -- the frame simply never happened.
+  FrameDecoder dec;
+  std::string_view payload;
+  for (size_t i = 0; i + 1 < stream.size(); ++i) {
+    dec.Append(&stream[i], 1);
+    auto has = dec.Next(&payload);
+    ASSERT_TRUE(has.ok()) << "at byte " << i;
+    EXPECT_FALSE(*has) << "frame surfaced " << stream.size() - 1 - i
+                       << " bytes early";
+    EXPECT_EQ(dec.buffered_bytes(), i + 1);
+    EXPECT_FALSE(dec.poisoned());
+  }
+  dec.Append(&stream[stream.size() - 1], 1);
+  auto has = dec.Next(&payload);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  std::vector<Record> got;
+  ASSERT_TRUE(DecodeDataBatch(payload, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], records[0]);
+  EXPECT_FALSE(*dec.Next(&payload));  // and nothing invented after it
+}
+
+TEST(WireProtocolTest, DataPayloadRejectsWrongType) {
+  std::vector<Record> out;
+  const std::string sub = EncodeSubscribe("t");
+  // Strip the frame header to get the raw payload.
+  EXPECT_FALSE(
+      DecodeDataBatch(
+          std::string_view(sub).substr(kFrameHeaderBytes), &out)
+          .ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireProtocolTest, DataPayloadRejectsAbsurdCountBeforeAllocating) {
+  // type + count claiming 2^60 records in a 9-byte payload.
+  BinaryWriter w;
+  w.WriteU8(kMsgData);
+  w.WriteU64(uint64_t{1} << 60);
+  std::vector<Record> out;
+  EXPECT_FALSE(DecodeDataBatch(w.buffer(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireProtocolTest, DataPayloadDecodeIsAllOrNothing) {
+  Rng rng(13);
+  std::vector<Record> records = {RandomRecord(&rng), RandomRecord(&rng),
+                                 RandomRecord(&rng)};
+  const std::string framed = EncodeDataBatch(records.data(), records.size());
+  const std::string_view payload =
+      std::string_view(framed).substr(kFrameHeaderBytes);
+
+  // Pre-existing (recycled-vector) contents must survive a failed decode.
+  std::vector<Record> out;
+  out.push_back(MakeRecord(99, Value(int64_t{7})));
+
+  // Truncated mid-record: error, out untouched.
+  EXPECT_FALSE(
+      DecodeDataBatch(payload.substr(0, payload.size() - 3), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp, 99);
+
+  // Trailing garbage after the last record: error, out untouched.
+  std::string padded(payload);
+  padded += "xx";
+  EXPECT_FALSE(DecodeDataBatch(padded, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+
+  // The intact payload appends after the recycled prefix.
+  ASSERT_TRUE(DecodeDataBatch(payload, &out).ok());
+  ASSERT_EQ(out.size(), 1u + records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out[1 + i], records[i]);
+  }
+}
+
+TEST(WireProtocolTest, GarbageBytesPoisonInsteadOfLoopingOrOverreading) {
+  // 64 KiB of deterministic garbage: the decoder must terminate with an
+  // error (poisoned) or keep waiting for more bytes -- never yield a frame,
+  // never touch memory past what it was handed.
+  Rng rng(17);
+  std::string garbage(64u << 10, '\0');
+  for (char& c : garbage) c = static_cast<char>(rng.NextBelow(256));
+  FrameDecoder dec(/*max_frame_bytes=*/1u << 20);
+  size_t off = 0;
+  bool poisoned = false;
+  while (off < garbage.size() && !poisoned) {
+    const size_t chunk =
+        std::min<size_t>(1 + rng.NextBelow(4096), garbage.size() - off);
+    dec.Append(garbage.data() + off, chunk);
+    off += chunk;
+    std::string_view payload;
+    auto has = dec.Next(&payload);
+    if (!has.ok()) {
+      poisoned = true;
+    } else {
+      // A random 4-byte length happening to be small enough is possible,
+      // but the CRC then fails with probability 1 - 2^-32; either way a
+      // frame must not surface from noise.
+      EXPECT_FALSE(*has);
+    }
+  }
+  EXPECT_TRUE(poisoned || dec.buffered_bytes() > 0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace streamline

@@ -21,6 +21,24 @@ bool Contains(const std::string& s, const std::string& p) {
   return s.find(p) != std::string::npos;
 }
 
+/// The network edge owns socket discipline: every fd there is
+/// non-blocking by construction (socket.cc), so socket syscalls under a
+/// net/ directory are sanctioned. Matches src/net/ in the real tree and
+/// net/ subtrees in fixture corpora; paths may be repo-relative or
+/// absolute depending on the frontend.
+bool IsNetEdgeFile(const SourceLoc& loc) {
+  return Contains(loc.file, "/net/") || StartsWith(loc.file, "net/");
+}
+
+/// True when the call passes the MSG_DONTWAIT flag as a plain argument --
+/// the per-call non-blocking form of send/recv.
+bool HasDontWaitFlag(const CallSite& cs) {
+  for (const CallSite::Arg& a : cs.args) {
+    if (a.lvalue_head == "MSG_DONTWAIT") return true;
+  }
+  return false;
+}
+
 /// Blocking primitive classification on an *unresolved* call site:
 /// OS / std facilities the program model has no body for.
 bool IsIntrinsicBlocking(const CallSite& cs, std::string* display) {
@@ -37,6 +55,20 @@ bool IsIntrinsicBlocking(const CallSite& cs, std::string* display) {
     for (const char* b : kBlocking) {
       if (cs.name == b) {
         *display = cs.name;
+        return true;
+      }
+    }
+    // Socket syscalls park the thread on kernel buffers / the peer unless
+    // the fd is non-blocking. The per-call MSG_DONTWAIT form is fine
+    // anywhere; fd-level O_NONBLOCK is confined to src/net/, which is
+    // sanctioned wholesale (see IsNetEdgeFile).
+    static const char* kBlockingSock[] = {"send",    "recv",    "sendto",
+                                          "recvfrom", "sendmsg", "recvmsg",
+                                          "accept",  "accept4", "connect"};
+    for (const char* b : kBlockingSock) {
+      if (cs.name == b) {
+        if (IsNetEdgeFile(cs.loc) || HasDontWaitFlag(cs)) return false;
+        *display = cs.name + "(2)";
         return true;
       }
     }
@@ -527,6 +559,36 @@ void CheckRecordCopies(const Program& prog, const Resolver& resolver,
 }
 
 // ---------------------------------------------------------------------------
+// Check: raw-socket
+// ---------------------------------------------------------------------------
+
+/// socket(2)/socketpair(2) creation is confined to the network edge:
+/// src/net/ wraps every descriptor in an owning Fd, sets O_NONBLOCK +
+/// CLOEXEC, and keeps blocking IO off the worker pool. A raw socket call
+/// anywhere else reintroduces an unaccounted, blocking-by-default fd.
+/// Not reachability-based: creation is forbidden outside the edge no
+/// matter who calls the creator.
+void CheckRawSocket(const Program& prog, std::vector<Diagnostic>* out) {
+  for (const auto& [qn, fn] : prog.functions) {
+    for (const CallSite& cs : fn.calls) {
+      if (!cs.qualifier.empty() || !cs.receiver_chain.empty()) continue;
+      if (cs.name != "socket" && cs.name != "socketpair") continue;
+      if (IsNetEdgeFile(cs.loc)) continue;
+      Diagnostic d;
+      d.check = kCheckRawSocket;
+      d.loc = cs.loc;
+      d.message = "raw " + cs.name +
+                  "(2) call in '" + qn +
+                  "' outside src/net/ -- socket creation belongs to the "
+                  "network edge";
+      d.path.push_back({qn, fn.loc});
+      d.path.push_back({"[creates socket] " + cs.name, cs.loc});
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Check: lock-order-cycle
 // ---------------------------------------------------------------------------
 
@@ -675,6 +737,7 @@ std::vector<Diagnostic> RunChecks(Program& prog, const CheckOptions& opts) {
     CheckSnapshotDeterminism(prog, resolver, &all);
   }
   if (enabled(kCheckRecordCopy)) CheckRecordCopies(prog, resolver, &all);
+  if (enabled(kCheckRawSocket)) CheckRawSocket(prog, &all);
 
   // Apply waivers: a matching waiver with a reason suppresses; one without
   // a reason is itself an error and suppresses nothing.

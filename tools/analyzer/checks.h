@@ -14,6 +14,7 @@ inline constexpr char kCheckBlockInMorsel[] = "block-in-morsel";
 inline constexpr char kCheckLockOrder[] = "lock-order-cycle";
 inline constexpr char kCheckSnapshotDeterminism[] = "snapshot-nondeterminism";
 inline constexpr char kCheckRecordCopy[] = "record-copy-in-hot-path";
+inline constexpr char kCheckRawSocket[] = "raw-socket";
 inline constexpr char kCheckStaleWaiver[] = "stale-waiver";
 
 /// Resolves call sites against the program model: explicit qualifiers,

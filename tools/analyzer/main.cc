@@ -7,11 +7,14 @@
 // with the structural frontend, and runs the reachability checks:
 //   block-in-morsel          no blocking primitive reachable from Step /
 //                            ProcessBatch / ProcessRecord / ProcessWatermark
+//                            (blocking socket syscalls count, unless the
+//                            call passes MSG_DONTWAIT or lives in src/net/)
 //   lock-order-cycle         no cycle in the static lock-acquisition graph
 //   snapshot-nondeterminism  no wall clock / PRNG reachable from Snapshot* /
 //                            Restore* / ApplyDelta
 //   record-copy-in-hot-path  no Record/Value lvalue copies on Emit/Process
 //                            chains
+//   raw-socket               socket(2)/socketpair(2) confined to src/net/
 //
 // Diagnostics carry the full call path. Suppress a finding by placing
 // `// analyzer:allow(<check>): <reason>` on (or directly above) any line of
@@ -83,7 +86,7 @@ void Usage() {
       << "           [--frontend structural|clang]\n"
       << "           [--list-waivers] [--list-entries]\n"
       << "checks: block-in-morsel lock-order-cycle snapshot-nondeterminism\n"
-      << "        record-copy-in-hot-path\n"
+      << "        record-copy-in-hot-path raw-socket\n"
       << "the clang frontend requires --compdb and a build configured with\n"
       << "-DSTREAMLINE_ANALYZER_WITH_CLANG=ON\n";
 }

@@ -872,10 +872,13 @@ struct Parser {
     cs.name = name;
     cs.loc = LocAt(name_idx);
     cs.held_idx = std::move(held);
-    // Explicit qualifier: A::B::name( -- walk back over :: pairs.
+    // Explicit qualifier: A::B::name( -- walk back over :: pairs. A keyword
+    // before the :: means a global-namespace call in statement position
+    // (`return ::fsync(fd)`), not a qualifier.
     size_t k = name_idx;
     std::vector<std::string> quals;
-    while (k >= 2 && IsPunct(t[k - 1], "::") && IsIdent(t[k - 2])) {
+    while (k >= 2 && IsPunct(t[k - 1], "::") && IsIdent(t[k - 2]) &&
+           !Keywords().count(t[k - 2].text)) {
       quals.insert(quals.begin(), t[k - 2].text);
       k -= 2;
     }

@@ -1,0 +1,21 @@
+#include "../engine.h"
+
+// CLEAN counterparts to sockets.cc: under a net/ directory the edge owns
+// its socket discipline (every fd is non-blocking by construction), so
+// blocking-looking syscalls and raw socket creation are sanctioned --
+// neither case below may produce a diagnostic.
+
+/// Blocking-looking accept4 on a morsel entry: sanctioned by location.
+class EdgeAcceptTask : public Schedulable {
+ public:
+  bool Step() override {
+    int client = accept4(listener_, 0, 0, 0);
+    return client >= 0;
+  }
+
+ private:
+  int listener_ = -1;
+};
+
+/// Raw socket creation inside the edge: where it belongs.
+int OpenEdgeSocket() { return socket(2, 1, 0); }

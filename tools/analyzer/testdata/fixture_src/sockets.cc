@@ -1,0 +1,54 @@
+#include "engine.h"
+
+// Socket cases: blocking socket syscalls are blocking primitives
+// (block-in-morsel), and raw socket creation outside a net/ directory is
+// its own check (raw-socket). The sanctioned counterparts live in
+// net/edge.cc.
+
+/// FIRING: Step does a blocking recv(2) straight off a morsel.
+class SocketPollTask : public Schedulable {
+ public:
+  bool Step() override {
+    char buf[16];
+    long n = recv(fd_, buf, sizeof(buf), 0);
+    return n > 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// WAIVED: blocking send(2) on a Step, with a reasoned waiver.
+class SocketPushTask : public Schedulable {
+ public:
+  bool Step() override {
+    // analyzer:allow(block-in-morsel): fixture models a sanctioned drain
+    long n = send(fd_, "x", 1, 0);
+    return n == 1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// CLEAN: MSG_DONTWAIT makes the recv non-blocking per call.
+class NonBlockingPollTask : public Schedulable {
+ public:
+  bool Step() override {
+    char buf[16];
+    long n = recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    return n > 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// FIRING: raw socket(2) outside the net edge.
+int OpenRawSocket() { return socket(2, 1, 0); }
+
+/// WAIVED: raw socketpair(2), with a reasoned waiver.
+int OpenWaivedPair(int* fds) {
+  // analyzer:allow(raw-socket): fixture models a sanctioned self-pipe
+  return socketpair(1, 1, 0, fds);
+}

@@ -32,6 +32,13 @@ performance or correctness story depends on:
       thread-per-X execution, which is exactly what the morsel scheduler
       exists to prevent.
 
+  raw-socket
+      Socket creation is confined to src/net/: the network edge wraps
+      every descriptor in an owning Fd, makes it non-blocking +
+      close-on-exec, and keeps socket IO off the worker pool. A raw
+      socket(2)/socketpair(2) call anywhere else reintroduces an
+      unaccounted, blocking-by-default fd.
+
   unsynced-write
       Durability-path files (the WAL and the snapshot stores) must write
       through WalWriter or WriteFileDurable -- fd-based paths that fsync
@@ -77,6 +84,9 @@ MUTEX_HOME = SRC / "common" / "mutex.h"
 # and its timer thread.
 THREAD_HOME = {SRC / "common" / "thread_pool.cc",
                SRC / "common" / "thread_pool.h"}
+
+# The sanctioned home of socket creation: the network edge.
+NET_DIR = SRC / "net"
 
 # Files on the per-record data path. Per-record lookups and copies here are
 # what the paper's single-engine throughput claims rest on.
@@ -129,6 +139,9 @@ WAIVER_RE = re.compile(r"lint:allow\(([\w-]+)\)(:\s*\S)?")
 # std::thread construction or membership; deliberately does not match
 # std::this_thread:: utilities (yield/sleep_for are fine anywhere).
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")
+# socket(2)/socketpair(2) creation calls; member access (x.socket()) and
+# identifiers merely containing the word do not match.
+RAW_SOCKET_RE = re.compile(r"(?<![\w.>])(socket|socketpair)\s*\(")
 # Unsynced write primitives in durability code. ifstream (reads) is fine;
 # ofstream, C stdio writes, and fstream opened for writing are not.
 UNSYNCED_WRITE_RE = re.compile(
@@ -278,6 +291,8 @@ def main():
             rules.append(("raw-mutex", RAW_MUTEX_RE))
         if path not in THREAD_HOME:
             rules.append(("raw-thread", RAW_THREAD_RE))
+        if NET_DIR not in path.parents:
+            rules.append(("raw-socket", RAW_SOCKET_RE))
         scan_file(path, rules, violations, registry)
 
     for path in HOT_PATH_FILES:
